@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench bench-figs bench-ablations figs clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# One benchmark per paper figure (reduced scale; see cmd/paperfigs for
+# the full-scale sweep).
+bench-figs:
+	$(GO) test -run xxx -bench Fig -benchtime 1x .
+
+bench-ablations:
+	$(GO) test -run xxx -bench Ablation -benchtime 1x .
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem -benchtime 1x . | tee bench_output.txt
+
+# Regenerate every figure's data at full scale into results/.
+figs:
+	$(GO) run ./cmd/paperfigs -fig all -out results
+
+clean:
+	rm -rf results bench_output.txt test_output.txt

@@ -1,0 +1,338 @@
+// Command dramstacks runs one workload on the simulated machine and
+// prints its DRAM bandwidth, latency and cycle stacks.
+//
+// Usage examples:
+//
+//	dramstacks -workload seq -cores 4
+//	dramstacks -workload random -cores 8 -stores 0.2 -policy closed
+//	dramstacks -workload bfs -cores 8 -scale 16 -cycles 1000000
+//	dramstacks -workload seq -cores 2 -map int -trace seq2.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dramstacks/internal/cpu"
+	"dramstacks/internal/cyclestack"
+	"dramstacks/internal/exp"
+	"dramstacks/internal/gap"
+	"dramstacks/internal/memctrl"
+	"dramstacks/internal/power"
+	"dramstacks/internal/sim"
+	"dramstacks/internal/stacks"
+	"dramstacks/internal/trace"
+	"dramstacks/internal/viz"
+	"dramstacks/internal/workload"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "seq", "seq, random, strided, a STREAM kernel (copy scale add triad), a GAP kernel (bc bfs cc pr sssp tc), 'trace' with -in, or a comma mix of synthetic/STREAM kinds assigned to cores round-robin (e.g. seq,random)")
+		inFile    = flag.String("in", "", "application memory trace for -workload trace (lines: 'R <addr> [work]', 'W <addr> [work]', 'B [0|1]')")
+		cores     = flag.Int("cores", 1, "number of cores (1-8 in the paper)")
+		channels  = flag.Int("channels", 1, "memory channels (the paper uses 1)")
+		stores    = flag.Float64("stores", 0, "store fraction for synthetic workloads (0..1)")
+		policy    = flag.String("policy", "", "page policy: open or closed (default: open; GAP kernels default closed, tc open)")
+		mapping   = flag.String("map", "def", "address mapping: def (Fig 5a), int (cache-line interleaved, Fig 5b), or xor (permutation bank hashing)")
+		cycles    = flag.Int64("cycles", 500_000, "memory-cycle budget (0 = run workload to completion)")
+		sample    = flag.Int64("sample", 0, "through-time sample interval in memory cycles (0 = off)")
+		scale     = flag.Int("scale", 17, "Kronecker graph scale for GAP kernels")
+		wq        = flag.Int("wq", 0, "write queue capacity override (paper wq128 variant)")
+		csvOut    = flag.String("csv", "", "write through-time samples as CSV to this file (needs -sample)")
+		traceFile = flag.String("trace", "", "record the DRAM command trace to this file")
+	)
+	flag.Parse()
+	if err := run(*wl, *inFile, *cores, *channels, *stores, *policy, *mapping, *cycles, *sample, *scale, *wq, *csvOut, *traceFile); err != nil {
+		fmt.Fprintln(os.Stderr, "dramstacks:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl, inFile string, cores, channels int, stores float64, policy, mapping string,
+	cycles, sample int64, scale, wq int, csvOut, traceFile string) error {
+	m := sim.MapDefault
+	switch mapping {
+	case "def":
+	case "int":
+		m = sim.MapInterleaved
+	case "xor":
+		m = sim.MapXOR
+	default:
+		return fmt.Errorf("unknown mapping %q (want def, int or xor)", mapping)
+	}
+
+	if strings.Contains(wl, ",") {
+		return runMix(wl, cores, channels, policy, m, cycles, sample, csvOut, traceFile)
+	}
+	var res *simResult
+	switch wl {
+	case "trace":
+		if inFile == "" {
+			return fmt.Errorf("-workload trace needs -in <file>")
+		}
+		f, err := os.Open(inFile)
+		if err != nil {
+			return err
+		}
+		base, err := workload.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg := sim.Default(cores)
+		cfg.Channels = channels
+		cfg.Map = m
+		if policy == "closed" {
+			cfg.Ctrl.Policy = memctrl.ClosedPage
+		}
+		cfg.MaxMemCycles = cycles
+		cfg.SampleInterval = sample
+		var rec trace.Recorder
+		if traceFile != "" {
+			cfg.Trace = rec.Hook()
+		}
+		// Each core replays the trace from its own copy.
+		var sources []cpu.Source
+		for i := 0; i < cores; i++ {
+			p := *base
+			p.Loop = true
+			sources = append(sources, &p)
+		}
+		sys, err := sim.New(cfg, sources)
+		if err != nil {
+			return err
+		}
+		r := sys.Run()
+		if len(r.Violations) > 0 {
+			return fmt.Errorf("DRAM timing violations: %v", r.Violations[0])
+		}
+		res = &simResult{r, fmt.Sprintf("trace %dc", cores), rec.Events()}
+	case "copy", "scale", "add", "triad":
+		kinds := map[string]workload.StreamKind{
+			"copy": workload.StreamCopy, "scale": workload.StreamScale,
+			"add": workload.StreamAdd, "triad": workload.StreamTriad,
+		}
+		cfg := sim.Default(cores)
+		cfg.Channels = channels
+		cfg.Map = m
+		if policy == "closed" {
+			cfg.Ctrl.Policy = memctrl.ClosedPage
+		}
+		cfg.MaxMemCycles = cycles
+		cfg.PrewarmOps = 1 << 20
+		cfg.SampleInterval = sample
+		var rec trace.Recorder
+		if traceFile != "" {
+			cfg.Trace = rec.Hook()
+		}
+		sys, err := sim.New(cfg, workload.StreamSources(kinds[wl], cores))
+		if err != nil {
+			return err
+		}
+		r := sys.Run()
+		if len(r.Violations) > 0 {
+			return fmt.Errorf("DRAM timing violations: %v", r.Violations[0])
+		}
+		res = &simResult{r, fmt.Sprintf("stream-%s %dc", wl, cores), rec.Events()}
+	case "seq", "random", "strided":
+		pat := workload.Sequential
+		switch wl {
+		case "random":
+			pat = workload.Random
+		case "strided":
+			pat = workload.Strided
+		}
+		pol := memctrl.OpenPage
+		if policy == "closed" {
+			pol = memctrl.ClosedPage
+		} else if policy != "" && policy != "open" {
+			return fmt.Errorf("unknown policy %q", policy)
+		}
+		spec := exp.SynthSpec{
+			Pattern: pat, Cores: cores, Channels: channels, StoreFrac: stores,
+			Map: m, Policy: pol, Budget: cycles, Prewarm: 1 << 20, Sample: sample,
+		}
+		var rec trace.Recorder
+		if traceFile != "" {
+			spec.Trace = rec.Hook()
+		}
+		r, err := exp.RunSynth(spec)
+		if err != nil {
+			return err
+		}
+		res = &simResult{r, fmt.Sprintf("%s %dc", pat, cores), rec.Events()}
+	default:
+		found := false
+		for _, b := range gap.Benchmarks() {
+			if b == wl {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown workload %q (want seq, random, or one of %v)", wl, gap.Benchmarks())
+		}
+		spec := exp.DefaultGap(wl, cores)
+		spec.Scale = scale
+		spec.Map = m
+		spec.Budget = cycles
+		spec.Sample = sample
+		spec.WriteQueue = wq
+		if policy == "open" {
+			spec.Policy = memctrl.OpenPage
+		} else if policy == "closed" {
+			spec.Policy = memctrl.ClosedPage
+		}
+		var rec trace.Recorder
+		if traceFile != "" {
+			spec.Trace = rec.Hook()
+		}
+		r, err := exp.RunGap(spec)
+		if err != nil {
+			return err
+		}
+		res = &simResult{r, fmt.Sprintf("%s %dc", wl, cores), rec.Events()}
+	}
+	return report(res, csvOut, traceFile)
+}
+
+// runMix builds a heterogeneous system: the comma-separated workload
+// kinds are assigned to cores round-robin, each with a private region.
+func runMix(wl string, cores, channels int, policy string, m sim.Mapping,
+	cycles, sample int64, csvOut, traceFile string) error {
+	kinds := strings.Split(wl, ",")
+	cfg := sim.Default(cores)
+	cfg.Channels = channels
+	cfg.Map = m
+	if policy == "closed" {
+		cfg.Ctrl.Policy = memctrl.ClosedPage
+	}
+	cfg.MaxMemCycles = cycles
+	cfg.SampleInterval = sample
+	var rec trace.Recorder
+	if traceFile != "" {
+		cfg.Trace = rec.Hook()
+	}
+	var sources []cpu.Source
+	for i := 0; i < cores; i++ {
+		kind := strings.TrimSpace(kinds[i%len(kinds)])
+		base := uint64(i)*(512<<20) + uint64(i)*8192
+		switch kind {
+		case "seq":
+			wc := workload.DefaultSequential()
+			wc.BaseAddr = base
+			wc.Seed = int64(i + 1)
+			sources = append(sources, workload.MustSynthetic(wc))
+		case "random":
+			wc := workload.DefaultRandom()
+			wc.BaseAddr = base
+			wc.Seed = int64(i + 1)
+			sources = append(sources, workload.MustSynthetic(wc))
+		case "strided":
+			wc := workload.DefaultStrided()
+			wc.BaseAddr = base
+			wc.Seed = int64(i + 1)
+			sources = append(sources, workload.MustSynthetic(wc))
+		case "copy", "scale", "add", "triad":
+			sc := workload.DefaultStream(map[string]workload.StreamKind{
+				"copy": workload.StreamCopy, "scale": workload.StreamScale,
+				"add": workload.StreamAdd, "triad": workload.StreamTriad,
+			}[kind])
+			sc.BaseAddr = base
+			sources = append(sources, workload.MustStream(sc))
+		default:
+			return fmt.Errorf("unknown mix component %q (synthetic and STREAM kinds only)", kind)
+		}
+	}
+	sys, err := sim.New(cfg, sources)
+	if err != nil {
+		return err
+	}
+	r := sys.Run()
+	if len(r.Violations) > 0 {
+		return fmt.Errorf("DRAM timing violations: %v", r.Violations[0])
+	}
+	return report(&simResult{r, fmt.Sprintf("mix(%s) %dc", wl, cores), rec.Events()}, csvOut, traceFile)
+}
+
+type simResult struct {
+	r      *sim.Result
+	label  string
+	events []trace.Event
+}
+
+func report(res *simResult, csvOut, traceFile string) error {
+	r := res.r
+	geo := r.Cfg.Geom
+
+	fmt.Printf("simulated %d memory cycles (%.3f ms), %d instructions retired, %d channel(s)\n",
+		r.MemCycles, r.RuntimeMS(), r.TotalRetired(), r.Channels)
+	fmt.Printf("page hit rate %.1f%%, %d refreshes, %d reads / %d writes to DRAM\n",
+		100*r.CtrlStats.PageHitRate(), r.CtrlStats.Refreshes,
+		r.CtrlStats.IssuedReads, r.CtrlStats.IssuedWrites)
+	if rep, err := power.DDR4().Estimate(r.DevStats, r.MemCycles, geo); err == nil {
+		fmt.Println(rep)
+	}
+	if h := r.LatHist; h.Count() > 0 {
+		fmt.Printf("read latency: mean %.1f ns, p50 <= %.1f, p95 <= %.1f, p99 <= %.1f, max %.1f\n",
+			geo.CyclesToNS(1)*h.Mean(),
+			geo.CyclesToNS(h.Quantile(0.50)), geo.CyclesToNS(h.Quantile(0.95)),
+			geo.CyclesToNS(h.Quantile(0.99)), geo.CyclesToNS(h.Max()))
+	}
+	fmt.Println()
+
+	viz.BandwidthChart(os.Stdout, []string{res.label}, []stacks.BandwidthStack{r.BW}, geo)
+	if r.Channels > 1 {
+		fmt.Printf("(per-channel average; total across %d channels: %.2f of %.1f GB/s)\n",
+			r.Channels, r.AchievedGBps(), r.PeakGBps())
+	}
+	fmt.Println()
+	viz.LatencyChart(os.Stdout, []string{res.label}, []stacks.LatencyStack{r.Lat}, geo)
+	fmt.Println()
+	var agg cyclestack.Stack
+	labels := []string{}
+	var perCore []cyclestack.Stack
+	for i, cs := range r.CycleStacks {
+		agg.Add(cs)
+		perCore = append(perCore, cs)
+		labels = append(labels, fmt.Sprintf("core %d", i))
+	}
+	viz.CycleChart(os.Stdout, append(labels, "all cores"), append(perCore, agg))
+
+	if advice := stacks.Diagnose(r.BW, r.Lat, geo); len(advice) > 0 {
+		fmt.Println("\ndiagnosis (paper §IV/§V interpretation):")
+		for _, a := range advice {
+			fmt.Printf("  %s\n", a)
+		}
+	}
+
+	if csvOut != "" {
+		f, err := os.Create(csvOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := viz.SamplesCSV(f, r.BWSamples, geo); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d through-time samples to %s\n", len(r.BWSamples), csvOut)
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Write(f, res.events); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d DRAM commands to %s (rebuild the stack offline with cmd/tracestack)\n",
+			len(res.events), traceFile)
+	}
+	if len(r.Violations) > 0 {
+		return fmt.Errorf("DRAM timing violations detected: %v", r.Violations[0])
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSyntheticWorkloads(t *testing.T) {
+	for _, wl := range []string{"seq", "random", "strided", "triad"} {
+		if err := run(wl, "", 1, 1, 0, "", "def", 20_000, 0, 17, 0, "", ""); err != nil {
+			t.Errorf("%s: %v", wl, err)
+		}
+	}
+}
+
+func TestRunGapWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gap run skipped in -short")
+	}
+	if err := run("bfs", "", 2, 1, 0, "", "def", 30_000, 0, 12, 0, "", ""); err != nil {
+		t.Errorf("bfs: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		err  string
+		call func() error
+	}{
+		{"bad workload", "unknown workload", func() error {
+			return run("nope", "", 1, 1, 0, "", "def", 1000, 0, 17, 0, "", "")
+		}},
+		{"bad mapping", "unknown mapping", func() error {
+			return run("seq", "", 1, 1, 0, "", "zigzag", 1000, 0, 17, 0, "", "")
+		}},
+		{"bad policy", "unknown policy", func() error {
+			return run("seq", "", 1, 1, 0, "lukewarm", "def", 1000, 0, 17, 0, "", "")
+		}},
+		{"trace without file", "-in", func() error {
+			return run("trace", "", 1, 1, 0, "", "def", 1000, 0, 17, 0, "", "")
+		}},
+	}
+	for _, tc := range cases {
+		err := tc.call()
+		if err == nil || !strings.Contains(err.Error(), tc.err) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.err)
+		}
+	}
+}
+
+func TestRunWithTraceAndCSVOutputs(t *testing.T) {
+	dir := t.TempDir()
+	traceOut := filepath.Join(dir, "cmds.trace")
+	csvOut := filepath.Join(dir, "samples.csv")
+	if err := run("seq", "", 1, 1, 0, "", "def", 30_000, 10_000, 17, 0, csvOut, traceOut); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := os.ReadFile(traceOut)
+	if err != nil || len(tr) == 0 {
+		t.Errorf("trace file missing or empty: %v", err)
+	}
+	if !strings.Contains(string(tr), "ACT") || !strings.Contains(string(tr), "RD") {
+		t.Error("trace file lacks commands")
+	}
+	csv, err := os.ReadFile(csvOut)
+	if err != nil || !strings.HasPrefix(string(csv), "start_cycle,") {
+		t.Errorf("csv file wrong: %v", err)
+	}
+}
+
+func TestRunTracePlayerWorkload(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "app.trace")
+	var b strings.Builder
+	for i := 0; i < 64; i++ {
+		b.WriteString("R ")
+		b.WriteString(strings.TrimSpace((" " + hex(uint64(i*64)))))
+		b.WriteString(" 8\n")
+	}
+	if err := os.WriteFile(in, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("trace", in, 1, 1, 0, "", "def", 20_000, 0, 17, 0, "", ""); err != nil {
+		t.Errorf("trace workload: %v", err)
+	}
+}
+
+func hex(v uint64) string {
+	const digits = "0123456789abcdef"
+	if v == 0 {
+		return "0x0"
+	}
+	var out []byte
+	for v > 0 {
+		out = append([]byte{digits[v&15]}, out...)
+		v >>= 4
+	}
+	return "0x" + string(out)
+}

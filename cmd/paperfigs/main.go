@@ -1,0 +1,243 @@
+// Command paperfigs regenerates the data behind every figure of the
+// paper's evaluation (Figs. 2-4 and 6-9; Fig. 5 is the address-mapping
+// definition, printed for reference). Results are printed as ASCII
+// charts and, when -out is given, written as CSV files.
+//
+//	paperfigs -fig all -out results
+//	paperfigs -fig 7 -budget 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dramstacks/internal/addrmap"
+	"dramstacks/internal/dram"
+	"dramstacks/internal/exp"
+	"dramstacks/internal/extrapolate"
+	"dramstacks/internal/viz"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,7,8,9 or all")
+		budget    = flag.Int64("budget", 400_000, "memory-cycle budget per synthetic run")
+		gapBudget = flag.Int64("gap-budget", 1_500_000, "memory-cycle budget per GAP run")
+		out       = flag.String("out", "", "directory for CSV output (optional)")
+	)
+	flag.Parse()
+	if err := run(*fig, *budget, *gapBudget, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, budget, gapBudget int64, out string) error {
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+	}
+	want := func(f string) bool { return fig == "all" || fig == f }
+	geo, _ := dram.DDR4_2400()
+
+	section := func(title string) {
+		fmt.Printf("\n===== %s =====\n", title)
+	}
+	writeSVG := func(name string, render func(w *os.File) error) error {
+		f, err := os.Create(filepath.Join(out, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return render(f)
+	}
+	chartRows := func(name string, rows []exp.Row) error {
+		labels, bw, lat := exp.Stacks(rows)
+		viz.BandwidthChart(os.Stdout, labels, bw, geo)
+		fmt.Println()
+		viz.LatencyChart(os.Stdout, labels, lat, geo)
+		if out == "" {
+			return nil
+		}
+		if err := writeSVG(name+"_bw.svg", func(f *os.File) error {
+			return viz.BandwidthSVG(f, labels, bw, geo)
+		}); err != nil {
+			return err
+		}
+		if err := writeSVG(name+"_lat.svg", func(f *os.File) error {
+			return viz.LatencySVG(f, labels, lat, geo)
+		}); err != nil {
+			return err
+		}
+		jf, err := os.Create(filepath.Join(out, name+".json"))
+		if err != nil {
+			return err
+		}
+		if err := exp.WriteRowsJSON(jf, rows); err != nil {
+			jf.Close()
+			return err
+		}
+		jf.Close()
+		f, err := os.Create(filepath.Join(out, name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fmt.Fprint(f, "label,achieved_gbs")
+		for c := 0; c < len(bw[0].Cycles); c++ {
+			fmt.Fprintf(f, ",bw_%d", c)
+		}
+		fmt.Fprintln(f)
+		for i := range rows {
+			g := bw[i].GBps(geo)
+			fmt.Fprintf(f, "%s,%.4f", strings.ReplaceAll(labels[i], ",", " "), bw[i].AchievedGBps(geo))
+			for _, v := range g {
+				fmt.Fprintf(f, ",%.4f", v)
+			}
+			fmt.Fprintln(f)
+		}
+		return nil
+	}
+
+	start := time.Now()
+	if want("2") {
+		section("Fig. 2: read-only scaling, sequential vs random, 1-8 cores")
+		rows, err := exp.Fig2(budget)
+		if err != nil {
+			return err
+		}
+		if err := chartRows("fig2", rows); err != nil {
+			return err
+		}
+	}
+	if want("3") {
+		section("Fig. 3: store-fraction sweep on 1 core")
+		rows, err := exp.Fig3(budget)
+		if err != nil {
+			return err
+		}
+		if err := chartRows("fig3", rows); err != nil {
+			return err
+		}
+	}
+	if want("4") {
+		section("Fig. 4: open vs closed page policy, 2 cores")
+		rows, err := exp.Fig4(budget)
+		if err != nil {
+			return err
+		}
+		if err := chartRows("fig4", rows); err != nil {
+			return err
+		}
+	}
+	if want("5") {
+		section("Fig. 5: address indexing schemes")
+		fmt.Println(addrmap.MustDefault(geo, 1))
+		fmt.Println(addrmap.MustInterleaved(geo, 1))
+	}
+	if want("6") {
+		section("Fig. 6: default vs cache-line-interleaved indexing")
+		rows, err := exp.Fig6(budget)
+		if err != nil {
+			return err
+		}
+		if err := chartRows("fig6", rows); err != nil {
+			return err
+		}
+	}
+	if want("7") {
+		section("Fig. 7: through-time stacks for bfs on 8 cores")
+		res, err := exp.Fig7(gapBudget, gapBudget/48)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bfs 8c: %.2f GB/s over %.3f ms (%d samples)\n",
+			res.AchievedGBps(), res.RuntimeMS(), len(res.BWSamples))
+		if out != "" {
+			f, err := os.Create(filepath.Join(out, "fig7_bw_lat.csv"))
+			if err != nil {
+				return err
+			}
+			if err := viz.SamplesCSV(f, res.BWSamples, geo); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+			f, err = os.Create(filepath.Join(out, "fig7_cycles.csv"))
+			if err != nil {
+				return err
+			}
+			if err := viz.CycleSamplesCSV(f, res.CycleSamples, res.Cfg.SampleInterval, geo); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+			if err := writeSVG("fig7_bw.svg", func(f *os.File) error {
+				return viz.ThroughTimeSVG(f, res.BWSamples, geo)
+			}); err != nil {
+				return err
+			}
+			if err := writeSVG("fig7_cycles.svg", func(f *os.File) error {
+				return viz.CycleSamplesSVG(f, res.CycleSamples, res.Cfg.SampleInterval, geo)
+			}); err != nil {
+				return err
+			}
+		}
+		// Show the phase behavior as through-time achieved bandwidth.
+		viz.ThroughTime(os.Stdout, res.BWSamples, geo)
+	}
+	if want("8") {
+		section("Fig. 8: latency stacks for bfs/tc variants")
+		rows, err := exp.Fig8(gapBudget)
+		if err != nil {
+			return err
+		}
+		labels, _, lat := exp.Stacks(rows)
+		viz.LatencyChart(os.Stdout, labels, lat, geo)
+		if out != "" {
+			if err := writeSVG("fig8_lat.svg", func(f *os.File) error {
+				return viz.LatencySVG(f, labels, lat, geo)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if want("9") {
+		section("Fig. 9: bandwidth extrapolation 1c -> 8c, naive vs stack")
+		preds, err := exp.Fig9(gapBudget, gapBudget/32)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %10s %10s %10s %10s %10s\n",
+			"bench", "8c meas.", "naive", "stack", "naiveErr", "stackErr")
+		for _, p := range preds {
+			fmt.Printf("%-8s %10.2f %10.2f %10.2f %9.1f%% %9.1f%%\n",
+				p.Name, p.Measured, p.Naive, p.Stack, 100*p.NaiveErr(), 100*p.StackErr())
+		}
+		nv, st, err := extrapolate.MeanErrors(preds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mean error: naive %.1f%%, stack-based %.1f%% (paper: 27%% vs 8%%)\n",
+			100*nv, 100*st)
+		if out != "" {
+			f, err := os.Create(filepath.Join(out, "fig9.csv"))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(f, "bench,measured_8c,naive,stack,naive_err,stack_err")
+			for _, p := range preds {
+				fmt.Fprintf(f, "%s,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+					p.Name, p.Measured, p.Naive, p.Stack, p.NaiveErr(), p.StackErr())
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("\ndone in %.1fs\n", time.Since(start).Seconds())
+	return nil
+}

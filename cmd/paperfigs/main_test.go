@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunFig5 exercises the cheapest figure path (no simulation) plus
+// the flag plumbing.
+func TestRunFig5(t *testing.T) {
+	if err := run("5", 10_000, 10_000, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunFig4WithOutput runs one real (tiny) figure sweep and checks the
+// CSV lands in the output directory.
+func TestRunFig4WithOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep skipped in -short")
+	}
+	dir := t.TempDir()
+	if err := run("4", 30_000, 30_000, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("fig4.csv empty")
+	}
+}

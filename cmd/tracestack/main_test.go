@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRebuildsStackFromTrace(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "t.trace")
+	trace := `0 ACT 0 0 0 3 0
+16 RD 0 0 0 3 0
+22 RD 0 0 0 3 1
+9360 PREA 0 0 0 0 0
+9380 REF 0 0 0 0 0
+`
+	if err := os.WriteFile(in, []byte(trace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, 12_000, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 0, false); err == nil || !strings.Contains(err.Error(), "-in") {
+		t.Errorf("missing file err = %v", err)
+	}
+	if err := run("/nonexistent/file", 0, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.trace")
+	os.WriteFile(bad, []byte("garbage\n"), 0o644)
+	if err := run(bad, 0, false); err == nil {
+		t.Error("garbage trace accepted")
+	}
+	// Illegal (out of order) trace fails reconstruction.
+	ooo := filepath.Join(dir, "ooo.trace")
+	os.WriteFile(ooo, []byte("10 ACT 0 0 0 1 0\n5 PRE 0 0 0 1 0\n"), 0o644)
+	if err := run(ooo, 0, false); err == nil {
+		t.Error("out-of-order trace accepted")
+	}
+}

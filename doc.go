@@ -1,0 +1,17 @@
+// Package dramstacks reproduces "DRAM Bandwidth and Latency Stacks:
+// Visualizing DRAM Bottlenecks" (Eyerman, Heirman, Hur — ISPASS 2022) as
+// a Go library: a DDR4 device timing model, an FR-FCFS memory
+// controller, an out-of-order multicore model with a three-level cache
+// hierarchy, the GAP graph benchmark kernels, and — the paper's
+// contribution — bandwidth stacks, latency stacks and the stack-based
+// bandwidth extrapolation method.
+//
+// Start with examples/quickstart, or run the paper's evaluation with
+// cmd/paperfigs. The benchmark harness in bench_test.go regenerates the
+// data behind every figure:
+//
+//	go test -bench=Fig -benchmem
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured comparison.
+package dramstacks

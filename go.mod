@@ -1,0 +1,3 @@
+module dramstacks
+
+go 1.22

@@ -1,0 +1,302 @@
+// Package addrmap maps physical addresses onto DRAM coordinates
+// (channel, rank, bank group, bank, row, column).
+//
+// The paper's Fig. 5 shows two schemes for the evaluated single-channel,
+// single-rank module:
+//
+//	(a) default:     row[15] | bank[2] | group[2] | column[7] | offset[6]
+//	(b) interleaved: row[15] | column[7] | bank[2] | group[2] | offset[6]
+//
+// The default scheme keeps 128 consecutive cache lines in the same bank
+// (one full 8 KB page), maximizing page hits for sequential streams. The
+// cache-line-interleaved scheme spreads consecutive lines over the bank
+// groups and banks, trading page locality for bank-level parallelism.
+//
+// Schemes are expressed as an ordered list of fields placed above the
+// cache-line offset, from least-significant upward, so other layouts
+// (e.g. channel interleaving) can be constructed with NewScheme.
+package addrmap
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"dramstacks/internal/dram"
+)
+
+// Field names one component of the DRAM coordinate extracted from an
+// address.
+type Field uint8
+
+const (
+	// FieldColumn selects the column (cache line within a row).
+	FieldColumn Field = iota
+	// FieldGroup selects the bank group.
+	FieldGroup
+	// FieldBank selects the bank within its group.
+	FieldBank
+	// FieldRank selects the rank.
+	FieldRank
+	// FieldChannel selects the channel.
+	FieldChannel
+	// FieldRow selects the row.
+	FieldRow
+
+	numFields
+)
+
+// String returns the lower-case field name.
+func (f Field) String() string {
+	switch f {
+	case FieldColumn:
+		return "column"
+	case FieldGroup:
+		return "group"
+	case FieldBank:
+		return "bank"
+	case FieldRank:
+		return "rank"
+	case FieldChannel:
+		return "channel"
+	case FieldRow:
+		return "row"
+	default:
+		return fmt.Sprintf("Field(%d)", uint8(f))
+	}
+}
+
+// Mapper converts between physical addresses and DRAM locations.
+type Mapper interface {
+	// Decode maps a physical byte address to its DRAM location.
+	Decode(addr uint64) dram.Loc
+	// Encode maps a DRAM location back to the base address of its
+	// cache line (the line-offset bits are zero).
+	Encode(loc dram.Loc) uint64
+	// Channels returns the number of channels the mapper distributes
+	// addresses over.
+	Channels() int
+	// Name identifies the scheme (for reports).
+	Name() string
+}
+
+// Scheme is a bit-sliced address mapping: fields are packed above the
+// cache-line offset in Order, least-significant first.
+type Scheme struct {
+	name     string
+	geo      dram.Geometry
+	channels int
+
+	order  []Field
+	shift  [numFields]uint // bit position of each field
+	width  [numFields]uint // bit width of each field
+	offset uint            // cache-line offset bits
+}
+
+var _ Mapper = (*Scheme)(nil)
+
+func log2(v int) (uint, error) {
+	if v <= 0 || v&(v-1) != 0 {
+		return 0, fmt.Errorf("addrmap: %d is not a positive power of two", v)
+	}
+	return uint(bits.TrailingZeros(uint(v))), nil
+}
+
+// NewScheme builds a mapping for the given geometry and channel count with
+// the given field order (least-significant first, above the line offset).
+// Every field must appear exactly once; all geometry dimensions must be
+// powers of two.
+func NewScheme(name string, geo dram.Geometry, channels int, order []Field) (*Scheme, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if channels <= 0 {
+		return nil, fmt.Errorf("addrmap: channels must be positive, got %d", channels)
+	}
+	s := &Scheme{name: name, geo: geo, channels: channels, order: append([]Field(nil), order...)}
+
+	sizes := map[Field]int{
+		FieldColumn:  geo.Cols,
+		FieldGroup:   geo.Groups,
+		FieldBank:    geo.Banks,
+		FieldRank:    geo.Ranks,
+		FieldChannel: channels,
+		FieldRow:     geo.Rows,
+	}
+	var err error
+	if s.offset, err = log2(geo.LineBytes); err != nil {
+		return nil, fmt.Errorf("addrmap: line bytes: %w", err)
+	}
+
+	seen := map[Field]bool{}
+	pos := s.offset
+	for _, f := range order {
+		if f >= numFields {
+			return nil, fmt.Errorf("addrmap: unknown field %d", f)
+		}
+		if seen[f] {
+			return nil, fmt.Errorf("addrmap: field %v appears twice", f)
+		}
+		seen[f] = true
+		w, err := log2(sizes[f])
+		if err != nil {
+			return nil, fmt.Errorf("addrmap: %v size: %w", f, err)
+		}
+		s.shift[f] = pos
+		s.width[f] = w
+		pos += w
+	}
+	if len(seen) != int(numFields) {
+		missing := []string{}
+		for f := Field(0); f < numFields; f++ {
+			if !seen[f] {
+				missing = append(missing, f.String())
+			}
+		}
+		return nil, fmt.Errorf("addrmap: fields missing from order: %s", strings.Join(missing, ", "))
+	}
+	if pos > 63 {
+		return nil, fmt.Errorf("addrmap: scheme needs %d address bits, max 63", pos)
+	}
+	return s, nil
+}
+
+// Name returns the scheme name.
+func (s *Scheme) Name() string { return s.name }
+
+// Channels returns the number of channels addresses are spread over.
+func (s *Scheme) Channels() int { return s.channels }
+
+// Bits returns the number of significant address bits.
+func (s *Scheme) Bits() uint {
+	f := s.order[len(s.order)-1]
+	return s.shift[f] + s.width[f]
+}
+
+func (s *Scheme) field(addr uint64, f Field) int {
+	return int((addr >> s.shift[f]) & ((1 << s.width[f]) - 1))
+}
+
+// Decode maps a physical byte address to its DRAM location. Address bits
+// above the scheme's range wrap (they are masked off), so any 64-bit
+// address is usable.
+func (s *Scheme) Decode(addr uint64) dram.Loc {
+	return dram.Loc{
+		Channel: s.field(addr, FieldChannel),
+		Rank:    s.field(addr, FieldRank),
+		Group:   s.field(addr, FieldGroup),
+		Bank:    s.field(addr, FieldBank),
+		Row:     s.field(addr, FieldRow),
+		Col:     s.field(addr, FieldColumn),
+	}
+}
+
+// Encode maps a DRAM location back to the base address of its cache line.
+func (s *Scheme) Encode(loc dram.Loc) uint64 {
+	var addr uint64
+	put := func(f Field, v int) {
+		addr |= (uint64(v) & ((1 << s.width[f]) - 1)) << s.shift[f]
+	}
+	put(FieldChannel, loc.Channel)
+	put(FieldRank, loc.Rank)
+	put(FieldGroup, loc.Group)
+	put(FieldBank, loc.Bank)
+	put(FieldRow, loc.Row)
+	put(FieldColumn, loc.Col)
+	return addr
+}
+
+// String describes the bit layout, most-significant field first.
+func (s *Scheme) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", s.name)
+	for i := len(s.order) - 1; i >= 0; i-- {
+		f := s.order[i]
+		fmt.Fprintf(&b, " %s[%d]", f, s.width[f])
+	}
+	fmt.Fprintf(&b, " offset[%d]", s.offset)
+	return b.String()
+}
+
+// NewDefault returns the paper's default scheme (Fig. 5a): from the LSB
+// upward column, bank group, bank, rank, channel, row. Sequential lines
+// stay on one page; the bank-group bits sit just above the column so
+// streams longer than one page move to the next group.
+func NewDefault(geo dram.Geometry, channels int) (*Scheme, error) {
+	return NewScheme("default", geo, channels,
+		[]Field{FieldColumn, FieldGroup, FieldBank, FieldRank, FieldChannel, FieldRow})
+}
+
+// NewInterleaved returns the paper's cache-line-interleaved scheme
+// (Fig. 5b): the bank-group and bank bits sit directly above the line
+// offset, so consecutive cache lines rotate over all 16 banks; the column
+// bits move above them (but stay below the row bits to retain page
+// locality once the stream wraps around the banks).
+func NewInterleaved(geo dram.Geometry, channels int) (*Scheme, error) {
+	return NewScheme("interleaved", geo, channels,
+		[]Field{FieldGroup, FieldBank, FieldColumn, FieldRank, FieldChannel, FieldRow})
+}
+
+// NewChannelInterleaved returns a multi-channel variant of the default
+// scheme with the channel bits directly above the cache-line offset, so
+// consecutive lines alternate channels (the standard way to aggregate
+// channel bandwidth).
+func NewChannelInterleaved(geo dram.Geometry, channels int) (*Scheme, error) {
+	return NewScheme("channel-interleaved", geo, channels,
+		[]Field{FieldChannel, FieldColumn, FieldGroup, FieldBank, FieldRank, FieldRow})
+}
+
+// XORScheme wraps another scheme and XOR-hashes the bank and bank-group
+// indices with low row bits (permutation-based page interleaving, Zhang
+// et al.): addresses that would collide on a bank with the base scheme
+// are spread over the banks without sacrificing the page locality of
+// sequential streams, a standard controller trick for row-conflict-heavy
+// workloads.
+type XORScheme struct {
+	base *Scheme
+}
+
+var _ Mapper = (*XORScheme)(nil)
+
+// NewXOR returns the XOR-hashed variant of base.
+func NewXOR(base *Scheme) *XORScheme { return &XORScheme{base: base} }
+
+// Name identifies the scheme.
+func (x *XORScheme) Name() string { return x.base.Name() + "+xor" }
+
+// Channels returns the channel count of the base scheme.
+func (x *XORScheme) Channels() int { return x.base.Channels() }
+
+// Decode maps an address, hashing bank/group with the low row bits.
+func (x *XORScheme) Decode(addr uint64) dram.Loc {
+	l := x.base.Decode(addr)
+	l.Group ^= l.Row & (x.base.geo.Groups - 1)
+	l.Bank ^= (l.Row >> uint(bits.TrailingZeros(uint(x.base.geo.Groups)))) & (x.base.geo.Banks - 1)
+	return l
+}
+
+// Encode inverts Decode (XOR is its own inverse).
+func (x *XORScheme) Encode(loc dram.Loc) uint64 {
+	loc.Group ^= loc.Row & (x.base.geo.Groups - 1)
+	loc.Bank ^= (loc.Row >> uint(bits.TrailingZeros(uint(x.base.geo.Groups)))) & (x.base.geo.Banks - 1)
+	return x.base.Encode(loc)
+}
+
+// MustDefault is NewDefault for known-good geometries; it panics on error.
+func MustDefault(geo dram.Geometry, channels int) *Scheme {
+	s, err := NewDefault(geo, channels)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MustInterleaved is NewInterleaved for known-good geometries; it panics
+// on error.
+func MustInterleaved(geo dram.Geometry, channels int) *Scheme {
+	s, err := NewInterleaved(geo, channels)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,247 @@
+// Package cache implements the processor-side cache hierarchy: set
+// associative write-back, write-allocate caches with LRU replacement,
+// MSHRs with miss merging, and dirty-eviction writebacks that eventually
+// become DRAM writes. It reproduces the paper's §VI setup: 32 KB private
+// L1s, 1 MB private L2s with a stream prefetcher, and a shared LLC kept at
+// a constant size across core counts.
+//
+// The caches are timing-functional: they track presence, dirtiness and
+// recency, not data. Hits complete after a fixed latency; misses travel
+// down the hierarchy and, on an LLC miss, to the memory controller, whose
+// per-request latency is dynamic.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the level in statistics ("L1", "L2", "LLC").
+	Name string
+	// SizeBytes is the total capacity; it must be a power-of-two
+	// multiple of Ways × LineBytes.
+	SizeBytes int
+	// Ways is the set associativity.
+	Ways int
+	// LineBytes is the cache line size (64 in the paper).
+	LineBytes int
+	// Latency is the load-to-use latency of a hit at this level, in CPU
+	// cycles, measured from the core (absolute, not additive).
+	Latency int
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0:
+		return fmt.Errorf("cache %s: size/ways/line must be positive, got %d/%d/%d",
+			c.Name, c.SizeBytes, c.Ways, c.LineBytes)
+	case c.Latency < 1:
+		return fmt.Errorf("cache %s: latency must be at least 1, got %d", c.Name, c.Latency)
+	case c.SizeBytes%(c.Ways*c.LineBytes) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by ways*line %d",
+			c.Name, c.SizeBytes, c.Ways*c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.Ways * c.LineBytes)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+// LevelStats counts one level's activity.
+type LevelStats struct {
+	Accesses       int64
+	Hits           int64
+	Misses         int64
+	Evictions      int64
+	DirtyEvictions int64
+	PrefetchFills  int64
+	PrefetchHits   int64 // demand hits on prefetched lines
+}
+
+// HitRate returns hits/accesses (0 when idle).
+func (s LevelStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type way struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool
+	used       int64 // LRU clock
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	cfg      Config
+	ways     []way // sets × ways, flattened
+	setShift uint
+	setMask  uint64
+	clock    int64
+	stats    LevelStats
+}
+
+// New returns a cache level; it panics on invalid configuration
+// (a construction-time programming error).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	return &Cache{
+		cfg:      cfg,
+		ways:     make([]way, sets*cfg.Ways),
+		setShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:  uint64(sets - 1),
+	}
+}
+
+// Cfg returns the level's configuration.
+func (c *Cache) Cfg() Config { return c.cfg }
+
+// Stats returns the level's counters.
+func (c *Cache) Stats() LevelStats { return c.stats }
+
+func (c *Cache) set(addr uint64) []way {
+	s := (addr >> c.setShift) & c.setMask
+	return c.ways[s*uint64(c.cfg.Ways) : (s+1)*uint64(c.cfg.Ways)]
+}
+
+func (c *Cache) tag(addr uint64) uint64 { return addr >> c.setShift }
+
+// Lookup probes the cache for the line containing addr. When demand is
+// true the access is counted and LRU state updated; write marks the line
+// dirty on a hit.
+func (c *Cache) Lookup(addr uint64, demand, write bool) bool {
+	if demand {
+		c.stats.Accesses++
+	}
+	set := c.set(addr)
+	tag := c.tag(addr)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			if demand {
+				c.clock++
+				w.used = c.clock
+				c.stats.Hits++
+				if w.prefetched {
+					c.stats.PrefetchHits++
+					w.prefetched = false
+				}
+			}
+			if write {
+				w.dirty = true
+			}
+			return true
+		}
+	}
+	if demand {
+		c.stats.Misses++
+	}
+	return false
+}
+
+// Touch probes for the line without touching statistics; on a hit it
+// updates recency (and dirtiness for writes) and reports true. Used by
+// functional cache warming.
+func (c *Cache) Touch(addr uint64, write bool) bool {
+	set := c.set(addr)
+	tag := c.tag(addr)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			c.clock++
+			w.used = c.clock
+			if write {
+				w.dirty = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports presence without disturbing statistics or recency.
+func (c *Cache) Contains(addr uint64) bool {
+	set := c.set(addr)
+	tag := c.tag(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Eviction describes a line pushed out by an Insert.
+type Eviction struct {
+	Addr  uint64
+	Dirty bool
+}
+
+// Insert places the line containing addr into the cache and returns the
+// eviction it caused, if any. If the line is already present it is
+// refreshed in place (dirty/prefetched flags are OR-ed/overwritten).
+func (c *Cache) Insert(addr uint64, dirty, prefetched bool) (Eviction, bool) {
+	set := c.set(addr)
+	tag := c.tag(addr)
+	c.clock++
+	victim := 0
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			w.dirty = w.dirty || dirty
+			w.prefetched = prefetched && w.prefetched
+			w.used = c.clock
+			return Eviction{}, false
+		}
+		if !w.valid {
+			victim = i
+		} else if set[victim].valid && w.used < set[victim].used {
+			victim = i
+		}
+	}
+	w := &set[victim]
+	var ev Eviction
+	had := false
+	if w.valid {
+		c.stats.Evictions++
+		had = true
+		ev = Eviction{Addr: w.tag << c.setShift, Dirty: w.dirty}
+		if w.dirty {
+			c.stats.DirtyEvictions++
+		}
+	}
+	*w = way{tag: tag, valid: true, dirty: dirty, prefetched: prefetched, used: c.clock}
+	if prefetched {
+		c.stats.PrefetchFills++
+	}
+	return ev, had
+}
+
+// Invalidate removes the line containing addr, reporting whether it was
+// present and dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set := c.set(addr)
+	tag := c.tag(addr)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			present, dirty = true, w.dirty
+			w.valid = false
+			return
+		}
+	}
+	return
+}

@@ -1,0 +1,358 @@
+package cache
+
+import (
+	"fmt"
+
+	"dramstacks/internal/prefetch"
+)
+
+// MemPort is the hierarchy's view of the memory controller. Times are in
+// CPU cycles; the adapter owns the CPU-to-memory clock conversion.
+type MemPort interface {
+	// Read requests a line fill. onDone is invoked when the data has
+	// returned, with the completion CPU cycle and the fraction of the
+	// request's DRAM latency that was queueing-related (queue +
+	// writeburst + refresh), used for the cycle stack's dram-queue
+	// split. Read reports false when the controller cannot accept the
+	// request this cycle (back pressure: retry later).
+	Read(now int64, addr uint64, onDone func(doneCPU int64, queueFrac float64)) bool
+	// Write hands a dirty line back to memory; false means retry later.
+	Write(now int64, addr uint64) bool
+}
+
+// Status classifies the outcome of a hierarchy access.
+type Status uint8
+
+const (
+	// Hit means the access completes after Outcome.Latency CPU cycles.
+	Hit Status = iota
+	// Pending means the line is being fetched from DRAM; the callback
+	// fires on completion.
+	Pending
+	// Retry means a structural resource (MSHR or controller queue) was
+	// exhausted; the caller must retry next cycle.
+	Retry
+)
+
+// Outcome is the result of a hierarchy access.
+type Outcome struct {
+	Status  Status
+	Latency int // valid for Hit: CPU cycles until data
+	Level   int // 1, 2, 3 for hits; 0 otherwise
+}
+
+// HierConfig configures a Hierarchy.
+type HierConfig struct {
+	Cores int
+	L1    Config
+	L2    Config
+	LLC   Config
+	// MSHRs bounds concurrent outstanding line fills (shared).
+	MSHRs int
+	// PerCoreMSHRs bounds outstanding fills per core (the line-fill
+	// buffer limit that caps a single core's memory-level parallelism).
+	PerCoreMSHRs int
+	// Prefetch configures the per-core L2 stream prefetcher.
+	Prefetch prefetch.Config
+}
+
+// DefaultHierConfig returns the paper's cache setup (§VI) for the given
+// core count: 32 KB L1, 1 MB L2, 11 MB shared LLC regardless of cores.
+func DefaultHierConfig(cores int) HierConfig {
+	return HierConfig{
+		Cores:        cores,
+		L1:           Config{Name: "L1", SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, Latency: 4},
+		L2:           Config{Name: "L2", SizeBytes: 1 << 20, Ways: 16, LineBytes: 64, Latency: 14},
+		LLC:          Config{Name: "LLC", SizeBytes: 11 << 20, Ways: 11, LineBytes: 64, Latency: 44},
+		MSHRs:        64,
+		PerCoreMSHRs: 12,
+		Prefetch:     prefetch.DefaultConfig(),
+	}
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c HierConfig) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("cache: cores must be positive, got %d", c.Cores)
+	}
+	for _, lv := range []Config{c.L1, c.L2, c.LLC} {
+		if err := lv.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.L1.LineBytes != c.L2.LineBytes || c.L2.LineBytes != c.LLC.LineBytes {
+		return fmt.Errorf("cache: line sizes differ across levels")
+	}
+	if c.MSHRs <= 0 || c.PerCoreMSHRs <= 0 {
+		return fmt.Errorf("cache: MSHR counts must be positive, got %d/%d", c.MSHRs, c.PerCoreMSHRs)
+	}
+	return nil
+}
+
+type mshrEntry struct {
+	addr     uint64
+	core     int
+	prefetch bool
+	dirty    bool // a store is waiting: mark the line dirty on fill
+	waiters  []func(doneCPU int64, queueFrac float64)
+}
+
+// HierStats aggregates hierarchy-wide counters.
+type HierStats struct {
+	DemandMissesToMem int64
+	PrefetchesToMem   int64
+	WritebacksToMem   int64
+	MSHRMerges        int64
+	Retries           int64
+	PrefetchDropped   int64
+}
+
+// Hierarchy is the full three-level cache system for all cores.
+type Hierarchy struct {
+	cfg HierConfig
+	l1  []*Cache
+	l2  []*Cache
+	llc *Cache
+	mem MemPort
+
+	pf []*prefetch.Streamer
+
+	mshr        map[uint64]*mshrEntry
+	perCoreUsed []int
+
+	pendingWB []uint64 // dirty lines waiting for controller queue space
+
+	lineMask uint64
+	stats    HierStats
+}
+
+// NewHierarchy builds the hierarchy over the given memory port.
+func NewHierarchy(cfg HierConfig, mem MemPort) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{
+		cfg:         cfg,
+		llc:         New(cfg.LLC),
+		mem:         mem,
+		mshr:        make(map[uint64]*mshrEntry),
+		perCoreUsed: make([]int, cfg.Cores),
+		lineMask:    ^uint64(cfg.L1.LineBytes - 1),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1 = append(h.l1, New(cfg.L1))
+		h.l2 = append(h.l2, New(cfg.L2))
+		h.pf = append(h.pf, prefetch.NewStreamer(cfg.Prefetch))
+	}
+	return h, nil
+}
+
+// MustNewHierarchy is NewHierarchy for known-good configurations.
+func MustNewHierarchy(cfg HierConfig, mem MemPort) *Hierarchy {
+	h, err := NewHierarchy(cfg, mem)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Stats returns hierarchy-wide counters.
+func (h *Hierarchy) Stats() HierStats { return h.stats }
+
+// L1Stats, L2Stats return the private level counters of one core;
+// LLCStats the shared level's.
+func (h *Hierarchy) L1Stats(core int) LevelStats { return h.l1[core].stats }
+
+// L2Stats returns core's L2 counters.
+func (h *Hierarchy) L2Stats(core int) LevelStats { return h.l2[core].stats }
+
+// LLCStats returns the shared LLC counters.
+func (h *Hierarchy) LLCStats() LevelStats { return h.llc.stats }
+
+// OutstandingMisses returns the number of in-flight line fills.
+func (h *Hierarchy) OutstandingMisses() int { return len(h.mshr) }
+
+// Pending reports whether fills or writebacks are still in flight.
+func (h *Hierarchy) Pending() bool { return len(h.mshr) > 0 || len(h.pendingWB) > 0 }
+
+// Tick retries writebacks that previously hit controller back pressure.
+// Call once per CPU cycle (cheap when the backlog is empty).
+func (h *Hierarchy) Tick(now int64) {
+	for len(h.pendingWB) > 0 {
+		if !h.mem.Write(now, h.pendingWB[0]) {
+			return
+		}
+		h.stats.WritebacksToMem++
+		h.pendingWB = h.pendingWB[1:]
+	}
+}
+
+// Warm performs a functional (timing-free) access, used to pre-warm the
+// caches into their steady state before measurement begins: lines are
+// installed and recency/dirtiness tracked, but no statistics are counted,
+// no prefetches are trained and dirty LLC evictions are dropped rather
+// than written to memory.
+func (h *Hierarchy) Warm(core int, addr uint64, write bool) {
+	line := addr & h.lineMask
+	if h.l1[core].Touch(line, write) {
+		return
+	}
+	if !h.l2[core].Touch(line, false) && !h.llc.Touch(line, false) {
+		h.llc.Insert(line, false, false) // eviction dropped: warmup
+	}
+	if ev, ok := h.l2[core].Insert(line, false, false); ok && ev.Dirty {
+		if !h.llc.Touch(ev.Addr, true) {
+			h.llc.Insert(ev.Addr, true, false)
+		}
+	}
+	if ev, ok := h.l1[core].Insert(line, write, false); ok && ev.Dirty {
+		if !h.l2[core].Touch(ev.Addr, true) {
+			if ev2, ok2 := h.l2[core].Insert(ev.Addr, true, false); ok2 && ev2.Dirty {
+				if !h.llc.Touch(ev2.Addr, true) {
+					h.llc.Insert(ev2.Addr, true, false) // eviction dropped
+				}
+			}
+		}
+	}
+}
+
+// Access performs a demand load (write=false) or a store's
+// read-for-ownership (write=true) for core at CPU cycle now. For Pending
+// outcomes onDone fires when the fill completes; it must be non-nil for
+// loads. Stores may pass nil.
+func (h *Hierarchy) Access(now int64, core int, addr uint64, write bool, onDone func(doneCPU int64, queueFrac float64)) Outcome {
+	line := addr & h.lineMask
+
+	if h.l1[core].Lookup(line, true, write) {
+		return Outcome{Status: Hit, Latency: h.cfg.L1.Latency, Level: 1}
+	}
+	if h.l2[core].Lookup(line, true, write) {
+		h.fillL1(core, line, write)
+		h.train(now, core, line)
+		return Outcome{Status: Hit, Latency: h.cfg.L2.Latency, Level: 2}
+	}
+	h.train(now, core, line)
+	if h.llc.Lookup(line, true, write) {
+		h.fillL2(now, core, line, false)
+		h.fillL1(core, line, write)
+		return Outcome{Status: Hit, Latency: h.cfg.LLC.Latency, Level: 3}
+	}
+
+	// LLC miss: merge into or allocate an MSHR.
+	if e, ok := h.mshr[line]; ok {
+		h.stats.MSHRMerges++
+		e.dirty = e.dirty || write
+		e.prefetch = false // a demand now waits on this fill
+		if onDone != nil {
+			e.waiters = append(e.waiters, onDone)
+		}
+		return Outcome{Status: Pending}
+	}
+	if len(h.mshr) >= h.cfg.MSHRs || h.perCoreUsed[core] >= h.cfg.PerCoreMSHRs {
+		h.stats.Retries++
+		return Outcome{Status: Retry}
+	}
+	e := &mshrEntry{addr: line, core: core, dirty: write}
+	if onDone != nil {
+		e.waiters = append(e.waiters, onDone)
+	}
+	if !h.mem.Read(now, line, func(doneCPU int64, queueFrac float64) {
+		h.fill(doneCPU, e, queueFrac)
+	}) {
+		h.stats.Retries++
+		return Outcome{Status: Retry}
+	}
+	h.mshr[line] = e
+	h.perCoreUsed[core]++
+	h.stats.DemandMissesToMem++
+	return Outcome{Status: Pending}
+}
+
+// fill completes an MSHR: install the line, cascade evictions, wake
+// waiters.
+func (h *Hierarchy) fill(doneCPU int64, e *mshrEntry, queueFrac float64) {
+	delete(h.mshr, e.addr)
+	h.perCoreUsed[e.core]--
+
+	h.insertLLC(doneCPU, e.addr, false, e.prefetch)
+	h.fillL2(doneCPU, e.core, e.addr, e.prefetch)
+	if !e.prefetch {
+		h.fillL1(e.core, e.addr, e.dirty)
+	}
+	for _, w := range e.waiters {
+		w(doneCPU, queueFrac)
+	}
+}
+
+// Prefetch issues a hardware prefetch for core into L2+LLC. It is
+// dropped silently on structural hazards.
+func (h *Hierarchy) Prefetch(now int64, core int, addr uint64) {
+	line := addr & h.lineMask
+	if h.l2[core].Contains(line) || h.llc.Contains(line) {
+		return
+	}
+	if _, ok := h.mshr[line]; ok {
+		return
+	}
+	if len(h.mshr) >= h.cfg.MSHRs || h.perCoreUsed[core] >= h.cfg.PerCoreMSHRs {
+		h.stats.PrefetchDropped++
+		return
+	}
+	e := &mshrEntry{addr: line, core: core, prefetch: true}
+	if !h.mem.Read(now, line, func(doneCPU int64, queueFrac float64) {
+		h.fill(doneCPU, e, queueFrac)
+	}) {
+		h.stats.PrefetchDropped++
+		return
+	}
+	h.mshr[line] = e
+	h.perCoreUsed[core]++
+	h.stats.PrefetchesToMem++
+}
+
+// train feeds the core's streamer with a demand L2 access and issues the
+// prefetches it asks for.
+func (h *Hierarchy) train(now int64, core int, line uint64) {
+	lineNo := line / uint64(h.cfg.L1.LineBytes)
+	for _, ln := range h.pf[core].Observe(lineNo) {
+		h.Prefetch(now, core, ln*uint64(h.cfg.L1.LineBytes))
+	}
+}
+
+func (h *Hierarchy) fillL1(core int, line uint64, dirty bool) {
+	if ev, ok := h.l1[core].Insert(line, dirty, false); ok && ev.Dirty {
+		// L1 dirty eviction: write back into L2 (full-line write, no
+		// fetch needed).
+		if !h.l2[core].Lookup(ev.Addr, false, true) {
+			h.insertL2(core, ev.Addr, true)
+		}
+	}
+}
+
+func (h *Hierarchy) fillL2(now int64, core int, line uint64, prefetched bool) {
+	h.insertL2x(now, core, line, false, prefetched)
+}
+
+func (h *Hierarchy) insertL2(core int, line uint64, dirty bool) {
+	h.insertL2x(0, core, line, dirty, false)
+}
+
+func (h *Hierarchy) insertL2x(now int64, core int, line uint64, dirty, prefetched bool) {
+	if ev, ok := h.l2[core].Insert(line, dirty, prefetched); ok && ev.Dirty {
+		// L2 dirty eviction: write back into the LLC.
+		if !h.llc.Lookup(ev.Addr, false, true) {
+			h.insertLLC(now, ev.Addr, true, false)
+		}
+	}
+}
+
+func (h *Hierarchy) insertLLC(now int64, line uint64, dirty, prefetched bool) {
+	if ev, ok := h.llc.Insert(line, dirty, prefetched); ok && ev.Dirty {
+		// LLC dirty eviction: becomes a DRAM write.
+		if len(h.pendingWB) == 0 && h.mem.Write(now, ev.Addr) {
+			h.stats.WritebacksToMem++
+			return
+		}
+		h.pendingWB = append(h.pendingWB, ev.Addr)
+	}
+}

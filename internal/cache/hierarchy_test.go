@@ -1,0 +1,289 @@
+package cache
+
+import (
+	"testing"
+
+	"dramstacks/internal/prefetch"
+)
+
+// fakeMem is a scriptable MemPort: fills complete after latency cycles
+// when the test calls deliver.
+type fakeMem struct {
+	latency   int64
+	rejectRd  bool
+	rejectWr  bool
+	reads     []fakeRead
+	writes    []uint64
+	delivered int
+}
+
+type fakeRead struct {
+	addr uint64
+	at   int64
+	done func(int64, float64)
+}
+
+func (m *fakeMem) Read(now int64, addr uint64, onDone func(int64, float64)) bool {
+	if m.rejectRd {
+		return false
+	}
+	m.reads = append(m.reads, fakeRead{addr, now, onDone})
+	return true
+}
+
+func (m *fakeMem) Write(now int64, addr uint64) bool {
+	if m.rejectWr {
+		return false
+	}
+	m.writes = append(m.writes, addr)
+	return true
+}
+
+// deliver completes the oldest outstanding read.
+func (m *fakeMem) deliver(queueFrac float64) {
+	r := m.reads[m.delivered]
+	m.delivered++
+	r.done(r.at+m.latency, queueFrac)
+}
+
+func testHier(t *testing.T, cores int, pf prefetch.Config) (*Hierarchy, *fakeMem) {
+	t.Helper()
+	mem := &fakeMem{latency: 100}
+	cfg := HierConfig{
+		Cores:        cores,
+		L1:           Config{Name: "L1", SizeBytes: 1 << 10, Ways: 2, LineBytes: 64, Latency: 4},
+		L2:           Config{Name: "L2", SizeBytes: 4 << 10, Ways: 4, LineBytes: 64, Latency: 14},
+		LLC:          Config{Name: "LLC", SizeBytes: 16 << 10, Ways: 4, LineBytes: 64, Latency: 44},
+		MSHRs:        8,
+		PerCoreMSHRs: 4,
+		Prefetch:     pf,
+	}
+	h, err := NewHierarchy(cfg, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, mem
+}
+
+func TestMissFillsAllLevels(t *testing.T) {
+	h, mem := testHier(t, 1, prefetch.Config{})
+	gotDone := int64(-1)
+	out := h.Access(0, 0, 0x4000, false, func(done int64, _ float64) { gotDone = done })
+	if out.Status != Pending {
+		t.Fatalf("first access = %+v, want Pending", out)
+	}
+	if h.OutstandingMisses() != 1 {
+		t.Fatalf("outstanding = %d", h.OutstandingMisses())
+	}
+	mem.deliver(0)
+	if gotDone != 100 {
+		t.Fatalf("completion cycle = %d, want 100", gotDone)
+	}
+	if h.Pending() {
+		t.Error("hierarchy still pending after fill")
+	}
+	// Now resident everywhere: L1 hit.
+	out = h.Access(200, 0, 0x4000, false, nil)
+	if out.Status != Hit || out.Level != 1 || out.Latency != 4 {
+		t.Errorf("post-fill access = %+v, want L1 hit", out)
+	}
+}
+
+func TestMSHRMerging(t *testing.T) {
+	h, mem := testHier(t, 2, prefetch.Config{})
+	done1, done2 := false, false
+	h.Access(0, 0, 0x8000, false, func(int64, float64) { done1 = true })
+	out := h.Access(1, 1, 0x8000, false, func(int64, float64) { done2 = true })
+	if out.Status != Pending {
+		t.Fatalf("merged access = %+v", out)
+	}
+	if len(mem.reads) != 1 {
+		t.Fatalf("memory reads = %d, want 1 (merged)", len(mem.reads))
+	}
+	if h.Stats().MSHRMerges != 1 {
+		t.Errorf("merges = %d", h.Stats().MSHRMerges)
+	}
+	mem.deliver(0)
+	if !done1 || !done2 {
+		t.Error("not all waiters woken")
+	}
+}
+
+func TestPerCoreMSHRLimit(t *testing.T) {
+	h, _ := testHier(t, 2, prefetch.Config{})
+	for i := 0; i < 4; i++ {
+		out := h.Access(0, 0, uint64(0x10000+i*64), false, func(int64, float64) {})
+		if out.Status != Pending {
+			t.Fatalf("access %d = %+v", i, out)
+		}
+	}
+	if out := h.Access(0, 0, 0x20000, false, func(int64, float64) {}); out.Status != Retry {
+		t.Errorf("5th miss from one core = %+v, want Retry (per-core limit 4)", out)
+	}
+	// The other core still has budget.
+	if out := h.Access(0, 1, 0x30000, false, func(int64, float64) {}); out.Status != Pending {
+		t.Errorf("other core's miss = %+v, want Pending", out)
+	}
+}
+
+func TestGlobalMSHRLimit(t *testing.T) {
+	h, _ := testHier(t, 4, prefetch.Config{})
+	n := 0
+	for core := 0; core < 4; core++ {
+		for i := 0; i < 2; i++ {
+			out := h.Access(0, core, uint64(0x40000+(core*2+i)*64), false, func(int64, float64) {})
+			if out.Status == Pending {
+				n++
+			}
+		}
+	}
+	if n != 8 {
+		t.Fatalf("filled %d MSHRs, want 8", n)
+	}
+	if out := h.Access(0, 3, 0x90000, false, func(int64, float64) {}); out.Status != Retry {
+		t.Errorf("9th miss = %+v, want Retry (global limit 8)", out)
+	}
+}
+
+func TestControllerBackpressureRetry(t *testing.T) {
+	h, mem := testHier(t, 1, prefetch.Config{})
+	mem.rejectRd = true
+	out := h.Access(0, 0, 0x1000, false, func(int64, float64) {})
+	if out.Status != Retry {
+		t.Fatalf("access with rejecting port = %+v, want Retry", out)
+	}
+	if h.OutstandingMisses() != 0 {
+		t.Error("MSHR leaked on rejected read")
+	}
+	mem.rejectRd = false
+	if out := h.Access(1, 0, 0x1000, false, func(int64, float64) {}); out.Status != Pending {
+		t.Errorf("retried access = %+v", out)
+	}
+}
+
+func TestStoreRFOMakesLineDirtyAndWritebackReachesMemory(t *testing.T) {
+	h, mem := testHier(t, 1, prefetch.Config{})
+	// Store to a line: RFO read.
+	h.Access(0, 0, 0x0, true, func(int64, float64) {})
+	mem.deliver(0)
+	if len(mem.writes) != 0 {
+		t.Fatal("premature writeback")
+	}
+	// Evict it from everywhere by filling the same sets. L1: 2 ways,
+	// L2: 4, LLC: 4. Insert enough conflicting lines to push the dirty
+	// line out of the LLC (set stride 16KB/4ways/64B=64 sets -> 4 KB).
+	for i := 1; i <= 8; i++ {
+		h.Access(int64(i*10), 0, uint64(i)*4096, false, func(int64, float64) {})
+		mem.deliver(0)
+	}
+	if len(mem.writes) == 0 {
+		t.Fatal("dirty line never written back to memory")
+	}
+	if mem.writes[0] != 0 {
+		t.Errorf("writeback addr = %#x, want 0", mem.writes[0])
+	}
+	if h.Stats().WritebacksToMem == 0 {
+		t.Error("writeback not counted")
+	}
+}
+
+func TestWritebackBackpressureQueues(t *testing.T) {
+	h, mem := testHier(t, 1, prefetch.Config{})
+	h.Access(0, 0, 0x0, true, func(int64, float64) {})
+	mem.deliver(0)
+	mem.rejectWr = true
+	for i := 1; i <= 8; i++ {
+		h.Access(int64(i*10), 0, uint64(i)*4096, false, func(int64, float64) {})
+		mem.deliver(0)
+	}
+	if len(mem.writes) != 0 {
+		t.Fatal("write accepted while rejecting")
+	}
+	if !h.Pending() {
+		t.Fatal("pending writeback not tracked")
+	}
+	mem.rejectWr = false
+	h.Tick(1000)
+	if len(mem.writes) == 0 {
+		t.Error("queued writeback not retried")
+	}
+}
+
+func TestPrefetchFillsL2NotL1(t *testing.T) {
+	h, mem := testHier(t, 1, prefetch.Config{Streams: 4, Depth: 2, Degree: 2})
+	// Two sequential L2 misses train the streamer; the prefetches fetch
+	// ahead.
+	h.Access(0, 0, 0*64, false, func(int64, float64) {})
+	h.Access(1, 0, 1*64, false, func(int64, float64) {})
+	if h.Stats().PrefetchesToMem == 0 {
+		t.Fatal("no prefetches issued")
+	}
+	for mem.delivered < len(mem.reads) {
+		mem.deliver(0)
+	}
+	// Line 2 was prefetched: present in L2 (hit level 2), not L1.
+	out := h.Access(100, 0, 2*64, false, nil)
+	if out.Status != Hit || out.Level != 2 {
+		t.Errorf("prefetched line access = %+v, want L2 hit", out)
+	}
+	if h.L2Stats(0).PrefetchHits == 0 {
+		t.Error("prefetch hit not counted")
+	}
+}
+
+func TestPrefetchDropsOnHazard(t *testing.T) {
+	h, _ := testHier(t, 1, prefetch.Config{})
+	// Exhaust per-core MSHRs with demand misses.
+	for i := 0; i < 4; i++ {
+		h.Access(0, 0, uint64(0x50000+i*64), false, func(int64, float64) {})
+	}
+	h.Prefetch(0, 0, 0x60000)
+	if h.Stats().PrefetchDropped != 1 {
+		t.Errorf("prefetch dropped = %d, want 1", h.Stats().PrefetchDropped)
+	}
+	if h.Stats().PrefetchesToMem != 0 {
+		t.Error("prefetch issued despite hazard")
+	}
+}
+
+func TestHierConfigValidate(t *testing.T) {
+	good := DefaultHierConfig(4)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*HierConfig){
+		func(c *HierConfig) { c.Cores = 0 },
+		func(c *HierConfig) { c.L1.SizeBytes = 0 },
+		func(c *HierConfig) { c.L2.LineBytes = 32 },
+		func(c *HierConfig) { c.MSHRs = 0 },
+		func(c *HierConfig) { c.PerCoreMSHRs = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultHierConfig(4)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDemandPromotesPendingPrefetch(t *testing.T) {
+	h, mem := testHier(t, 1, prefetch.Config{})
+	h.Prefetch(0, 0, 0x7000)
+	if h.Stats().PrefetchesToMem != 1 {
+		t.Fatal("prefetch not issued")
+	}
+	woken := false
+	out := h.Access(1, 0, 0x7000, false, func(int64, float64) { woken = true })
+	if out.Status != Pending {
+		t.Fatalf("demand on pending prefetch = %+v", out)
+	}
+	mem.deliver(0)
+	if !woken {
+		t.Error("demand waiter not woken by prefetch fill")
+	}
+	// Because a demand arrived, the fill also goes into L1.
+	if got := h.Access(300, 0, 0x7000, false, nil); got.Level != 1 {
+		t.Errorf("post-fill level = %d, want 1 (promoted)", got.Level)
+	}
+}

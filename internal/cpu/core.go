@@ -1,0 +1,445 @@
+// Package cpu implements the core model: a 4-wide out-of-order core with
+// a 224-entry reorder buffer, in-order retirement, loads that block
+// retirement at the ROB head, stores that retire without waiting for
+// their read-for-ownership, and a branch-misprediction fetch bubble.
+//
+// The paper (§VI) uses Skylake-like cores in the Sniper interval
+// simulator; what the DRAM stacks need from the core is the closed-loop
+// behavior — the rate and parallelism of the memory requests it can keep
+// in flight given the latencies it observes — which this model reproduces
+// with ROB occupancy, per-core MSHR limits (in package cache) and
+// explicit load-to-load dependencies for pointer-chasing patterns.
+//
+// While running, the core attributes every CPU cycle to a cycle-stack
+// component (package cyclestack): base, branch, dcache, dram-latency,
+// dram-queue or idle, with DRAM stalls split using the per-request DRAM
+// latency stack (queue fraction) exactly as Fig. 7 requires.
+package cpu
+
+import (
+	"fmt"
+
+	"dramstacks/internal/cache"
+	"dramstacks/internal/cyclestack"
+)
+
+// Kind classifies an instruction item from a Source.
+type Kind uint8
+
+const (
+	// KindALU is plain computation (also used for internal chunks).
+	KindALU Kind = iota
+	// KindLoad reads memory and can block retirement.
+	KindLoad
+	// KindStore writes memory (write-allocate: triggers a
+	// read-for-ownership) but does not block retirement.
+	KindStore
+	// KindBranch is a conditional branch, possibly mispredicted.
+	KindBranch
+	// KindStall means the source has no work this cycle (e.g. the thread
+	// waits at a barrier): the core dispatches nothing and polls the
+	// source again next cycle. The stalled time shows up as the cycle
+	// stack's idle component, as in the paper's Fig. 7 bfs dip.
+	KindStall
+)
+
+// Instr is one macro item emitted by a workload: Work plain uops followed
+// by one memory/branch operation (Kind). A pure-compute item has
+// Kind == KindALU and only Work uops.
+type Instr struct {
+	// Work is the number of plain uops preceding the operation.
+	Work int
+	// Kind selects the trailing operation (KindALU for none).
+	Kind Kind
+	// Addr is the byte address for KindLoad / KindStore.
+	Addr uint64
+	// Mispredict marks a mispredicted KindBranch.
+	Mispredict bool
+	// LoadDep, for KindLoad, makes this load's address depend on the
+	// k-th most recent earlier load (1 = previous load): the access
+	// cannot start before that load's data returns. Zero means
+	// independent. This is how pointer-chasing workloads bound their
+	// memory-level parallelism.
+	LoadDep int
+}
+
+// Source produces a core's instruction stream.
+type Source interface {
+	// Next returns the next item, or ok == false when the stream ends.
+	Next() (ins Instr, ok bool)
+}
+
+// Mem is the core's port into the cache hierarchy.
+type Mem interface {
+	Access(now int64, core int, addr uint64, write bool,
+		onDone func(doneCPU int64, queueFrac float64)) cache.Outcome
+}
+
+// Config parameterizes a core.
+type Config struct {
+	Width         int // superscalar width (4)
+	ROBSize       int // reorder buffer entries (224)
+	BranchPenalty int // fetch bubble after a misprediction, CPU cycles
+	// StartsPerCycle caps how many memory accesses may begin per cycle.
+	StartsPerCycle int
+}
+
+// DefaultConfig returns the paper's Skylake-like core parameters.
+func DefaultConfig() Config {
+	return Config{Width: 4, ROBSize: 224, BranchPenalty: 15, StartsPerCycle: 4}
+}
+
+// InOrderConfig returns a small in-order-like core (2-wide, a 16-entry
+// window, one memory access start per cycle): an ablation showing how
+// much the stacks depend on the core's ability to overlap misses.
+func InOrderConfig() Config {
+	return Config{Width: 2, ROBSize: 16, BranchPenalty: 8, StartsPerCycle: 1}
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.ROBSize <= 0 || c.BranchPenalty < 0 || c.StartsPerCycle <= 0 {
+		return fmt.Errorf("cpu: invalid config %+v", c)
+	}
+	return nil
+}
+
+// ticket tracks one load's completion state; dependent loads hold a
+// pointer to their producer's ticket.
+type ticket struct {
+	started   bool
+	done      int64 // completion CPU cycle, -1 while unknown
+	level     int   // cache level of a hit; 0 = DRAM
+	queueFrac float64
+	stall     int64 // head-of-ROB stall cycles charged to this load
+}
+
+type robItem struct {
+	kind    Kind
+	count   int   // uops in an ALU chunk (1 for others)
+	readyAt int64 // ALU/branch/store readiness
+	tk      *ticket
+}
+
+type memOp struct {
+	addr  uint64
+	write bool
+	dep   *ticket // must be done before the access can start
+	tk    *ticket // load's own ticket (nil for stores)
+}
+
+// Stats counts a core's committed work.
+type Stats struct {
+	Retired     int64 // committed uops
+	Loads       int64
+	Stores      int64
+	Branches    int64
+	Mispredicts int64
+	DramLoads   int64 // loads served by DRAM
+}
+
+// Core is one out-of-order core.
+type Core struct {
+	id   int
+	cfg  Config
+	mem  Mem
+	src  Source
+	acct *cyclestack.Accountant
+
+	rob   []robItem // ring buffer
+	head  int
+	tail  int
+	items int
+	occ   int // occupied uop slots
+
+	startQ []memOp
+
+	pendingWork int
+	pendingOp   *Instr
+	pendingBuf  Instr
+	srcDone     bool
+
+	fetchBlockedUntil int64
+
+	loadHist  [32]*ticket
+	loadHistN int
+	outStores int // store RFOs in flight in the memory system
+
+	stats Stats
+}
+
+// New returns a core. It panics on invalid configuration.
+func New(id int, cfg Config, mem Mem, src Source) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Core{
+		id:   id,
+		cfg:  cfg,
+		mem:  mem,
+		src:  src,
+		acct: cyclestack.NewAccountant(),
+		rob:  make([]robItem, cfg.ROBSize+1),
+	}
+}
+
+// Stats returns the core's counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Stack returns the core's cycle stack so far.
+func (c *Core) Stack() cyclestack.Stack { return c.acct.Stack() }
+
+// Accountant exposes the cycle-stack accountant (for through-time
+// sampling by the system).
+func (c *Core) Accountant() *cyclestack.Accountant { return c.acct }
+
+// Done reports whether the core has committed its whole stream and has
+// no outstanding memory operations.
+func (c *Core) Done() bool {
+	return c.srcDone && c.pendingOp == nil && c.pendingWork == 0 &&
+		c.items == 0 && len(c.startQ) == 0 && c.outStores == 0
+}
+
+func (c *Core) robFree() int { return c.cfg.ROBSize - c.occ }
+
+func (c *Core) push(it robItem) {
+	c.rob[c.tail] = it
+	c.tail = (c.tail + 1) % len(c.rob)
+	c.items++
+	c.occ += it.count
+}
+
+// CPUCycle advances the core by one CPU cycle: start eligible memory
+// accesses, retire, dispatch, then attribute the cycle.
+func (c *Core) CPUCycle(now int64) {
+	if c.Done() {
+		c.acct.AddCycle(cyclestack.Idle)
+		return
+	}
+	retired := c.retire(now)
+	c.dispatch(now)
+	c.startAccesses(now)
+	c.classify(now, retired)
+}
+
+// startAccesses begins memory accesses whose dependencies have resolved.
+func (c *Core) startAccesses(now int64) {
+	started := 0
+	for i := 0; i < len(c.startQ) && started < c.cfg.StartsPerCycle; i++ {
+		op := &c.startQ[i]
+		if op.dep != nil && !(op.dep.done >= 0 && op.dep.done <= now) {
+			continue // producer not finished: address unknown
+		}
+		tk := op.tk
+		write := op.write
+		out := c.mem.Access(now, c.id, op.addr, op.write, func(doneCPU int64, qf float64) {
+			if tk != nil {
+				tk.done = doneCPU
+				tk.queueFrac = qf
+			}
+			if write {
+				c.outStores--
+			}
+		})
+		switch out.Status {
+		case cache.Retry:
+			// Structural hazard: leave the op queued; later ops would
+			// hit the same hazard, so stop trying this cycle.
+			return
+		case cache.Hit:
+			if tk != nil {
+				tk.started = true
+				tk.done = now + int64(out.Latency)
+				tk.level = out.Level
+			}
+		case cache.Pending:
+			if tk != nil {
+				tk.started = true
+				tk.done = -1
+				tk.level = 0
+				c.stats.DramLoads++
+			}
+			if op.write {
+				c.outStores++
+			}
+		}
+		started++
+		c.startQ = append(c.startQ[:i], c.startQ[i+1:]...)
+		i--
+	}
+}
+
+// retire commits up to Width ready uops from the ROB head and returns how
+// many it committed.
+func (c *Core) retire(now int64) int {
+	budget := c.cfg.Width
+	retired := 0
+	for budget > 0 && c.items > 0 {
+		it := &c.rob[c.head]
+		switch it.kind {
+		case KindALU, KindBranch, KindStore:
+			if it.readyAt > now {
+				return retired
+			}
+			n := it.count
+			if n > budget {
+				n = budget
+			}
+			it.count -= n
+			c.occ -= n
+			budget -= n
+			retired += n
+		case KindLoad:
+			tk := it.tk
+			if !tk.started || tk.done < 0 || tk.done > now {
+				return retired
+			}
+			if tk.level == 0 && tk.stall > 0 {
+				// Split this load's head-of-ROB stall using its DRAM
+				// latency stack.
+				c.acct.Add(cyclestack.DramQueue, float64(tk.stall)*tk.queueFrac)
+				c.acct.Add(cyclestack.DramLatency, float64(tk.stall)*(1-tk.queueFrac))
+			}
+			it.count = 0
+			c.occ--
+			budget--
+			retired++
+		}
+		if it.count == 0 {
+			c.head = (c.head + 1) % len(c.rob)
+			c.items--
+		}
+	}
+	c.stats.Retired += int64(retired)
+	return retired
+}
+
+// dispatch fills the ROB with up to Width uops from the source.
+func (c *Core) dispatch(now int64) {
+	if c.fetchBlockedUntil > now {
+		return
+	}
+	budget := c.cfg.Width
+	for budget > 0 {
+		if c.pendingWork == 0 && c.pendingOp == nil {
+			if c.srcDone {
+				return
+			}
+			ins, ok := c.src.Next()
+			if !ok {
+				c.srcDone = true
+				return
+			}
+			if ins.Kind == KindStall {
+				return // barrier: no dispatch this cycle
+			}
+			c.pendingWork = ins.Work
+			if ins.Kind != KindALU {
+				c.pendingBuf = ins
+				c.pendingOp = &c.pendingBuf
+			}
+		}
+		if c.pendingWork > 0 {
+			n := c.pendingWork
+			if n > budget {
+				n = budget
+			}
+			if free := c.robFree(); n > free {
+				n = free
+			}
+			if n == 0 {
+				return // ROB full
+			}
+			c.pushALU(n, now+1)
+			c.pendingWork -= n
+			budget -= n
+			continue
+		}
+		// A single operation uop.
+		if c.robFree() == 0 {
+			return
+		}
+		op := c.pendingOp
+		c.pendingOp = nil
+		budget--
+		switch op.Kind {
+		case KindLoad:
+			tk := &ticket{done: -1}
+			c.push(robItem{kind: KindLoad, count: 1, tk: tk})
+			c.startQ = append(c.startQ, memOp{addr: op.Addr, write: false, dep: c.depTicket(op.LoadDep), tk: tk})
+			c.loadHist[c.loadHistN%len(c.loadHist)] = tk
+			c.loadHistN++
+			c.stats.Loads++
+		case KindStore:
+			c.push(robItem{kind: KindStore, count: 1, readyAt: now + 1})
+			c.startQ = append(c.startQ, memOp{addr: op.Addr, write: true})
+			c.stats.Stores++
+		case KindBranch:
+			c.push(robItem{kind: KindBranch, count: 1, readyAt: now + 1})
+			c.stats.Branches++
+			if op.Mispredict {
+				c.stats.Mispredicts++
+				c.fetchBlockedUntil = now + int64(c.cfg.BranchPenalty)
+				return // no dispatch past a mispredicted branch
+			}
+		}
+	}
+}
+
+// pushALU appends an ALU chunk, merging with the tail chunk when the
+// readiness matches (bounds ROB ring usage).
+func (c *Core) pushALU(n int, readyAt int64) {
+	if c.items > 0 {
+		last := (c.tail + len(c.rob) - 1) % len(c.rob)
+		it := &c.rob[last]
+		if it.kind == KindALU && it.readyAt == readyAt {
+			it.count += n
+			c.occ += n
+			return
+		}
+	}
+	c.push(robItem{kind: KindALU, count: n, readyAt: readyAt})
+}
+
+// depTicket resolves "the k-th most recent load" into its ticket.
+func (c *Core) depTicket(k int) *ticket {
+	if k <= 0 || k > len(c.loadHist) || k > c.loadHistN {
+		return nil
+	}
+	return c.loadHist[(c.loadHistN-k)%len(c.loadHist)]
+}
+
+// classify attributes this cycle to a cycle-stack component.
+func (c *Core) classify(now int64, retired int) {
+	switch {
+	case retired > 0:
+		c.acct.AddCycle(cyclestack.Base)
+	case c.items == 0:
+		if !c.srcDone && c.fetchBlockedUntil > now {
+			c.acct.AddCycle(cyclestack.Branch)
+		} else {
+			c.acct.AddCycle(cyclestack.Idle)
+		}
+	default:
+		it := &c.rob[c.head]
+		if it.kind == KindLoad {
+			tk := it.tk
+			switch {
+			case tk.started && tk.level == 0:
+				// DRAM stall: total added now, split at retirement.
+				tk.stall++
+				c.acct.AddTotal(1)
+			case tk.started && tk.level >= 2:
+				c.acct.AddCycle(cyclestack.Dcache)
+			case tk.started:
+				c.acct.AddCycle(cyclestack.Base) // L1 hit shadow
+			default:
+				// Not started: blocked on a structural hazard (MSHRs
+				// full — memory pressure) or an address dependency.
+				c.acct.AddCycle(cyclestack.DramQueue)
+			}
+			return
+		}
+		c.acct.AddCycle(cyclestack.Base)
+	}
+}

@@ -1,0 +1,375 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"dramstacks/internal/cache"
+	"dramstacks/internal/cyclestack"
+)
+
+// scriptMem is a controllable cpu.Mem for tests.
+type scriptMem struct {
+	outcome  cache.Outcome
+	latency  int64 // completion delay for Pending accesses
+	qf       float64
+	pending  []func(int64, float64)
+	started  []uint64
+	retries  int
+	maxInFly int
+}
+
+func (m *scriptMem) Access(now int64, core int, addr uint64, write bool,
+	onDone func(int64, float64)) cache.Outcome {
+	if m.outcome.Status == cache.Retry {
+		m.retries++
+		return m.outcome
+	}
+	m.started = append(m.started, addr)
+	if m.outcome.Status == cache.Pending {
+		done := now + m.latency
+		m.pending = append(m.pending, func(int64, float64) { onDone(done, m.qf) })
+		if len(m.pending) > m.maxInFly {
+			m.maxInFly = len(m.pending)
+		}
+	}
+	return m.outcome
+}
+
+// deliverAll completes every pending access.
+func (m *scriptMem) deliverAll() {
+	for _, f := range m.pending {
+		f(0, 0)
+	}
+	m.pending = nil
+}
+
+type sliceSource struct {
+	items []Instr
+	pos   int
+}
+
+func (s *sliceSource) Next() (Instr, bool) {
+	if s.pos >= len(s.items) {
+		return Instr{}, false
+	}
+	s.pos++
+	return s.items[s.pos-1], true
+}
+
+func run(c *Core, from *int64, cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		c.CPUCycle(*from)
+		*from++
+	}
+}
+
+func TestPureComputeRetiresAtWidth(t *testing.T) {
+	mem := &scriptMem{}
+	src := &sliceSource{items: []Instr{{Work: 400}}}
+	c := New(0, DefaultConfig(), mem, src)
+	now := int64(0)
+	run(c, &now, 1000)
+	if !c.Done() {
+		t.Fatal("core not done")
+	}
+	if got := c.Stats().Retired; got != 400 {
+		t.Fatalf("retired = %d, want 400", got)
+	}
+	// 400 uops at width 4 is ~100 base cycles; the rest idle.
+	s := c.Stack()
+	if err := s.CheckSum(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cycles[cyclestack.Base] < 100 || s.Cycles[cyclestack.Base] > 105 {
+		t.Errorf("base cycles = %v, want about 100", s.Cycles[cyclestack.Base])
+	}
+}
+
+func TestLoadHitDoesNotStallLong(t *testing.T) {
+	mem := &scriptMem{outcome: cache.Outcome{Status: cache.Hit, Latency: 4, Level: 1}}
+	src := &sliceSource{items: []Instr{{Kind: KindLoad, Addr: 64}}}
+	c := New(0, DefaultConfig(), mem, src)
+	now := int64(0)
+	run(c, &now, 50)
+	if !c.Done() {
+		t.Fatal("core not done")
+	}
+	if c.Stats().Loads != 1 {
+		t.Fatalf("loads = %d", c.Stats().Loads)
+	}
+	if c.Stats().DramLoads != 0 {
+		t.Error("hit counted as DRAM load")
+	}
+}
+
+func TestDramLoadStallSplit(t *testing.T) {
+	mem := &scriptMem{
+		outcome: cache.Outcome{Status: cache.Pending},
+		latency: 100,
+		qf:      0.25,
+	}
+	src := &sliceSource{items: []Instr{{Kind: KindLoad, Addr: 64}}}
+	c := New(0, DefaultConfig(), mem, src)
+	now := int64(0)
+	for i := 0; i < 40; i++ {
+		c.CPUCycle(now)
+		now++
+	}
+	mem.deliverAll() // completes at cycle ~100
+	run(c, &now, 120)
+	if !c.Done() {
+		t.Fatal("core not done")
+	}
+	s := c.Stack()
+	if err := s.CheckSum(); err != nil {
+		t.Fatal(err)
+	}
+	stall := s.Cycles[cyclestack.DramLatency] + s.Cycles[cyclestack.DramQueue]
+	if stall < 90 || stall > 105 {
+		t.Fatalf("dram stall = %v cycles, want about 100", stall)
+	}
+	ratio := s.Cycles[cyclestack.DramQueue] / stall
+	if math.Abs(ratio-0.25) > 1e-9 {
+		t.Errorf("queue share = %v, want 0.25", ratio)
+	}
+	if c.Stats().DramLoads != 1 {
+		t.Errorf("dram loads = %d", c.Stats().DramLoads)
+	}
+}
+
+func TestStoreDoesNotBlockRetirement(t *testing.T) {
+	mem := &scriptMem{outcome: cache.Outcome{Status: cache.Pending}, latency: 1000}
+	src := &sliceSource{items: []Instr{
+		{Kind: KindStore, Addr: 64},
+		{Work: 40},
+	}}
+	c := New(0, DefaultConfig(), mem, src)
+	now := int64(0)
+	run(c, &now, 60)
+	// The store's RFO is still outstanding, yet all uops retired.
+	if got := c.Stats().Retired; got != 41 {
+		t.Errorf("retired = %d, want 41 despite pending RFO", got)
+	}
+	if c.Done() {
+		t.Error("core done while RFO outstanding")
+	}
+	mem.deliverAll()
+	run(c, &now, 5)
+	if !c.Done() {
+		t.Error("core not done after RFO completes")
+	}
+}
+
+func TestMispredictCreatesBranchBubble(t *testing.T) {
+	mem := &scriptMem{}
+	src := &sliceSource{items: []Instr{
+		{Kind: KindBranch, Mispredict: true},
+		{Work: 100},
+	}}
+	cfg := DefaultConfig()
+	c := New(0, cfg, mem, src)
+	now := int64(0)
+	run(c, &now, 200)
+	s := c.Stack()
+	if err := s.CheckSum(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cycles[cyclestack.Branch] < float64(cfg.BranchPenalty)-2 {
+		t.Errorf("branch cycles = %v, want about %d", s.Cycles[cyclestack.Branch], cfg.BranchPenalty)
+	}
+	if c.Stats().Mispredicts != 1 {
+		t.Errorf("mispredicts = %d", c.Stats().Mispredicts)
+	}
+}
+
+func TestDependentLoadsSerialize(t *testing.T) {
+	// Two chains of dependent loads: at most 2 in flight at once.
+	var items []Instr
+	for i := 0; i < 20; i++ {
+		dep := 0
+		if i >= 2 {
+			dep = 2 // previous load of the same chain
+		}
+		items = append(items, Instr{Kind: KindLoad, Addr: uint64(i * 64), LoadDep: dep})
+	}
+	mem := &scriptMem{outcome: cache.Outcome{Status: cache.Pending}, latency: 30}
+	src := &sliceSource{items: items}
+	c := New(0, DefaultConfig(), mem, src)
+	now := int64(0)
+	for i := 0; i < 2000 && !c.Done(); i++ {
+		c.CPUCycle(now)
+		now++
+		// Deliver completions as their time arrives.
+		var rest []func(int64, float64)
+		for _, f := range mem.pending {
+			f(0, 0)
+		}
+		mem.pending = rest
+	}
+	if !c.Done() {
+		t.Fatal("core not done")
+	}
+	if mem.maxInFly > 2 {
+		t.Errorf("max in-flight dependent loads = %d, want <= 2", mem.maxInFly)
+	}
+	if c.Stats().Loads != 20 {
+		t.Errorf("loads = %d", c.Stats().Loads)
+	}
+}
+
+func TestIndependentLoadsOverlap(t *testing.T) {
+	var items []Instr
+	for i := 0; i < 16; i++ {
+		items = append(items, Instr{Kind: KindLoad, Addr: uint64(i * 64)})
+	}
+	mem := &scriptMem{outcome: cache.Outcome{Status: cache.Pending}, latency: 500}
+	src := &sliceSource{items: items}
+	c := New(0, DefaultConfig(), mem, src)
+	now := int64(0)
+	run(c, &now, 20)
+	if mem.maxInFly < 10 {
+		t.Errorf("max in-flight independent loads = %d, want >= 10", mem.maxInFly)
+	}
+}
+
+func TestRetryKeepsOpQueued(t *testing.T) {
+	mem := &scriptMem{outcome: cache.Outcome{Status: cache.Retry}}
+	src := &sliceSource{items: []Instr{{Kind: KindLoad, Addr: 64}}}
+	c := New(0, DefaultConfig(), mem, src)
+	now := int64(0)
+	run(c, &now, 10)
+	if mem.retries < 5 {
+		t.Errorf("retries = %d, want repeated attempts", mem.retries)
+	}
+	// Unblock and finish.
+	mem.outcome = cache.Outcome{Status: cache.Hit, Latency: 4, Level: 1}
+	run(c, &now, 20)
+	if !c.Done() {
+		t.Error("core not done after hazard cleared")
+	}
+	// Retry stall cycles count as dram-queue pressure.
+	if c.Stack().Cycles[cyclestack.DramQueue] == 0 {
+		t.Error("retry stalls not attributed to dram-queue")
+	}
+}
+
+func TestROBLimitsOutstanding(t *testing.T) {
+	// With a tiny ROB, a blocked head load limits how far the core runs
+	// ahead.
+	var items []Instr
+	for i := 0; i < 50; i++ {
+		items = append(items, Instr{Work: 3, Kind: KindLoad, Addr: uint64(i * 64)})
+	}
+	cfg := DefaultConfig()
+	cfg.ROBSize = 8
+	mem := &scriptMem{outcome: cache.Outcome{Status: cache.Pending}, latency: 10000}
+	c := New(0, cfg, mem, &sliceSource{items: items})
+	now := int64(0)
+	run(c, &now, 100)
+	// ROB of 8 with items of 4 uops: at most 2 loads dispatched.
+	if mem.maxInFly > 2 {
+		t.Errorf("in-flight = %d, want <= 2 with an 8-entry ROB", mem.maxInFly)
+	}
+}
+
+func TestCycleStackAlwaysSums(t *testing.T) {
+	mem := &scriptMem{outcome: cache.Outcome{Status: cache.Pending}, latency: 37, qf: 0.4}
+	var items []Instr
+	for i := 0; i < 30; i++ {
+		items = append(items,
+			Instr{Work: 5, Kind: KindLoad, Addr: uint64(i * 64)},
+			Instr{Kind: KindBranch, Mispredict: i%7 == 0},
+			Instr{Work: 2, Kind: KindStore, Addr: uint64(i * 64)},
+		)
+	}
+	c := New(0, DefaultConfig(), mem, &sliceSource{items: items})
+	now := int64(0)
+	for i := 0; i < 5000 && !c.Done(); i++ {
+		c.CPUCycle(now)
+		now++
+		if i%25 == 0 {
+			mem.deliverAll()
+		}
+	}
+	mem.deliverAll()
+	run(c, &now, 50)
+	if !c.Done() {
+		t.Fatal("core not done")
+	}
+	if err := c.Stack().CheckSum(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Width: 0, ROBSize: 1, BranchPenalty: 1, StartsPerCycle: 1},
+		{Width: 1, ROBSize: 0, BranchPenalty: 1, StartsPerCycle: 1},
+		{Width: 1, ROBSize: 1, BranchPenalty: -1, StartsPerCycle: 1},
+		{Width: 1, ROBSize: 1, BranchPenalty: 1, StartsPerCycle: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestStallItemsIdleTheCore(t *testing.T) {
+	// A source that stalls for a while before delivering work, like a
+	// thread waiting at a barrier.
+	stalls := 20
+	src := sourceFunc(func() (Instr, bool) {
+		if stalls > 0 {
+			stalls--
+			return Instr{Kind: KindStall}, true
+		}
+		return Instr{}, false
+	})
+	c := New(0, DefaultConfig(), &scriptMem{}, src)
+	now := int64(0)
+	run(c, &now, 40)
+	if !c.Done() {
+		t.Fatal("core not done after stalls drained")
+	}
+	s := c.Stack()
+	if err := s.CheckSum(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cycles[cyclestack.Idle] < 20 {
+		t.Errorf("idle cycles = %v, want >= 20 (barrier stalls)", s.Cycles[cyclestack.Idle])
+	}
+	if c.Stats().Retired != 0 {
+		t.Errorf("retired = %d, want 0", c.Stats().Retired)
+	}
+}
+
+// sourceFunc adapts a closure to the Source interface.
+type sourceFunc func() (Instr, bool)
+
+func (f sourceFunc) Next() (Instr, bool) { return f() }
+
+func TestStallThenWorkResumes(t *testing.T) {
+	phase := 0
+	src := sourceFunc(func() (Instr, bool) {
+		phase++
+		switch {
+		case phase <= 5:
+			return Instr{Kind: KindStall}, true
+		case phase == 6:
+			return Instr{Work: 8}, true
+		default:
+			return Instr{}, false
+		}
+	})
+	c := New(0, DefaultConfig(), &scriptMem{}, src)
+	now := int64(0)
+	run(c, &now, 30)
+	if got := c.Stats().Retired; got != 8 {
+		t.Errorf("retired = %d, want 8 after stall phase", got)
+	}
+}

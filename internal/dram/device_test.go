@@ -1,0 +1,464 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testConfig() (Geometry, Timing) {
+	return DDR4_2400()
+}
+
+func TestDDR4ConfigValid(t *testing.T) {
+	g, tm := DDR4_2400()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("geometry invalid: %v", err)
+	}
+	if err := tm.Validate(); err != nil {
+		t.Fatalf("timing invalid: %v", err)
+	}
+	if got := g.PeakBandwidthGBs(); got != 19.2 {
+		t.Errorf("peak bandwidth = %v GB/s, want 19.2", got)
+	}
+	if got := g.TotalBanks(); got != 16 {
+		t.Errorf("total banks = %d, want 16", got)
+	}
+	if got := g.RowBytes(); got != 8192 {
+		t.Errorf("row bytes = %d, want 8192", got)
+	}
+	if got := g.CapacityBytes(); got != 4<<30 {
+		t.Errorf("capacity = %d, want 4 GiB", got)
+	}
+	if got := g.BytesPerCycle(); got != 16 {
+		t.Errorf("bytes/cycle = %d, want 16", got)
+	}
+}
+
+func TestGeometryValidateRejectsBad(t *testing.T) {
+	good, _ := DDR4_2400()
+	cases := []func(*Geometry){
+		func(g *Geometry) { g.Ranks = 0 },
+		func(g *Geometry) { g.Groups = -1 },
+		func(g *Geometry) { g.Banks = 0 },
+		func(g *Geometry) { g.Rows = 0 },
+		func(g *Geometry) { g.Cols = 0 },
+		func(g *Geometry) { g.LineBytes = 0 },
+		func(g *Geometry) { g.BusBytes = 0 },
+		func(g *Geometry) { g.DataRate = 0 },
+		func(g *Geometry) { g.ClockMHz = 0 },
+		func(g *Geometry) { g.Ranks = 8; g.Groups = 8; g.Banks = 8 },
+	}
+	for i, mutate := range cases {
+		g := good
+		mutate(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted bad geometry %+v", i, g)
+		}
+	}
+}
+
+func TestTimingValidateRejectsBad(t *testing.T) {
+	_, good := DDR4_2400()
+	cases := []func(*Timing){
+		func(tm *Timing) { tm.CL = 0 },
+		func(tm *Timing) { tm.RC = tm.RAS + tm.RP - 1 },
+		func(tm *Timing) { tm.CCDL = tm.CCDS - 1 },
+		func(tm *Timing) { tm.REFI = tm.RFC },
+		func(tm *Timing) { tm.RFC = -1 },
+	}
+	for i, mutate := range cases {
+		tm := good
+		mutate(&tm)
+		if err := tm.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted bad timing %+v", i, tm)
+		}
+	}
+}
+
+func TestActivateReadPrechargeSequence(t *testing.T) {
+	g, tm := testConfig()
+	d := NewDevice(g, tm)
+	loc := Loc{Row: 5, Col: 3}
+
+	d.Sync(0)
+	if _, ok := d.EarliestIssue(Command{CmdRD, loc}, 0); ok {
+		t.Fatal("RD should be impossible on a precharged bank")
+	}
+	if !d.CanIssue(Command{CmdACT, loc}, 0) {
+		t.Fatal("ACT should be legal at cycle 0")
+	}
+	d.Issue(Command{CmdACT, loc}, 0)
+
+	if d.CanIssue(Command{CmdRD, loc}, int64(tm.RCD)-1) {
+		t.Error("RD legal before tRCD")
+	}
+	if !d.CanIssue(Command{CmdRD, loc}, int64(tm.RCD)) {
+		t.Error("RD illegal at tRCD")
+	}
+	d.Sync(int64(tm.RCD))
+	d.Issue(Command{CmdRD, loc}, int64(tm.RCD))
+
+	// PRE must wait for max(tRAS from ACT, tRTP from RD).
+	preOK := maxi64(int64(tm.RAS), int64(tm.RCD)+int64(tm.RTP))
+	if got, ok := d.EarliestIssue(Command{CmdPRE, loc}, 0); !ok || got != preOK {
+		t.Errorf("PRE earliest = %d,%v want %d", got, ok, preOK)
+	}
+	d.Sync(preOK)
+	d.Issue(Command{CmdPRE, loc}, preOK)
+
+	// ACT must wait max(tRP from PRE, tRC from previous ACT).
+	actOK := maxi64(preOK+int64(tm.RP), int64(tm.RC))
+	if got, ok := d.EarliestIssue(Command{CmdACT, loc}, 0); !ok || got != actOK {
+		t.Errorf("ACT earliest = %d,%v want %d", got, ok, actOK)
+	}
+}
+
+func TestReadWrongRowNotIssuable(t *testing.T) {
+	g, tm := testConfig()
+	d := NewDevice(g, tm)
+	d.Sync(0)
+	d.Issue(Command{CmdACT, Loc{Row: 1}}, 0)
+	d.Sync(int64(tm.RCD))
+	if _, ok := d.EarliestIssue(Command{CmdRD, Loc{Row: 2}}, int64(tm.RCD)); ok {
+		t.Error("RD to a different row than the open one must not be issuable")
+	}
+	if !d.RowOpen(Loc{Row: 1}, int64(tm.RCD)) {
+		t.Error("row 1 should be open and usable after tRCD")
+	}
+	if d.RowOpen(Loc{Row: 1}, int64(tm.RCD)-1) {
+		t.Error("row must not be usable before activation completes")
+	}
+}
+
+func TestSameGroupCCDLSpacing(t *testing.T) {
+	g, tm := testConfig()
+	d := NewDevice(g, tm)
+	a := Loc{Group: 0, Bank: 0, Row: 1}
+	b := Loc{Group: 0, Bank: 1, Row: 1}
+	c := Loc{Group: 1, Bank: 0, Row: 1}
+
+	d.Sync(0)
+	d.Issue(Command{CmdACT, a}, 0)
+	d.Sync(int64(tm.RRDL))
+	d.Issue(Command{CmdACT, b}, int64(tm.RRDL))
+	d.Sync(int64(tm.RRDL) + int64(tm.RRDS))
+	d.Issue(Command{CmdACT, c}, int64(tm.RRDL)+int64(tm.RRDS))
+
+	start := int64(60) // past all tRCDs
+	d.Sync(start)
+	d.Issue(Command{CmdRD, a}, start)
+
+	// Same bank group: tCCD_L; different group: tCCD_S (but bus may bind).
+	if got, ok := d.EarliestIssue(Command{CmdRD, b}, start); !ok || got != start+int64(tm.CCDL) {
+		t.Errorf("same-group RD earliest = %d,%v want %d", got, ok, start+int64(tm.CCDL))
+	}
+	if got, ok := d.EarliestIssue(Command{CmdRD, c}, start); !ok || got != start+int64(tm.CCDS) {
+		t.Errorf("cross-group RD earliest = %d,%v want %d", got, ok, start+int64(tm.CCDS))
+	}
+}
+
+func TestRRDAndFAW(t *testing.T) {
+	g, tm := testConfig()
+	d := NewDevice(g, tm)
+	d.Sync(0)
+	// Issue 4 ACTs to different groups as fast as tRRD_S allows.
+	var last int64
+	for i := 0; i < 4; i++ {
+		at := int64(i * tm.RRDS)
+		d.Sync(at)
+		d.Issue(Command{CmdACT, Loc{Group: i, Bank: 0, Row: 1}}, at)
+		last = at
+	}
+	// The 5th ACT (bank 1 of group 0) is FAW-bound, not RRD-bound.
+	want := int64(tm.FAW) // first ACT at 0 + FAW
+	if got, ok := d.EarliestIssue(Command{CmdACT, Loc{Group: 0, Bank: 1, Row: 1}}, last); !ok || got != want {
+		t.Errorf("5th ACT earliest = %d,%v want %d (tFAW)", got, ok, want)
+	}
+}
+
+func TestWriteReadTurnaround(t *testing.T) {
+	g, tm := testConfig()
+	d := NewDevice(g, tm)
+	a := Loc{Group: 0, Bank: 0, Row: 1}
+	b := Loc{Group: 1, Bank: 0, Row: 1}
+	d.Sync(0)
+	d.Issue(Command{CmdACT, a}, 0)
+	d.Sync(int64(tm.RRDS))
+	d.Issue(Command{CmdACT, b}, int64(tm.RRDS))
+
+	start := int64(60)
+	d.Sync(start)
+	d.Issue(Command{CmdWR, a}, start)
+
+	wantSame := start + int64(tm.WriteToRead(true))
+	if got, ok := d.EarliestIssue(Command{CmdRD, a}, start); !ok || got != wantSame {
+		t.Errorf("WR->RD same group earliest = %d,%v want %d", got, ok, wantSame)
+	}
+	wantDiff := start + int64(tm.WriteToRead(false))
+	if got, ok := d.EarliestIssue(Command{CmdRD, b}, start); !ok || got != wantDiff {
+		t.Errorf("WR->RD cross group earliest = %d,%v want %d", got, ok, wantDiff)
+	}
+
+	// And read-to-write turnaround.
+	d.Sync(wantDiff)
+	d.Issue(Command{CmdRD, b}, wantDiff)
+	wantWR := wantDiff + int64(tm.RTW)
+	if got, ok := d.EarliestIssue(Command{CmdWR, a}, wantDiff); !ok || got < wantWR {
+		t.Errorf("RD->WR earliest = %d,%v want >= %d", got, ok, wantWR)
+	}
+}
+
+func TestRefreshBlocksRank(t *testing.T) {
+	g, tm := testConfig()
+	d := NewDevice(g, tm)
+	d.Sync(0)
+	if !d.CanIssue(Command{CmdREF, Loc{}}, 0) {
+		t.Fatal("REF should be legal with all banks precharged")
+	}
+	d.Issue(Command{CmdREF, Loc{}}, 0)
+	if !d.Refreshing(0, 0) || !d.Refreshing(0, int64(tm.RFC)-1) {
+		t.Error("rank should be refreshing during tRFC")
+	}
+	if d.Refreshing(0, int64(tm.RFC)) {
+		t.Error("rank should stop refreshing at tRFC")
+	}
+	if got, ok := d.EarliestIssue(Command{CmdACT, Loc{Row: 1}}, 0); !ok || got != int64(tm.RFC) {
+		t.Errorf("ACT during refresh earliest = %d,%v want %d", got, ok, tm.RFC)
+	}
+}
+
+func TestRefreshRequiresPrechargedBanks(t *testing.T) {
+	g, tm := testConfig()
+	d := NewDevice(g, tm)
+	d.Sync(0)
+	d.Issue(Command{CmdACT, Loc{Row: 1}}, 0)
+	if _, ok := d.EarliestIssue(Command{CmdREF, Loc{}}, int64(tm.RCD)); ok {
+		t.Error("REF must not be issuable with an open bank")
+	}
+}
+
+func TestAutoPrecharge(t *testing.T) {
+	g, tm := testConfig()
+	d := NewDevice(g, tm)
+	loc := Loc{Row: 7}
+	d.Sync(0)
+	d.Issue(Command{CmdACT, loc}, 0)
+	rd := maxi64(int64(tm.RCD), int64(tm.RAS)-int64(tm.RTP)) // so tRAS holds at precharge time
+	d.Sync(rd)
+	d.Issue(Command{CmdRDA, loc}, rd)
+
+	apAt := rd + int64(tm.RTP)
+	if d.RowOpen(loc, apAt) {
+		t.Error("row must be closed once the auto-precharge begins")
+	}
+	d.Sync(apAt)
+	// Next ACT must wait tRP after the auto-precharge began.
+	want := maxi64(apAt+int64(tm.RP), int64(tm.RC))
+	if got, ok := d.EarliestIssue(Command{CmdACT, Loc{Row: 9}}, apAt); !ok || got != want {
+		t.Errorf("ACT after RDA earliest = %d,%v want %d", got, ok, want)
+	}
+	if pre, _ := d.BankBusy(0, apAt); !pre {
+		t.Error("bank should report precharging during the auto-precharge window")
+	}
+}
+
+func TestDataBusOccupancy(t *testing.T) {
+	g, tm := testConfig()
+	d := NewDevice(g, tm)
+	a := Loc{Group: 0, Bank: 0, Row: 1}
+	d.Sync(0)
+	d.Issue(Command{CmdACT, a}, 0)
+	rd := int64(tm.RCD)
+	d.Sync(rd)
+	d.Issue(Command{CmdRD, a}, rd)
+	start, end := d.DataWindow(CmdRD, rd)
+	if start != rd+int64(tm.CL) || end != start+int64(tm.BL2) {
+		t.Fatalf("data window = [%d,%d), want [%d,%d)", start, end, rd+int64(tm.CL), rd+int64(tm.CL)+int64(tm.BL2))
+	}
+	for c := start; c < end; c++ {
+		if k := d.BusKindAt(c); k != DataRead {
+			t.Errorf("bus kind at %d = %v, want read", c, k)
+		}
+	}
+	if k := d.BusKindAt(start - 1); k != DataNone {
+		t.Errorf("bus kind before window = %v, want none", k)
+	}
+	if k := d.ConsumeBusKind(start); k != DataRead {
+		t.Errorf("consume = %v, want read", k)
+	}
+	if k := d.BusKindAt(start); k != DataNone {
+		t.Errorf("bus kind after consume = %v, want none", k)
+	}
+}
+
+func TestBankBusyClassification(t *testing.T) {
+	g, tm := testConfig()
+	d := NewDevice(g, tm)
+	loc := Loc{Row: 1}
+	d.Sync(0)
+	d.Issue(Command{CmdACT, loc}, 0)
+	if _, act := d.BankBusy(0, 0); !act {
+		t.Error("bank should be activating at ACT issue")
+	}
+	if _, act := d.BankBusy(0, int64(tm.RCD)-1); !act {
+		t.Error("bank should be activating until tRCD")
+	}
+	if pre, act := d.BankBusy(0, int64(tm.RCD)); pre || act {
+		t.Error("bank should be quiet after tRCD")
+	}
+	preAt := int64(tm.RAS)
+	d.Sync(preAt)
+	d.Issue(Command{CmdPRE, loc}, preAt)
+	if pre, _ := d.BankBusy(0, preAt); !pre {
+		t.Error("bank should be precharging at PRE issue")
+	}
+	if pre, _ := d.BankBusy(0, preAt+int64(tm.RP)); pre {
+		t.Error("bank should be quiet after tRP")
+	}
+}
+
+func TestIllegalIssuePanics(t *testing.T) {
+	g, tm := testConfig()
+	d := NewDevice(g, tm)
+	d.Sync(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Issue of an illegal command must panic")
+		}
+	}()
+	d.Issue(Command{CmdRD, Loc{Row: 1}}, 0) // bank precharged: illegal
+}
+
+func TestSyncBackwardsPanics(t *testing.T) {
+	g, tm := testConfig()
+	d := NewDevice(g, tm)
+	d.Sync(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("Sync backwards must panic")
+		}
+	}()
+	d.Sync(9)
+}
+
+// TestRandomScheduleIsVerifiable drives the device with a random but legal
+// command stream (legal by construction via EarliestIssue) and replays the
+// resulting trace through the independent Verifier. Any disagreement between
+// the two constraint formulations fails the test.
+func TestRandomScheduleIsVerifiable(t *testing.T) {
+	g, tm := testConfig()
+	for seed := int64(1); seed <= 5; seed++ {
+		d := NewDevice(g, tm)
+		v := NewVerifier(g, tm)
+		d.Trace = func(cycle int64, cmd Command) {
+			if vs := v.Check(cycle, cmd); vs != nil {
+				t.Fatalf("seed %d: verifier rejects device-issued command: %v", seed, vs[0])
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		now := int64(0)
+		issued := 0
+		nextREF := int64(tm.REFI)
+		for issued < 3000 {
+			d.Sync(now)
+			if now >= nextREF {
+				// Close all banks, then refresh.
+				if at, ok := d.EarliestIssue(Command{CmdPREA, Loc{}}, now); ok {
+					now = at
+					d.Sync(now)
+					d.Issue(Command{CmdPREA, Loc{}}, now)
+				}
+				at, ok := d.EarliestIssue(Command{CmdREF, Loc{}}, now)
+				if !ok {
+					t.Fatalf("seed %d: REF impossible after PREA", seed)
+				}
+				now = at
+				d.Sync(now)
+				d.Issue(Command{CmdREF, Loc{}}, now)
+				nextREF += int64(tm.REFI)
+				issued++
+				continue
+			}
+			loc := Loc{
+				Group: rng.Intn(g.Groups),
+				Bank:  rng.Intn(g.Banks),
+				Row:   rng.Intn(64),
+				Col:   rng.Intn(g.Cols),
+			}
+			kinds := []CommandKind{CmdACT, CmdPRE, CmdRD, CmdWR, CmdRDA, CmdWRA}
+			kind := kinds[rng.Intn(len(kinds))]
+			if open := d.OpenRow(loc, now); open >= 0 {
+				loc.Row = open // column commands must target the open row
+			}
+			at, ok := d.EarliestIssue(Command{kind, loc}, now)
+			if !ok {
+				now++ // not possible in this state; try something else
+				continue
+			}
+			now = at
+			d.Sync(now)
+			d.Issue(Command{kind, loc}, now)
+			issued++
+			now += int64(rng.Intn(4))
+		}
+		if v.Checked() < 3000 {
+			t.Fatalf("seed %d: verifier saw only %d commands", seed, v.Checked())
+		}
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	g, tm := testConfig()
+	d := NewDevice(g, tm)
+	loc := Loc{Row: 1}
+	d.Sync(0)
+	d.Issue(Command{CmdACT, loc}, 0)
+	d.Sync(int64(tm.RCD))
+	d.Issue(Command{CmdRD, loc}, int64(tm.RCD))
+	s := d.Stats()
+	if s.ACT != 1 || s.RD != 1 || s.PRE != 0 || s.WR != 0 || s.REF != 0 {
+		t.Errorf("stats = %+v, want 1 ACT + 1 RD", s)
+	}
+}
+
+// TestEarliestIssueConsistencyProperty: whatever state the device is in,
+// a command must actually be issuable at the cycle EarliestIssue names.
+func TestEarliestIssueConsistencyProperty(t *testing.T) {
+	g, tm := testConfig()
+	for seed := int64(1); seed <= 8; seed++ {
+		d := NewDevice(g, tm)
+		rng := rand.New(rand.NewSource(seed))
+		now := int64(0)
+		for step := 0; step < 800; step++ {
+			d.Sync(now)
+			loc := Loc{
+				Group: rng.Intn(g.Groups),
+				Bank:  rng.Intn(g.Banks),
+				Row:   rng.Intn(32),
+				Col:   rng.Intn(g.Cols),
+			}
+			if open := d.OpenRow(loc, now); open >= 0 {
+				loc.Row = open
+			}
+			kinds := []CommandKind{CmdACT, CmdPRE, CmdRD, CmdWR, CmdRDA, CmdWRA, CmdREF}
+			kind := kinds[rng.Intn(len(kinds))]
+			at, ok := d.EarliestIssue(Command{kind, loc}, now)
+			if !ok {
+				now++
+				continue
+			}
+			if at < now {
+				t.Fatalf("seed %d: EarliestIssue returned past cycle %d < %d", seed, at, now)
+			}
+			d.Sync(at)
+			if !d.CanIssue(Command{kind, loc}, at) {
+				t.Fatalf("seed %d: %v not issuable at its own earliest cycle %d", seed, kind, at)
+			}
+			// Only sometimes issue, so queries also hit untouched state.
+			if rng.Intn(3) > 0 {
+				d.Issue(Command{kind, loc}, at)
+			}
+			now = at + int64(rng.Intn(5))
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package dram
+
+import "fmt"
+
+// Geometry describes the organization of one memory channel.
+type Geometry struct {
+	Ranks  int // ranks per channel
+	Groups int // bank groups per rank
+	Banks  int // banks per bank group
+	Rows   int // rows per bank
+	Cols   int // columns (cache lines) per row
+
+	LineBytes int // bytes per column access (a cache line)
+	BusBytes  int // data bus width in bytes
+	DataRate  int // transfers per clock cycle (2 for DDR)
+
+	ClockMHz int // memory clock in MHz
+}
+
+// BanksPerRank returns the total number of banks in one rank.
+func (g Geometry) BanksPerRank() int { return g.Groups * g.Banks }
+
+// TotalBanks returns the number of banks in the channel.
+func (g Geometry) TotalBanks() int { return g.Ranks * g.Groups * g.Banks }
+
+// RowBytes returns the size of one DRAM page (row) in bytes.
+func (g Geometry) RowBytes() int { return g.Cols * g.LineBytes }
+
+// CapacityBytes returns the addressable capacity of the channel in bytes.
+func (g Geometry) CapacityBytes() uint64 {
+	return uint64(g.Ranks) * uint64(g.Groups) * uint64(g.Banks) *
+		uint64(g.Rows) * uint64(g.RowBytes())
+}
+
+// BytesPerCycle returns how many bytes the channel transfers per memory
+// clock cycle at full utilization (bus width × data rate).
+func (g Geometry) BytesPerCycle() int { return g.BusBytes * g.DataRate }
+
+// PeakBandwidthGBs returns the theoretical peak bandwidth in GB/s
+// (decimal GB, matching DRAM marketing and the paper's 19.2 GB/s).
+func (g Geometry) PeakBandwidthGBs() float64 {
+	return float64(g.BytesPerCycle()) * float64(g.ClockMHz) * 1e6 / 1e9
+}
+
+// CyclesToNS converts memory-clock cycles to nanoseconds.
+func (g Geometry) CyclesToNS(cycles int64) float64 {
+	return float64(cycles) * 1e3 / float64(g.ClockMHz)
+}
+
+// Validate reports a descriptive error if the geometry is unusable.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Ranks <= 0 || g.Groups <= 0 || g.Banks <= 0:
+		return fmt.Errorf("dram: geometry needs positive ranks/groups/banks, got %d/%d/%d",
+			g.Ranks, g.Groups, g.Banks)
+	case g.Rows <= 0 || g.Cols <= 0:
+		return fmt.Errorf("dram: geometry needs positive rows/cols, got %d/%d", g.Rows, g.Cols)
+	case g.LineBytes <= 0 || g.BusBytes <= 0 || g.DataRate <= 0:
+		return fmt.Errorf("dram: geometry needs positive line/bus/rate, got %d/%d/%d",
+			g.LineBytes, g.BusBytes, g.DataRate)
+	case g.ClockMHz <= 0:
+		return fmt.Errorf("dram: geometry needs positive clock, got %d MHz", g.ClockMHz)
+	case g.TotalBanks() > 64:
+		return fmt.Errorf("dram: at most 64 banks per channel supported, got %d", g.TotalBanks())
+	}
+	return nil
+}
+
+// Timing holds the DRAM timing parameters, all in memory-clock cycles.
+// Field names follow the JEDEC parameter names without the "t" prefix.
+type Timing struct {
+	CL  int // CAS latency: read command to first data
+	CWL int // CAS write latency: write command to first data
+	BL2 int // burst length / 2: data bus cycles per column access
+
+	RCD int // ACT to column command, same bank
+	RP  int // PRE to ACT, same bank
+	RAS int // ACT to PRE, same bank
+	RC  int // ACT to ACT, same bank
+	RTP int // RD to PRE, same bank
+	WR  int // end of write data to PRE, same bank (write recovery)
+
+	CCDS int // column command to column command, different bank group
+	CCDL int // column command to column command, same bank group
+	RRDS int // ACT to ACT, different bank group
+	RRDL int // ACT to ACT, same bank group
+	FAW  int // window in which at most four ACTs may issue per rank
+
+	WTRS int // end of write data to read command, different bank group
+	WTRL int // end of write data to read command, same bank group
+	RTW  int // read command to write command, same rank (bus turnaround)
+
+	RTRS int // rank-to-rank data bus switch gap
+
+	RFC  int // refresh cycle time: REF blocks the rank this long
+	REFI int // average refresh interval: one REF is due every REFI
+}
+
+// Validate reports a descriptive error if any parameter is non-positive or
+// mutually inconsistent in a way that would deadlock the device model.
+func (t Timing) Validate() error {
+	type field struct {
+		name string
+		v    int
+	}
+	for _, f := range []field{
+		{"CL", t.CL}, {"CWL", t.CWL}, {"BL2", t.BL2}, {"RCD", t.RCD},
+		{"RP", t.RP}, {"RAS", t.RAS}, {"RC", t.RC}, {"RTP", t.RTP},
+		{"WR", t.WR}, {"CCDS", t.CCDS}, {"CCDL", t.CCDL}, {"RRDS", t.RRDS},
+		{"RRDL", t.RRDL}, {"FAW", t.FAW}, {"WTRS", t.WTRS}, {"WTRL", t.WTRL},
+		{"RTW", t.RTW}, {"RFC", t.RFC}, {"REFI", t.REFI},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("dram: timing parameter %s must be positive, got %d", f.name, f.v)
+		}
+	}
+	if t.RC < t.RAS+t.RP {
+		return fmt.Errorf("dram: tRC (%d) < tRAS+tRP (%d)", t.RC, t.RAS+t.RP)
+	}
+	if t.CCDL < t.CCDS {
+		return fmt.Errorf("dram: tCCD_L (%d) < tCCD_S (%d)", t.CCDL, t.CCDS)
+	}
+	if t.REFI <= t.RFC {
+		return fmt.Errorf("dram: tREFI (%d) must exceed tRFC (%d)", t.REFI, t.RFC)
+	}
+	return nil
+}
+
+// WriteToPre returns the minimum write command to precharge distance:
+// the write data must appear (CWL), transfer (BL2) and be recovered (WR).
+func (t Timing) WriteToPre() int { return t.CWL + t.BL2 + t.WR }
+
+// WriteToRead returns the minimum write command to read command distance
+// for the given locality (same bank group or not).
+func (t Timing) WriteToRead(sameGroup bool) int {
+	if sameGroup {
+		return t.CWL + t.BL2 + t.WTRL
+	}
+	return t.CWL + t.BL2 + t.WTRS
+}
+
+// DDR4_3200 returns a DDR4-3200 module (1.6 GHz clock, 25.6 GB/s peak):
+// the same architecture at a faster clock, so the analog timings occupy
+// more cycles (CL22 class). Useful for speed-grade ablations — the
+// bandwidth stack shows which components scale with frequency
+// (transfers, tCCD_L gaps) and which do not (tRFC, tRCD in nanoseconds).
+func DDR4_3200() (Geometry, Timing) {
+	g, t := DDR4_2400()
+	g.ClockMHz = 1600
+	t.CL = 22
+	t.CWL = 16
+	t.RCD = 22
+	t.RP = 22
+	t.RAS = 52
+	t.RC = 74
+	t.RTP = 12
+	t.WR = 24
+	t.CCDS = 4
+	t.CCDL = 8
+	t.RRDS = 5
+	t.RRDL = 8
+	t.FAW = 34
+	t.WTRS = 4
+	t.WTRL = 12
+	t.RTW = 22 + 4 + 2 - 16
+	t.RFC = 560 // 350 ns at 1.6 GHz
+	t.REFI = 12480
+	return g, t
+}
+
+// DDR5_4800 returns one 32-bit subchannel of a DDR5-4800 DIMM: a 2.4 GHz
+// clock on a 4-byte bus (19.2 GB/s peak, like DDR4-2400, but reached
+// with BL16 bursts from 32 banks in 8 bank groups and 2 KB pages).
+// Useful for generational comparisons: the same peak with very different
+// stack shapes — longer bursts, more banks, smaller pages.
+func DDR5_4800() (Geometry, Timing) {
+	g := Geometry{
+		Ranks:     1,
+		Groups:    8,
+		Banks:     4,
+		Rows:      64 * 1024,
+		Cols:      32, // 32 × 64 B = 2 KB page
+		LineBytes: 64,
+		BusBytes:  4,
+		DataRate:  2,
+		ClockMHz:  2400,
+	}
+	t := Timing{
+		CL:   40,
+		CWL:  38,
+		BL2:  8, // BL16 on the half-width bus
+		RCD:  39,
+		RP:   39,
+		RAS:  77,
+		RC:   116,
+		RTP:  18,
+		WR:   72,
+		CCDS: 8,
+		CCDL: 12,
+		RRDS: 8,
+		RRDL: 12,
+		FAW:  32,
+		WTRS: 12,
+		WTRL: 24,
+		RTW:  40 + 8 + 2 - 38,
+		RTRS: 3,
+		RFC:  984, // 410 ns for a 16 Gb device
+		REFI: 9360,
+	}
+	return g, t
+}
+
+// DDR4_2400_DualRank returns the same module as DDR4_2400 with two ranks
+// per channel (32 banks, 8 GB): more bank parallelism for the same peak
+// bandwidth, at the cost of rank-to-rank bus switch gaps (tRTRS).
+func DDR4_2400_DualRank() (Geometry, Timing) {
+	g, t := DDR4_2400()
+	g.Ranks = 2
+	return g, t
+}
+
+// DDR4_2400 returns the geometry and timing of the configuration evaluated
+// in the paper: a single-channel, single-rank DDR4-2400 module with 4 bank
+// groups × 4 banks, 8 KB pages, a 1.2 GHz clock and an 8-byte data bus,
+// for a peak bandwidth of 19.2 GB/s.
+func DDR4_2400() (Geometry, Timing) {
+	g := Geometry{
+		Ranks:     1,
+		Groups:    4,
+		Banks:     4,
+		Rows:      32 * 1024,
+		Cols:      128, // 128 × 64 B = 8 KB page
+		LineBytes: 64,
+		BusBytes:  8,
+		DataRate:  2,
+		ClockMHz:  1200,
+	}
+	t := Timing{
+		CL:  16,
+		CWL: 12,
+		BL2: 4,
+		RCD: 16,
+		RP:  16,
+		RAS: 39,
+		RC:  55,
+		RTP: 9,
+		WR:  18,
+		// tCCD_L = 6 > BL/2 = 4: a single bank group sustains one line
+		// per 6 cycles while the channel could move one per 4 — the
+		// source of the Fig. 2 "constraints" component.
+		CCDS: 4,
+		CCDL: 6,
+		RRDS: 4,
+		RRDL: 6,
+		FAW:  26,
+		WTRS: 3,
+		WTRL: 9,
+		RTW:  16 + 4 + 2 - 12, // CL + BL/2 + 2 - CWL
+		RTRS: 2,
+		RFC:  420,  // 350 ns for an 8 Gb device
+		REFI: 9360, // 7.8 µs
+	}
+	return g, t
+}

@@ -1,0 +1,257 @@
+package exp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dramstacks/internal/extrapolate"
+	"dramstacks/internal/gap"
+	"dramstacks/internal/memctrl"
+	"dramstacks/internal/workload"
+)
+
+func TestRunSynthBasics(t *testing.T) {
+	res, err := RunSynth(SynthSpec{
+		Pattern: workload.Sequential, Cores: 1, Budget: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AchievedGBps() <= 0 {
+		t.Error("no bandwidth achieved")
+	}
+	if err := res.BW.CheckSum(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFig2Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep skipped in -short")
+	}
+	rows, err := Fig2(80_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	labels, bw, lat := Stacks(rows)
+	if labels[0] != "sequential 1c" || labels[7] != "random 8c" {
+		t.Errorf("labels wrong: %v", labels)
+	}
+	for i := range bw {
+		if err := bw[i].CheckSum(); err != nil {
+			t.Errorf("%s: %v", labels[i], err)
+		}
+		if lat[i].Reads == 0 {
+			t.Errorf("%s: no reads", labels[i])
+		}
+	}
+	// Scaling within each pattern is monotone.
+	for _, base := range []int{0, 4} {
+		for i := base + 1; i < base+4; i++ {
+			if rows[i].Res.AchievedGBps() <= rows[i-1].Res.AchievedGBps() {
+				t.Errorf("%s (%.2f) not above %s (%.2f)",
+					rows[i].Label, rows[i].Res.AchievedGBps(),
+					rows[i-1].Label, rows[i-1].Res.AchievedGBps())
+			}
+		}
+	}
+}
+
+func TestRunGapVariantsAndSamples(t *testing.T) {
+	spec := DefaultGap("bfs", 2)
+	spec.Scale = 12
+	spec.Budget = 120_000
+	spec.Sample = 20_000
+	res, err := RunGap(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BWSamples) == 0 || len(res.CycleSamples) == 0 {
+		t.Error("through-time samples missing")
+	}
+	if res.CtrlStats.IssuedReads == 0 {
+		t.Error("bfs generated no DRAM reads")
+	}
+	// Write-queue override is applied.
+	spec.WriteQueue = 128
+	if _, err := RunGap(spec); err != nil {
+		t.Fatalf("wq128 variant: %v", err)
+	}
+	// Unknown benchmark reports a helpful error.
+	bad := spec
+	bad.Bench = "nope"
+	if _, err := RunGap(bad); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestDefaultGapPolicies(t *testing.T) {
+	if DefaultGap("bfs", 8).Policy != memctrl.ClosedPage {
+		t.Error("bfs should default to the closed page policy")
+	}
+	if DefaultGap("tc", 1).Policy != memctrl.OpenPage {
+		t.Error("tc should default to the open page policy (paper §VIII)")
+	}
+}
+
+func TestFig9SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extrapolation sweep skipped in -short")
+	}
+	// Shrink the study so it runs in test time: patch specs via the
+	// building blocks instead of Fig9 itself.
+	var preds []struct {
+		bench                  string
+		measured, naive, stack float64
+	}
+	for _, bench := range gap.Benchmarks() {
+		one := DefaultGap(bench, 1)
+		one.Scale = 13
+		one.Budget = 600_000
+		one.Sample = 50_000
+		r1, err := RunGap(one)
+		if err != nil {
+			t.Fatalf("%s 1c: %v", bench, err)
+		}
+		eight := DefaultGap(bench, 8)
+		eight.Scale = 13
+		eight.Budget = 200_000
+		r8, err := RunGap(eight)
+		if err != nil {
+			t.Fatalf("%s 8c: %v", bench, err)
+		}
+		geo := r1.Cfg.Geom
+		p := struct {
+			bench                  string
+			measured, naive, stack float64
+		}{bench, r8.AchievedGBps(), 0, 0}
+		p.naive = extrapolate.NaiveSamples(r1.BWSamples, 8, geo)
+		p.stack = extrapolate.StackSamples(r1.BWSamples, 8, geo)
+		preds = append(preds, p)
+	}
+	for _, p := range preds {
+		if p.measured <= 0 {
+			t.Errorf("%s: measured 8c bandwidth is zero", p.bench)
+		}
+		if p.naive <= 0 || p.stack <= 0 {
+			t.Errorf("%s: predictions missing: naive %v stack %v", p.bench, p.naive, p.stack)
+		}
+		if p.stack > 19.3 || p.naive > 19.3 {
+			t.Errorf("%s: prediction exceeds peak: naive %v stack %v", p.bench, p.naive, p.stack)
+		}
+		// The stack method never predicts above naive: overheads only
+		// shrink the achievable share.
+		if p.stack > p.naive+1e-9 {
+			t.Errorf("%s: stack %v above naive %v", p.bench, p.stack, p.naive)
+		}
+	}
+}
+
+func TestFigFunctionsSmallBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps skipped in -short")
+	}
+	for name, run := range map[string]func() (int, error){
+		"fig3": func() (int, error) { rows, err := Fig3(50_000); return len(rows), err },
+		"fig4": func() (int, error) { rows, err := Fig4(50_000); return len(rows), err },
+		"fig6": func() (int, error) { rows, err := Fig6(50_000); return len(rows), err },
+	} {
+		n, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := map[string]int{"fig3": 8, "fig4": 4, "fig6": 4}[name]
+		if n != want {
+			t.Errorf("%s rows = %d, want %d", name, n, want)
+		}
+	}
+}
+
+func TestFig7And8SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps skipped in -short")
+	}
+	// Shrink via the same code path paperfigs uses, but at test scale:
+	// override the default spec through RunGap directly for fig-7-like
+	// sampling, then check Fig8's row structure via its variants at the
+	// default scale constants (budget-capped).
+	spec := DefaultGap("bfs", 4)
+	spec.Scale = 12
+	spec.Budget = 100_000
+	spec.Sample = 10_000
+	res, err := RunGap(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BWSamples) < 3 {
+		t.Errorf("fig7-style sampling produced %d samples", len(res.BWSamples))
+	}
+	for _, s := range res.BWSamples {
+		if err := s.BW.CheckSum(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestSynthSpecChannels(t *testing.T) {
+	res, err := RunSynth(SynthSpec{
+		Pattern: workload.Sequential, Cores: 2, Channels: 2, Budget: 40_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Channels != 2 || len(res.PerChannelBW) != 2 {
+		t.Errorf("channels = %d / %d per-channel stacks", res.Channels, len(res.PerChannelBW))
+	}
+}
+
+func TestRunStream(t *testing.T) {
+	res, err := RunStream(StreamSpec{
+		Kind: workload.StreamTriad, Cores: 2, Budget: 50_000, Prewarm: 1 << 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AchievedGBps() <= 0 {
+		t.Error("stream achieved nothing")
+	}
+	if res.CtrlStats.IssuedWrites == 0 {
+		t.Error("triad produced no writes")
+	}
+}
+
+func TestWriteRowsJSON(t *testing.T) {
+	res, err := RunSynth(SynthSpec{Pattern: workload.Sequential, Cores: 1, Budget: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteRowsJSON(&b, []Row{{"seq 1c", res}}); err != nil {
+		t.Fatal(err)
+	}
+	var rows []RowJSON
+	if err := json.Unmarshal([]byte(b.String()), &rows); err != nil {
+		t.Fatalf("output not valid JSON: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Label != "seq 1c" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	if r.AchievedGBps <= 0 || r.PeakGBps != 19.2 || r.MemCycles != 30_000 {
+		t.Errorf("headline fields wrong: %+v", r)
+	}
+	var sum float64
+	for _, v := range r.BandwidthGBps {
+		sum += v
+	}
+	if sum < 19.19 || sum > 19.21 {
+		t.Errorf("bandwidth components sum to %v, want peak", sum)
+	}
+	if _, ok := r.LatencyNS["queue"]; !ok {
+		t.Error("latency components missing queue")
+	}
+}

@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+
+	"dramstacks/internal/sim"
+	"dramstacks/internal/stacks"
+)
+
+// RowJSON is the machine-readable form of one experiment row: the
+// bandwidth and latency stacks plus the headline statistics, for
+// downstream tooling (plotting, regression tracking).
+type RowJSON struct {
+	Label string `json:"label"`
+
+	Channels     int     `json:"channels"`
+	MemCycles    int64   `json:"mem_cycles"`
+	RuntimeMS    float64 `json:"runtime_ms"`
+	PeakGBps     float64 `json:"peak_gbps"`
+	AchievedGBps float64 `json:"achieved_gbps"`
+
+	BandwidthGBps map[string]float64 `json:"bandwidth_gbps"`
+	LatencyNS     map[string]float64 `json:"latency_ns"`
+	AvgLatencyNS  float64            `json:"avg_latency_ns"`
+	P99LatencyNS  float64            `json:"p99_latency_ns"`
+
+	PageHitRate float64 `json:"page_hit_rate"`
+	DRAMReads   int64   `json:"dram_reads"`
+	DRAMWrites  int64   `json:"dram_writes"`
+	Refreshes   int64   `json:"refreshes"`
+}
+
+// ToJSON converts a result into its serializable form.
+func ToJSON(label string, res *sim.Result) RowJSON {
+	geo := res.Cfg.Geom
+	bw := map[string]float64{}
+	g := res.BWGBps()
+	for c := stacks.BWComponent(0); c < stacks.NumBWComponents; c++ {
+		bw[c.String()] = g[c]
+	}
+	lat := map[string]float64{}
+	l := res.LatNS()
+	for c := stacks.LatComponent(0); c < stacks.NumLatComponents; c++ {
+		lat[c.String()] = l[c]
+	}
+	return RowJSON{
+		Label:         label,
+		Channels:      res.Channels,
+		MemCycles:     res.MemCycles,
+		RuntimeMS:     res.RuntimeMS(),
+		PeakGBps:      res.PeakGBps(),
+		AchievedGBps:  res.AchievedGBps(),
+		BandwidthGBps: bw,
+		LatencyNS:     lat,
+		AvgLatencyNS:  res.Lat.AvgTotalNS(geo),
+		P99LatencyNS:  geo.CyclesToNS(res.LatHist.Quantile(0.99)),
+		PageHitRate:   res.CtrlStats.PageHitRate(),
+		DRAMReads:     res.CtrlStats.IssuedReads,
+		DRAMWrites:    res.CtrlStats.IssuedWrites,
+		Refreshes:     res.CtrlStats.Refreshes,
+	}
+}
+
+// WriteRowsJSON serializes experiment rows as an indented JSON array.
+func WriteRowsJSON(w io.Writer, rows []Row) error {
+	out := make([]RowJSON, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, ToJSON(r.Label, r.Res))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,230 @@
+package gap
+
+import (
+	"dramstacks/internal/cpu"
+	"dramstacks/internal/graph"
+)
+
+// bfsMispredict is the per-edge branch misprediction probability of the
+// frontier-membership tests (irregular, data-dependent branches).
+const bfsMispredict = 0.04
+
+// BFS is the GAP direction-optimizing breadth-first search: push (top
+// down) levels while the frontier is small, pull (bottom up) levels when
+// the frontier's edge count grows past |E|/alpha, and back to push when
+// the frontier shrinks below |V|/beta — the forward/backward phase
+// structure visible in the paper's Fig. 7.
+type BFS struct {
+	kernelBase
+	depth Array // int32 per vertex
+	queue []Array
+
+	d        []int32
+	frontier []int32
+	next     [][]int32
+
+	sources []int32
+	srcIdx  int
+	level   int32
+	pull    bool
+	started bool
+
+	cur []bfsCur
+
+	// Direction-switch parameters (GAP defaults).
+	alpha, beta int64
+
+	// Telemetry.
+	pushPhases, pullPhases int
+}
+
+type bfsCur struct {
+	i, hi    int   // work-list window (push) or vertex window (pull)
+	u        int32 // vertex currently being expanded
+	ei, eEnd int64
+	active   bool
+}
+
+// NewBFS builds the kernel for the given sources (one BFS per source,
+// run back to back).
+func NewBFS(g *graph.Graph, cores int, lay *Layout, sources []int32) *BFS {
+	b := &BFS{
+		kernelBase: newKernelBase(g, cores, lay, 101),
+		depth:      lay.Array(int64(g.N), 4),
+		d:          make([]int32, g.N),
+		next:       make([][]int32, cores),
+		sources:    append([]int32(nil), sources...),
+		cur:        make([]bfsCur, cores),
+		alpha:      14,
+		beta:       24,
+	}
+	for i := 0; i < cores; i++ {
+		b.queue = append(b.queue, lay.Array(int64(g.N), 4))
+	}
+	return b
+}
+
+// Name implements Kernel.
+func (b *BFS) Name() string { return "bfs" }
+
+// Depth returns the final depth of vertex v for the last source
+// (-1 if unreached); used by tests to check the algorithm itself.
+func (b *BFS) Depth(v int32) int32 { return b.d[v] }
+
+// PushPhases and PullPhases report the direction mix.
+func (b *BFS) PushPhases() int { return b.pushPhases }
+
+// PullPhases reports how many pull (bottom-up) levels ran.
+func (b *BFS) PullPhases() int { return b.pullPhases }
+
+func (b *BFS) initSource(src int32) {
+	for i := range b.d {
+		b.d[i] = -1
+	}
+	b.d[src] = 0
+	b.frontier = append(b.frontier[:0], src)
+	b.level = 0
+	b.pull = false
+}
+
+// NextPhase implements Kernel: one phase is one BFS level.
+func (b *BFS) NextPhase() bool {
+	if !b.started {
+		if len(b.sources) == 0 {
+			return false
+		}
+		b.started = true
+		b.initSource(b.sources[0])
+	} else {
+		// Collect the next frontier produced by the finished level.
+		b.frontier = b.frontier[:0]
+		for c := range b.next {
+			b.frontier = append(b.frontier, b.next[c]...)
+			b.next[c] = b.next[c][:0]
+		}
+		b.level++
+		if len(b.frontier) == 0 {
+			// This source is exhausted; move to the next one.
+			b.srcIdx++
+			if b.srcIdx >= len(b.sources) {
+				return false
+			}
+			b.initSource(b.sources[b.srcIdx])
+		}
+	}
+
+	// Direction-optimization heuristic.
+	var scout int64
+	for _, u := range b.frontier {
+		scout += b.g.Degree(u)
+	}
+	if !b.pull && scout > b.g.Edges()/b.alpha {
+		b.pull = true
+	} else if b.pull && int64(len(b.frontier)) < int64(b.g.N)/b.beta {
+		b.pull = false
+	}
+	if b.pull {
+		b.pullPhases++
+	} else {
+		b.pushPhases++
+	}
+
+	// Set up the per-core cursors.
+	for c := 0; c < b.cores; c++ {
+		cur := &b.cur[c]
+		*cur = bfsCur{u: -1}
+		if b.pull {
+			lo, hi := b.vertexRange(c, b.g.N)
+			cur.i, cur.hi = int(lo), int(hi)
+		} else {
+			cur.i, cur.hi = sliceRange(c, b.cores, len(b.frontier))
+		}
+	}
+	return true
+}
+
+// Fill implements Kernel.
+func (b *BFS) Fill(core int, buf []cpu.Instr, max int) ([]cpu.Instr, bool) {
+	if b.pull {
+		return b.fillPull(core, buf, max)
+	}
+	return b.fillPush(core, buf, max)
+}
+
+// fillPush expands this core's slice of the frontier top-down.
+func (b *BFS) fillPush(core int, buf []cpu.Instr, max int) ([]cpu.Instr, bool) {
+	e := b.begin(core, buf, max)
+	cur := &b.cur[core]
+	for !e.full() {
+		if !cur.active {
+			if cur.i >= cur.hi {
+				return e.buf, false
+			}
+			cur.u = b.frontier[cur.i]
+			cur.i++
+			e.load(b.off, int64(cur.u), 2) // offsets[u], offsets[u+1]
+			cur.ei, cur.eEnd = b.g.Offsets[cur.u], b.g.Offsets[cur.u+1]
+			cur.active = true
+		}
+		for cur.ei < cur.eEnd && !e.full() {
+			v := b.g.Neighbors[cur.ei]
+			e.load(b.nbr, cur.ei, 1)
+			e.load(b.depth, int64(v), 1)
+			e.branch(bfsMispredict)
+			if b.d[v] == -1 {
+				b.d[v] = b.level + 1
+				e.store(b.depth, int64(v), 1)
+				e.store(b.queue[core], int64(len(b.next[core])), 1)
+				b.next[core] = append(b.next[core], v)
+			}
+			cur.ei++
+		}
+		if cur.ei >= cur.eEnd {
+			cur.active = false
+		}
+	}
+	return e.buf, true
+}
+
+// fillPull scans this core's vertex range bottom-up.
+func (b *BFS) fillPull(core int, buf []cpu.Instr, max int) ([]cpu.Instr, bool) {
+	e := b.begin(core, buf, max)
+	cur := &b.cur[core]
+	for !e.full() {
+		if !cur.active {
+			if cur.i >= cur.hi {
+				return e.buf, false
+			}
+			v := int32(cur.i)
+			cur.i++
+			e.load(b.depth, int64(v), 1)
+			if b.d[v] != -1 {
+				continue
+			}
+			cur.u = v
+			e.load(b.off, int64(v), 2)
+			cur.ei, cur.eEnd = b.g.Offsets[v], b.g.Offsets[v+1]
+			cur.active = true
+		}
+		for cur.ei < cur.eEnd && !e.full() {
+			u := b.g.Neighbors[cur.ei]
+			e.load(b.nbr, cur.ei, 1)
+			e.load(b.depth, int64(u), 1)
+			e.branch(bfsMispredict)
+			cur.ei++
+			if b.d[u] == b.level {
+				// Parent found: claim v and stop scanning.
+				b.d[cur.u] = b.level + 1
+				e.store(b.depth, int64(cur.u), 1)
+				e.store(b.queue[core], int64(len(b.next[core])), 1)
+				b.next[core] = append(b.next[core], cur.u)
+				cur.active = false
+				break
+			}
+		}
+		if cur.ei >= cur.eEnd {
+			cur.active = false
+		}
+	}
+	return e.buf, true
+}

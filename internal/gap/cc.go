@@ -1,0 +1,158 @@
+package gap
+
+import (
+	"dramstacks/internal/cpu"
+	"dramstacks/internal/graph"
+)
+
+// CC is Shiloach-Vishkin-style connected components: alternating hook
+// phases (propagate the minimum label across every edge) and compress
+// phases (pointer-jump labels to their root) until no label changes.
+type CC struct {
+	kernelBase
+	comp Array // 4 B label per vertex
+
+	labels  []int32
+	changed []bool // per core
+
+	compress bool
+	started  bool
+	done     bool
+	rounds   int
+
+	cur []ccCur
+}
+
+type ccCur struct {
+	v, hi    int32
+	ei, eEnd int64
+	active   bool
+}
+
+// NewCC builds the kernel.
+func NewCC(g *graph.Graph, cores int, lay *Layout) *CC {
+	c := &CC{
+		kernelBase: newKernelBase(g, cores, lay, 303),
+		comp:       lay.Array(int64(g.N), 4),
+		labels:     make([]int32, g.N),
+		changed:    make([]bool, cores),
+		cur:        make([]ccCur, cores),
+	}
+	for i := range c.labels {
+		c.labels[i] = int32(i)
+	}
+	return c
+}
+
+// Name implements Kernel.
+func (c *CC) Name() string { return "cc" }
+
+// Component returns v's final label (for correctness tests).
+func (c *CC) Component(v int32) int32 { return c.labels[v] }
+
+// Rounds returns how many hook+compress rounds ran.
+func (c *CC) Rounds() int { return c.rounds }
+
+// NextPhase implements Kernel: hook and compress phases alternate.
+func (c *CC) NextPhase() bool {
+	if c.done {
+		return false
+	}
+	if !c.started {
+		c.started = true
+		c.compress = false
+	} else if !c.compress {
+		c.compress = true
+	} else {
+		// A full round finished: converged when no hook changed a label.
+		c.rounds++
+		any := false
+		for i := range c.changed {
+			any = any || c.changed[i]
+			c.changed[i] = false
+		}
+		if !any {
+			c.done = true
+			return false
+		}
+		c.compress = false
+	}
+	for i := 0; i < c.cores; i++ {
+		lo, hi := c.vertexRange(i, c.g.N)
+		c.cur[i] = ccCur{v: lo, hi: hi}
+	}
+	return true
+}
+
+// Fill implements Kernel.
+func (c *CC) Fill(core int, buf []cpu.Instr, max int) ([]cpu.Instr, bool) {
+	if c.compress {
+		return c.fillCompress(core, buf, max)
+	}
+	return c.fillHook(core, buf, max)
+}
+
+// fillHook propagates the minimum label across each edge of this core's
+// vertices.
+func (c *CC) fillHook(core int, buf []cpu.Instr, max int) ([]cpu.Instr, bool) {
+	e := c.begin(core, buf, max)
+	cur := &c.cur[core]
+	for !e.full() {
+		if !cur.active {
+			if cur.v >= cur.hi {
+				return e.buf, false
+			}
+			e.load(c.off, int64(cur.v), 2)
+			e.load(c.comp, int64(cur.v), 1)
+			cur.ei, cur.eEnd = c.g.Offsets[cur.v], c.g.Offsets[cur.v+1]
+			cur.active = true
+		}
+		for cur.ei < cur.eEnd && !e.full() {
+			u := cur.v
+			v := c.g.Neighbors[cur.ei]
+			e.load(c.nbr, cur.ei, 1)
+			e.load(c.comp, int64(v), 1)
+			e.branch(0.05)
+			if c.labels[v] < c.labels[u] {
+				c.labels[u] = c.labels[v]
+				e.store(c.comp, int64(u), 1)
+				c.changed[core] = true
+			} else if c.labels[u] < c.labels[v] {
+				c.labels[v] = c.labels[u]
+				e.store(c.comp, int64(v), 1)
+				c.changed[core] = true
+			}
+			cur.ei++
+		}
+		if cur.ei >= cur.eEnd {
+			cur.active = false
+			cur.v++
+		}
+	}
+	return e.buf, true
+}
+
+// fillCompress pointer-jumps every label to its current root.
+func (c *CC) fillCompress(core int, buf []cpu.Instr, max int) ([]cpu.Instr, bool) {
+	e := c.begin(core, buf, max)
+	cur := &c.cur[core]
+	for !e.full() {
+		if cur.v >= cur.hi {
+			return e.buf, false
+		}
+		v := cur.v
+		e.load(c.comp, int64(v), 1)
+		hops := 0
+		for c.labels[v] != c.labels[c.labels[v]] && hops < 64 && !e.full() {
+			e.load(c.comp, int64(c.labels[v]), 1) // chase the parent label
+			c.labels[v] = c.labels[c.labels[v]]
+			e.store(c.comp, int64(v), 1)
+			hops++
+		}
+		if c.labels[v] != c.labels[c.labels[v]] {
+			continue // budget ran out mid-chase; resume on the next Fill
+		}
+		cur.v++
+	}
+	return e.buf, true
+}

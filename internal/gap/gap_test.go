@@ -1,0 +1,486 @@
+package gap
+
+import (
+	"container/heap"
+	"math"
+	"testing"
+
+	"dramstacks/internal/cpu"
+	"dramstacks/internal/graph"
+)
+
+// drain consumes all sources round-robin (like cores in lockstep),
+// returning per-core item counts and the number of stall items seen.
+func drain(t *testing.T, r *Runner, cores int) (items []int64, stalls int64) {
+	t.Helper()
+	srcs := r.Sources()
+	items = make([]int64, cores)
+	done := make([]bool, cores)
+	remaining := cores
+	for steps := 0; remaining > 0; steps++ {
+		if steps > 1_000_000_000 {
+			t.Fatal("runner did not terminate")
+		}
+		for c, s := range srcs {
+			if done[c] {
+				continue
+			}
+			ins, ok := s.Next()
+			if !ok {
+				done[c] = true
+				remaining--
+				continue
+			}
+			if ins.Kind == cpu.KindStall {
+				stalls++
+				continue
+			}
+			items[c]++
+		}
+	}
+	return items, stalls
+}
+
+func testGraph() *graph.Graph {
+	return graph.Uniform(512, 8, 11)
+}
+
+// --- reference implementations -----------------------------------------
+
+func refBFS(g *graph.Graph, src int32) []int32 {
+	depth := make([]int32, g.N)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	q := []int32{src}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, v := range g.Neigh(u) {
+			if depth[v] == -1 {
+				depth[v] = depth[u] + 1
+				q = append(q, v)
+			}
+		}
+	}
+	return depth
+}
+
+func refComponents(g *graph.Graph) []int32 {
+	comp := make([]int32, g.N)
+	for i := range comp {
+		comp[i] = -1
+	}
+	for s := int32(0); int(s) < g.N; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = s
+		q := []int32{s}
+		for len(q) > 0 {
+			u := q[0]
+			q = q[1:]
+			for _, v := range g.Neigh(u) {
+				if comp[v] == -1 {
+					comp[v] = s
+					q = append(q, v)
+				}
+			}
+		}
+	}
+	return comp
+}
+
+type pqItem struct {
+	v int32
+	d int32
+}
+type pq []pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].d < p[j].d }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any          { old := *p; x := old[len(old)-1]; *p = old[:len(old)-1]; return x }
+
+func refDijkstra(g *graph.Graph, src int32) []int32 {
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = unreachable
+	}
+	dist[src] = 0
+	q := &pq{{src, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		nb, w := g.NeighW(it.v)
+		for i, v := range nb {
+			if nd := it.d + w[i]; nd < dist[v] {
+				dist[v] = nd
+				heap.Push(q, pqItem{v, nd})
+			}
+		}
+	}
+	return dist
+}
+
+func refTriangles(g *graph.Graph) int64 {
+	adj := make([]map[int32]bool, g.N)
+	for v := 0; v < g.N; v++ {
+		adj[v] = map[int32]bool{}
+		for _, u := range g.Neigh(int32(v)) {
+			adj[v][u] = true
+		}
+	}
+	var count int64
+	for u := int32(0); int(u) < g.N; u++ {
+		for _, v := range g.Neigh(u) {
+			if v <= u {
+				continue
+			}
+			for _, w := range g.Neigh(v) {
+				if w < u && adj[u][w] {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func refBrandes(g *graph.Graph, src int32) []float64 {
+	depth := refBFS(g, src)
+	sigma := make([]float64, g.N)
+	sigma[src] = 1
+	var levels [][]int32
+	maxD := int32(0)
+	for _, d := range depth {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	levels = make([][]int32, maxD+1)
+	for v := 0; v < g.N; v++ {
+		if depth[v] >= 0 {
+			levels[depth[v]] = append(levels[depth[v]], int32(v))
+		}
+	}
+	for _, lvl := range levels {
+		for _, u := range lvl {
+			for _, v := range g.Neigh(u) {
+				if depth[v] == depth[u]+1 {
+					sigma[v] += sigma[u]
+				}
+			}
+		}
+	}
+	delta := make([]float64, g.N)
+	scores := make([]float64, g.N)
+	for d := maxD - 1; d >= 0; d-- {
+		for _, u := range levels[d] {
+			for _, v := range g.Neigh(u) {
+				if depth[v] == depth[u]+1 {
+					delta[u] += sigma[u] / sigma[v] * (1 + delta[v])
+				}
+			}
+			if u != src {
+				scores[u] += delta[u]
+			}
+		}
+	}
+	return scores
+}
+
+// --- kernel correctness -------------------------------------------------
+
+func TestBFSMatchesReference(t *testing.T) {
+	g := testGraph()
+	for _, cores := range []int{1, 3, 8} {
+		lay := NewLayout(0)
+		src := PickSource(g)
+		k := NewBFS(g, cores, lay, []int32{src})
+		r := MustNewRunner(k, cores)
+		drain(t, r, cores)
+		want := refBFS(g, src)
+		for v := 0; v < g.N; v++ {
+			if k.Depth(int32(v)) != want[v] {
+				t.Fatalf("cores=%d: depth[%d] = %d, want %d", cores, v, k.Depth(int32(v)), want[v])
+			}
+		}
+		if k.PushPhases() == 0 {
+			t.Errorf("cores=%d: no push phases", cores)
+		}
+	}
+}
+
+func TestBFSDirectionSwitches(t *testing.T) {
+	// A low-diameter uniform graph makes the frontier explode, forcing
+	// pull levels.
+	g := graph.Uniform(2048, 16, 5)
+	lay := NewLayout(0)
+	k := NewBFS(g, 4, lay, []int32{PickSource(g)})
+	r := MustNewRunner(k, 4)
+	drain(t, r, 4)
+	if k.PullPhases() == 0 {
+		t.Error("direction-optimizing bfs never switched to pull")
+	}
+}
+
+func TestPRMatchesPowerIteration(t *testing.T) {
+	g := testGraph()
+	lay := NewLayout(0)
+	k := NewPR(g, 4, lay)
+	r := MustNewRunner(k, 4)
+	drain(t, r, 4)
+
+	// Reference pull PageRank with the same parameters and iteration
+	// count.
+	n := g.N
+	rank := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	for it := 0; it < k.Iterations(); it++ {
+		contrib := make([]float64, n)
+		for v := 0; v < n; v++ {
+			if d := g.Degree(int32(v)); d > 0 {
+				contrib[v] = rank[v] / float64(d)
+			}
+		}
+		next := make([]float64, n)
+		for v := 0; v < n; v++ {
+			var sum float64
+			for _, u := range g.Neigh(int32(v)) {
+				sum += contrib[u]
+			}
+			next[v] = (1-0.85)/float64(n) + 0.85*sum
+		}
+		rank = next
+	}
+	for v := 0; v < n; v++ {
+		if math.Abs(k.Rank(int32(v))-rank[v]) > 1e-12 {
+			t.Fatalf("rank[%d] = %v, want %v", v, k.Rank(int32(v)), rank[v])
+		}
+	}
+	if k.Iterations() == 0 {
+		t.Error("pr ran zero iterations")
+	}
+}
+
+func TestCCMatchesReference(t *testing.T) {
+	g := testGraph()
+	for _, cores := range []int{1, 4} {
+		lay := NewLayout(0)
+		k := NewCC(g, cores, lay)
+		r := MustNewRunner(k, cores)
+		drain(t, r, cores)
+		want := refComponents(g)
+		// Labels must induce the same partition: same component ↔ same
+		// label.
+		rep := map[int32]int32{}
+		for v := 0; v < g.N; v++ {
+			got := k.Component(int32(v))
+			if w, seen := rep[want[v]]; seen {
+				if got != w {
+					t.Fatalf("cores=%d: vertex %d label %d, component expects %d", cores, v, got, w)
+				}
+			} else {
+				rep[want[v]] = got
+			}
+		}
+		if len(rep) == 0 {
+			t.Fatal("no components found")
+		}
+	}
+}
+
+func TestSSSPMatchesDijkstra(t *testing.T) {
+	g := testGraph()
+	g.AddUniformWeights(64, 7)
+	src := PickSource(g)
+	for _, cores := range []int{1, 4} {
+		lay := NewLayout(0)
+		k := NewSSSP(g, cores, lay, src)
+		r := MustNewRunner(k, cores)
+		drain(t, r, cores)
+		want := refDijkstra(g, src)
+		for v := 0; v < g.N; v++ {
+			if k.Dist(int32(v)) != want[v] {
+				t.Fatalf("cores=%d: dist[%d] = %d, want %d", cores, v, k.Dist(int32(v)), want[v])
+			}
+		}
+	}
+}
+
+func TestTCMatchesBruteForce(t *testing.T) {
+	g := graph.Uniform(128, 10, 21)
+	g.Dedup()
+	want := refTriangles(g)
+	for _, cores := range []int{1, 4} {
+		lay := NewLayout(0)
+		k := NewTC(g, cores, lay)
+		r := MustNewRunner(k, cores)
+		drain(t, r, cores)
+		if k.Triangles() != want {
+			t.Fatalf("cores=%d: triangles = %d, want %d", cores, k.Triangles(), want)
+		}
+	}
+	if want == 0 {
+		t.Fatal("test graph has no triangles; pick a denser one")
+	}
+}
+
+func TestBCMatchesBrandes(t *testing.T) {
+	g := testGraph()
+	src := PickSource(g)
+	for _, cores := range []int{1, 4} {
+		lay := NewLayout(0)
+		k := NewBC(g, cores, lay, []int32{src})
+		r := MustNewRunner(k, cores)
+		drain(t, r, cores)
+		want := refBrandes(g, src)
+		for v := 0; v < g.N; v++ {
+			if math.Abs(k.Score(int32(v))-want[v]) > 1e-6*(1+math.Abs(want[v])) {
+				t.Fatalf("cores=%d: score[%d] = %v, want %v", cores, v, k.Score(int32(v)), want[v])
+			}
+		}
+	}
+}
+
+// --- runner mechanics ----------------------------------------------------
+
+func TestRunnerBarrierStalls(t *testing.T) {
+	// With many cores and a small graph, some cores finish their phase
+	// shares early and must stall at barriers.
+	g := testGraph()
+	lay := NewLayout(0)
+	k := NewBFS(g, 8, lay, []int32{PickSource(g)})
+	r := MustNewRunner(k, 8)
+	_, stalls := drain(t, r, 8)
+	if stalls == 0 {
+		t.Error("no barrier stalls observed on an unbalanced workload")
+	}
+}
+
+func TestRunnerAllWorkDelivered(t *testing.T) {
+	g := testGraph()
+	counts := map[int]int64{}
+	for _, cores := range []int{1, 2, 8} {
+		lay := NewLayout(0)
+		k := NewPR(g, cores, lay)
+		r := MustNewRunner(k, cores)
+		items, _ := drain(t, r, cores)
+		var total int64
+		for _, n := range items {
+			total += n
+		}
+		counts[cores] = total
+	}
+	// The same algorithm emits the same total work regardless of the
+	// core count.
+	if counts[1] != counts[2] || counts[2] != counts[8] {
+		t.Errorf("work differs by core count: %v", counts)
+	}
+	if counts[1] == 0 {
+		t.Error("no work emitted")
+	}
+}
+
+func TestBuildAllBenchmarks(t *testing.T) {
+	for _, name := range Benchmarks() {
+		g := graph.Uniform(256, 8, 13)
+		if err := Prepare(name, g); err != nil {
+			t.Fatal(err)
+		}
+		r, k, err := Build(name, g, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k.Name() != name {
+			t.Errorf("kernel name = %q, want %q", k.Name(), name)
+		}
+		items, _ := drain(t, r, 2)
+		if items[0]+items[1] == 0 {
+			t.Errorf("%s emitted no work", name)
+		}
+	}
+	if _, _, err := Build("nope", testGraph(), 2); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := Prepare("nope", testGraph()); err == nil {
+		t.Error("unknown benchmark accepted by Prepare")
+	}
+	if _, _, err := Build("sssp", testGraph(), 2); err == nil {
+		t.Error("unprepared sssp graph accepted")
+	}
+}
+
+func TestRunnerRejectsBadCores(t *testing.T) {
+	if _, err := NewRunner(NewPR(testGraph(), 1, NewLayout(0)), 0); err == nil {
+		t.Error("zero cores accepted")
+	}
+}
+
+func TestLayoutArraysDisjoint(t *testing.T) {
+	lay := NewLayout(0)
+	a := lay.Array(1000, 4)
+	b := lay.Array(1000, 8)
+	endA := a.Addr(999) + 4
+	if b.Base < endA {
+		t.Errorf("arrays overlap: a ends %#x, b starts %#x", endA, b.Base)
+	}
+	if a.Base%4096 != 0 || b.Base%4096 != 0 {
+		t.Error("arrays not page aligned")
+	}
+	if a.Addr(2)-a.Addr(1) != 4 || b.Addr(2)-b.Addr(1) != 8 {
+		t.Error("element stride wrong")
+	}
+}
+
+func TestBFSMultipleSources(t *testing.T) {
+	g := testGraph()
+	lay := NewLayout(0)
+	srcs := []int32{PickSource(g), 0, 7}
+	k := NewBFS(g, 2, lay, srcs)
+	r := MustNewRunner(k, 2)
+	drain(t, r, 2)
+	// The final depths are those of the LAST source's BFS.
+	want := refBFS(g, srcs[len(srcs)-1])
+	for v := 0; v < g.N; v++ {
+		if k.Depth(int32(v)) != want[v] {
+			t.Fatalf("depth[%d] = %d, want %d (last source)", v, k.Depth(int32(v)), want[v])
+		}
+	}
+}
+
+func TestBCMultipleSourcesAccumulate(t *testing.T) {
+	g := testGraph()
+	lay := NewLayout(0)
+	srcs := []int32{PickSource(g), 3}
+	k := NewBC(g, 2, lay, srcs)
+	r := MustNewRunner(k, 2)
+	drain(t, r, 2)
+	a := refBrandes(g, srcs[0])
+	b := refBrandes(g, srcs[1])
+	for v := 0; v < g.N; v++ {
+		want := a[v] + b[v]
+		if math.Abs(k.Score(int32(v))-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("score[%d] = %v, want %v (sum over sources)", v, k.Score(int32(v)), want)
+		}
+	}
+}
+
+func TestRunnerPhasesCount(t *testing.T) {
+	g := testGraph()
+	lay := NewLayout(0)
+	k := NewPR(g, 2, lay)
+	r := MustNewRunner(k, 2)
+	drain(t, r, 2)
+	// Two phases (contrib + gather) per iteration.
+	if want := 2 * k.Iterations(); r.Phases() != want {
+		t.Errorf("phases = %d, want %d", r.Phases(), want)
+	}
+}

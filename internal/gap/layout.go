@@ -1,0 +1,115 @@
+package gap
+
+import (
+	"math/rand"
+
+	"dramstacks/internal/cpu"
+	"dramstacks/internal/graph"
+)
+
+// Array is a simulated in-memory array: a base address and element size.
+// Kernels compute the addresses of their real data-structure accesses
+// with it.
+type Array struct {
+	Base uint64
+	Elem uint64
+}
+
+// Addr returns the address of element i.
+func (a Array) Addr(i int64) uint64 { return a.Base + uint64(i)*a.Elem }
+
+// Layout places arrays in the simulated physical address space,
+// page-aligned and non-overlapping.
+type Layout struct{ next uint64 }
+
+// NewLayout starts allocating at base.
+func NewLayout(base uint64) *Layout { return &Layout{next: base} }
+
+// Array reserves space for n elements of elem bytes.
+func (l *Layout) Array(n int64, elem int) Array {
+	a := Array{Base: l.next, Elem: uint64(elem)}
+	size := (uint64(n)*uint64(elem) + 4095) &^ 4095
+	l.next += size + 4096 // guard page between arrays
+	return a
+}
+
+// emitter collects instruction items during a Fill call, respecting the
+// budget. Kernels call its helpers for every data access the real
+// algorithm performs.
+type emitter struct {
+	buf []cpu.Instr
+	max int
+	rng *rand.Rand
+}
+
+// full reports whether the budget is exhausted.
+func (e *emitter) full() bool { return len(e.buf) >= e.max }
+
+// load emits a load of a[i] preceded by work plain uops.
+func (e *emitter) load(a Array, i int64, work int) {
+	e.buf = append(e.buf, cpu.Instr{Work: work, Kind: cpu.KindLoad, Addr: a.Addr(i)})
+}
+
+// store emits a store to a[i] preceded by work plain uops.
+func (e *emitter) store(a Array, i int64, work int) {
+	e.buf = append(e.buf, cpu.Instr{Work: work, Kind: cpu.KindStore, Addr: a.Addr(i)})
+}
+
+// branch emits a conditional branch; taken-ness that the core's
+// predictor would miss is modeled by the probability p.
+func (e *emitter) branch(p float64) {
+	e.buf = append(e.buf, cpu.Instr{Kind: cpu.KindBranch, Mispredict: e.rng.Float64() < p})
+}
+
+// work emits n plain uops.
+func (e *emitter) work(n int) {
+	e.buf = append(e.buf, cpu.Instr{Work: n})
+}
+
+// kernelBase carries what every kernel shares: the graph, its simulated
+// arrays and the vertex partitioning.
+type kernelBase struct {
+	g     *graph.Graph
+	cores int
+	off   Array // CSR offsets, 8 B elements
+	nbr   Array // CSR neighbors, 4 B elements
+	wgt   Array // edge weights, 4 B (only if g.Weights != nil)
+	em    []emitter
+}
+
+func newKernelBase(g *graph.Graph, cores int, lay *Layout, seed int64) kernelBase {
+	b := kernelBase{
+		g:     g,
+		cores: cores,
+		off:   lay.Array(int64(g.N)+1, 8),
+		nbr:   lay.Array(g.Edges(), 4),
+	}
+	if g.Weights != nil {
+		b.wgt = lay.Array(g.Edges(), 4)
+	}
+	b.em = make([]emitter, cores)
+	for i := range b.em {
+		b.em[i] = emitter{rng: rand.New(rand.NewSource(seed + int64(i)))}
+	}
+	return b
+}
+
+// vertexRange splits [0,n) contiguously over cores.
+func (b *kernelBase) vertexRange(core, n int) (lo, hi int32) {
+	lo = int32(core * n / b.cores)
+	hi = int32((core + 1) * n / b.cores)
+	return
+}
+
+// sliceRange splits [0,n) of a work list contiguously over cores.
+func sliceRange(core, cores, n int) (lo, hi int) {
+	return core * n / cores, (core + 1) * n / cores
+}
+
+// begin prepares core's emitter for a Fill call and returns it.
+func (b *kernelBase) begin(core int, buf []cpu.Instr, max int) *emitter {
+	e := &b.em[core]
+	e.buf = buf
+	e.max = max
+	return e
+}

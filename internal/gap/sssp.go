@@ -1,0 +1,141 @@
+package gap
+
+import (
+	"dramstacks/internal/cpu"
+	"dramstacks/internal/graph"
+)
+
+// SSSP is frontier-based single-source shortest paths: per round, relax
+// every edge leaving the frontier and collect improved vertices into the
+// next frontier (Bellman-Ford over frontiers, the unbucketed core of
+// GAP's delta-stepping). The graph must carry weights.
+type SSSP struct {
+	kernelBase
+	dist  Array // 4 B distance per vertex
+	queue []Array
+
+	d        []int32
+	inNext   []bool
+	frontier []int32
+	next     [][]int32
+
+	src     int32
+	started bool
+	rounds  int
+	// MaxRounds bounds pathological inputs (negative-free graphs with
+	// random weights converge in a few dozen rounds).
+	MaxRounds int
+
+	cur []ssspCur
+}
+
+type ssspCur struct {
+	i, hi    int
+	u        int32
+	ei, eEnd int64
+	active   bool
+}
+
+const unreachable = int32(1) << 30
+
+// NewSSSP builds the kernel; it panics if the graph has no weights
+// (a programming error in the experiment setup).
+func NewSSSP(g *graph.Graph, cores int, lay *Layout, src int32) *SSSP {
+	if g.Weights == nil {
+		panic("gap: sssp needs a weighted graph")
+	}
+	s := &SSSP{
+		kernelBase: newKernelBase(g, cores, lay, 404),
+		dist:       lay.Array(int64(g.N), 4),
+		d:          make([]int32, g.N),
+		inNext:     make([]bool, g.N),
+		next:       make([][]int32, cores),
+		src:        src,
+		MaxRounds:  64,
+		cur:        make([]ssspCur, cores),
+	}
+	for i := 0; i < cores; i++ {
+		s.queue = append(s.queue, lay.Array(int64(g.N), 4))
+	}
+	for i := range s.d {
+		s.d[i] = unreachable
+	}
+	return s
+}
+
+// Name implements Kernel.
+func (s *SSSP) Name() string { return "sssp" }
+
+// Dist returns v's final distance (for correctness tests).
+func (s *SSSP) Dist(v int32) int32 { return s.d[v] }
+
+// Rounds returns how many relaxation rounds ran.
+func (s *SSSP) Rounds() int { return s.rounds }
+
+// NextPhase implements Kernel: one phase is one relaxation round.
+func (s *SSSP) NextPhase() bool {
+	if !s.started {
+		s.started = true
+		s.d[s.src] = 0
+		s.frontier = append(s.frontier[:0], s.src)
+	} else {
+		s.frontier = s.frontier[:0]
+		for c := range s.next {
+			for _, v := range s.next[c] {
+				s.inNext[v] = false
+			}
+			s.frontier = append(s.frontier, s.next[c]...)
+			s.next[c] = s.next[c][:0]
+		}
+		s.rounds++
+		if len(s.frontier) == 0 || s.rounds >= s.MaxRounds {
+			return false
+		}
+	}
+	for c := 0; c < s.cores; c++ {
+		lo, hi := sliceRange(c, s.cores, len(s.frontier))
+		s.cur[c] = ssspCur{i: lo, hi: hi}
+	}
+	return true
+}
+
+// Fill implements Kernel.
+func (s *SSSP) Fill(core int, buf []cpu.Instr, max int) ([]cpu.Instr, bool) {
+	e := s.begin(core, buf, max)
+	cur := &s.cur[core]
+	for !e.full() {
+		if !cur.active {
+			if cur.i >= cur.hi {
+				return e.buf, false
+			}
+			cur.u = s.frontier[cur.i]
+			cur.i++
+			e.load(s.off, int64(cur.u), 2)
+			e.load(s.dist, int64(cur.u), 1)
+			cur.ei, cur.eEnd = s.g.Offsets[cur.u], s.g.Offsets[cur.u+1]
+			cur.active = true
+		}
+		for cur.ei < cur.eEnd && !e.full() {
+			v := s.g.Neighbors[cur.ei]
+			w := s.g.Weights[cur.ei]
+			e.load(s.nbr, cur.ei, 1)
+			e.load(s.wgt, cur.ei, 1)
+			e.load(s.dist, int64(v), 1)
+			e.branch(0.05)
+			if nd := s.d[cur.u] + w; nd < s.d[v] {
+				s.d[v] = nd
+				e.store(s.dist, int64(v), 1)
+				if !s.inNext[v] {
+					s.inNext[v] = true
+					e.store(s.queue[core], int64(len(s.next[core])), 1)
+					s.next[core] = append(s.next[core], v)
+				}
+			}
+			cur.ei++
+		}
+		if cur.ei >= cur.eEnd {
+			cur.active = false
+		}
+	}
+	return e.buf, true
+}

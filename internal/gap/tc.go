@@ -1,0 +1,134 @@
+package gap
+
+import (
+	"dramstacks/internal/cpu"
+	"dramstacks/internal/graph"
+)
+
+// TC is merge-based triangle counting over sorted adjacency lists: for
+// every edge (u,v) with u < v, count the intersection of the two
+// neighbor lists restricted to ids below u. The access pattern is mostly
+// sequential (two streaming merges), which is why the paper reports tc
+// favoring the open page policy.
+type TC struct {
+	kernelBase
+
+	triangles []int64 // per core
+	cur       []tcCur
+	started   bool
+}
+
+type tcCur struct {
+	v, hi    int32
+	vLoaded  bool
+	ei, eEnd int64 // edge cursor over v's neighbors
+	// Active intersection state.
+	merging  bool
+	ai, aEnd int64 // cursor in u=v's list
+	bi, bEnd int64 // cursor in w's list
+	limit    int32 // intersect ids strictly below this (the smaller endpoint)
+}
+
+// NewTC builds the kernel; adjacency lists must be sorted
+// (graph.SortNeighbors).
+func NewTC(g *graph.Graph, cores int, lay *Layout) *TC {
+	return &TC{
+		kernelBase: newKernelBase(g, cores, lay, 505),
+		triangles:  make([]int64, cores),
+		cur:        make([]tcCur, cores),
+	}
+}
+
+// Name implements Kernel.
+func (t *TC) Name() string { return "tc" }
+
+// Triangles returns the total count (each triangle counted once).
+func (t *TC) Triangles() int64 {
+	var sum int64
+	for _, c := range t.triangles {
+		sum += c
+	}
+	return sum
+}
+
+// NextPhase implements Kernel: tc is a single parallel phase.
+func (t *TC) NextPhase() bool {
+	if t.started {
+		return false
+	}
+	t.started = true
+	for c := 0; c < t.cores; c++ {
+		lo, hi := t.vertexRange(c, t.g.N)
+		t.cur[c] = tcCur{v: lo, hi: hi}
+	}
+	return true
+}
+
+// Fill implements Kernel.
+func (t *TC) Fill(core int, buf []cpu.Instr, max int) ([]cpu.Instr, bool) {
+	e := t.begin(core, buf, max)
+	cur := &t.cur[core]
+	for !e.full() {
+		if cur.merging {
+			t.merge(core, e, cur)
+			continue
+		}
+		if !cur.vLoaded {
+			// Start a new vertex.
+			if cur.v >= cur.hi {
+				return e.buf, false
+			}
+			e.load(t.off, int64(cur.v), 2)
+			cur.ei, cur.eEnd = t.g.Offsets[cur.v], t.g.Offsets[cur.v+1]
+			cur.vLoaded = true
+		}
+		if cur.ei >= cur.eEnd {
+			cur.v++
+			cur.vLoaded = false
+			continue
+		}
+		w := t.g.Neighbors[cur.ei]
+		e.load(t.nbr, cur.ei, 1)
+		e.branch(0.02)
+		cur.ei++
+		if w <= cur.v {
+			continue // count each edge once: only v < w
+		}
+		// Intersect N(v) ∩ N(w), ids below v (triangle closed by both).
+		cur.merging = true
+		cur.ai, cur.aEnd = t.g.Offsets[cur.v], t.g.Offsets[cur.v+1]
+		e.load(t.off, int64(w), 2)
+		cur.bi, cur.bEnd = t.g.Offsets[w], t.g.Offsets[w+1]
+		cur.limit = cur.v
+	}
+	return e.buf, true
+}
+
+// merge advances the sorted-list intersection until the budget or the
+// intersection ends.
+func (t *TC) merge(core int, e *emitter, cur *tcCur) {
+	for cur.ai < cur.aEnd && cur.bi < cur.bEnd && !e.full() {
+		a := t.g.Neighbors[cur.ai]
+		b := t.g.Neighbors[cur.bi]
+		if a >= cur.limit || b >= cur.limit {
+			break // sorted lists: nothing below the limit remains
+		}
+		e.load(t.nbr, cur.ai, 1)
+		e.load(t.nbr, cur.bi, 1)
+		e.branch(0.03)
+		switch {
+		case a == b:
+			t.triangles[core]++
+			cur.ai++
+			cur.bi++
+		case a < b:
+			cur.ai++
+		default:
+			cur.bi++
+		}
+	}
+	if cur.ai >= cur.aEnd || cur.bi >= cur.bEnd ||
+		t.g.Neighbors[cur.ai] >= cur.limit || t.g.Neighbors[cur.bi] >= cur.limit {
+		cur.merging = false
+	}
+}

@@ -1,0 +1,278 @@
+// Package graph provides the compressed-sparse-row graph substrate for
+// the GAP benchmark kernels (package gap): CSR construction, synthetic
+// uniform and Kronecker (R-MAT) generators as used by the GAP suite, and
+// utilities (transpose, neighbor sorting, weights).
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is a directed graph in CSR form. For undirected graphs every
+// edge appears in both directions (symmetric CSR), which is how the GAP
+// suite stores them.
+type Graph struct {
+	N         int     // number of vertices
+	Offsets   []int64 // len N+1; neighbors of v are Neighbors[Offsets[v]:Offsets[v+1]]
+	Neighbors []int32
+	Weights   []int32 // nil for unweighted graphs; parallel to Neighbors
+}
+
+// Edges returns the number of stored (directed) edges.
+func (g *Graph) Edges() int64 { return int64(len(g.Neighbors)) }
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v int32) int64 { return g.Offsets[v+1] - g.Offsets[v] }
+
+// Neigh returns v's adjacency slice.
+func (g *Graph) Neigh(v int32) []int32 {
+	return g.Neighbors[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// NeighW returns v's adjacency and weight slices.
+func (g *Graph) NeighW(v int32) ([]int32, []int32) {
+	return g.Neighbors[g.Offsets[v]:g.Offsets[v+1]], g.Weights[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// Validate reports a descriptive error if the CSR arrays are inconsistent.
+func (g *Graph) Validate() error {
+	if g.N < 0 {
+		return fmt.Errorf("graph: negative vertex count %d", g.N)
+	}
+	if len(g.Offsets) != g.N+1 {
+		return fmt.Errorf("graph: offsets length %d, want %d", len(g.Offsets), g.N+1)
+	}
+	if g.N > 0 && (g.Offsets[0] != 0 || g.Offsets[g.N] != int64(len(g.Neighbors))) {
+		return fmt.Errorf("graph: offsets endpoints [%d,%d], want [0,%d]",
+			g.Offsets[0], g.Offsets[g.N], len(g.Neighbors))
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Offsets[v] > g.Offsets[v+1] {
+			return fmt.Errorf("graph: offsets decrease at vertex %d", v)
+		}
+	}
+	for _, n := range g.Neighbors {
+		if n < 0 || int(n) >= g.N {
+			return fmt.Errorf("graph: neighbor %d out of range", n)
+		}
+	}
+	if g.Weights != nil && len(g.Weights) != len(g.Neighbors) {
+		return fmt.Errorf("graph: %d weights for %d edges", len(g.Weights), len(g.Neighbors))
+	}
+	return nil
+}
+
+// FromEdges builds a CSR graph from an edge list. When symmetric is true
+// every edge is inserted in both directions (undirected semantics).
+// Self-loops are dropped; duplicate edges are kept (like the GAP loader's
+// default).
+func FromEdges(n int, edges [][2]int32, symmetric bool) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("graph: vertex count must be positive, got %d", n)
+	}
+	deg := make([]int64, n+1)
+	add := func(u, v int32) error {
+		if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+			return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		deg[u+1]++
+		return nil
+	}
+	for _, e := range edges {
+		if e[0] == e[1] {
+			continue
+		}
+		if err := add(e[0], e[1]); err != nil {
+			return nil, err
+		}
+		if symmetric {
+			if err := add(e[1], e[0]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		deg[v+1] += deg[v]
+	}
+	g := &Graph{N: n, Offsets: deg, Neighbors: make([]int32, deg[n])}
+	fill := make([]int64, n)
+	copy(fill, deg[:n])
+	put := func(u, v int32) {
+		g.Neighbors[fill[u]] = v
+		fill[u]++
+	}
+	for _, e := range edges {
+		if e[0] == e[1] {
+			continue
+		}
+		put(e[0], e[1])
+		if symmetric {
+			put(e[1], e[0])
+		}
+	}
+	return g, nil
+}
+
+// Uniform generates an Erdős–Rényi-style graph: n vertices, n×degree
+// edges with uniformly random endpoints, symmetrized.
+func Uniform(n, degree int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([][2]int32, 0, n*degree)
+	for i := 0; i < n*degree; i++ {
+		edges = append(edges, [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))})
+	}
+	g, err := FromEdges(n, edges, true)
+	if err != nil {
+		panic(err) // unreachable: generated edges are in range
+	}
+	return g
+}
+
+// Kronecker generates an R-MAT / Kronecker graph with 2^scale vertices
+// and edgeFactor × 2^scale edges, using the Graph500/GAP parameters
+// (A, B, C) = (0.57, 0.19, 0.19), symmetrized. The skewed degree
+// distribution is what gives graph workloads their irregularity.
+func Kronecker(scale, edgeFactor int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	const a, b, c = 0.57, 0.19, 0.19
+	edges := make([][2]int32, 0, n*edgeFactor)
+	for i := 0; i < n*edgeFactor; i++ {
+		var u, v int32
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		edges = append(edges, [2]int32{u, v})
+	}
+	// Permute vertex labels so degree does not correlate with index.
+	perm := rng.Perm(n)
+	for i := range edges {
+		edges[i][0] = int32(perm[edges[i][0]])
+		edges[i][1] = int32(perm[edges[i][1]])
+	}
+	g, err := FromEdges(n, edges, true)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// AddUniformWeights attaches uniformly random integer weights in
+// [1, maxW] to every edge (for sssp). Symmetric edge pairs may get
+// different weights, which sssp tolerates.
+func (g *Graph) AddUniformWeights(maxW int32, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	g.Weights = make([]int32, len(g.Neighbors))
+	for i := range g.Weights {
+		g.Weights[i] = 1 + int32(rng.Int63n(int64(maxW)))
+	}
+}
+
+// SortNeighbors sorts every adjacency list ascending (required by the
+// merge-based triangle count).
+func (g *Graph) SortNeighbors() {
+	for v := 0; v < g.N; v++ {
+		nb := g.Neigh(int32(v))
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	}
+}
+
+// Dedup sorts every adjacency list and removes duplicate neighbors,
+// rebuilding the CSR arrays (weights, if present, keep the first copy).
+// Triangle counting requires a simple graph.
+func (g *Graph) Dedup() {
+	newOff := make([]int64, g.N+1)
+	newNbr := g.Neighbors[:0]
+	var newWgt []int32
+	if g.Weights != nil {
+		newWgt = g.Weights[:0]
+	}
+	// In-place compaction is safe: the write cursor never passes the
+	// read cursor because deduplication only removes entries.
+	pos := int64(0)
+	for v := 0; v < g.N; v++ {
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		nb := g.Neighbors[lo:hi]
+		var wt []int32
+		if g.Weights != nil {
+			wt = g.Weights[lo:hi]
+		}
+		sort.Sort(&nbrSorter{nb, wt})
+		newOff[v] = pos
+		var prev int32 = -1
+		for i, u := range nb {
+			if u == prev {
+				continue
+			}
+			prev = u
+			newNbr = append(newNbr, u)
+			if wt != nil {
+				newWgt = append(newWgt, wt[i])
+			}
+			pos++
+		}
+	}
+	newOff[g.N] = pos
+	g.Offsets = newOff
+	g.Neighbors = newNbr[:pos:pos]
+	if g.Weights != nil {
+		g.Weights = newWgt[:pos:pos]
+	}
+}
+
+// nbrSorter sorts an adjacency slice and its parallel weights together.
+type nbrSorter struct {
+	nb []int32
+	wt []int32
+}
+
+func (s *nbrSorter) Len() int           { return len(s.nb) }
+func (s *nbrSorter) Less(i, j int) bool { return s.nb[i] < s.nb[j] }
+func (s *nbrSorter) Swap(i, j int) {
+	s.nb[i], s.nb[j] = s.nb[j], s.nb[i]
+	if s.wt != nil {
+		s.wt[i], s.wt[j] = s.wt[j], s.wt[i]
+	}
+}
+
+// Transpose returns the reverse graph (for pull-based kernels on
+// directed graphs; symmetric graphs are their own transpose).
+func (g *Graph) Transpose() *Graph {
+	deg := make([]int64, g.N+1)
+	for _, v := range g.Neighbors {
+		deg[v+1]++
+	}
+	for v := 0; v < g.N; v++ {
+		deg[v+1] += deg[v]
+	}
+	t := &Graph{N: g.N, Offsets: deg, Neighbors: make([]int32, len(g.Neighbors))}
+	if g.Weights != nil {
+		t.Weights = make([]int32, len(g.Weights))
+	}
+	fill := make([]int64, g.N)
+	copy(fill, deg[:g.N])
+	for u := 0; u < g.N; u++ {
+		for i := g.Offsets[u]; i < g.Offsets[u+1]; i++ {
+			v := g.Neighbors[i]
+			t.Neighbors[fill[v]] = int32(u)
+			if g.Weights != nil {
+				t.Weights[fill[v]] = g.Weights[i]
+			}
+			fill[v]++
+		}
+	}
+	return t
+}

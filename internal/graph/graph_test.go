@@ -1,0 +1,247 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesBasic(t *testing.T) {
+	g, err := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {0, 2}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 4 {
+		t.Errorf("edges = %d, want 4", g.Edges())
+	}
+	if g.Degree(0) != 2 || g.Degree(3) != 0 {
+		t.Errorf("degrees wrong: %d, %d", g.Degree(0), g.Degree(3))
+	}
+	nb := g.Neigh(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 2 {
+		t.Errorf("neighbors of 0 = %v", nb)
+	}
+}
+
+func TestFromEdgesSymmetric(t *testing.T) {
+	g, err := FromEdges(3, [][2]int32{{0, 1}, {1, 2}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 4 {
+		t.Errorf("edges = %d, want 4 (symmetrized)", g.Edges())
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("degree(1) = %d, want 2", g.Degree(1))
+	}
+}
+
+func TestFromEdgesDropsSelfLoopsRejectsBad(t *testing.T) {
+	g, err := FromEdges(3, [][2]int32{{1, 1}, {0, 2}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 1 {
+		t.Errorf("edges = %d, want 1 (self loop dropped)", g.Edges())
+	}
+	if _, err := FromEdges(3, [][2]int32{{0, 5}}, false); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := FromEdges(0, nil, false); err == nil {
+		t.Error("zero vertices accepted")
+	}
+}
+
+func TestUniformProperties(t *testing.T) {
+	g := Uniform(256, 8, 42)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 256 {
+		t.Fatalf("n = %d", g.N)
+	}
+	// Symmetric and roughly 2 × n × degree edges (minus self loops).
+	if g.Edges() < 2*256*8*9/10 || g.Edges() > 2*256*8 {
+		t.Errorf("edges = %d, want near %d", g.Edges(), 2*256*8)
+	}
+	// Determinism.
+	h := Uniform(256, 8, 42)
+	if h.Edges() != g.Edges() || h.Neighbors[0] != g.Neighbors[0] {
+		t.Error("generator not deterministic")
+	}
+}
+
+func TestKroneckerSkew(t *testing.T) {
+	g := Kronecker(10, 8, 7)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var max int64
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(int32(v)); d > max {
+			max = d
+		}
+	}
+	avg := float64(g.Edges()) / float64(g.N)
+	if float64(max) < 5*avg {
+		t.Errorf("max degree %d not skewed vs avg %.1f (R-MAT should be heavy-tailed)", max, avg)
+	}
+}
+
+func TestSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := Uniform(64, 4, seed)
+		// Every edge (u,v) has a matching (v,u).
+		count := map[[2]int32]int{}
+		for u := 0; u < g.N; u++ {
+			for _, v := range g.Neigh(int32(u)) {
+				count[[2]int32{int32(u), v}]++
+			}
+		}
+		for e, c := range count {
+			if count[[2]int32{e[1], e[0]}] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g, _ := FromEdges(4, [][2]int32{{0, 1}, {0, 2}, {3, 0}}, false)
+	tr := g.Transpose()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Degree(0) != 1 || tr.Neigh(0)[0] != 3 {
+		t.Errorf("transpose wrong: deg(0)=%d neigh=%v", tr.Degree(0), tr.Neigh(0))
+	}
+	if tr.Degree(1) != 1 || tr.Neigh(1)[0] != 0 {
+		t.Errorf("transpose wrong at 1: %v", tr.Neigh(1))
+	}
+	// Transposing twice restores the degree sequence.
+	back := tr.Transpose()
+	for v := 0; v < g.N; v++ {
+		if back.Degree(int32(v)) != g.Degree(int32(v)) {
+			t.Fatalf("double transpose changed degree of %d", v)
+		}
+	}
+}
+
+func TestSortNeighborsAndWeights(t *testing.T) {
+	g := Uniform(128, 6, 3)
+	g.SortNeighbors()
+	for v := 0; v < g.N; v++ {
+		nb := g.Neigh(int32(v))
+		for i := 1; i < len(nb); i++ {
+			if nb[i-1] > nb[i] {
+				t.Fatalf("neighbors of %d not sorted: %v", v, nb)
+			}
+		}
+	}
+	g.AddUniformWeights(10, 9)
+	if len(g.Weights) != len(g.Neighbors) {
+		t.Fatal("weights length mismatch")
+	}
+	for _, w := range g.Weights {
+		if w < 1 || w > 10 {
+			t.Fatalf("weight %d out of [1,10]", w)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := Uniform(32, 2, 1)
+	g.Neighbors[0] = 99
+	if err := g.Validate(); err == nil {
+		t.Error("out-of-range neighbor not caught")
+	}
+	h := Uniform(32, 2, 1)
+	h.Offsets[5] = h.Offsets[6] + 1
+	if err := h.Validate(); err == nil {
+		t.Error("decreasing offsets not caught")
+	}
+}
+
+func TestDedupRemovesDuplicates(t *testing.T) {
+	g, err := FromEdges(4, [][2]int32{{0, 1}, {0, 1}, {0, 2}, {1, 2}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 8 {
+		t.Fatalf("pre-dedup edges = %d, want 8", g.Edges())
+	}
+	g.Dedup()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 6 {
+		t.Errorf("post-dedup edges = %d, want 6", g.Edges())
+	}
+	nb := g.Neigh(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 2 {
+		t.Errorf("neighbors of 0 = %v, want [1 2]", nb)
+	}
+	// Sorted after dedup.
+	for v := 0; v < g.N; v++ {
+		list := g.Neigh(int32(v))
+		for i := 1; i < len(list); i++ {
+			if list[i-1] >= list[i] {
+				t.Fatalf("vertex %d list not strictly sorted: %v", v, list)
+			}
+		}
+	}
+}
+
+func TestDedupKeepsWeights(t *testing.T) {
+	g, _ := FromEdges(3, [][2]int32{{0, 2}, {0, 1}, {0, 1}}, false)
+	g.Weights = []int32{7, 5, 9} // parallel to [2 1 1]
+	g.Dedup()
+	nb, w := g.NeighW(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 2 {
+		t.Fatalf("neighbors = %v", nb)
+	}
+	// Sorted order is [1 2]; the kept weight for 1 is the first of the
+	// sorted duplicates, and 2 keeps its 7.
+	if w[1] != 7 {
+		t.Errorf("weight of edge to 2 = %d, want 7", w[1])
+	}
+	if len(g.Weights) != 2 {
+		t.Errorf("weights length = %d, want 2", len(g.Weights))
+	}
+}
+
+func TestTransposeWithWeights(t *testing.T) {
+	g, _ := FromEdges(3, [][2]int32{{0, 1}, {1, 2}}, false)
+	g.Weights = []int32{3, 4}
+	tr := g.Transpose()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	nb, w := tr.NeighW(1)
+	if len(nb) != 1 || nb[0] != 0 || w[0] != 3 {
+		t.Errorf("transpose(1) = %v %v, want [0] [3]", nb, w)
+	}
+	nb, w = tr.NeighW(2)
+	if len(nb) != 1 || nb[0] != 1 || w[0] != 4 {
+		t.Errorf("transpose(2) = %v %v, want [1] [4]", nb, w)
+	}
+}
+
+func TestKroneckerDeterministic(t *testing.T) {
+	a := Kronecker(8, 4, 99)
+	b := Kronecker(8, 4, 99)
+	if a.Edges() != b.Edges() {
+		t.Fatal("kronecker not deterministic")
+	}
+	for i := range a.Neighbors {
+		if a.Neighbors[i] != b.Neighbors[i] {
+			t.Fatal("kronecker neighbors differ")
+		}
+	}
+}

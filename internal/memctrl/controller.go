@@ -1,0 +1,431 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"dramstacks/internal/addrmap"
+	"dramstacks/internal/dram"
+	"dramstacks/internal/stacks"
+)
+
+// Stats aggregates controller activity counters.
+type Stats struct {
+	EnqueuedReads   int64
+	EnqueuedWrites  int64
+	ForwardedReads  int64 // reads served from the write buffer
+	CoalescedWrites int64
+
+	IssuedReads  int64 // column read commands issued to DRAM
+	IssuedWrites int64
+	Refreshes    int64
+
+	PageHits  int64 // column command to an already-open row
+	PageEmpty int64 // required an activate only
+	PageMiss  int64 // required a precharge and an activate
+
+	DrainEntries int64 // write-burst drains started
+
+	// Queue occupancy telemetry, integrated per cycle.
+	ReadQueueCycles  int64 // sum of read-queue length over all cycles
+	WriteQueueCycles int64
+	MaxReadQueue     int
+	MaxWriteQueue    int
+	Cycles           int64 // cycles observed (for the averages)
+
+	// BankAccesses counts column commands per bank (channel-local
+	// index), for bank-distribution analysis.
+	BankAccesses [64]int64
+}
+
+// BankImbalance returns the ratio of the busiest bank's accesses to the
+// mean over banks that could have been used (1 = perfectly uniform);
+// 0 when there was no traffic. banks is the channel's bank count.
+func (s Stats) BankImbalance(banks int) float64 {
+	if banks <= 0 {
+		return 0
+	}
+	var total, max int64
+	for b := 0; b < banks && b < len(s.BankAccesses); b++ {
+		v := s.BankAccesses[b]
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) * float64(banks) / float64(total)
+}
+
+// AvgReadQueueDepth returns the time-averaged read queue occupancy.
+func (s Stats) AvgReadQueueDepth() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.ReadQueueCycles) / float64(s.Cycles)
+}
+
+// AvgWriteQueueDepth returns the time-averaged write queue occupancy.
+func (s Stats) AvgWriteQueueDepth() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.WriteQueueCycles) / float64(s.Cycles)
+}
+
+// PageHitRate returns the fraction of DRAM column accesses that hit an
+// open row.
+func (s Stats) PageHitRate() float64 {
+	total := s.PageHits + s.PageEmpty + s.PageMiss
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PageHits) / float64(total)
+}
+
+// Controller schedules requests onto one DRAM channel.
+type Controller struct {
+	geo    dram.Geometry
+	tim    dram.Timing
+	cfg    Config
+	dev    *dram.Device
+	mapper addrmap.Mapper
+
+	now   int64
+	banks int
+
+	readQ  []*Request
+	writeQ []*Request
+	wbuf   map[uint64]*Request // line address -> queued write (forwarding/coalescing)
+
+	drain     bool // between watermarks of a write burst
+	writeMode bool // issuing writes this cycle (drain or opportunistic)
+
+	nextRefresh []int64 // per rank
+	refPending  []bool
+
+	// Completion FIFOs (each is ordered by completion cycle).
+	inflight []pendingDone // reads in DRAM, done = data end + CtrlLatency
+	fwdDone  []pendingDone // forwarded reads, done = arrive + CtrlLatency
+
+	// Cumulative cycle counters for O(1) latency wait attribution.
+	cumRefresh   int64
+	cumDrainOnly int64
+
+	bw      *stacks.BandwidthAccountant
+	lat     *stacks.LatencyAccountant
+	hist    stacks.LatencyHistogram
+	sampler *stacks.Sampler
+
+	// Per-tick scheduling scratch, reused across cycles.
+	cand           []bankCand
+	blockedMask    uint64
+	issuedCycle    int64 // cycle of the last issued command
+	lastIssuedBank int   // bank index of the last issued command, -1 if none
+
+	stats Stats
+}
+
+type pendingDone struct {
+	req  *Request
+	done int64
+}
+
+// bankCand is the per-bank candidate state built by the scheduling scan.
+type bankCand struct {
+	col          *Request // oldest request whose row is open (column command ready-ish)
+	act          *Request // oldest request needing an activate (bank precharged)
+	pre          *Request // oldest request needing a precharge (row conflict)
+	hasHitActive bool     // some active-direction request hits the open row
+	hasHitOther  bool     // some other-direction request hits the open row
+	sameRowCount int      // queued requests (both queues) targeting the open row
+}
+
+// New returns a controller for one channel of the given device, with the
+// given address mapper (used to decode request addresses).
+func New(dev *dram.Device, mapper addrmap.Mapper, cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geo := dev.Geometry()
+	c := &Controller{
+		geo:         geo,
+		tim:         dev.Timing(),
+		cfg:         cfg,
+		dev:         dev,
+		mapper:      mapper,
+		banks:       geo.TotalBanks(),
+		wbuf:        make(map[uint64]*Request),
+		cand:        make([]bankCand, geo.TotalBanks()),
+		bw:          stacks.NewBandwidthAccountant(geo.TotalBanks()),
+		lat:         stacks.NewLatencyAccountant(),
+		nextRefresh: make([]int64, geo.Ranks),
+		refPending:  make([]bool, geo.Ranks),
+		issuedCycle: -1,
+	}
+	for r := range c.nextRefresh {
+		// Stagger rank refreshes across the interval.
+		c.nextRefresh[r] = int64(c.tim.REFI) * int64(r+1) / int64(geo.Ranks)
+	}
+	c.sampler = stacks.NewSampler(cfg.SampleInterval, c.bw, c.lat)
+	return c, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(dev *dram.Device, mapper addrmap.Mapper, cfg Config) *Controller {
+	c, err := New(dev, mapper, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Stats returns the activity counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// BandwidthStack returns the bandwidth stack accumulated so far.
+func (c *Controller) BandwidthStack() stacks.BandwidthStack { return c.bw.Stack() }
+
+// LatencyStack returns the latency stack accumulated so far.
+func (c *Controller) LatencyStack() stacks.LatencyStack { return c.lat.Stack() }
+
+// LatencyHistogram returns the distribution of total read latencies.
+func (c *Controller) LatencyHistogram() stacks.LatencyHistogram { return c.hist }
+
+// Samples returns the through-time samples cut so far (empty unless
+// Config.SampleInterval is positive).
+func (c *Controller) Samples() []stacks.Sample { return c.sampler.Samples() }
+
+// FinishSampling cuts the final partial through-time sample.
+func (c *Controller) FinishSampling() { c.sampler.Finish(c.now + 1) }
+
+// Device returns the underlying DRAM device (for verification hooks).
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// QueueLens returns the current read and write queue occupancy.
+func (c *Controller) QueueLens() (reads, writes int) {
+	return len(c.readQ), len(c.writeQ)
+}
+
+// Pending reports whether the controller still has queued or in-flight
+// work (used to drain simulations).
+func (c *Controller) Pending() bool {
+	return len(c.readQ)+len(c.writeQ)+len(c.inflight)+len(c.fwdDone) > 0
+}
+
+// EnqueueRead presents a cache-line read at cycle now. It reports false
+// (and does nothing) when the read queue is full. If the line is present
+// in the write buffer the read is served by store forwarding and never
+// reaches DRAM.
+func (c *Controller) EnqueueRead(now int64, addr uint64, onComplete func(*Request, int64), meta any) (*Request, bool) {
+	addr &^= uint64(c.geo.LineBytes - 1)
+	req := &Request{Addr: addr, OnComplete: onComplete, Meta: meta, arrive: now}
+	if _, hit := c.wbuf[addr]; hit {
+		req.forwarded = true
+		c.stats.ForwardedReads++
+		c.stats.EnqueuedReads++
+		c.fwdDone = append(c.fwdDone, pendingDone{req, now + int64(c.cfg.CtrlLatency)})
+		return req, true
+	}
+	if len(c.readQ) >= c.cfg.ReadQueueCap {
+		return nil, false
+	}
+	req.loc = c.mapper.Decode(addr)
+	req.refSnap = c.cumRefresh
+	req.drainSnap = c.cumDrainOnly
+	c.readQ = append(c.readQ, req)
+	c.stats.EnqueuedReads++
+	return req, true
+}
+
+// EnqueueWrite presents a dirty-line writeback at cycle now. It reports
+// false when the write buffer is full. Writes to a line already buffered
+// coalesce into the existing entry (the new request completes immediately).
+func (c *Controller) EnqueueWrite(now int64, addr uint64, onComplete func(*Request, int64), meta any) (*Request, bool) {
+	addr &^= uint64(c.geo.LineBytes - 1)
+	if _, dup := c.wbuf[addr]; dup {
+		c.stats.CoalescedWrites++
+		c.stats.EnqueuedWrites++
+		req := &Request{Addr: addr, Write: true, Meta: meta, arrive: now}
+		if onComplete != nil {
+			onComplete(req, now)
+		}
+		return req, true
+	}
+	if len(c.writeQ) >= c.cfg.WriteQueueCap {
+		return nil, false
+	}
+	req := &Request{Addr: addr, Write: true, OnComplete: onComplete, Meta: meta, arrive: now}
+	req.loc = c.mapper.Decode(addr)
+	c.writeQ = append(c.writeQ, req)
+	c.wbuf[addr] = req
+	c.stats.EnqueuedWrites++
+	return req, true
+}
+
+// Tick advances the controller by one memory cycle. Call with
+// consecutive cycle numbers; enqueue requests for cycle n before Tick(n).
+func (c *Controller) Tick(now int64) {
+	c.now = now
+	c.dev.Sync(now)
+
+	c.completeFinished(now)
+	c.updateRefresh(now)
+	c.updateDrain()
+	c.schedule(now)
+	c.account(now)
+}
+
+func (c *Controller) completeFinished(now int64) {
+	for len(c.inflight) > 0 && c.inflight[0].done <= now {
+		pd := c.inflight[0]
+		c.inflight = c.inflight[1:]
+		if pd.req.OnComplete != nil {
+			pd.req.OnComplete(pd.req, pd.done)
+		}
+	}
+	for len(c.fwdDone) > 0 && c.fwdDone[0].done <= now {
+		pd := c.fwdDone[0]
+		c.fwdDone = c.fwdDone[1:]
+		if pd.req.OnComplete != nil {
+			pd.req.OnComplete(pd.req, pd.done)
+		}
+	}
+}
+
+func (c *Controller) updateRefresh(now int64) {
+	for r := range c.nextRefresh {
+		if !c.refPending[r] && now >= c.nextRefresh[r] {
+			c.refPending[r] = true
+		}
+	}
+}
+
+func (c *Controller) updateDrain() {
+	if !c.drain && len(c.writeQ) >= c.cfg.WriteHi {
+		c.drain = true
+		c.stats.DrainEntries++
+	}
+	if c.drain && len(c.writeQ) <= c.cfg.WriteLo {
+		c.drain = false
+	}
+	c.writeMode = c.drain || (len(c.readQ) == 0 && len(c.writeQ) > 0)
+}
+
+// account feeds the bandwidth-stack accountant with this cycle's channel
+// state and maintains the cumulative wait counters for latency stacks.
+func (c *Controller) account(now int64) {
+	view := stacks.CycleView{
+		Data:       c.dev.ConsumeBusKind(now),
+		Refreshing: c.dev.AnyRefreshing(now),
+	}
+	if view.Data == dram.DataNone && !view.Refreshing {
+		var preMask, actMask uint64
+		for b := 0; b < c.banks; b++ {
+			pre, act := c.dev.BankBusy(b, now)
+			if pre {
+				preMask |= 1 << b
+			}
+			if act {
+				actMask |= 1 << b
+			}
+		}
+		view.PreMask = preMask
+		view.ActMask = actMask
+		view.BlockedMask = c.blockedMask
+		if c.writeMode {
+			view.Pending = len(c.writeQ) > 0
+		} else {
+			view.Pending = len(c.readQ) > 0
+		}
+		if preMask|actMask|c.blockedMask == 0 && view.Pending && c.issuedCycle != now {
+			// Nothing bank-attributable, yet a pending request did not
+			// progress: a channel-level condition is in the way.
+			view.ChannelBlocked = true
+		}
+	}
+	c.bw.Account(view)
+
+	if view.Refreshing {
+		c.cumRefresh++
+	} else if c.writeMode {
+		c.cumDrainOnly++
+	}
+	c.stats.Cycles++
+	c.stats.ReadQueueCycles += int64(len(c.readQ))
+	c.stats.WriteQueueCycles += int64(len(c.writeQ))
+	if len(c.readQ) > c.stats.MaxReadQueue {
+		c.stats.MaxReadQueue = len(c.readQ)
+	}
+	if len(c.writeQ) > c.stats.MaxWriteQueue {
+		c.stats.MaxWriteQueue = len(c.writeQ)
+	}
+	c.sampler.MaybeCut(now + 1)
+}
+
+// readDone computes a finished read's latency decomposition and records
+// it in the latency stack. Called at column-command issue, when the data
+// timing is fully determined.
+func (c *Controller) readDone(req *Request, colAt int64) {
+	_, dataEnd := c.dev.DataWindow(dram.CmdRD, colAt)
+	done := dataEnd + int64(c.cfg.CtrlLatency)
+	c.inflight = append(c.inflight, pendingDone{req, done})
+
+	var r stacks.ReadLatency
+	r.Total = done - req.arrive
+	r.Components[stacks.LatBaseCtrl] = float64(c.cfg.CtrlLatency)
+	r.Components[stacks.LatBaseDRAM] = float64(c.tim.CL + c.tim.BL2)
+	preact := float64(req.ownPre + req.ownAct)
+	refresh := float64(c.cumRefresh - req.refSnap)
+	burst := float64(c.cumDrainOnly - req.drainSnap)
+	queue := float64(colAt-req.arrive) - preact - refresh - burst
+	// The wait components can overlap in corner cases (e.g. a drain
+	// begins while this request's activate is in flight); shave the
+	// overlap so the components still sum to the total.
+	for _, comp := range []*float64{&burst, &refresh, &preact} {
+		if queue >= 0 {
+			break
+		}
+		take := -queue
+		if take > *comp {
+			take = *comp
+		}
+		*comp -= take
+		queue += take
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	r.Components[stacks.LatPreAct] = preact
+	r.Components[stacks.LatRefresh] = refresh
+	r.Components[stacks.LatWriteBurst] = burst
+	r.Components[stacks.LatQueue] = queue
+	req.lat = r
+	c.lat.AddRead(r)
+	c.hist.Add(r.Total)
+}
+
+func (c *Controller) classifyPage(req *Request) {
+	switch {
+	case req.ownPre > 0:
+		c.stats.PageMiss++
+	case req.ownAct > 0:
+		c.stats.PageEmpty++
+	default:
+		c.stats.PageHits++
+	}
+}
+
+func (c *Controller) bankIndex(l dram.Loc) int {
+	return (l.Rank*c.geo.Groups+l.Group)*c.geo.Banks + l.Bank
+}
+
+func removeReq(q []*Request, req *Request) []*Request {
+	for i, r := range q {
+		if r == req {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	panic(fmt.Sprintf("memctrl: request %p not in queue", req))
+}

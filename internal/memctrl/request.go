@@ -1,0 +1,60 @@
+package memctrl
+
+import (
+	"dramstacks/internal/dram"
+	"dramstacks/internal/stacks"
+)
+
+// Request is one cache-line-sized memory operation presented to the
+// controller by the cache hierarchy (an LLC miss or a dirty writeback).
+type Request struct {
+	// Addr is the physical byte address (line aligned by the caller).
+	Addr uint64
+	// Write marks a DRAM write (dirty writeback); otherwise a read.
+	Write bool
+	// OnComplete, if non-nil, is invoked once with the completion cycle:
+	// for reads when the data has traversed the controller pipeline, for
+	// writes when the write command has issued.
+	OnComplete func(r *Request, at int64)
+
+	// Meta is free for the caller (e.g. the requesting core id).
+	Meta any
+
+	loc    dram.Loc
+	arrive int64
+
+	// Latency bookkeeping (reads).
+	ownPre    int64 // precharge cycles this request itself incurred
+	ownAct    int64 // activate cycles this request itself incurred
+	refSnap   int64 // cumRefresh at arrival
+	drainSnap int64 // cumDrainOnly at arrival
+	forwarded bool
+	lat       stacks.ReadLatency
+}
+
+// Latency returns the read's latency decomposition (valid inside and
+// after the OnComplete callback; zero for forwarded reads and writes).
+func (r *Request) Latency() stacks.ReadLatency { return r.lat }
+
+// QueueFraction returns the share of the read's latency that was
+// queueing-related (queue + write burst + refresh): the part the cycle
+// stacks report as dram-queue.
+func (r *Request) QueueFraction() float64 {
+	if r.lat.Total == 0 {
+		return 0
+	}
+	q := r.lat.Components[stacks.LatQueue] +
+		r.lat.Components[stacks.LatWriteBurst] +
+		r.lat.Components[stacks.LatRefresh]
+	return q / float64(r.lat.Total)
+}
+
+// Arrive returns the memory cycle the request entered the controller.
+func (r *Request) Arrive() int64 { return r.arrive }
+
+// Loc returns the DRAM coordinates the request was mapped to.
+func (r *Request) Loc() dram.Loc { return r.loc }
+
+// Forwarded reports whether a read was served from the write buffer
+// instead of DRAM.
+func (r *Request) Forwarded() bool { return r.forwarded }

@@ -1,0 +1,290 @@
+package memctrl
+
+import "dramstacks/internal/dram"
+
+// schedule attempts to issue at most one DRAM command this cycle,
+// following FR-FCFS: ready column commands first (row hits), then
+// activates, then precharges, oldest request first within each class.
+// Refresh management preempts normal scheduling for its rank. The scan
+// also computes blockedMask: the banks whose oldest pending request could
+// not make progress this cycle, which the bandwidth-stack accountant
+// charges to the constraints component.
+func (c *Controller) schedule(now int64) {
+	c.blockedMask = 0
+	c.lastIssuedBank = -1
+
+	refIssued := c.scheduleRefresh(now)
+	c.scan(now)
+	if !refIssued {
+		c.issueNormal(now)
+	}
+	c.markBlocked(now)
+}
+
+// scheduleRefresh progresses refresh for pending ranks: it issues the REF
+// when possible, otherwise precharges open banks of the rank. It reports
+// whether it consumed the command slot.
+func (c *Controller) scheduleRefresh(now int64) bool {
+	for r := range c.refPending {
+		if !c.refPending[r] {
+			continue
+		}
+		ref := dram.Command{Kind: dram.CmdREF, Loc: dram.Loc{Rank: r}}
+		if c.dev.CanIssue(ref, now) {
+			c.dev.Issue(ref, now)
+			c.stats.Refreshes++
+			c.nextRefresh[r] += int64(c.tim.REFI)
+			c.refPending[r] = false
+			c.issuedCycle = now
+			return true
+		}
+		// Close open banks so the refresh can proceed.
+		for g := 0; g < c.geo.Groups; g++ {
+			for b := 0; b < c.geo.Banks; b++ {
+				loc := dram.Loc{Rank: r, Group: g, Bank: b}
+				row := c.dev.OpenRow(loc, now)
+				if row < 0 {
+					continue
+				}
+				loc.Row = row
+				pre := dram.Command{Kind: dram.CmdPRE, Loc: loc}
+				if c.dev.CanIssue(pre, now) {
+					c.dev.Issue(pre, now)
+					c.issuedCycle = now
+					c.lastIssuedBank = c.bankIndex(loc)
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// scan classifies the active-direction queue into per-bank candidates and
+// counts open-row hits from both queues (for page-policy decisions).
+func (c *Controller) scan(now int64) {
+	for i := range c.cand {
+		c.cand[i] = bankCand{}
+	}
+	active, other := c.readQ, c.writeQ
+	if c.writeMode {
+		active, other = c.writeQ, c.readQ
+	}
+	for _, req := range active {
+		b := c.bankIndex(req.loc)
+		cd := &c.cand[b]
+		openRow := c.dev.OpenRow(req.loc, now)
+		if c.cfg.Sched == FCFS && (cd.col != nil || cd.act != nil || cd.pre != nil) {
+			// Strict order: only the oldest request per bank is a
+			// candidate; younger row hits may not overtake it. Same-row
+			// counting below still needs every request.
+			if openRow == req.loc.Row {
+				cd.hasHitActive = true
+				cd.sameRowCount++
+			}
+			continue
+		}
+		switch {
+		case openRow == req.loc.Row:
+			if cd.col == nil {
+				cd.col = req
+			}
+			cd.hasHitActive = true
+			cd.sameRowCount++
+		case openRow < 0:
+			if cd.act == nil {
+				cd.act = req
+			}
+		default:
+			if cd.pre == nil {
+				cd.pre = req
+			}
+		}
+	}
+	for _, req := range other {
+		b := c.bankIndex(req.loc)
+		if c.dev.OpenRow(req.loc, now) == req.loc.Row {
+			c.cand[b].hasHitOther = true
+			c.cand[b].sameRowCount++
+		}
+	}
+}
+
+// issueNormal picks and issues at most one command from the scanned
+// candidates.
+func (c *Controller) issueNormal(now int64) {
+	// Pass 1: ready column commands, oldest first.
+	var best *Request
+	var bestKind dram.CommandKind
+	for b := range c.cand {
+		cd := &c.cand[b]
+		req := cd.col
+		if req == nil || c.refPending[req.loc.Rank] {
+			continue
+		}
+		kind := c.columnKind(req, cd)
+		if c.dev.CanIssue(dram.Command{Kind: kind, Loc: req.loc}, now) {
+			if best == nil || req.arrive < best.arrive {
+				best, bestKind = req, kind
+			}
+		}
+	}
+	if best != nil {
+		c.issueColumn(now, best, bestKind)
+		return
+	}
+
+	// Pass 2: activates, oldest first.
+	best = nil
+	for b := range c.cand {
+		req := c.cand[b].act
+		if req == nil || c.refPending[req.loc.Rank] {
+			continue
+		}
+		if c.dev.CanIssue(dram.Command{Kind: dram.CmdACT, Loc: req.loc}, now) {
+			if best == nil || req.arrive < best.arrive {
+				best = req
+			}
+		}
+	}
+	if best != nil {
+		c.dev.Issue(dram.Command{Kind: dram.CmdACT, Loc: best.loc}, now)
+		best.ownAct += int64(c.tim.RCD)
+		c.issuedCycle = now
+		c.lastIssuedBank = c.bankIndex(best.loc)
+		return
+	}
+
+	// Pass 3: precharges for row conflicts, oldest first — but never
+	// close a row that still has queued hits in the active direction
+	// (first-ready semantics; strict FCFS closes regardless). Hits
+	// waiting in the other direction do not preserve the row: a
+	// deferred write must not starve a read.
+	best = nil
+	for b := range c.cand {
+		cd := &c.cand[b]
+		req := cd.pre
+		if req == nil || c.refPending[req.loc.Rank] ||
+			(cd.hasHitActive && c.cfg.Sched != FCFS) {
+			continue
+		}
+		loc := req.loc
+		loc.Row = c.dev.OpenRow(req.loc, now)
+		if loc.Row < 0 {
+			continue // raced with an auto-precharge
+		}
+		if c.dev.CanIssue(dram.Command{Kind: dram.CmdPRE, Loc: loc}, now) {
+			if best == nil || req.arrive < best.arrive {
+				best = req
+			}
+		}
+	}
+	if best != nil {
+		loc := best.loc
+		loc.Row = c.dev.OpenRow(best.loc, now)
+		c.dev.Issue(dram.Command{Kind: dram.CmdPRE, Loc: loc}, now)
+		best.ownPre += int64(c.tim.RP)
+		c.issuedCycle = now
+		c.lastIssuedBank = c.bankIndex(best.loc)
+	}
+}
+
+// columnKind selects the column command for req: with the closed-page
+// policy the row auto-precharges when no other queued request targets it.
+func (c *Controller) columnKind(req *Request, cd *bankCand) dram.CommandKind {
+	auto := c.cfg.Policy == ClosedPage && cd.sameRowCount-1 < c.cfg.ClosedKeepOpen
+	switch {
+	case req.Write && auto:
+		return dram.CmdWRA
+	case req.Write:
+		return dram.CmdWR
+	case auto:
+		return dram.CmdRDA
+	default:
+		return dram.CmdRD
+	}
+}
+
+func (c *Controller) issueColumn(now int64, req *Request, kind dram.CommandKind) {
+	c.dev.Issue(dram.Command{Kind: kind, Loc: req.loc}, now)
+	c.issuedCycle = now
+	c.lastIssuedBank = c.bankIndex(req.loc)
+	c.stats.BankAccesses[c.lastIssuedBank]++
+	c.classifyPage(req)
+	if req.Write {
+		c.writeQ = removeReq(c.writeQ, req)
+		if c.wbuf[req.Addr] == req {
+			delete(c.wbuf, req.Addr)
+		}
+		c.stats.IssuedWrites++
+		if req.OnComplete != nil {
+			req.OnComplete(req, now)
+		}
+		return
+	}
+	c.readQ = removeReq(c.readQ, req)
+	c.stats.IssuedReads++
+	c.readDone(req, now)
+}
+
+// markBlocked records which banks had a pending candidate that made no
+// progress this cycle. The accountant turns these into 1/n "constraints"
+// shares (busy banks take precedence there, so double marking is safe).
+//
+// The mark is widened to the scope of the binding timing constraint: a
+// bank delayed by a bank-group restriction (e.g. tCCD_L) marks its whole
+// group, and a rank restriction (tFAW, bus turnaround, ...) marks the
+// whole rank — those constraints are what keeps the *other* banks of that
+// scope from transferring data, so the lost cycle belongs to them too.
+func (c *Controller) markBlocked(now int64) {
+	for b := range c.cand {
+		cd := &c.cand[b]
+		var req *Request
+		var kind dram.CommandKind
+		switch {
+		case cd.col != nil:
+			req = cd.col
+			kind = c.columnKind(req, cd)
+		case cd.act != nil:
+			req = cd.act
+			kind = dram.CmdACT
+		case cd.pre != nil:
+			req = cd.pre
+			kind = dram.CmdPRE
+		default:
+			continue
+		}
+		c.blockedMask |= 1 << b
+		if c.cfg.FlatConstraints {
+			continue
+		}
+		loc := req.loc
+		if kind == dram.CmdPRE {
+			if open := c.dev.OpenRow(req.loc, now); open >= 0 {
+				loc.Row = open
+			}
+		}
+		switch c.dev.Blocking(dram.Command{Kind: kind, Loc: loc}, now) {
+		case dram.ScopeGroup:
+			c.blockedMask |= c.groupMask(req.loc)
+		case dram.ScopeRank:
+			c.blockedMask |= c.rankMask(req.loc.Rank)
+		}
+	}
+	// The bank a command was issued to made progress this cycle.
+	if c.issuedCycle == now && c.lastIssuedBank >= 0 {
+		c.blockedMask &^= 1 << c.lastIssuedBank
+	}
+}
+
+// groupMask returns the bank bitmask of loc's whole bank group.
+func (c *Controller) groupMask(loc dram.Loc) uint64 {
+	base := uint((loc.Rank*c.geo.Groups + loc.Group) * c.geo.Banks)
+	return ((uint64(1) << c.geo.Banks) - 1) << base
+}
+
+// rankMask returns the bank bitmask of the whole rank.
+func (c *Controller) rankMask(rank int) uint64 {
+	per := uint(c.geo.BanksPerRank())
+	return ((uint64(1) << per) - 1) << (uint(rank) * per)
+}

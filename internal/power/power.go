@@ -1,0 +1,112 @@
+// Package power estimates DRAM energy from command counts, in the style
+// of the Micron DDR4 power calculator: per-command energies derived from
+// the IDD currents plus a background term. The paper notes that
+// DRAMSim3's visualization plots power next to bandwidth and latency;
+// this package provides the same per-run energy breakdown as an
+// extension to the stacks.
+//
+// The absolute numbers are typical-device approximations (x8 DDR4-2400,
+// 8 Gb); the interesting output is the breakdown — e.g. how much of a
+// random workload's energy goes to row activations versus data transfer.
+package power
+
+import (
+	"fmt"
+
+	"dramstacks/internal/dram"
+)
+
+// Model holds per-command energies (nanojoules) and background power
+// (milliwatts per rank).
+type Model struct {
+	// ActPreNJ is the energy of one row activation plus its precharge
+	// (charging the bitlines and restoring the row).
+	ActPreNJ float64
+	// ReadNJ is the energy of one column read burst, including I/O.
+	ReadNJ float64
+	// WriteNJ is the energy of one column write burst, including ODT.
+	WriteNJ float64
+	// RefreshNJ is the energy of one all-bank refresh command.
+	RefreshNJ float64
+	// BackgroundMW is the standby power of one rank (clocking,
+	// peripheral logic, DLL), drawn every cycle.
+	BackgroundMW float64
+}
+
+// DDR4 returns typical energies for an 8 Gb x8 DDR4-2400 device
+// (derived from datasheet IDD values: IDD0 row cycles, IDD4R/IDD4W
+// bursts, IDD5B refresh, IDD3N standby).
+func DDR4() Model {
+	return Model{
+		ActPreNJ:     2.1,
+		ReadNJ:       1.6,
+		WriteNJ:      1.7,
+		RefreshNJ:    80,
+		BackgroundMW: 60,
+	}
+}
+
+// Validate reports a descriptive error for non-physical parameters.
+func (m Model) Validate() error {
+	if m.ActPreNJ < 0 || m.ReadNJ < 0 || m.WriteNJ < 0 || m.RefreshNJ < 0 || m.BackgroundMW < 0 {
+		return fmt.Errorf("power: negative parameter in %+v", m)
+	}
+	return nil
+}
+
+// Report is an energy breakdown for one run.
+type Report struct {
+	ActPreNJ     float64
+	ReadNJ       float64
+	WriteNJ      float64
+	RefreshNJ    float64
+	BackgroundNJ float64
+
+	TotalNJ   float64
+	AvgPowerW float64 // average power over the run
+	// EnergyPerBitPJ is total energy divided by transferred bits
+	// (0 when nothing was transferred).
+	EnergyPerBitPJ float64
+}
+
+// Estimate computes the breakdown for the given command counts over a
+// run of cycles memory cycles on the given geometry.
+func (m Model) Estimate(stats dram.Stats, cycles int64, geo dram.Geometry) (Report, error) {
+	if err := m.Validate(); err != nil {
+		return Report{}, err
+	}
+	if cycles < 0 {
+		return Report{}, fmt.Errorf("power: negative cycle count %d", cycles)
+	}
+	seconds := float64(cycles) / (float64(geo.ClockMHz) * 1e6)
+	r := Report{
+		ActPreNJ:     float64(stats.ACT) * m.ActPreNJ,
+		ReadNJ:       float64(stats.RD) * m.ReadNJ,
+		WriteNJ:      float64(stats.WR) * m.WriteNJ,
+		RefreshNJ:    float64(stats.REF) * m.RefreshNJ,
+		BackgroundNJ: m.BackgroundMW * 1e-3 * seconds * 1e9 * float64(geo.Ranks),
+	}
+	r.TotalNJ = r.ActPreNJ + r.ReadNJ + r.WriteNJ + r.RefreshNJ + r.BackgroundNJ
+	if seconds > 0 {
+		r.AvgPowerW = r.TotalNJ * 1e-9 / seconds
+	}
+	bits := float64(stats.RD+stats.WR) * float64(geo.LineBytes) * 8
+	if bits > 0 {
+		r.EnergyPerBitPJ = r.TotalNJ * 1e3 / bits
+	}
+	return r, nil
+}
+
+// String formats the report for CLI output.
+func (r Report) String() string {
+	pct := func(v float64) float64 {
+		if r.TotalNJ == 0 {
+			return 0
+		}
+		return 100 * v / r.TotalNJ
+	}
+	return fmt.Sprintf(
+		"energy %.2f µJ (avg %.2f W, %.1f pJ/bit): act/pre %.1f%%, read %.1f%%, write %.1f%%, refresh %.1f%%, background %.1f%%",
+		r.TotalNJ/1e3, r.AvgPowerW, r.EnergyPerBitPJ,
+		pct(r.ActPreNJ), pct(r.ReadNJ), pct(r.WriteNJ), pct(r.RefreshNJ), pct(r.BackgroundNJ))
+}

@@ -1,0 +1,5 @@
+package sim
+
+import "flag"
+
+var calib = flag.Bool("calib", false, "print calibration stacks")

@@ -1,0 +1,556 @@
+// Package sim assembles the full simulated machine of the paper's §VI:
+// 1–8 out-of-order cores with private L1/L2 caches and a shared LLC,
+// attached to a DDR4-2400 memory controller with FR-FCFS scheduling,
+// while the bandwidth, latency and cycle stacks are collected.
+//
+// The master clock is the memory clock (1.2 GHz); cores run CPUMult CPU
+// cycles per memory cycle (3, i.e. 3.6 GHz).
+package sim
+
+import (
+	"fmt"
+
+	"dramstacks/internal/addrmap"
+	"dramstacks/internal/cache"
+	"dramstacks/internal/cpu"
+	"dramstacks/internal/cyclestack"
+	"dramstacks/internal/dram"
+	"dramstacks/internal/memctrl"
+	"dramstacks/internal/stacks"
+)
+
+// Mapping selects the address-indexing scheme (paper Fig. 5).
+type Mapping uint8
+
+const (
+	// MapDefault is the page-local scheme of Fig. 5(a).
+	MapDefault Mapping = iota
+	// MapInterleaved is the cache-line-interleaved scheme of Fig. 5(b).
+	MapInterleaved
+	// MapXOR is the default scheme with permutation-based (XOR) bank
+	// hashing: same-bank row conflicts spread over the banks while page
+	// locality is preserved.
+	MapXOR
+)
+
+// String names the mapping as in Fig. 6 ("def" / "int"), plus "xor".
+func (m Mapping) String() string {
+	switch m {
+	case MapInterleaved:
+		return "int"
+	case MapXOR:
+		return "xor"
+	default:
+		return "def"
+	}
+}
+
+// Config describes a full-system experiment.
+type Config struct {
+	Cores   int
+	CPUMult int // CPU cycles per memory cycle
+	// Channels is the number of memory channels, each with its own
+	// controller and stack accounting (0 means 1). With more than one
+	// channel, consecutive cache lines interleave across channels and
+	// the per-controller stacks are aggregated in the Result, as the
+	// paper describes (§IV).
+	Channels int
+
+	Core cpu.Config
+	Hier cache.HierConfig
+	Ctrl memctrl.Config
+
+	Geom dram.Geometry
+	Tim  dram.Timing
+	Map  Mapping
+
+	// PrewarmOps functionally pre-warms the caches with this many memory
+	// operations per core from the head of its instruction stream before
+	// timing starts (no statistics, no DRAM traffic). Without it, runs
+	// shorter than an LLC fill see no steady-state writebacks.
+	PrewarmOps int64
+	// MaxMemCycles stops the run (0 = run until the workload finishes).
+	MaxMemCycles int64
+	// WarmupMemCycles are excluded from the reported stacks.
+	WarmupMemCycles int64
+	// SampleInterval cuts through-time samples every so many memory
+	// cycles (0 disables).
+	SampleInterval int64
+	// Verify replays every DRAM command through the independent timing
+	// verifier (cheap; recommended in tests and experiments).
+	Verify bool
+	// Trace, if non-nil, receives every issued DRAM command (e.g. a
+	// trace.Recorder hook for offline stack construction).
+	Trace func(cycle int64, cmd dram.Command)
+}
+
+// Default returns the paper's machine configuration for the given core
+// count, with a cycle budget the caller usually overrides.
+func Default(cores int) Config {
+	geo, tim := dram.DDR4_2400()
+	return Config{
+		Cores:        cores,
+		CPUMult:      3,
+		Core:         cpu.DefaultConfig(),
+		Hier:         cache.DefaultHierConfig(cores),
+		Ctrl:         memctrl.DefaultConfig(),
+		Geom:         geo,
+		Tim:          tim,
+		MaxMemCycles: 2_000_000,
+		Verify:       true,
+	}
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("sim: cores must be positive, got %d", c.Cores)
+	}
+	if c.CPUMult <= 0 {
+		return fmt.Errorf("sim: CPU multiplier must be positive, got %d", c.CPUMult)
+	}
+	if c.Hier.Cores != c.Cores {
+		return fmt.Errorf("sim: hierarchy configured for %d cores, system has %d", c.Hier.Cores, c.Cores)
+	}
+	if c.Channels < 0 || c.Channels > 8 {
+		return fmt.Errorf("sim: channels must be in 0..8, got %d", c.Channels)
+	}
+	if c.MaxMemCycles < 0 || c.WarmupMemCycles < 0 {
+		return fmt.Errorf("sim: negative cycle budget")
+	}
+	if c.MaxMemCycles > 0 && c.WarmupMemCycles >= c.MaxMemCycles {
+		return fmt.Errorf("sim: warmup %d must be below the cycle budget %d",
+			c.WarmupMemCycles, c.MaxMemCycles)
+	}
+	return c.Core.Validate()
+}
+
+// System is an assembled machine ready to Run.
+type System struct {
+	cfg      Config
+	channels int
+	devs     []*dram.Device
+	ctrls    []*memctrl.Controller
+	hier     *cache.Hierarchy
+	cores    []*cpu.Core
+	mapper   addrmap.Mapper
+
+	verifiers  []*dram.Verifier
+	violations []dram.Violation
+
+	memCycle int64
+
+	cycleSamples []cyclestack.Stack
+	lastCycle    cyclestack.Stack
+	nextCut      int64
+
+	warmBW  []stacks.BandwidthStack
+	warmLat []stacks.LatencyStack
+	warmed  bool
+}
+
+// New assembles a system running the given per-core instruction sources
+// (len(sources) must equal cfg.Cores).
+func New(cfg Config, sources []cpu.Source) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sources) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d sources for %d cores", len(sources), cfg.Cores)
+	}
+
+	channels := cfg.Channels
+	if channels == 0 {
+		channels = 1
+	}
+	var mapper addrmap.Mapper
+	var err error
+	switch {
+	case cfg.Map == MapInterleaved && channels == 1:
+		mapper, err = addrmap.NewInterleaved(cfg.Geom, 1)
+	case cfg.Map == MapInterleaved:
+		mapper, err = addrmap.NewScheme("interleaved-multichannel", cfg.Geom, channels,
+			[]addrmap.Field{addrmap.FieldChannel, addrmap.FieldGroup, addrmap.FieldBank,
+				addrmap.FieldColumn, addrmap.FieldRank, addrmap.FieldRow})
+	case cfg.Map == MapXOR:
+		var base *addrmap.Scheme
+		if channels == 1 {
+			base, err = addrmap.NewDefault(cfg.Geom, 1)
+		} else {
+			base, err = addrmap.NewChannelInterleaved(cfg.Geom, channels)
+		}
+		if err == nil {
+			mapper = addrmap.NewXOR(base)
+		}
+	case channels == 1:
+		mapper, err = addrmap.NewDefault(cfg.Geom, 1)
+	default:
+		mapper, err = addrmap.NewChannelInterleaved(cfg.Geom, channels)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	s := &System{cfg: cfg, channels: channels, mapper: mapper}
+	for ch := 0; ch < channels; ch++ {
+		dev := dram.NewDevice(cfg.Geom, cfg.Tim)
+		s.devs = append(s.devs, dev)
+		var ver *dram.Verifier
+		if cfg.Verify {
+			ver = dram.NewVerifier(cfg.Geom, cfg.Tim)
+		}
+		s.verifiers = append(s.verifiers, ver)
+		if cfg.Verify || cfg.Trace != nil {
+			dev.Trace = func(cycle int64, cmd dram.Command) {
+				if ver != nil {
+					if vs := ver.Check(cycle, cmd); vs != nil {
+						s.violations = append(s.violations, vs...)
+					}
+				}
+				if cfg.Trace != nil {
+					cfg.Trace(cycle, cmd)
+				}
+			}
+		}
+		ctrlCfg := cfg.Ctrl
+		ctrlCfg.SampleInterval = cfg.SampleInterval
+		ctrl, err := memctrl.New(dev, mapper, ctrlCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.ctrls = append(s.ctrls, ctrl)
+	}
+	s.hier, err = cache.NewHierarchy(cfg.Hier, (*memPort)(s))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		s.cores = append(s.cores, cpu.New(i, cfg.Core, s.hier, sources[i]))
+	}
+	if cfg.PrewarmOps > 0 {
+		s.prewarm(sources)
+	}
+	return s, nil
+}
+
+// prewarm consumes the head of each stream functionally so the caches
+// start in steady state; the cores continue from where warming stopped.
+// Sources are drained round-robin so barrier-synchronized workloads
+// (package gap) make progress; stall items are skipped.
+func (s *System) prewarm(sources []cpu.Source) {
+	warmed := make([]int64, len(sources))
+	exhausted := make([]bool, len(sources))
+	active := len(sources)
+	for active > 0 {
+		progress := false
+		for i, src := range sources {
+			if exhausted[i] || warmed[i] >= s.cfg.PrewarmOps {
+				if !exhausted[i] {
+					exhausted[i] = true
+					active--
+				}
+				continue
+			}
+			ins, ok := src.Next()
+			if !ok {
+				exhausted[i] = true
+				active--
+				continue
+			}
+			switch ins.Kind {
+			case cpu.KindLoad:
+				s.hier.Warm(i, ins.Addr, false)
+				warmed[i]++
+				progress = true
+			case cpu.KindStore:
+				s.hier.Warm(i, ins.Addr, true)
+				warmed[i]++
+				progress = true
+			case cpu.KindStall:
+				// Barrier wait: progress only if someone else moves.
+			default:
+				progress = true // compute/branch item consumed
+			}
+		}
+		if !progress {
+			// Every remaining source is stalled at a barrier that a
+			// finished source will never release: stop warming here.
+			return
+		}
+	}
+}
+
+// memPort adapts the memory controller to the cache hierarchy's CPU-cycle
+// view of time.
+type memPort System
+
+var _ cache.MemPort = (*memPort)(nil)
+
+// route returns the controller owning addr's channel.
+func (s *System) route(addr uint64) *memctrl.Controller {
+	if s.channels == 1 {
+		return s.ctrls[0]
+	}
+	return s.ctrls[s.mapper.Decode(addr).Channel]
+}
+
+// Read implements cache.MemPort.
+func (p *memPort) Read(nowCPU int64, addr uint64, onDone func(int64, float64)) bool {
+	s := (*System)(p)
+	_, ok := s.route(addr).EnqueueRead(s.memCycle, addr, func(r *memctrl.Request, at int64) {
+		onDone(at*int64(s.cfg.CPUMult), r.QueueFraction())
+	}, nil)
+	return ok
+}
+
+// Write implements cache.MemPort.
+func (p *memPort) Write(nowCPU int64, addr uint64) bool {
+	s := (*System)(p)
+	_, ok := s.route(addr).EnqueueWrite(s.memCycle, addr, nil, nil)
+	return ok
+}
+
+// Controller exposes the memory controller of channel 0 (for extra
+// statistics in single-channel experiments).
+func (s *System) Controller() *memctrl.Controller { return s.ctrls[0] }
+
+// Hierarchy exposes the cache hierarchy.
+func (s *System) Hierarchy() *cache.Hierarchy { return s.hier }
+
+// Run simulates until the cycle budget is exhausted or every core's
+// stream has committed and the memory system has drained.
+func (s *System) Run() *Result {
+	for {
+		m := s.memCycle
+		for c := 0; c < s.cfg.CPUMult; c++ {
+			cpuNow := m*int64(s.cfg.CPUMult) + int64(c)
+			for _, core := range s.cores {
+				core.CPUCycle(cpuNow)
+			}
+			s.hier.Tick(cpuNow)
+		}
+		for _, ctrl := range s.ctrls {
+			ctrl.Tick(m)
+		}
+		s.memCycle++
+
+		if s.cfg.WarmupMemCycles > 0 && !s.warmed && s.memCycle >= s.cfg.WarmupMemCycles {
+			for _, ctrl := range s.ctrls {
+				s.warmBW = append(s.warmBW, ctrl.BandwidthStack())
+				s.warmLat = append(s.warmLat, ctrl.LatencyStack())
+			}
+			s.warmed = true
+		}
+		if s.cfg.SampleInterval > 0 && s.memCycle-s.nextCut >= s.cfg.SampleInterval {
+			s.cutCycleSample()
+		}
+		if s.cfg.MaxMemCycles > 0 && s.memCycle >= s.cfg.MaxMemCycles {
+			break
+		}
+		if s.done() {
+			break
+		}
+	}
+	for _, ctrl := range s.ctrls {
+		ctrl.FinishSampling()
+	}
+	s.finishCycleSample()
+	return s.result()
+}
+
+func (s *System) done() bool {
+	for _, c := range s.cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	for _, ctrl := range s.ctrls {
+		if ctrl.Pending() {
+			return false
+		}
+	}
+	return !s.hier.Pending()
+}
+
+func (s *System) aggregateCycleStack() cyclestack.Stack {
+	var agg cyclestack.Stack
+	for _, c := range s.cores {
+		agg.Add(c.Stack())
+	}
+	return agg
+}
+
+func (s *System) cutCycleSample() {
+	cur := s.aggregateCycleStack()
+	s.cycleSamples = append(s.cycleSamples, cur.Sub(s.lastCycle))
+	s.lastCycle = cur
+	s.nextCut = s.memCycle
+}
+
+func (s *System) finishCycleSample() {
+	if s.cfg.SampleInterval <= 0 || s.memCycle == s.nextCut {
+		return
+	}
+	s.cutCycleSample()
+}
+
+// Result carries everything an experiment reports.
+type Result struct {
+	Cfg       Config
+	Channels  int
+	MemCycles int64
+
+	// BW and Lat cover the post-warmup interval, aggregated over all
+	// channels (BW keeps the "components sum to total cycles" semantics;
+	// the GB/s conversions below scale to the total peak bandwidth).
+	BW  stacks.BandwidthStack
+	Lat stacks.LatencyStack
+
+	// PerChannelBW and PerChannelStats break the aggregate down per
+	// memory controller (paper §IV: stacks per controller, aggregated
+	// afterwards).
+	PerChannelBW    []stacks.BandwidthStack
+	PerChannelStats []memctrl.Stats
+
+	// Through-time samples (whole run, including warmup), aggregated
+	// over channels.
+	BWSamples    []stacks.Sample
+	CycleSamples []cyclestack.Stack
+
+	// LatHist is the distribution of total read latencies over all
+	// channels (whole run, including warmup).
+	LatHist stacks.LatencyHistogram
+
+	CycleStacks []cyclestack.Stack // per core, whole run
+	CoreStats   []cpu.Stats
+	CtrlStats   memctrl.Stats // summed over channels
+	DevStats    dram.Stats    // summed over channels
+	LLCStats    cache.LevelStats
+	HierStats   cache.HierStats
+
+	Violations []dram.Violation
+}
+
+func (s *System) result() *Result {
+	r := &Result{
+		Cfg:          s.cfg,
+		Channels:     s.channels,
+		MemCycles:    s.memCycle,
+		LLCStats:     s.hier.LLCStats(),
+		HierStats:    s.hier.Stats(),
+		Violations:   s.violations,
+		CycleSamples: s.cycleSamples,
+	}
+	for ch, ctrl := range s.ctrls {
+		bw := ctrl.BandwidthStack()
+		lat := ctrl.LatencyStack()
+		if s.warmed {
+			bw = bw.Sub(s.warmBW[ch])
+			lat = lat.Sub(s.warmLat[ch])
+		}
+		r.PerChannelBW = append(r.PerChannelBW, bw)
+		r.PerChannelStats = append(r.PerChannelStats, ctrl.Stats())
+		r.BW.Add(bw)
+		r.Lat.Add(lat)
+		addCtrlStats(&r.CtrlStats, ctrl.Stats())
+		addDevStats(&r.DevStats, s.devs[ch].Stats())
+		r.LatHist.Merge(ctrl.LatencyHistogram())
+		r.BWSamples = mergeSamples(r.BWSamples, ctrl.Samples())
+	}
+	r.BW.Banks = s.cfg.Geom.TotalBanks()
+	for _, c := range s.cores {
+		r.CycleStacks = append(r.CycleStacks, c.Stack())
+		r.CoreStats = append(r.CoreStats, c.Stats())
+	}
+	return r
+}
+
+func addCtrlStats(dst *memctrl.Stats, src memctrl.Stats) {
+	dst.EnqueuedReads += src.EnqueuedReads
+	dst.EnqueuedWrites += src.EnqueuedWrites
+	dst.ForwardedReads += src.ForwardedReads
+	dst.CoalescedWrites += src.CoalescedWrites
+	dst.IssuedReads += src.IssuedReads
+	dst.IssuedWrites += src.IssuedWrites
+	dst.Refreshes += src.Refreshes
+	dst.PageHits += src.PageHits
+	dst.PageEmpty += src.PageEmpty
+	dst.PageMiss += src.PageMiss
+	dst.DrainEntries += src.DrainEntries
+	dst.ReadQueueCycles += src.ReadQueueCycles
+	dst.WriteQueueCycles += src.WriteQueueCycles
+	dst.Cycles += src.Cycles
+	if src.MaxReadQueue > dst.MaxReadQueue {
+		dst.MaxReadQueue = src.MaxReadQueue
+	}
+	if src.MaxWriteQueue > dst.MaxWriteQueue {
+		dst.MaxWriteQueue = src.MaxWriteQueue
+	}
+	for i := range src.BankAccesses {
+		dst.BankAccesses[i] += src.BankAccesses[i]
+	}
+}
+
+func addDevStats(dst *dram.Stats, src dram.Stats) {
+	dst.ACT += src.ACT
+	dst.PRE += src.PRE
+	dst.AutoPRE += src.AutoPRE
+	dst.RD += src.RD
+	dst.WR += src.WR
+	dst.REF += src.REF
+}
+
+// mergeSamples adds per-channel sample series element-wise (all channels
+// sample on the same cycle grid).
+func mergeSamples(dst, src []stacks.Sample) []stacks.Sample {
+	if dst == nil {
+		return append(dst, src...)
+	}
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		dst[i].BW.Add(src[i].BW)
+		dst[i].Lat.Add(src[i].Lat)
+	}
+	return dst
+}
+
+// PeakGBps returns the total peak bandwidth across all channels.
+func (r *Result) PeakGBps() float64 {
+	return r.Cfg.Geom.PeakBandwidthGBs() * float64(r.Channels)
+}
+
+// AchievedGBps returns the post-warmup achieved bandwidth summed over
+// all channels.
+func (r *Result) AchievedGBps() float64 {
+	return r.BW.AchievedGBps(r.Cfg.Geom) * float64(r.Channels)
+}
+
+// BWGBps returns the post-warmup bandwidth stack in GB/s, scaled so the
+// components sum to the total (all-channel) peak bandwidth.
+func (r *Result) BWGBps() [stacks.NumBWComponents]float64 {
+	g := r.BW.GBps(r.Cfg.Geom)
+	for c := range g {
+		g[c] *= float64(r.Channels)
+	}
+	return g
+}
+
+// LatNS returns the post-warmup average latency stack in ns.
+func (r *Result) LatNS() [stacks.NumLatComponents]float64 { return r.Lat.AvgNS(r.Cfg.Geom) }
+
+// TotalRetired sums committed uops over all cores.
+func (r *Result) TotalRetired() int64 {
+	var t int64
+	for _, cs := range r.CoreStats {
+		t += cs.Retired
+	}
+	return t
+}
+
+// RuntimeMS returns the simulated wall-clock time in milliseconds.
+func (r *Result) RuntimeMS() float64 {
+	return r.Cfg.Geom.CyclesToNS(r.MemCycles) / 1e6
+}

@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"dramstacks/internal/cpu"
+	"dramstacks/internal/workload"
+)
+
+// SyntheticSources builds the per-core instruction streams for the
+// paper's synthetic experiments: each core works a private region of the
+// pattern (the paper's cores "access different parts of the sequential
+// pattern"), staggered by one DRAM page so concurrent streams start in
+// different bank groups.
+func SyntheticSources(pat workload.Pattern, cores int, storeFrac float64) []cpu.Source {
+	var sources []cpu.Source
+	for i := 0; i < cores; i++ {
+		var wc workload.SyntheticConfig
+		switch pat {
+		case workload.Sequential:
+			wc = workload.DefaultSequential()
+		case workload.Strided:
+			wc = workload.DefaultStrided()
+		default:
+			wc = workload.DefaultRandom()
+		}
+		wc.StoreFrac = storeFrac
+		wc.BaseAddr = uint64(i)*(256<<20) + uint64(i)*8192
+		wc.Seed = int64(i + 1)
+		sources = append(sources, workload.MustSynthetic(wc))
+	}
+	return sources
+}

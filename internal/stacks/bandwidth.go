@@ -1,0 +1,237 @@
+// Package stacks implements the paper's contribution: DRAM bandwidth
+// stacks and latency stacks.
+//
+// A bandwidth stack attributes every memory-channel cycle to exactly one
+// cause, so the components sum to total time (equivalently, to the peak
+// bandwidth once scaled). The accounting is hierarchical to avoid double
+// counting (paper §IV), with the most meaningful cause taking priority:
+//
+//  1. read / write — data is on the bus: achieved bandwidth.
+//  2. refresh — the rank is inside tRFC of a refresh.
+//  3. precharge / activate / bank-idle / (per-bank) constraints — at least
+//     one bank is busy opening or closing a page, or is blocked from
+//     issuing by a timing constraint. The cycle is split 1/n over all n
+//     banks: busy banks to their command's component, blocked banks to
+//     constraints, idle banks to bank-idle (the bandwidth that bank-level
+//     parallelism could have recovered).
+//  4. constraints — all banks are quiet but a pending request is blocked
+//     by a channel/rank-level timing constraint (bus turnaround, tCCD,
+//     tFAW, ...): the whole cycle is lost to constraints.
+//  5. idle — no request is pending: the DRAM chip is idle.
+//
+// A latency stack decomposes the average latency of DRAM read requests
+// into base (uncontended controller + device time), pre/act (page-miss
+// penalty of the request itself), refresh and writeburst (time blocked
+// behind a refresh or a write-buffer drain) and queue (everything else).
+package stacks
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dramstacks/internal/dram"
+)
+
+// BWComponent enumerates the bandwidth stack components, bottom (useful
+// bandwidth) to top (chip idle) in the paper's plotting order.
+type BWComponent uint8
+
+const (
+	// BWRead is achieved read bandwidth (read data on the bus).
+	BWRead BWComponent = iota
+	// BWWrite is achieved write bandwidth (write data on the bus).
+	BWWrite
+	// BWRefresh is bandwidth lost to DRAM refresh (tRFC windows).
+	BWRefresh
+	// BWPrecharge is bandwidth lost while banks precharge (close pages).
+	BWPrecharge
+	// BWActivate is bandwidth lost while banks activate (open pages).
+	BWActivate
+	// BWConstraints is bandwidth lost to DRAM timing constraints
+	// (tCCD, tRRD, tFAW, bus turnaround, write-to-read, ...).
+	BWConstraints
+	// BWBankIdle is bandwidth lost because some banks sat idle while
+	// others were busy: unexploited bank-level parallelism.
+	BWBankIdle
+	// BWIdle is bandwidth lost because the whole chip had nothing to do:
+	// the cores did not supply enough requests.
+	BWIdle
+
+	// NumBWComponents is the number of bandwidth stack components.
+	NumBWComponents
+)
+
+// String returns the component label used in the paper's figures.
+func (c BWComponent) String() string {
+	switch c {
+	case BWRead:
+		return "read"
+	case BWWrite:
+		return "write"
+	case BWRefresh:
+		return "refresh"
+	case BWPrecharge:
+		return "precharge"
+	case BWActivate:
+		return "activate"
+	case BWConstraints:
+		return "constraints"
+	case BWBankIdle:
+		return "bank_idle"
+	case BWIdle:
+		return "idle"
+	default:
+		return fmt.Sprintf("BWComponent(%d)", uint8(c))
+	}
+}
+
+// CycleView is the per-cycle summary of the DRAM channel state that the
+// memory controller hands to the accountant. Masks are per-bank bitmasks
+// over all banks of the channel.
+type CycleView struct {
+	// Data reports what the data bus carries this cycle.
+	Data dram.DataKind
+	// Refreshing reports whether any rank is inside tRFC.
+	Refreshing bool
+	// PreMask marks banks executing a precharge.
+	PreMask uint64
+	// ActMask marks banks executing an activate.
+	ActMask uint64
+	// BlockedMask marks banks whose oldest pending request is blocked
+	// from issuing its next command by a timing constraint.
+	BlockedMask uint64
+	// Pending reports whether any request is waiting for commands.
+	Pending bool
+	// ChannelBlocked reports that a pending request is blocked by a
+	// channel- or rank-level constraint while every bank is quiet.
+	ChannelBlocked bool
+}
+
+// BandwidthAccountant accumulates a bandwidth stack cycle by cycle.
+// The zero value is invalid; use NewBandwidthAccountant.
+type BandwidthAccountant struct {
+	banks int
+
+	full   [NumBWComponents]int64 // whole cycles
+	shared [NumBWComponents]int64 // 1/banks-cycle shares (paper footnote 1)
+	total  int64
+}
+
+// NewBandwidthAccountant returns an accountant for a channel with the
+// given number of banks (the n of the 1/n bank split).
+func NewBandwidthAccountant(banks int) *BandwidthAccountant {
+	if banks <= 0 || banks > 64 {
+		panic(fmt.Sprintf("stacks: bank count %d out of range (1..64)", banks))
+	}
+	return &BandwidthAccountant{banks: banks}
+}
+
+// Account classifies one channel cycle. Call exactly once per cycle.
+func (a *BandwidthAccountant) Account(v CycleView) {
+	a.total++
+	switch {
+	case v.Data == dram.DataRead:
+		a.full[BWRead]++
+	case v.Data == dram.DataWrite:
+		a.full[BWWrite]++
+	case v.Refreshing:
+		a.full[BWRefresh]++
+	case v.PreMask|v.ActMask|v.BlockedMask != 0:
+		pre := bits.OnesCount64(v.PreMask)
+		// A bank both precharging and activating cannot happen; a bank
+		// busy and blocked counts as busy.
+		act := bits.OnesCount64(v.ActMask &^ v.PreMask)
+		blk := bits.OnesCount64(v.BlockedMask &^ (v.PreMask | v.ActMask))
+		a.shared[BWPrecharge] += int64(pre)
+		a.shared[BWActivate] += int64(act)
+		a.shared[BWConstraints] += int64(blk)
+		a.shared[BWBankIdle] += int64(a.banks - pre - act - blk)
+	case v.Pending && v.ChannelBlocked:
+		a.full[BWConstraints]++
+	default:
+		a.full[BWIdle]++
+	}
+}
+
+// Stack returns the accumulated bandwidth stack.
+func (a *BandwidthAccountant) Stack() BandwidthStack {
+	s := BandwidthStack{Banks: a.banks, TotalCycles: a.total}
+	for c := BWComponent(0); c < NumBWComponents; c++ {
+		s.Cycles[c] = float64(a.full[c]) + float64(a.shared[c])/float64(a.banks)
+	}
+	return s
+}
+
+// BandwidthStack is a completed bandwidth stack over some interval.
+// Cycles holds per-component (possibly fractional) channel cycles;
+// they sum to TotalCycles.
+type BandwidthStack struct {
+	Banks       int
+	TotalCycles int64
+	Cycles      [NumBWComponents]float64
+}
+
+// Sub returns the stack covering the interval between an earlier snapshot
+// old and s (for through-time sampling).
+func (s BandwidthStack) Sub(old BandwidthStack) BandwidthStack {
+	d := BandwidthStack{Banks: s.Banks, TotalCycles: s.TotalCycles - old.TotalCycles}
+	for c := range s.Cycles {
+		d.Cycles[c] = s.Cycles[c] - old.Cycles[c]
+	}
+	return d
+}
+
+// Add accumulates another stack (e.g. from another memory controller)
+// into s. Both must cover the same wall-clock interval for the result to
+// be meaningful as an aggregate.
+func (s *BandwidthStack) Add(o BandwidthStack) {
+	s.TotalCycles += o.TotalCycles
+	for c := range s.Cycles {
+		s.Cycles[c] += o.Cycles[c]
+	}
+}
+
+// GBps converts the stack to bandwidth components in GB/s given the
+// channel geometry: component cycles / total cycles × peak bandwidth.
+// The components sum to the peak bandwidth.
+func (s BandwidthStack) GBps(geo dram.Geometry) [NumBWComponents]float64 {
+	var out [NumBWComponents]float64
+	if s.TotalCycles == 0 {
+		return out
+	}
+	peak := geo.PeakBandwidthGBs()
+	for c := range s.Cycles {
+		out[c] = s.Cycles[c] / float64(s.TotalCycles) * peak
+	}
+	return out
+}
+
+// AchievedGBps returns the achieved (read+write) bandwidth in GB/s.
+func (s BandwidthStack) AchievedGBps(geo dram.Geometry) float64 {
+	g := s.GBps(geo)
+	return g[BWRead] + g[BWWrite]
+}
+
+// Fraction returns the share of total cycles in component c (0..1).
+func (s BandwidthStack) Fraction(c BWComponent) float64 {
+	if s.TotalCycles == 0 {
+		return 0
+	}
+	return s.Cycles[c] / float64(s.TotalCycles)
+}
+
+// CheckSum verifies the no-double-counting invariant: the components must
+// sum to the total number of cycles (within floating-point tolerance).
+func (s BandwidthStack) CheckSum() error {
+	var sum float64
+	for _, v := range s.Cycles {
+		if v < -1e-9 {
+			return fmt.Errorf("stacks: negative component in %+v", s.Cycles)
+		}
+		sum += v
+	}
+	if diff := sum - float64(s.TotalCycles); diff > 1e-6*float64(s.TotalCycles)+1e-6 || diff < -(1e-6*float64(s.TotalCycles)+1e-6) {
+		return fmt.Errorf("stacks: components sum to %.6f, want %d", sum, s.TotalCycles)
+	}
+	return nil
+}

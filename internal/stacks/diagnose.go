@@ -1,0 +1,118 @@
+package stacks
+
+import (
+	"fmt"
+
+	"dramstacks/internal/dram"
+)
+
+// Advice is one diagnosis derived from the stacks, following the paper's
+// §IV/§V interpretation guide.
+type Advice struct {
+	// Component names the stack component that triggered the advice.
+	Component string
+	// Share is the component's share of the peak bandwidth (bandwidth
+	// findings) or of the average latency (latency findings), 0..1.
+	Share float64
+	// Finding states what the stacks show.
+	Finding string
+	// Action states the paper's suggested remedy.
+	Action string
+}
+
+// String formats the advice for CLI output.
+func (a Advice) String() string {
+	return fmt.Sprintf("[%s %4.1f%%] %s -> %s", a.Component, 100*a.Share, a.Finding, a.Action)
+}
+
+// Diagnose applies the paper's interpretation rules to a bandwidth stack
+// and its companion latency stack and returns the findings, largest
+// share first. An empty result means the stacks show no addressable
+// bottleneck (either bandwidth is saturated by useful traffic, or
+// nothing significant is lost).
+//
+// The rules operationalize the paper's §IV summary:
+//
+//   - idle: the chip waits for requests — raise the request rate (more
+//     threads, more memory-level parallelism);
+//   - bank-idle with low queueing latency: also a request-rate problem;
+//   - bank-idle with high queueing latency: a bank-distribution problem —
+//     improve interleaving (the paper's Fig. 6 remedy);
+//   - precharge/activate: page misses — improve locality or reconsider
+//     the page policy;
+//   - constraints: command-timing bound — avoid read/write ping-pong and
+//     single-bank-group streams;
+//   - refresh: intrinsic, nothing to do;
+//
+// and §V's latency-side signals (writeburst → write queue tuning).
+func Diagnose(bw BandwidthStack, lat LatencyStack, geo dram.Geometry) []Advice {
+	var out []Advice
+	if bw.TotalCycles == 0 {
+		return nil
+	}
+	g := bw.GBps(geo)
+	peak := geo.PeakBandwidthGBs()
+	share := func(c BWComponent) float64 { return g[c] / peak }
+
+	latNS := lat.AvgNS(geo)
+	latTotal := lat.AvgTotalNS(geo)
+	queueing := latNS[LatQueue] + latNS[LatWriteBurst] + latNS[LatRefresh]
+	queueHeavy := latTotal > 0 && queueing > 0.35*latTotal
+
+	const minShare = 0.10 // report components above 10% of peak
+
+	if s := share(BWIdle); s > minShare {
+		out = append(out, Advice{
+			Component: "idle", Share: s,
+			Finding: "the DRAM chip is idle: the cores do not supply enough requests",
+			Action:  "increase the request rate (more threads, more memory-level parallelism)",
+		})
+	}
+	if s := share(BWBankIdle); s > minShare {
+		if queueHeavy {
+			out = append(out, Advice{
+				Component: "bank_idle", Share: s,
+				Finding: "banks sit idle while requests queue: accesses pile onto few banks",
+				Action:  "improve bank interleaving (e.g. cache-line-interleaved indexing, Fig. 5b)",
+			})
+		} else {
+			out = append(out, Advice{
+				Component: "bank_idle", Share: s,
+				Finding: "banks sit idle without queueing: the request rate is too low to cover them",
+				Action:  "increase the request rate; if that fails, spread accesses across banks",
+			})
+		}
+	}
+	if s := share(BWPrecharge) + share(BWActivate); s > minShare {
+		out = append(out, Advice{
+			Component: "pre/act", Share: s,
+			Finding: "bandwidth is spent opening and closing pages (low page hit rate)",
+			Action:  "improve spatial locality or reconsider the page policy",
+		})
+	}
+	if s := share(BWConstraints); s > minShare {
+		out = append(out, Advice{
+			Component: "constraints", Share: s,
+			Finding: "DRAM timing constraints throttle the command stream",
+			Action:  "avoid switching between reads and writes; spread streams over bank groups",
+		})
+	}
+	// Latency-side signal: write bursts delaying reads.
+	if latTotal > 0 {
+		if s := latNS[LatWriteBurst] / latTotal; s > minShare {
+			out = append(out, Advice{
+				Component: "writeburst", Share: s,
+				Finding: "reads wait behind write-buffer drains",
+				Action:  "enlarge the write queue or spread writebacks across banks",
+			})
+		}
+	}
+
+	// Largest share first (insertion sort: the list is tiny).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Share > out[j-1].Share; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package stacks
+
+import "math/bits"
+
+// LatencyHistogram collects per-read total latencies in logarithmic
+// buckets, complementing the latency stack's averages with percentiles
+// (queueing under write bursts and refreshes makes DRAM latency heavily
+// tailed — an average alone hides it).
+type LatencyHistogram struct {
+	buckets [40]int64 // bucket i counts latencies in [2^i, 2^(i+1)) cycles
+	count   int64
+	sum     int64
+	max     int64
+}
+
+// Add records one read's total latency in memory cycles.
+func (h *LatencyHistogram) Add(cycles int64) {
+	if cycles < 0 {
+		cycles = 0
+	}
+	b := bits.Len64(uint64(cycles))
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += cycles
+	if cycles > h.max {
+		h.max = cycles
+	}
+}
+
+// Count returns how many reads were recorded.
+func (h *LatencyHistogram) Count() int64 { return h.count }
+
+// Max returns the largest recorded latency.
+func (h *LatencyHistogram) Max() int64 { return h.max }
+
+// Mean returns the average recorded latency in cycles.
+func (h *LatencyHistogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper bound (the bucket's top edge) for the q-th
+// quantile latency in cycles, q in [0,1].
+func (h *LatencyHistogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen int64
+	for b, n := range h.buckets {
+		seen += n
+		if seen > target {
+			top := int64(1)<<uint(b) - 1
+			if top > h.max {
+				top = h.max
+			}
+			return top
+		}
+	}
+	return h.max
+}
+
+// Merge accumulates another histogram (e.g. from another controller).
+func (h *LatencyHistogram) Merge(o LatencyHistogram) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}

@@ -1,0 +1,104 @@
+package stacks
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h LatencyHistogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram not zero")
+	}
+	for _, v := range []int64{10, 20, 30, 40, 1000} {
+		h.Add(v)
+	}
+	if h.Count() != 5 || h.Max() != 1000 {
+		t.Fatalf("count/max = %d/%d", h.Count(), h.Max())
+	}
+	if got := h.Mean(); got != 220 {
+		t.Errorf("mean = %v, want 220", got)
+	}
+	// p99 lands in the top bucket, bounded by the observed max.
+	if got := h.Quantile(0.99); got != 1000 {
+		t.Errorf("p99 = %d, want 1000", got)
+	}
+	// p50 falls in the bucket holding 20 and 30: top edge 31.
+	if got := h.Quantile(0.5); got != 31 {
+		t.Errorf("p50 = %d, want 31", got)
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h LatencyHistogram
+		for i := 0; i < 200; i++ {
+			h.Add(rng.Int63n(100000))
+		}
+		prev := int64(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return h.Quantile(1) <= h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramQuantileBoundsActualValues(t *testing.T) {
+	// The bucket upper bound must never be below the true quantile's
+	// bucket: check against an exact computation.
+	rng := rand.New(rand.NewSource(9))
+	var h LatencyHistogram
+	var vals []int64
+	for i := 0; i < 999; i++ {
+		v := rng.Int63n(5000)
+		vals = append(vals, v)
+		h.Add(v)
+	}
+	exact := func(q float64) int64 {
+		s := append([]int64(nil), vals...)
+		for i := range s {
+			for j := i + 1; j < len(s); j++ {
+				if s[j] < s[i] {
+					s[i], s[j] = s[j], s[i]
+				}
+			}
+		}
+		return s[int(q*float64(len(s)))]
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if got, want := h.Quantile(q), exact(q); got < want {
+			t.Errorf("q%.2f: histogram bound %d below exact %d", q, got, want)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b LatencyHistogram
+	a.Add(10)
+	a.Add(100)
+	b.Add(1000)
+	a.Merge(b)
+	if a.Count() != 3 || a.Max() != 1000 {
+		t.Errorf("merged count/max = %d/%d", a.Count(), a.Max())
+	}
+	if got := a.Mean(); got != 370 {
+		t.Errorf("merged mean = %v, want 370", got)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h LatencyHistogram
+	h.Add(-5)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Errorf("negative add mishandled: %d/%d", h.Count(), h.Max())
+	}
+}

@@ -1,0 +1,152 @@
+package stacks
+
+import (
+	"fmt"
+
+	"dramstacks/internal/dram"
+)
+
+// LatComponent enumerates the latency stack components (paper §V).
+type LatComponent uint8
+
+const (
+	// LatBaseCtrl is the fixed memory-controller pipeline latency
+	// (request path, scheduling, response path). Together with
+	// LatBaseDRAM it forms the paper's "base" component; Fig. 7 shows
+	// them separately as base-cntlr and base-dram.
+	LatBaseCtrl LatComponent = iota
+	// LatBaseDRAM is the uncontended device read time: tCL + tBL/2.
+	LatBaseDRAM
+	// LatPreAct is the extra latency of the precharge and/or activate
+	// this read itself required (its page miss penalty).
+	LatPreAct
+	// LatRefresh is time the read waited because the rank was refreshing.
+	LatRefresh
+	// LatWriteBurst is time the read waited because the controller was
+	// draining the write buffer (reads are not scheduled during a burst).
+	LatWriteBurst
+	// LatQueue is the remaining waiting time: behind other reads, for
+	// timing constraints, for the data bus.
+	LatQueue
+
+	// NumLatComponents is the number of latency stack components.
+	NumLatComponents
+)
+
+// String returns the component label used in the paper's figures.
+func (c LatComponent) String() string {
+	switch c {
+	case LatBaseCtrl:
+		return "base-cntlr"
+	case LatBaseDRAM:
+		return "base-dram"
+	case LatPreAct:
+		return "act/pre"
+	case LatRefresh:
+		return "refresh"
+	case LatWriteBurst:
+		return "writeburst"
+	case LatQueue:
+		return "queue"
+	default:
+		return fmt.Sprintf("LatComponent(%d)", uint8(c))
+	}
+}
+
+// ReadLatency is the decomposition of a single read's latency, in memory
+// cycles. The components must sum to the read's total latency; Total
+// carries it for checking.
+type ReadLatency struct {
+	Total      int64
+	Components [NumLatComponents]float64
+}
+
+// Check verifies that the components sum to Total and are non-negative.
+func (r ReadLatency) Check() error {
+	var sum float64
+	for c, v := range r.Components {
+		if v < -1e-9 {
+			return fmt.Errorf("stacks: negative latency component %v = %f", LatComponent(c), v)
+		}
+		sum += v
+	}
+	if diff := sum - float64(r.Total); diff > 1e-6 || diff < -1e-6 {
+		return fmt.Errorf("stacks: latency components sum to %.3f, want %d", sum, r.Total)
+	}
+	return nil
+}
+
+// LatencyAccountant accumulates a latency stack over many reads.
+type LatencyAccountant struct {
+	sum   [NumLatComponents]float64
+	reads int64
+}
+
+// NewLatencyAccountant returns an empty latency accountant.
+func NewLatencyAccountant() *LatencyAccountant { return &LatencyAccountant{} }
+
+// AddRead records one completed read's latency decomposition.
+func (a *LatencyAccountant) AddRead(r ReadLatency) {
+	for c, v := range r.Components {
+		a.sum[c] += v
+	}
+	a.reads++
+}
+
+// Stack returns the accumulated latency stack.
+func (a *LatencyAccountant) Stack() LatencyStack {
+	return LatencyStack{SumCycles: a.sum, Reads: a.reads}
+}
+
+// LatencyStack is a completed latency stack: per-component summed cycles
+// over Reads read operations.
+type LatencyStack struct {
+	SumCycles [NumLatComponents]float64
+	Reads     int64
+}
+
+// Sub returns the stack covering the interval between snapshot old and s.
+func (s LatencyStack) Sub(old LatencyStack) LatencyStack {
+	d := LatencyStack{Reads: s.Reads - old.Reads}
+	for c := range s.SumCycles {
+		d.SumCycles[c] = s.SumCycles[c] - old.SumCycles[c]
+	}
+	return d
+}
+
+// Add accumulates another latency stack into s.
+func (s *LatencyStack) Add(o LatencyStack) {
+	s.Reads += o.Reads
+	for c := range s.SumCycles {
+		s.SumCycles[c] += o.SumCycles[c]
+	}
+}
+
+// AvgNS returns the average per-read latency components in nanoseconds.
+// The components sum to the average read latency.
+func (s LatencyStack) AvgNS(geo dram.Geometry) [NumLatComponents]float64 {
+	var out [NumLatComponents]float64
+	if s.Reads == 0 {
+		return out
+	}
+	for c := range s.SumCycles {
+		out[c] = geo.CyclesToNS(1) * s.SumCycles[c] / float64(s.Reads)
+	}
+	return out
+}
+
+// AvgTotalNS returns the average total read latency in nanoseconds.
+func (s LatencyStack) AvgTotalNS(geo dram.Geometry) float64 {
+	var t float64
+	for _, v := range s.AvgNS(geo) {
+		t += v
+	}
+	return t
+}
+
+// BaseNS returns the combined base (controller + DRAM) component in ns,
+// the paper's "base" bar.
+func (s LatencyStack) BaseNS(geo dram.Geometry) float64 {
+	a := s.AvgNS(geo)
+	return a[LatBaseCtrl] + a[LatBaseDRAM]
+}

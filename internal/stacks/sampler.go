@@ -1,0 +1,66 @@
+package stacks
+
+// Sample is one through-time slice of the bandwidth and latency stacks,
+// covering memory cycles [Start, End).
+type Sample struct {
+	Start, End int64
+	BW         BandwidthStack
+	Lat        LatencyStack
+}
+
+// Sampler cuts periodic through-time samples from a pair of accountants,
+// as used for the paper's Fig. 7 through-time stack plots.
+type Sampler struct {
+	interval int64
+	bw       *BandwidthAccountant
+	lat      *LatencyAccountant
+
+	lastCut int64
+	lastBW  BandwidthStack
+	lastLat LatencyStack
+	samples []Sample
+}
+
+// NewSampler returns a sampler cutting a sample every interval memory
+// cycles from the given accountants. A non-positive interval disables
+// sampling (MaybeCut becomes a no-op).
+func NewSampler(interval int64, bw *BandwidthAccountant, lat *LatencyAccountant) *Sampler {
+	return &Sampler{interval: interval, bw: bw, lat: lat}
+}
+
+// MaybeCut cuts a sample if at least one interval has elapsed since the
+// previous cut. Call it periodically with the current memory cycle.
+func (s *Sampler) MaybeCut(now int64) {
+	if s.interval <= 0 {
+		return
+	}
+	for now-s.lastCut >= s.interval {
+		s.cut(s.lastCut + s.interval)
+	}
+}
+
+// Finish cuts a final partial sample ending at now, if any cycles elapsed
+// since the last cut.
+func (s *Sampler) Finish(now int64) {
+	if s.interval <= 0 || now <= s.lastCut {
+		return
+	}
+	s.cut(now)
+}
+
+func (s *Sampler) cut(end int64) {
+	bw := s.bw.Stack()
+	lat := s.lat.Stack()
+	s.samples = append(s.samples, Sample{
+		Start: s.lastCut,
+		End:   end,
+		BW:    bw.Sub(s.lastBW),
+		Lat:   lat.Sub(s.lastLat),
+	})
+	s.lastCut = end
+	s.lastBW = bw
+	s.lastLat = lat
+}
+
+// Samples returns the samples cut so far.
+func (s *Sampler) Samples() []Sample { return s.samples }

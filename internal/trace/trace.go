@@ -1,0 +1,98 @@
+// Package trace records DRAM command traces and reconstructs bandwidth
+// stacks from them offline. The paper (§IV) notes that instead of
+// integrated simulation, "a command trace (including timings) can be
+// collected from the hardware or a DRAM simulator, and the bandwidth
+// stack can be constructed offline from this trace": this package is
+// that path. The trace format is a plain text line per command:
+//
+//	<cycle> <kind> <rank> <group> <bank> <row> <col>
+//
+// Offline reconstruction replays the trace through the device timing
+// model. It sees only commands, not request arrivals, so cycles in which
+// the next command could legally have issued but did not are attributed
+// to idle (no request must have been ready) — the one approximation
+// relative to the online accounting, which knows the queues.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"dramstacks/internal/dram"
+)
+
+// Event is one traced command.
+type Event struct {
+	Cycle int64
+	Cmd   dram.Command
+}
+
+// Recorder collects events in memory and can serve as a dram.Device
+// trace hook.
+type Recorder struct {
+	events []Event
+}
+
+// Hook returns a function suitable for dram.Device.Trace.
+func (r *Recorder) Hook() func(cycle int64, cmd dram.Command) {
+	return func(cycle int64, cmd dram.Command) {
+		r.events = append(r.events, Event{cycle, cmd})
+	}
+}
+
+// Events returns the recorded events in issue order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Write serializes events as text, one command per line.
+func Write(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		l := e.Cmd.Loc
+		if _, err := fmt.Fprintf(bw, "%d %s %d %d %d %d %d\n",
+			e.Cycle, e.Cmd.Kind, l.Rank, l.Group, l.Bank, l.Row, l.Col); err != nil {
+			return fmt.Errorf("trace: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a text trace.
+func Read(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		var cycle int64
+		var kind string
+		var l dram.Loc
+		if _, err := fmt.Sscanf(line, "%d %s %d %d %d %d %d",
+			&cycle, &kind, &l.Rank, &l.Group, &l.Bank, &l.Row, &l.Col); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		k, err := parseKind(kind)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		events = append(events, Event{cycle, dram.Command{Kind: k, Loc: l}})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return events, nil
+}
+
+func parseKind(s string) (dram.CommandKind, error) {
+	for k := dram.CommandKind(0); k <= dram.CmdREF; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown command kind %q", s)
+}

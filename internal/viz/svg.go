@@ -1,0 +1,291 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dramstacks/internal/cyclestack"
+	"dramstacks/internal/dram"
+	"dramstacks/internal/stacks"
+)
+
+// Colors follow the paper's figures: warm colors for useful bandwidth,
+// cool/grey tones for the losses.
+var bwColor = map[stacks.BWComponent]string{
+	stacks.BWRead:        "#1f77b4",
+	stacks.BWWrite:       "#aec7e8",
+	stacks.BWRefresh:     "#7f7f7f",
+	stacks.BWConstraints: "#d62728",
+	stacks.BWBankIdle:    "#ff9896",
+	stacks.BWPrecharge:   "#2ca02c",
+	stacks.BWActivate:    "#98df8a",
+	stacks.BWIdle:        "#e7e7e7",
+}
+
+var latColor = map[stacks.LatComponent]string{
+	stacks.LatBaseCtrl:   "#1f77b4",
+	stacks.LatBaseDRAM:   "#aec7e8",
+	stacks.LatPreAct:     "#2ca02c",
+	stacks.LatRefresh:    "#7f7f7f",
+	stacks.LatWriteBurst: "#9467bd",
+	stacks.LatQueue:      "#d62728",
+}
+
+var cycleColor = map[cyclestack.Component]string{
+	cyclestack.Base:        "#2ca02c",
+	cyclestack.Branch:      "#9467bd",
+	cyclestack.Dcache:      "#ff7f0e",
+	cyclestack.DramLatency: "#1f77b4",
+	cyclestack.DramQueue:   "#d62728",
+	cyclestack.Idle:        "#e7e7e7",
+}
+
+// svgCanvas accumulates SVG elements with a fixed chart layout.
+type svgCanvas struct {
+	b             strings.Builder
+	width, height int
+}
+
+func newCanvas(width, height int) *svgCanvas {
+	c := &svgCanvas{width: width, height: height}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n",
+		width, height)
+	fmt.Fprintf(&c.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	return c
+}
+
+func (c *svgCanvas) rect(x, y, w, h float64, fill string) {
+	if h <= 0 || w <= 0 {
+		return
+	}
+	fmt.Fprintf(&c.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="none"/>`+"\n",
+		x, y, w, h, fill)
+}
+
+func (c *svgCanvas) text(x, y float64, anchor, s string) {
+	fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" text-anchor="%s">%s</text>`+"\n", x, y, anchor, escape(s))
+}
+
+func (c *svgCanvas) line(x1, y1, x2, y2 float64, stroke string) {
+	fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+		x1, y1, x2, y2, stroke)
+}
+
+func (c *svgCanvas) done(w io.Writer) error {
+	c.b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, c.b.String())
+	return err
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	return strings.ReplaceAll(s, ">", "&gt;")
+}
+
+// chartLayout computes the shared stacked-bar-chart geometry.
+type chartLayout struct {
+	left, top, bottom float64
+	plotW, plotH      float64
+	barW, gap         float64
+}
+
+func layoutFor(n int) (chartLayout, int, int) {
+	l := chartLayout{left: 55, top: 30, bottom: 60}
+	l.barW, l.gap = 46, 18
+	l.plotW = float64(n)*(l.barW+l.gap) + l.gap
+	l.plotH = 220
+	width := int(l.left + l.plotW + 160) // room for the legend
+	height := int(l.top + l.plotH + l.bottom)
+	return l, width, height
+}
+
+func (l chartLayout) barX(i int) float64 { return l.left + l.gap + float64(i)*(l.barW+l.gap) }
+
+// yAxis draws the axis with five ticks up to max.
+func yAxis(c *svgCanvas, l chartLayout, max float64, unit string) {
+	c.line(l.left, l.top, l.left, l.top+l.plotH, "#333")
+	c.line(l.left, l.top+l.plotH, l.left+l.plotW, l.top+l.plotH, "#333")
+	for i := 0; i <= 4; i++ {
+		v := max * float64(i) / 4
+		y := l.top + l.plotH*(1-float64(i)/4)
+		c.line(l.left-4, y, l.left, y, "#333")
+		c.text(l.left-7, y+4, "end", fmt.Sprintf("%.1f", v))
+	}
+	c.text(l.left-40, l.top-12, "start", unit)
+}
+
+func legend(c *svgCanvas, l chartLayout, names []string, colors []string) {
+	x := l.left + l.plotW + 15
+	for i := range names {
+		y := l.top + float64(i)*18
+		c.rect(x, y, 12, 12, colors[i])
+		c.text(x+17, y+10, "start", names[i])
+	}
+}
+
+func barLabel(c *svgCanvas, l chartLayout, i int, label string) {
+	// Two-line labels: split on the first space past the midpoint.
+	x := l.barX(i) + l.barW/2
+	y := l.top + l.plotH + 14
+	words := strings.Fields(label)
+	if len(words) <= 1 || len(label) <= 9 {
+		c.text(x, y, "middle", label)
+		return
+	}
+	mid := (len(words) + 1) / 2
+	c.text(x, y, "middle", strings.Join(words[:mid], " "))
+	c.text(x, y+13, "middle", strings.Join(words[mid:], " "))
+}
+
+// BandwidthSVG writes a stacked-bar bandwidth chart in the paper's Fig. 2
+// style: one bar per configuration, components bottom-up from achieved
+// read bandwidth to idle, the bar total equal to the peak bandwidth.
+func BandwidthSVG(w io.Writer, labels []string, list []stacks.BandwidthStack, geo dram.Geometry) error {
+	l, width, height := layoutFor(len(list))
+	c := newCanvas(width, height)
+	peak := geo.PeakBandwidthGBs()
+	yAxis(c, l, peak, "GB/s")
+	for i, s := range list {
+		g := s.GBps(geo)
+		y := l.top + l.plotH
+		for _, comp := range bwOrder {
+			h := g[comp] / peak * l.plotH
+			y -= h
+			c.rect(l.barX(i), y, l.barW, h, bwColor[comp])
+		}
+		barLabel(c, l, i, labels[i])
+	}
+	names := make([]string, len(bwOrder))
+	colors := make([]string, len(bwOrder))
+	for i, comp := range bwOrder {
+		names[i] = comp.String()
+		colors[i] = bwColor[comp]
+	}
+	legend(c, l, names, colors)
+	return c.done(w)
+}
+
+// LatencySVG writes a stacked-bar latency chart (paper Fig. 2 bottom
+// style): bars scaled to the largest average latency.
+func LatencySVG(w io.Writer, labels []string, list []stacks.LatencyStack, geo dram.Geometry) error {
+	l, width, height := layoutFor(len(list))
+	c := newCanvas(width, height)
+	var max float64
+	for _, s := range list {
+		if v := s.AvgTotalNS(geo); v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	yAxis(c, l, max, "ns")
+	for i, s := range list {
+		ns := s.AvgNS(geo)
+		y := l.top + l.plotH
+		for _, comp := range latOrder {
+			h := ns[comp] / max * l.plotH
+			y -= h
+			c.rect(l.barX(i), y, l.barW, h, latColor[comp])
+		}
+		barLabel(c, l, i, labels[i])
+	}
+	names := make([]string, len(latOrder))
+	colors := make([]string, len(latOrder))
+	for i, comp := range latOrder {
+		names[i] = comp.String()
+		colors[i] = latColor[comp]
+	}
+	legend(c, l, names, colors)
+	return c.done(w)
+}
+
+// ThroughTimeSVG writes the paper's Fig. 7 middle panel: a stacked area
+// (rendered as abutting per-sample bars) of the bandwidth components over
+// time.
+func ThroughTimeSVG(w io.Writer, samples []stacks.Sample, geo dram.Geometry) error {
+	n := len(samples)
+	if n == 0 {
+		n = 1
+	}
+	l := chartLayout{left: 55, top: 30, bottom: 45, plotH: 220}
+	l.barW = 640.0 / float64(n)
+	l.gap = 0
+	l.plotW = l.barW * float64(n)
+	width := int(l.left + l.plotW + 160)
+	height := int(l.top + l.plotH + l.bottom)
+	c := newCanvas(width, height)
+	peak := geo.PeakBandwidthGBs()
+	yAxis(c, l, peak, "GB/s")
+	for i, s := range samples {
+		if s.BW.TotalCycles == 0 {
+			continue
+		}
+		g := s.BW.GBps(geo)
+		x := l.left + float64(i)*l.barW
+		y := l.top + l.plotH
+		for _, comp := range bwOrder {
+			h := g[comp] / peak * l.plotH
+			y -= h
+			c.rect(x, y, l.barW+0.5, h, bwColor[comp])
+		}
+	}
+	if len(samples) > 0 {
+		c.text(l.left, l.top+l.plotH+16, "start", "0 ms")
+		end := geo.CyclesToNS(samples[len(samples)-1].End) / 1e6
+		c.text(l.left+l.plotW, l.top+l.plotH+16, "end", fmt.Sprintf("%.2f ms", end))
+	}
+	names := make([]string, len(bwOrder))
+	colors := make([]string, len(bwOrder))
+	for i, comp := range bwOrder {
+		names[i] = comp.String()
+		colors[i] = bwColor[comp]
+	}
+	legend(c, l, names, colors)
+	return c.done(w)
+}
+
+// CycleSamplesSVG writes the paper's Fig. 7 top panel: stacked cycle
+// components over time as fractions of core time.
+func CycleSamplesSVG(w io.Writer, samples []cyclestack.Stack, interval int64, geo dram.Geometry) error {
+	n := len(samples)
+	if n == 0 {
+		n = 1
+	}
+	l := chartLayout{left: 55, top: 30, bottom: 45, plotH: 220}
+	l.barW = 640.0 / float64(n)
+	l.plotW = l.barW * float64(n)
+	width := int(l.left + l.plotW + 160)
+	height := int(l.top + l.plotH + l.bottom)
+	c := newCanvas(width, height)
+	yAxis(c, l, 1, "fraction")
+	order := []cyclestack.Component{
+		cyclestack.Base, cyclestack.Branch, cyclestack.Dcache,
+		cyclestack.DramLatency, cyclestack.DramQueue, cyclestack.Idle,
+	}
+	for i, s := range samples {
+		f := s.Fractions()
+		x := l.left + float64(i)*l.barW
+		y := l.top + l.plotH
+		for _, comp := range order {
+			h := f[comp] * l.plotH
+			y -= h
+			c.rect(x, y, l.barW+0.5, h, cycleColor[comp])
+		}
+	}
+	if len(samples) > 0 {
+		c.text(l.left, l.top+l.plotH+16, "start", "0 ms")
+		end := geo.CyclesToNS(int64(len(samples))*interval) / 1e6
+		c.text(l.left+l.plotW, l.top+l.plotH+16, "end", fmt.Sprintf("%.2f ms", end))
+	}
+	names := make([]string, len(order))
+	colors := make([]string, len(order))
+	for i, comp := range order {
+		names[i] = comp.String()
+		colors[i] = cycleColor[comp]
+	}
+	legend(c, l, names, colors)
+	return c.done(w)
+}

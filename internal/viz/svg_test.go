@@ -1,0 +1,102 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"dramstacks/internal/cyclestack"
+	"dramstacks/internal/stacks"
+)
+
+func TestBandwidthSVG(t *testing.T) {
+	var b strings.Builder
+	err := BandwidthSVG(&b, []string{"seq 1c", "random 8c"},
+		[]stacks.BandwidthStack{sampleBW(), sampleBW()}, geo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "GB/s", "seq 1c", "random 8c",
+		bwColor[stacks.BWRead], bwColor[stacks.BWIdle], "read", "bank_idle",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	// Two bars of stacked rects: plenty of rect elements.
+	if n := strings.Count(out, "<rect"); n < 8 {
+		t.Errorf("only %d rects", n)
+	}
+}
+
+func TestLatencySVG(t *testing.T) {
+	var b strings.Builder
+	if err := LatencySVG(&b, []string{"x"}, []stacks.LatencyStack{sampleLat()}, geo()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<svg", "ns", "queue", latColor[stacks.LatQueue]} {
+		if !strings.Contains(out, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	// Empty stack list must not panic and still produce a document.
+	var e strings.Builder
+	if err := LatencySVG(&e, nil, nil, geo()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.String(), "</svg>") {
+		t.Error("empty chart not closed")
+	}
+}
+
+func TestThroughTimeSVG(t *testing.T) {
+	var b strings.Builder
+	samples := []stacks.Sample{
+		{Start: 0, End: 1000, BW: sampleBW()},
+		{Start: 1000, End: 2000, BW: sampleBW()},
+		{Start: 2000, End: 3000}, // empty sample skipped
+	}
+	if err := ThroughTimeSVG(&b, samples, geo()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "0 ms") || !strings.Contains(out, "ms") {
+		t.Error("time axis labels missing")
+	}
+}
+
+func TestCycleSamplesSVG(t *testing.T) {
+	a := cyclestack.NewAccountant()
+	for i := 0; i < 7; i++ {
+		a.AddCycle(cyclestack.Base)
+	}
+	for i := 0; i < 3; i++ {
+		a.AddCycle(cyclestack.DramQueue)
+	}
+	var b strings.Builder
+	if err := CycleSamplesSVG(&b, []cyclestack.Stack{a.Stack(), a.Stack()}, 1000, geo()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"dram-queue", cycleColor[cyclestack.Base], "fraction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	var b strings.Builder
+	if err := BandwidthSVG(&b, []string{"<evil> & co"},
+		[]stacks.BandwidthStack{sampleBW()}, geo()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "<evil>") {
+		t.Error("label not escaped")
+	}
+	if !strings.Contains(b.String(), "&lt;evil&gt;") {
+		t.Error("escaped label missing")
+	}
+}

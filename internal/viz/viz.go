@@ -1,0 +1,260 @@
+// Package viz renders bandwidth, latency and cycle stacks as ASCII bar
+// charts and tables, and exports through-time samples as CSV — the
+// textual equivalents of the paper's stacked-bar figures.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dramstacks/internal/cyclestack"
+	"dramstacks/internal/dram"
+	"dramstacks/internal/stacks"
+)
+
+// bwGlyphs maps each bandwidth component to its bar character, bottom of
+// the stack first (the paper's plotting order: achieved bandwidth at the
+// bottom, idle on top).
+var bwOrder = []stacks.BWComponent{
+	stacks.BWRead, stacks.BWWrite, stacks.BWRefresh, stacks.BWConstraints,
+	stacks.BWBankIdle, stacks.BWPrecharge, stacks.BWActivate, stacks.BWIdle,
+}
+
+var bwGlyph = map[stacks.BWComponent]byte{
+	stacks.BWRead:        'R',
+	stacks.BWWrite:       'W',
+	stacks.BWRefresh:     'f',
+	stacks.BWConstraints: 'c',
+	stacks.BWBankIdle:    'b',
+	stacks.BWPrecharge:   'p',
+	stacks.BWActivate:    'a',
+	stacks.BWIdle:        '.',
+}
+
+var latOrder = []stacks.LatComponent{
+	stacks.LatBaseCtrl, stacks.LatBaseDRAM, stacks.LatPreAct,
+	stacks.LatRefresh, stacks.LatWriteBurst, stacks.LatQueue,
+}
+
+var latGlyph = map[stacks.LatComponent]byte{
+	stacks.LatBaseCtrl:   'B',
+	stacks.LatBaseDRAM:   'D',
+	stacks.LatPreAct:     'a',
+	stacks.LatRefresh:    'f',
+	stacks.LatWriteBurst: 'w',
+	stacks.LatQueue:      'q',
+}
+
+var cycleGlyph = map[cyclestack.Component]byte{
+	cyclestack.Base:        'B',
+	cyclestack.Branch:      'j',
+	cyclestack.Dcache:      'd',
+	cyclestack.DramLatency: 'L',
+	cyclestack.DramQueue:   'Q',
+	cyclestack.Idle:        '.',
+}
+
+// bar renders parts (which sum to total) as a width-character bar.
+func bar(parts []float64, glyphs []byte, total float64, width int) string {
+	if total <= 0 {
+		return strings.Repeat(" ", width)
+	}
+	var b strings.Builder
+	used := 0
+	for i, p := range parts {
+		n := int(p/total*float64(width) + 0.5)
+		if used+n > width {
+			n = width - used
+		}
+		b.Write(bytesRepeat(glyphs[i], n))
+		used += n
+	}
+	if used < width {
+		b.Write(bytesRepeat(' ', width-used))
+	}
+	return b.String()
+}
+
+func bytesRepeat(c byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+// BandwidthChart renders labeled bandwidth stacks as bars against the
+// peak bandwidth, plus a numeric table.
+func BandwidthChart(w io.Writer, labels []string, list []stacks.BandwidthStack, geo dram.Geometry) {
+	peak := geo.PeakBandwidthGBs()
+	fmt.Fprintf(w, "bandwidth stacks (GB/s, peak %.1f)\n", peak)
+	fmt.Fprintf(w, "legend: R=read W=write f=refresh c=constraints b=bank_idle p=precharge a=activate .=idle\n")
+	width := 64
+	for i, s := range list {
+		g := s.GBps(geo)
+		parts := make([]float64, len(bwOrder))
+		glyphs := make([]byte, len(bwOrder))
+		for j, c := range bwOrder {
+			parts[j] = g[c]
+			glyphs[j] = bwGlyph[c]
+		}
+		fmt.Fprintf(w, "%-18s |%s| %5.2f achieved\n",
+			labels[i], bar(parts, glyphs, peak, width), s.AchievedGBps(geo))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-18s", "")
+	for _, c := range bwOrder {
+		fmt.Fprintf(w, " %10s", c)
+	}
+	fmt.Fprintln(w)
+	for i, s := range list {
+		g := s.GBps(geo)
+		fmt.Fprintf(w, "%-18s", labels[i])
+		for _, c := range bwOrder {
+			fmt.Fprintf(w, " %10.3f", g[c])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// LatencyChart renders labeled latency stacks scaled to the largest
+// total, plus a numeric table.
+func LatencyChart(w io.Writer, labels []string, list []stacks.LatencyStack, geo dram.Geometry) {
+	var maxNS float64
+	for _, s := range list {
+		if v := s.AvgTotalNS(geo); v > maxNS {
+			maxNS = v
+		}
+	}
+	fmt.Fprintf(w, "latency stacks (avg ns per read)\n")
+	fmt.Fprintf(w, "legend: B=base-cntlr D=base-dram a=act/pre f=refresh w=writeburst q=queue\n")
+	width := 64
+	for i, s := range list {
+		ns := s.AvgNS(geo)
+		parts := make([]float64, len(latOrder))
+		glyphs := make([]byte, len(latOrder))
+		for j, c := range latOrder {
+			parts[j] = ns[c]
+			glyphs[j] = latGlyph[c]
+		}
+		fmt.Fprintf(w, "%-18s |%s| %6.1f ns\n",
+			labels[i], bar(parts, glyphs, maxNS, width), s.AvgTotalNS(geo))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-18s", "")
+	for _, c := range latOrder {
+		fmt.Fprintf(w, " %10s", c)
+	}
+	fmt.Fprintln(w)
+	for i, s := range list {
+		ns := s.AvgNS(geo)
+		fmt.Fprintf(w, "%-18s", labels[i])
+		for _, c := range latOrder {
+			fmt.Fprintf(w, " %10.2f", ns[c])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// CycleChart renders cycle stacks as fraction-of-time bars.
+func CycleChart(w io.Writer, labels []string, list []cyclestack.Stack) {
+	fmt.Fprintf(w, "cycle stacks (fraction of core cycles)\n")
+	fmt.Fprintf(w, "legend: B=base j=branch d=dcache L=dram-latency Q=dram-queue .=idle\n")
+	width := 64
+	for i, s := range list {
+		f := s.Fractions()
+		parts := make([]float64, cyclestack.NumComponents)
+		glyphs := make([]byte, cyclestack.NumComponents)
+		for c := cyclestack.Component(0); c < cyclestack.NumComponents; c++ {
+			parts[c] = f[c]
+			glyphs[c] = cycleGlyph[c]
+		}
+		fmt.Fprintf(w, "%-18s |%s|\n", labels[i], bar(parts, glyphs, 1, width))
+	}
+}
+
+// SamplesCSV exports through-time bandwidth and latency samples: one row
+// per sample with the per-component GB/s and avg-ns values (the data
+// behind the paper's Fig. 7 middle and bottom plots).
+func SamplesCSV(w io.Writer, samples []stacks.Sample, geo dram.Geometry) error {
+	if _, err := fmt.Fprint(w, "start_cycle,end_cycle,time_ms"); err != nil {
+		return err
+	}
+	for _, c := range bwOrder {
+		fmt.Fprintf(w, ",bw_%s", c)
+	}
+	for _, c := range latOrder {
+		fmt.Fprintf(w, ",lat_%s", strings.ReplaceAll(c.String(), "/", "_"))
+	}
+	fmt.Fprintln(w)
+	for _, s := range samples {
+		fmt.Fprintf(w, "%d,%d,%.4f", s.Start, s.End, geo.CyclesToNS(s.End)/1e6)
+		g := s.BW.GBps(geo)
+		for _, c := range bwOrder {
+			fmt.Fprintf(w, ",%.4f", g[c])
+		}
+		ns := s.Lat.AvgNS(geo)
+		for _, c := range latOrder {
+			fmt.Fprintf(w, ",%.3f", ns[c])
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CycleSamplesCSV exports through-time cycle-stack samples as component
+// fractions (the paper's Fig. 7 top plot).
+func CycleSamplesCSV(w io.Writer, samples []cyclestack.Stack, interval int64, geo dram.Geometry) error {
+	if _, err := fmt.Fprint(w, "sample,time_ms"); err != nil {
+		return err
+	}
+	for c := cyclestack.Component(0); c < cyclestack.NumComponents; c++ {
+		fmt.Fprintf(w, ",%s", c)
+	}
+	fmt.Fprintln(w)
+	for i, s := range samples {
+		f := s.Fractions()
+		fmt.Fprintf(w, "%d,%.4f", i, geo.CyclesToNS(int64(i+1)*interval)/1e6)
+		for c := cyclestack.Component(0); c < cyclestack.NumComponents; c++ {
+			fmt.Fprintf(w, ",%.4f", f[c])
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ThroughTime renders a through-time sample series as one line per
+// sample: achieved bandwidth bar plus the dominant loss component — a
+// terminal rendition of the paper's Fig. 7 middle plot.
+func ThroughTime(w io.Writer, samples []stacks.Sample, geo dram.Geometry) {
+	peak := geo.PeakBandwidthGBs()
+	fmt.Fprintf(w, "through-time bandwidth (GB/s of %.1f peak; # achieved, label = dominant loss)\n", peak)
+	width := 50
+	for _, s := range samples {
+		if s.BW.TotalCycles == 0 {
+			continue
+		}
+		g := s.BW.GBps(geo)
+		ach := g[stacks.BWRead] + g[stacks.BWWrite]
+		// Dominant non-achieved component.
+		var domC stacks.BWComponent
+		var domV float64
+		for _, c := range bwOrder[2:] { // skip read/write
+			if g[c] > domV {
+				domV = g[c]
+				domC = c
+			}
+		}
+		n := int(ach / peak * float64(width))
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(w, "%8.3fms %5.2f |%-*s| %s %.1f\n",
+			geo.CyclesToNS(s.End)/1e6, ach, width, strings.Repeat("#", n), domC, domV)
+	}
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"fmt"
+
+	"dramstacks/internal/cpu"
+)
+
+// StreamKind selects one of the STREAM benchmark kernels (McCalpin):
+// the canonical user-level bandwidth tests, each a different mix of
+// concurrent sequential read streams and a write stream.
+type StreamKind uint8
+
+const (
+	// StreamCopy is c[i] = a[i]: one read stream, one write stream.
+	StreamCopy StreamKind = iota
+	// StreamScale is b[i] = s*c[i]: one read, one write, one multiply.
+	StreamScale
+	// StreamAdd is c[i] = a[i] + b[i]: two reads, one write.
+	StreamAdd
+	// StreamTriad is a[i] = b[i] + s*c[i]: two reads, one write, one FMA.
+	StreamTriad
+)
+
+// String returns the STREAM kernel name.
+func (k StreamKind) String() string {
+	switch k {
+	case StreamCopy:
+		return "copy"
+	case StreamScale:
+		return "scale"
+	case StreamAdd:
+		return "add"
+	case StreamTriad:
+		return "triad"
+	default:
+		return fmt.Sprintf("StreamKind(%d)", uint8(k))
+	}
+}
+
+// StreamConfig parameterizes a STREAM kernel stream.
+type StreamConfig struct {
+	Kind StreamKind
+	// ArrayBytes is the size of each array (a, b, c); like STREAM's
+	// rule, it should be much larger than the LLC.
+	ArrayBytes uint64
+	// BaseAddr is where this core's arrays start (they are laid out
+	// back to back, page aligned).
+	BaseAddr uint64
+	// WorkPerElem is the number of plain uops per element beyond the
+	// loads/stores (the arithmetic).
+	WorkPerElem int
+	// Ops bounds the number of elements processed (0 = unbounded).
+	Ops int64
+}
+
+// DefaultStream returns a STREAM kernel configuration sized like the
+// synthetic patterns (64 MB arrays).
+func DefaultStream(kind StreamKind) StreamConfig {
+	return StreamConfig{
+		Kind:        kind,
+		ArrayBytes:  64 << 20,
+		WorkPerElem: 30,
+	}
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c StreamConfig) Validate() error {
+	if c.ArrayBytes < 64 {
+		return fmt.Errorf("workload: stream array %d bytes too small", c.ArrayBytes)
+	}
+	if c.WorkPerElem < 0 {
+		return fmt.Errorf("workload: negative work per element")
+	}
+	if c.Kind > StreamTriad {
+		return fmt.Errorf("workload: unknown stream kind %d", c.Kind)
+	}
+	return nil
+}
+
+// Stream generates a STREAM kernel's access stream; it implements
+// cpu.Source. Each "element" step touches one cache line of each
+// involved array (the model's cores access line-granular data; the
+// per-element arithmetic is folded into WorkPerElem × the 8 elements a
+// 64-byte line holds).
+type Stream struct {
+	cfg     StreamConfig
+	a, b, c uint64 // array base addresses
+	offset  uint64
+	emitted int64
+	phase   int // which access of the current element group is next
+}
+
+var _ cpu.Source = (*Stream)(nil)
+
+// NewStream returns a generator; configuration errors surface here.
+func NewStream(cfg StreamConfig) (*Stream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	span := (cfg.ArrayBytes + 4095) &^ 4095
+	return &Stream{
+		cfg: cfg,
+		a:   cfg.BaseAddr,
+		b:   cfg.BaseAddr + span,
+		c:   cfg.BaseAddr + 2*span,
+	}, nil
+}
+
+// MustStream is NewStream for known-good configurations.
+func MustStream(cfg StreamConfig) *Stream {
+	s, err := NewStream(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// accesses returns the per-line access plan: the read arrays and the
+// written array of the kernel.
+func (s *Stream) accesses() (reads []uint64, write uint64) {
+	switch s.cfg.Kind {
+	case StreamCopy:
+		return []uint64{s.a}, s.c
+	case StreamScale:
+		return []uint64{s.c}, s.b
+	case StreamAdd:
+		return []uint64{s.a, s.b}, s.c
+	default: // StreamTriad
+		return []uint64{s.b, s.c}, s.a
+	}
+}
+
+// Next implements cpu.Source.
+func (s *Stream) Next() (cpu.Instr, bool) {
+	if s.cfg.Ops > 0 && s.emitted >= s.cfg.Ops {
+		return cpu.Instr{}, false
+	}
+	reads, write := s.accesses()
+	work := 0
+	if s.phase == 0 {
+		work = s.cfg.WorkPerElem
+	}
+	var ins cpu.Instr
+	if s.phase < len(reads) {
+		ins = cpu.Instr{Work: work, Kind: cpu.KindLoad, Addr: reads[s.phase] + s.offset}
+		s.phase++
+	} else {
+		ins = cpu.Instr{Work: work, Kind: cpu.KindStore, Addr: write + s.offset}
+		s.phase = 0
+		s.offset += 64
+		if s.offset >= s.cfg.ArrayBytes {
+			s.offset = 0
+		}
+		s.emitted++
+	}
+	return ins, true
+}
+
+// Emitted returns how many element groups (lines) have been completed.
+func (s *Stream) Emitted() int64 { return s.emitted }
+
+// StreamSources builds per-core STREAM sources with disjoint arrays.
+func StreamSources(kind StreamKind, cores int) []cpu.Source {
+	var out []cpu.Source
+	for i := 0; i < cores; i++ {
+		cfg := DefaultStream(kind)
+		cfg.BaseAddr = uint64(i)*(512<<20) + uint64(i)*8192
+		out = append(out, MustStream(cfg))
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"testing"
+
+	"dramstacks/internal/cpu"
+)
+
+func TestStreamTriadAccessPlan(t *testing.T) {
+	cfg := DefaultStream(StreamTriad)
+	cfg.ArrayBytes = 4096
+	cfg.BaseAddr = 0
+	cfg.Ops = 2
+	s := MustStream(cfg)
+	var got []cpu.Instr
+	for {
+		ins, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, ins)
+	}
+	// Per line: load b, load c, store a; two lines.
+	if len(got) != 6 {
+		t.Fatalf("items = %d, want 6", len(got))
+	}
+	span := uint64(4096)
+	want := []struct {
+		kind cpu.Kind
+		addr uint64
+	}{
+		{cpu.KindLoad, span},      // b[0]
+		{cpu.KindLoad, 2 * span},  // c[0]
+		{cpu.KindStore, 0},        // a[0]
+		{cpu.KindLoad, span + 64}, // b[1]
+		{cpu.KindLoad, 2*span + 64},
+		{cpu.KindStore, 64},
+	}
+	for i, w := range want {
+		if got[i].Kind != w.kind || got[i].Addr != w.addr {
+			t.Errorf("item %d = %v@%#x, want %v@%#x", i, got[i].Kind, got[i].Addr, w.kind, w.addr)
+		}
+	}
+	// Work attaches to the first access of each element group only.
+	if got[0].Work == 0 || got[1].Work != 0 || got[2].Work != 0 {
+		t.Errorf("work placement wrong: %v", got[:3])
+	}
+}
+
+func TestStreamKindsReadWriteCounts(t *testing.T) {
+	counts := map[StreamKind][2]int{ // reads, writes per element
+		StreamCopy:  {1, 1},
+		StreamScale: {1, 1},
+		StreamAdd:   {2, 1},
+		StreamTriad: {2, 1},
+	}
+	for kind, want := range counts {
+		cfg := DefaultStream(kind)
+		cfg.Ops = 10
+		s := MustStream(cfg)
+		loads, stores := 0, 0
+		for {
+			ins, ok := s.Next()
+			if !ok {
+				break
+			}
+			switch ins.Kind {
+			case cpu.KindLoad:
+				loads++
+			case cpu.KindStore:
+				stores++
+			}
+		}
+		if loads != want[0]*10 || stores != want[1]*10 {
+			t.Errorf("%v: %d loads / %d stores, want %d/%d",
+				kind, loads, stores, want[0]*10, want[1]*10)
+		}
+	}
+}
+
+func TestStreamWrapsAndValidates(t *testing.T) {
+	cfg := DefaultStream(StreamCopy)
+	cfg.ArrayBytes = 128 // two lines
+	cfg.Ops = 3
+	s := MustStream(cfg)
+	var addrs []uint64
+	for {
+		ins, ok := s.Next()
+		if !ok {
+			break
+		}
+		if ins.Kind == cpu.KindLoad {
+			addrs = append(addrs, ins.Addr)
+		}
+	}
+	if len(addrs) != 3 || addrs[0] != 0 || addrs[1] != 64 || addrs[2] != 0 {
+		t.Errorf("load addresses = %v, want wrap [0 64 0]", addrs)
+	}
+
+	bad := DefaultStream(StreamCopy)
+	bad.ArrayBytes = 32
+	if _, err := NewStream(bad); err == nil {
+		t.Error("tiny array accepted")
+	}
+	bad = DefaultStream(StreamCopy)
+	bad.WorkPerElem = -1
+	if _, err := NewStream(bad); err == nil {
+		t.Error("negative work accepted")
+	}
+	bad = DefaultStream(StreamKind(9))
+	if _, err := NewStream(bad); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestStreamSources(t *testing.T) {
+	srcs := StreamSources(StreamTriad, 3)
+	if len(srcs) != 3 {
+		t.Fatalf("sources = %d", len(srcs))
+	}
+	a, _ := srcs[0].Next()
+	b, _ := srcs[1].Next()
+	if a.Addr == b.Addr {
+		t.Error("cores share arrays")
+	}
+	for _, k := range []StreamKind{StreamCopy, StreamScale, StreamAdd, StreamTriad} {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"testing"
+
+	"dramstacks/internal/cpu"
+)
+
+func TestSequentialAddresses(t *testing.T) {
+	cfg := DefaultSequential()
+	cfg.FootprintBytes = 4 * 64
+	cfg.BaseAddr = 1 << 20
+	cfg.Ops = 10
+	s := MustSynthetic(cfg)
+	var addrs []uint64
+	for {
+		ins, ok := s.Next()
+		if !ok {
+			break
+		}
+		if ins.Kind != cpu.KindLoad {
+			t.Fatalf("unexpected kind %v", ins.Kind)
+		}
+		addrs = append(addrs, ins.Addr)
+	}
+	if len(addrs) != 10 {
+		t.Fatalf("emitted %d ops, want 10", len(addrs))
+	}
+	for i, a := range addrs {
+		want := uint64(1<<20) + uint64(i%4)*64 // wraps at the footprint
+		if a != want {
+			t.Errorf("op %d addr = %#x, want %#x", i, a, want)
+		}
+	}
+}
+
+func TestStoreFraction(t *testing.T) {
+	cfg := DefaultSequential()
+	cfg.StoreFrac = 0.3
+	cfg.Ops = 20000
+	s := MustSynthetic(cfg)
+	stores := 0
+	for {
+		ins, ok := s.Next()
+		if !ok {
+			break
+		}
+		if ins.Kind == cpu.KindStore {
+			stores++
+		}
+	}
+	frac := float64(stores) / 20000
+	if frac < 0.27 || frac > 0.33 {
+		t.Errorf("store fraction = %v, want about 0.3", frac)
+	}
+}
+
+func TestRandomStaysInFootprintAndDeterministic(t *testing.T) {
+	cfg := DefaultRandom()
+	cfg.FootprintBytes = 1 << 16
+	cfg.BaseAddr = 4 << 20
+	cfg.Ops = 5000
+	a := MustSynthetic(cfg)
+	b := MustSynthetic(cfg)
+	for i := 0; i < 5000; i++ {
+		x, okA := a.Next()
+		y, okB := b.Next()
+		if !okA || !okB {
+			t.Fatalf("stream ended early at %d", i)
+		}
+		if x != y {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, x, y)
+		}
+		if x.Addr < 4<<20 || x.Addr >= (4<<20)+(1<<16) {
+			t.Fatalf("address %#x outside footprint", x.Addr)
+		}
+	}
+}
+
+func TestRandomChainDependencies(t *testing.T) {
+	cfg := DefaultRandom()
+	cfg.Chains = 2
+	cfg.Ops = 100
+	s := MustSynthetic(cfg)
+	loads := 0
+	for {
+		ins, ok := s.Next()
+		if !ok {
+			break
+		}
+		if ins.Kind != cpu.KindLoad {
+			continue
+		}
+		loads++
+		if loads <= 2 {
+			if ins.LoadDep != 0 {
+				t.Errorf("load %d has dep %d, want 0 (chain head)", loads, ins.LoadDep)
+			}
+			continue
+		}
+		if ins.LoadDep != 2 {
+			t.Errorf("load %d has dep %d, want 2 (round-robin over 2 chains)", loads, ins.LoadDep)
+		}
+	}
+}
+
+func TestBranchesInterleaved(t *testing.T) {
+	cfg := DefaultSequential()
+	cfg.BranchEvery = 3
+	cfg.MispredictRate = 1.0
+	cfg.Ops = 9
+	s := MustSynthetic(cfg)
+	branches, mem := 0, 0
+	for {
+		ins, ok := s.Next()
+		if !ok {
+			break
+		}
+		if ins.Kind == cpu.KindBranch {
+			branches++
+			if !ins.Mispredict {
+				t.Error("mispredict rate 1.0 produced a predicted branch")
+			}
+		} else {
+			mem++
+		}
+	}
+	if mem != 9 || branches != 3 {
+		t.Errorf("mem=%d branches=%d, want 9/3", mem, branches)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []func(*SyntheticConfig){
+		func(c *SyntheticConfig) { c.StoreFrac = -0.1 },
+		func(c *SyntheticConfig) { c.StoreFrac = 1.1 },
+		func(c *SyntheticConfig) { c.WorkPerOp = -1 },
+		func(c *SyntheticConfig) { c.FootprintBytes = 0 },
+		func(c *SyntheticConfig) { c.Pattern = Random; c.Chains = 0 },
+		func(c *SyntheticConfig) { c.MispredictRate = 2 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultSequential()
+		mutate(&cfg)
+		if _, err := NewSynthetic(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := &Slice{Instrs: []cpu.Instr{{Work: 1}, {Work: 2}}}
+	a, ok := s.Next()
+	if !ok || a.Work != 1 {
+		t.Fatalf("first = %+v, %v", a, ok)
+	}
+	s.Next()
+	if _, ok := s.Next(); ok {
+		t.Error("exhausted slice still produced items")
+	}
+}
+
+func TestStridedAddresses(t *testing.T) {
+	cfg := DefaultStrided()
+	cfg.FootprintBytes = 1024
+	cfg.Ops = 6
+	s := MustSynthetic(cfg)
+	var addrs []uint64
+	for {
+		ins, ok := s.Next()
+		if !ok {
+			break
+		}
+		addrs = append(addrs, ins.Addr)
+	}
+	want := []uint64{0, 256, 512, 768, 0, 256} // wraps at the footprint
+	if len(addrs) != len(want) {
+		t.Fatalf("got %d addrs", len(addrs))
+	}
+	for i := range want {
+		if addrs[i] != want[i] {
+			t.Errorf("op %d addr = %d, want %d", i, addrs[i], want[i])
+		}
+	}
+	if Strided.String() != "strided" {
+		t.Errorf("pattern name = %q", Strided.String())
+	}
+}
