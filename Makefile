@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-figs bench-ablations figs clean
+.PHONY: all build test test-short race cover bench bench-figs bench-ablations figs serve clean
+
+# Port for `make serve` (override: make serve PORT=9000).
+PORT ?= 8080
 
 all: build test
 
@@ -33,9 +36,14 @@ bench-ablations:
 bench:
 	$(GO) test -run xxx -bench . -benchmem -benchtime 1x . | tee bench_output.txt
 
+# Build and launch the simulation service (see doc/SERVICE.md).
+serve:
+	$(GO) build -o dramstacksd ./cmd/dramstacksd
+	./dramstacksd -addr :$(PORT)
+
 # Regenerate every figure's data at full scale into results/.
 figs:
 	$(GO) run ./cmd/paperfigs -fig all -out results
 
 clean:
-	rm -rf results bench_output.txt test_output.txt
+	rm -rf results bench_output.txt test_output.txt dramstacksd

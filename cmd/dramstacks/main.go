@@ -7,18 +7,24 @@
 //	dramstacks -workload random -cores 8 -stores 0.2 -policy closed
 //	dramstacks -workload bfs -cores 8 -scale 16 -cycles 1000000
 //	dramstacks -workload seq -cores 2 -map int -trace seq2.trace
+//	dramstacks -workload seq -cores 4 -json
+//
+// Except for -workload trace (which replays a local file), experiments
+// are described by the shared spec layer in internal/exp, the same path
+// the dramstacksd service runs, so -json output is byte-identical to
+// the service's result for the same spec.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"dramstacks/internal/cpu"
 	"dramstacks/internal/cyclestack"
+	"dramstacks/internal/dram"
 	"dramstacks/internal/exp"
-	"dramstacks/internal/gap"
 	"dramstacks/internal/memctrl"
 	"dramstacks/internal/power"
 	"dramstacks/internal/sim"
@@ -43,16 +49,55 @@ func main() {
 		wq        = flag.Int("wq", 0, "write queue capacity override (paper wq128 variant)")
 		csvOut    = flag.String("csv", "", "write through-time samples as CSV to this file (needs -sample)")
 		traceFile = flag.String("trace", "", "record the DRAM command trace to this file")
+		jsonOut   = flag.Bool("json", false, "print the result as JSON (the dramstacksd wire format) instead of charts")
 	)
 	flag.Parse()
-	if err := run(*wl, *inFile, *cores, *channels, *stores, *policy, *mapping, *cycles, *sample, *scale, *wq, *csvOut, *traceFile); err != nil {
+	if err := run(*wl, *inFile, *cores, *channels, *stores, *policy, *mapping, *cycles, *sample, *scale, *wq, *csvOut, *traceFile, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "dramstacks:", err)
 		os.Exit(1)
 	}
 }
 
 func run(wl, inFile string, cores, channels int, stores float64, policy, mapping string,
-	cycles, sample int64, scale, wq int, csvOut, traceFile string) error {
+	cycles, sample int64, scale, wq int, csvOut, traceFile string, jsonOut bool) error {
+	if csvOut != "" && sample <= 0 {
+		return fmt.Errorf("-csv needs -sample > 0: without sampling no through-time samples are recorded and the CSV would hold only a header")
+	}
+
+	var rec trace.Recorder
+	var hook func(cycle int64, cmd dram.Command)
+	if traceFile != "" {
+		hook = rec.Hook()
+	}
+
+	if wl == "trace" {
+		res, err := runTrace(inFile, cores, channels, policy, mapping, cycles, sample, hook)
+		if err != nil {
+			return err
+		}
+		return report(&simResult{res, fmt.Sprintf("trace %dc", cores), rec.Events()}, nil, csvOut, traceFile, jsonOut)
+	}
+
+	spec := exp.Spec{
+		Workload: wl, Cores: cores, Channels: channels, Stores: stores,
+		Policy: policy, Mapping: mapping, Budget: cycles, Sample: sample,
+		Scale: scale, WriteQueue: wq,
+	}
+	if cycles == 0 {
+		spec.Budget = exp.BudgetUnlimited
+	}
+	res, err := exp.RunSpec(context.Background(), spec, exp.RunOptions{Trace: hook})
+	if err != nil {
+		return err
+	}
+	return report(&simResult{res, spec.Label(), rec.Events()}, &spec, csvOut, traceFile, jsonOut)
+}
+
+// runTrace replays an application memory trace on every core (the one
+// workload kind that needs a local file and therefore stays outside the
+// shared spec layer).
+func runTrace(inFile string, cores, channels int, policy, mapping string,
+	cycles, sample int64, hook func(int64, dram.Command)) (*sim.Result, error) {
 	m := sim.MapDefault
 	switch mapping {
 	case "def":
@@ -61,148 +106,20 @@ func run(wl, inFile string, cores, channels int, stores float64, policy, mapping
 	case "xor":
 		m = sim.MapXOR
 	default:
-		return fmt.Errorf("unknown mapping %q (want def, int or xor)", mapping)
+		return nil, fmt.Errorf("unknown mapping %q (want def, int or xor)", mapping)
 	}
-
-	if strings.Contains(wl, ",") {
-		return runMix(wl, cores, channels, policy, m, cycles, sample, csvOut, traceFile)
+	if inFile == "" {
+		return nil, fmt.Errorf("-workload trace needs -in <file>")
 	}
-	var res *simResult
-	switch wl {
-	case "trace":
-		if inFile == "" {
-			return fmt.Errorf("-workload trace needs -in <file>")
-		}
-		f, err := os.Open(inFile)
-		if err != nil {
-			return err
-		}
-		base, err := workload.ParseTrace(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		cfg := sim.Default(cores)
-		cfg.Channels = channels
-		cfg.Map = m
-		if policy == "closed" {
-			cfg.Ctrl.Policy = memctrl.ClosedPage
-		}
-		cfg.MaxMemCycles = cycles
-		cfg.SampleInterval = sample
-		var rec trace.Recorder
-		if traceFile != "" {
-			cfg.Trace = rec.Hook()
-		}
-		// Each core replays the trace from its own copy.
-		var sources []cpu.Source
-		for i := 0; i < cores; i++ {
-			p := *base
-			p.Loop = true
-			sources = append(sources, &p)
-		}
-		sys, err := sim.New(cfg, sources)
-		if err != nil {
-			return err
-		}
-		r := sys.Run()
-		if len(r.Violations) > 0 {
-			return fmt.Errorf("DRAM timing violations: %v", r.Violations[0])
-		}
-		res = &simResult{r, fmt.Sprintf("trace %dc", cores), rec.Events()}
-	case "copy", "scale", "add", "triad":
-		kinds := map[string]workload.StreamKind{
-			"copy": workload.StreamCopy, "scale": workload.StreamScale,
-			"add": workload.StreamAdd, "triad": workload.StreamTriad,
-		}
-		cfg := sim.Default(cores)
-		cfg.Channels = channels
-		cfg.Map = m
-		if policy == "closed" {
-			cfg.Ctrl.Policy = memctrl.ClosedPage
-		}
-		cfg.MaxMemCycles = cycles
-		cfg.PrewarmOps = 1 << 20
-		cfg.SampleInterval = sample
-		var rec trace.Recorder
-		if traceFile != "" {
-			cfg.Trace = rec.Hook()
-		}
-		sys, err := sim.New(cfg, workload.StreamSources(kinds[wl], cores))
-		if err != nil {
-			return err
-		}
-		r := sys.Run()
-		if len(r.Violations) > 0 {
-			return fmt.Errorf("DRAM timing violations: %v", r.Violations[0])
-		}
-		res = &simResult{r, fmt.Sprintf("stream-%s %dc", wl, cores), rec.Events()}
-	case "seq", "random", "strided":
-		pat := workload.Sequential
-		switch wl {
-		case "random":
-			pat = workload.Random
-		case "strided":
-			pat = workload.Strided
-		}
-		pol := memctrl.OpenPage
-		if policy == "closed" {
-			pol = memctrl.ClosedPage
-		} else if policy != "" && policy != "open" {
-			return fmt.Errorf("unknown policy %q", policy)
-		}
-		spec := exp.SynthSpec{
-			Pattern: pat, Cores: cores, Channels: channels, StoreFrac: stores,
-			Map: m, Policy: pol, Budget: cycles, Prewarm: 1 << 20, Sample: sample,
-		}
-		var rec trace.Recorder
-		if traceFile != "" {
-			spec.Trace = rec.Hook()
-		}
-		r, err := exp.RunSynth(spec)
-		if err != nil {
-			return err
-		}
-		res = &simResult{r, fmt.Sprintf("%s %dc", pat, cores), rec.Events()}
-	default:
-		found := false
-		for _, b := range gap.Benchmarks() {
-			if b == wl {
-				found = true
-			}
-		}
-		if !found {
-			return fmt.Errorf("unknown workload %q (want seq, random, or one of %v)", wl, gap.Benchmarks())
-		}
-		spec := exp.DefaultGap(wl, cores)
-		spec.Scale = scale
-		spec.Map = m
-		spec.Budget = cycles
-		spec.Sample = sample
-		spec.WriteQueue = wq
-		if policy == "open" {
-			spec.Policy = memctrl.OpenPage
-		} else if policy == "closed" {
-			spec.Policy = memctrl.ClosedPage
-		}
-		var rec trace.Recorder
-		if traceFile != "" {
-			spec.Trace = rec.Hook()
-		}
-		r, err := exp.RunGap(spec)
-		if err != nil {
-			return err
-		}
-		res = &simResult{r, fmt.Sprintf("%s %dc", wl, cores), rec.Events()}
+	f, err := os.Open(inFile)
+	if err != nil {
+		return nil, err
 	}
-	return report(res, csvOut, traceFile)
-}
-
-// runMix builds a heterogeneous system: the comma-separated workload
-// kinds are assigned to cores round-robin, each with a private region.
-func runMix(wl string, cores, channels int, policy string, m sim.Mapping,
-	cycles, sample int64, csvOut, traceFile string) error {
-	kinds := strings.Split(wl, ",")
+	base, err := workload.ParseTrace(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
 	cfg := sim.Default(cores)
 	cfg.Channels = channels
 	cfg.Map = m
@@ -211,50 +128,23 @@ func runMix(wl string, cores, channels int, policy string, m sim.Mapping,
 	}
 	cfg.MaxMemCycles = cycles
 	cfg.SampleInterval = sample
-	var rec trace.Recorder
-	if traceFile != "" {
-		cfg.Trace = rec.Hook()
-	}
+	cfg.Trace = hook
+	// Each core replays the trace from its own copy.
 	var sources []cpu.Source
 	for i := 0; i < cores; i++ {
-		kind := strings.TrimSpace(kinds[i%len(kinds)])
-		base := uint64(i)*(512<<20) + uint64(i)*8192
-		switch kind {
-		case "seq":
-			wc := workload.DefaultSequential()
-			wc.BaseAddr = base
-			wc.Seed = int64(i + 1)
-			sources = append(sources, workload.MustSynthetic(wc))
-		case "random":
-			wc := workload.DefaultRandom()
-			wc.BaseAddr = base
-			wc.Seed = int64(i + 1)
-			sources = append(sources, workload.MustSynthetic(wc))
-		case "strided":
-			wc := workload.DefaultStrided()
-			wc.BaseAddr = base
-			wc.Seed = int64(i + 1)
-			sources = append(sources, workload.MustSynthetic(wc))
-		case "copy", "scale", "add", "triad":
-			sc := workload.DefaultStream(map[string]workload.StreamKind{
-				"copy": workload.StreamCopy, "scale": workload.StreamScale,
-				"add": workload.StreamAdd, "triad": workload.StreamTriad,
-			}[kind])
-			sc.BaseAddr = base
-			sources = append(sources, workload.MustStream(sc))
-		default:
-			return fmt.Errorf("unknown mix component %q (synthetic and STREAM kinds only)", kind)
-		}
+		p := *base
+		p.Loop = true
+		sources = append(sources, &p)
 	}
 	sys, err := sim.New(cfg, sources)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	r := sys.Run()
 	if len(r.Violations) > 0 {
-		return fmt.Errorf("DRAM timing violations: %v", r.Violations[0])
+		return nil, fmt.Errorf("DRAM timing violations: %v", r.Violations[0])
 	}
-	return report(&simResult{r, fmt.Sprintf("mix(%s) %dc", wl, cores), rec.Events()}, csvOut, traceFile)
+	return r, nil
 }
 
 type simResult struct {
@@ -263,9 +153,60 @@ type simResult struct {
 	events []trace.Event
 }
 
-func report(res *simResult, csvOut, traceFile string) error {
+func report(res *simResult, spec *exp.Spec, csvOut, traceFile string, jsonOut bool) error {
 	r := res.r
 	geo := r.Cfg.Geom
+
+	// Side files go first so the messages below can report them; with
+	// -json the notes move to stderr to keep stdout a single document.
+	notes := os.Stdout
+	if jsonOut {
+		notes = os.Stderr
+	}
+	if csvOut != "" {
+		f, err := os.Create(csvOut)
+		if err != nil {
+			return err
+		}
+		if err := viz.SamplesCSV(f, r.BWSamples, geo); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(notes, "wrote %d through-time samples to %s\n", len(r.BWSamples), csvOut)
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		if err := trace.Write(f, res.events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(notes, "wrote %d DRAM commands to %s (rebuild the stack offline with cmd/tracestack)\n",
+			len(res.events), traceFile)
+	}
+
+	if jsonOut {
+		var doc []byte
+		var err error
+		if spec != nil {
+			doc, err = exp.ResultJSON(*spec, r)
+		} else {
+			doc, err = exp.ResultJSONRow(res.label, r)
+		}
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
 
 	fmt.Printf("simulated %d memory cycles (%.3f ms), %d instructions retired, %d channel(s)\n",
 		r.MemCycles, r.RuntimeMS(), r.TotalRetired(), r.Channels)
@@ -306,33 +247,6 @@ func report(res *simResult, csvOut, traceFile string) error {
 		for _, a := range advice {
 			fmt.Printf("  %s\n", a)
 		}
-	}
-
-	if csvOut != "" {
-		f, err := os.Create(csvOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := viz.SamplesCSV(f, r.BWSamples, geo); err != nil {
-			return err
-		}
-		fmt.Printf("\nwrote %d through-time samples to %s\n", len(r.BWSamples), csvOut)
-	}
-	if traceFile != "" {
-		f, err := os.Create(traceFile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := trace.Write(f, res.events); err != nil {
-			return err
-		}
-		fmt.Printf("\nwrote %d DRAM commands to %s (rebuild the stack offline with cmd/tracestack)\n",
-			len(res.events), traceFile)
-	}
-	if len(r.Violations) > 0 {
-		return fmt.Errorf("DRAM timing violations detected: %v", r.Violations[0])
 	}
 	return nil
 }

@@ -1,15 +1,19 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"dramstacks/internal/exp"
 )
 
 func TestRunSyntheticWorkloads(t *testing.T) {
 	for _, wl := range []string{"seq", "random", "strided", "triad"} {
-		if err := run(wl, "", 1, 1, 0, "", "def", 20_000, 0, 17, 0, "", ""); err != nil {
+		if err := run(wl, "", 1, 1, 0, "", "def", 20_000, 0, 17, 0, "", "", false); err != nil {
 			t.Errorf("%s: %v", wl, err)
 		}
 	}
@@ -19,7 +23,7 @@ func TestRunGapWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("gap run skipped in -short")
 	}
-	if err := run("bfs", "", 2, 1, 0, "", "def", 30_000, 0, 12, 0, "", ""); err != nil {
+	if err := run("bfs", "", 2, 1, 0, "", "def", 30_000, 0, 12, 0, "", "", false); err != nil {
 		t.Errorf("bfs: %v", err)
 	}
 }
@@ -31,16 +35,19 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		call func() error
 	}{
 		{"bad workload", "unknown workload", func() error {
-			return run("nope", "", 1, 1, 0, "", "def", 1000, 0, 17, 0, "", "")
+			return run("nope", "", 1, 1, 0, "", "def", 1000, 0, 17, 0, "", "", false)
 		}},
 		{"bad mapping", "unknown mapping", func() error {
-			return run("seq", "", 1, 1, 0, "", "zigzag", 1000, 0, 17, 0, "", "")
+			return run("seq", "", 1, 1, 0, "", "zigzag", 1000, 0, 17, 0, "", "", false)
 		}},
 		{"bad policy", "unknown policy", func() error {
-			return run("seq", "", 1, 1, 0, "lukewarm", "def", 1000, 0, 17, 0, "", "")
+			return run("seq", "", 1, 1, 0, "lukewarm", "def", 1000, 0, 17, 0, "", "", false)
 		}},
 		{"trace without file", "-in", func() error {
-			return run("trace", "", 1, 1, 0, "", "def", 1000, 0, 17, 0, "", "")
+			return run("trace", "", 1, 1, 0, "", "def", 1000, 0, 17, 0, "", "", false)
+		}},
+		{"csv without sample", "-csv needs -sample", func() error {
+			return run("seq", "", 1, 1, 0, "", "def", 1000, 0, 17, 0, "out.csv", "", false)
 		}},
 	}
 	for _, tc := range cases {
@@ -51,11 +58,47 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 }
 
+// TestRunJSONOutput checks -json emits the dramstacksd wire format with
+// the spec hash stamped in.
+func TestRunJSONOutput(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run("seq", "", 1, 1, 0, "", "def", 20_000, 0, 17, 0, "", "", true)
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var row exp.RowJSON
+	if err := json.Unmarshal(out, &row); err != nil {
+		t.Fatalf("stdout is not one JSON document: %v\n%s", err, out)
+	}
+	spec := exp.Spec{Workload: "seq", Cores: 1, Channels: 1, Budget: 20_000, Scale: 17}
+	wantHash, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.SpecHash != wantHash {
+		t.Errorf("spec_hash = %q, want %q", row.SpecHash, wantHash)
+	}
+	if row.MemCycles != 20_000 {
+		t.Errorf("mem_cycles = %d, want 20000", row.MemCycles)
+	}
+}
+
 func TestRunWithTraceAndCSVOutputs(t *testing.T) {
 	dir := t.TempDir()
 	traceOut := filepath.Join(dir, "cmds.trace")
 	csvOut := filepath.Join(dir, "samples.csv")
-	if err := run("seq", "", 1, 1, 0, "", "def", 30_000, 10_000, 17, 0, csvOut, traceOut); err != nil {
+	if err := run("seq", "", 1, 1, 0, "", "def", 30_000, 10_000, 17, 0, csvOut, traceOut, false); err != nil {
 		t.Fatal(err)
 	}
 	tr, err := os.ReadFile(traceOut)
@@ -83,7 +126,7 @@ func TestRunTracePlayerWorkload(t *testing.T) {
 	if err := os.WriteFile(in, []byte(b.String()), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("trace", in, 1, 1, 0, "", "def", 20_000, 0, 17, 0, "", ""); err != nil {
+	if err := run("trace", in, 1, 1, 0, "", "def", 20_000, 0, 17, 0, "", "", false); err != nil {
 		t.Errorf("trace workload: %v", err)
 	}
 }

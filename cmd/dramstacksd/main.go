@@ -1,0 +1,85 @@
+// Command dramstacksd serves DRAM bandwidth/latency-stack simulations
+// over HTTP: experiment specs are submitted as jobs (POST /v1/jobs), run
+// on a bounded worker pool behind a FIFO queue, deduplicated through a
+// content-addressed result cache, and observable via /metrics. See
+// doc/SERVICE.md for the API reference.
+//
+// Usage:
+//
+//	dramstacksd -addr :8080
+//	dramstacksd -addr 127.0.0.1:9000 -workers 4 -queue 128 -cache-mb 256
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dramstacks/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS-1)")
+		queue   = flag.Int("queue", 64, "job queue depth before submissions get 429")
+		cacheMB = flag.Int64("cache-mb", 64, "result cache budget in MiB")
+		verbose = flag.Bool("v", false, "debug logging")
+	)
+	flag.Parse()
+	if err := serve(*addr, *workers, *queue, *cacheMB, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "dramstacksd:", err)
+		os.Exit(1)
+	}
+}
+
+func serve(addr string, workers, queue int, cacheMB int64, verbose bool) error {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	svc := service.New(service.Config{
+		Workers:    workers,
+		QueueDepth: queue,
+		CacheBytes: cacheMB << 20,
+		Logger:     logger,
+	})
+	defer svc.Close()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests, then
+	// cancel any running simulations via svc.Close.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+		logger.Info("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	logger.Info("dramstacksd listening", "addr", addr,
+		"workers", workers, "queue", queue, "cache_mb", cacheMB)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-done
+	return nil
+}

@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 
+	"dramstacks/internal/dram"
 	"dramstacks/internal/sim"
 	"dramstacks/internal/stacks"
 )
@@ -13,6 +15,12 @@ import (
 // downstream tooling (plotting, regression tracking).
 type RowJSON struct {
 	Label string `json:"label"`
+	// SpecHash is the content address of the experiment spec that
+	// produced this row (set by ResultJSON; empty for figure rows that
+	// are not spec-driven).
+	SpecHash string `json:"spec_hash,omitempty"`
+	// Cancelled marks a partial result from a run stopped early.
+	Cancelled bool `json:"cancelled,omitempty"`
 
 	Channels     int     `json:"channels"`
 	MemCycles    int64   `json:"mem_cycles"`
@@ -59,6 +67,69 @@ func ToJSON(label string, res *sim.Result) RowJSON {
 		DRAMReads:     res.CtrlStats.IssuedReads,
 		DRAMWrites:    res.CtrlStats.IssuedWrites,
 		Refreshes:     res.CtrlStats.Refreshes,
+	}
+}
+
+// ResultJSON renders one spec-driven result as indented JSON with the
+// spec hash stamped in, the exact document the dramstacksd service
+// serves and cmd/dramstacks -json prints (byte-identical for identical
+// specs, since the simulator is deterministic).
+func ResultJSON(spec Spec, res *sim.Result) ([]byte, error) {
+	h, err := spec.Hash()
+	if err != nil {
+		return nil, err
+	}
+	row := ToJSON(spec.Label(), res)
+	row.SpecHash = h
+	return encodeRow(row, res)
+}
+
+// ResultJSONRow renders a result without spec provenance (used by
+// cmd/dramstacks for trace replays, which have no portable spec).
+func ResultJSONRow(label string, res *sim.Result) ([]byte, error) {
+	return encodeRow(ToJSON(label, res), res)
+}
+
+func encodeRow(row RowJSON, res *sim.Result) ([]byte, error) {
+	row.Cancelled = res.Cancelled
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(row); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SampleJSON is the machine-readable form of one through-time sample
+// (one NDJSON line of the service's /samples stream).
+type SampleJSON struct {
+	StartCycle    int64              `json:"start_cycle"`
+	EndCycle      int64              `json:"end_cycle"`
+	TimeMS        float64            `json:"time_ms"`
+	BandwidthGBps map[string]float64 `json:"bandwidth_gbps"`
+	LatencyNS     map[string]float64 `json:"latency_ns"`
+}
+
+// SampleToJSON converts one through-time sample using the geometry's
+// cycle-to-time conversions.
+func SampleToJSON(s stacks.Sample, geo dram.Geometry) SampleJSON {
+	bw := map[string]float64{}
+	g := s.BW.GBps(geo)
+	for c := stacks.BWComponent(0); c < stacks.NumBWComponents; c++ {
+		bw[c.String()] = g[c]
+	}
+	lat := map[string]float64{}
+	l := s.Lat.AvgNS(geo)
+	for c := stacks.LatComponent(0); c < stacks.NumLatComponents; c++ {
+		lat[c.String()] = l[c]
+	}
+	return SampleJSON{
+		StartCycle:    s.Start,
+		EndCycle:      s.End,
+		TimeMS:        geo.CyclesToNS(s.End) / 1e6,
+		BandwidthGBps: bw,
+		LatencyNS:     lat,
 	}
 }
 

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitMissAndUpdate(t *testing.T) {
+	c := NewCache(1024)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("hello"))
+	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("hello")) {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	c.Put("a", []byte("goodbye"))
+	if v, _ := c.Get("a"); !bytes.Equal(v, []byte("goodbye")) {
+		t.Fatalf("updated Get(a) = %q", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	if c.Bytes() != int64(len("goodbye")) {
+		t.Errorf("Bytes = %d, want %d", c.Bytes(), len("goodbye"))
+	}
+}
+
+func TestCacheEvictsLRUWithinByteBudget(t *testing.T) {
+	c := NewCache(30)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), make([]byte, 10)) // 40 bytes total
+	}
+	if c.Bytes() > 30 {
+		t.Errorf("cache holds %d bytes, budget 30", c.Bytes())
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Error("k0 should have been evicted (oldest)")
+	}
+	if _, ok := c.Get("k3"); !ok {
+		t.Error("k3 should survive (newest)")
+	}
+	// Touching k1 makes k2 the eviction victim.
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("k1 should still be cached")
+	}
+	c.Put("k4", make([]byte, 10))
+	if _, ok := c.Get("k2"); ok {
+		t.Error("k2 should have been evicted (least recently used)")
+	}
+	if _, ok := c.Get("k1"); !ok {
+		t.Error("recently touched k1 should survive")
+	}
+}
+
+func TestCacheRejectsOversizedValue(t *testing.T) {
+	c := NewCache(8)
+	c.Put("big", make([]byte, 9))
+	if _, ok := c.Get("big"); ok {
+		t.Error("value larger than the whole budget must not be cached")
+	}
+	if c.Bytes() != 0 {
+		t.Errorf("Bytes = %d, want 0", c.Bytes())
+	}
+}

@@ -1,0 +1,498 @@
+// Package service implements dramstacksd: simulation-as-a-service over
+// the deterministic machine in internal/sim. Experiment specs are
+// submitted as JSON jobs, run on a bounded worker pool behind a FIFO
+// queue with backpressure, deduplicated through a content-addressed
+// result cache, and observable via structured logs and Prometheus-style
+// metrics. Everything is stdlib-only.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"dramstacks/internal/dram"
+	"dramstacks/internal/exp"
+	"dramstacks/internal/stacks"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Workers is the simulation worker-pool size (default GOMAXPROCS-1,
+	// at least 1). Each simulation is single-threaded.
+	Workers int
+	// QueueDepth bounds the FIFO job queue (default 64). Submissions
+	// beyond it are rejected with HTTP 429 + Retry-After.
+	QueueDepth int
+	// CacheBytes is the result-cache byte budget (default 64 MiB).
+	CacheBytes int64
+	// Logger receives structured request and job logs (default
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0) - 1
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the dramstacksd HTTP service.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	queue   chan *Job
+	cache   *Cache
+	metrics *Metrics
+	handler http.Handler
+	geom    dram.Geometry
+
+	baseCtx   context.Context
+	stop      context.CancelFunc
+	workersWG sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string         // submission order, for GET /v1/jobs
+	active  map[string]*Job  // spec hash → queued/running job (in-flight dedup)
+	nextID  int64
+	running int
+}
+
+// New assembles a server and starts its worker pool; call Close to stop.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	geo, _ := dram.DDR4_2400()
+	s := &Server{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		cache:   NewCache(cfg.CacheBytes),
+		metrics: &Metrics{},
+		geom:    geo,
+		jobs:    make(map[string]*Job),
+		active:  make(map[string]*Job),
+	}
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	s.handler = s.logMiddleware(s.routes())
+	for i := 0; i < cfg.Workers; i++ {
+		s.workersWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the worker pool, cancelling any running simulations, and
+// waits for the workers to exit.
+func (s *Server) Close() {
+	s.stop()
+	s.workersWG.Wait()
+}
+
+// Handler returns the HTTP handler (also usable under httptest).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics exposes the counters for tests.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/stacks", s.handleStacks)
+	mux.HandleFunc("GET /v1/jobs/{id}/samples", s.handleSamples)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// statusRecorder captures the response code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards streaming flushes (NDJSON samples) to the client.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) logMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.code,
+			"duration_ms", float64(time.Since(start))/float64(time.Millisecond),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitResponse is the POST /v1/jobs reply.
+type submitResponse struct {
+	ID       string `json:"id"`
+	SpecHash string `json:"spec_hash"`
+	State    State  `json:"state"`
+	Cached   bool   `json:"cached"`
+	// Deduped marks a submission coalesced onto an identical job already
+	// queued or running.
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var spec exp.Spec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid spec JSON: %v", err)
+		return
+	}
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Served instantly when an identical spec already completed.
+	if result, ok := s.cache.Get(hash); ok {
+		s.metrics.CacheHits.Add(1)
+		s.metrics.JobsSubmitted.Add(1)
+		job := s.registerJob(spec, hash)
+		job.finishCached(result)
+		s.metrics.JobsDone.Add(1)
+		s.log.Info("job served from cache", "job", job.ID, "spec_hash", hash)
+		writeJSON(w, http.StatusOK, submitResponse{
+			ID: job.ID, SpecHash: hash, State: StateDone, Cached: true,
+		})
+		return
+	}
+	s.metrics.CacheMisses.Add(1)
+
+	// Coalesce onto an identical queued/running job.
+	s.mu.Lock()
+	if dup, ok := s.active[hash]; ok && !dup.State().Terminal() {
+		s.mu.Unlock()
+		s.metrics.JobsSubmitted.Add(1)
+		writeJSON(w, http.StatusOK, submitResponse{
+			ID: dup.ID, SpecHash: hash, State: dup.State(), Deduped: true,
+		})
+		return
+	}
+	s.mu.Unlock()
+
+	job := s.registerJob(spec, hash)
+	select {
+	case s.queue <- job:
+	default:
+		// Backpressure: the queue is full.
+		s.unregisterJob(job)
+		s.metrics.JobsRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job queue full (%d deep); retry later", s.cfg.QueueDepth)
+		return
+	}
+	s.mu.Lock()
+	s.active[hash] = job
+	s.mu.Unlock()
+	s.metrics.JobsSubmitted.Add(1)
+	s.log.Info("job queued", "job", job.ID, "spec_hash", hash, "workload", spec.Workload)
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID: job.ID, SpecHash: hash, State: StateQueued,
+	})
+}
+
+func (s *Server) registerJob(spec exp.Spec, hash string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := fmt.Sprintf("job-%06d", s.nextID)
+	job := newJob(s.baseCtx, id, spec, hash)
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	return job
+}
+
+func (s *Server) unregisterJob(job *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, job.ID)
+	if n := len(s.order); n > 0 && s.order[n-1] == job.ID {
+		s.order = s.order[:n-1]
+	}
+}
+
+func (s *Server) lookup(r *http.Request) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[r.PathValue("id")]
+	return job, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]StatusJSON, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	if !job.requestCancel() {
+		writeError(w, http.StatusConflict, "job %s already %s", job.ID, job.State())
+		return
+	}
+	if job.State() == StateCancelled { // was still queued
+		s.clearActive(job)
+		s.metrics.JobsCancelled.Add(1)
+	}
+	s.log.Info("job cancel requested", "job", job.ID, "state", job.State())
+	writeJSON(w, http.StatusAccepted, job.status())
+}
+
+func (s *Server) handleStacks(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	result, state := job.resultBytes()
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(result)
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, "job %s failed: %s", job.ID, job.status().Error)
+	case StateCancelled:
+		if result != nil {
+			// Partial stacks of a cancelled run are still well-formed.
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(result)
+			return
+		}
+		writeError(w, http.StatusConflict, "job %s was cancelled before producing stacks", job.ID)
+	default:
+		writeError(w, http.StatusConflict, "job %s is %s; poll until done", job.ID, state)
+	}
+}
+
+// handleSamples streams through-time samples as NDJSON, following the
+// run live until the job reaches a terminal state or the client goes
+// away.
+func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	if job.Spec.Sample <= 0 {
+		writeError(w, http.StatusConflict, "job %s has sampling off (submit with \"sample\" > 0)", job.ID)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		batch, n, changed, terminal := job.snapshotSamples(sent)
+		for _, sample := range batch {
+			if err := enc.Encode(sample); err != nil {
+				return
+			}
+		}
+		sent = n
+		if len(batch) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	running := s.running
+	s.mu.Unlock()
+	g := Gauges{
+		Queued:     len(s.queue),
+		Running:    running,
+		Workers:    s.cfg.Workers,
+		QueueCap:   s.cfg.QueueDepth,
+		CacheBytes: s.cache.Bytes(),
+		CacheItems: s.cache.Len(),
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w, g)
+}
+
+// worker consumes the FIFO queue until the server closes.
+func (s *Server) worker() {
+	defer s.workersWG.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case job := <-s.queue:
+			s.runJob(job)
+		}
+	}
+}
+
+func (s *Server) runJob(job *Job) {
+	defer s.clearActive(job)
+	if !job.start() {
+		// Cancelled while queued; already counted.
+		return
+	}
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+	s.metrics.WorkersBusy.Add(1)
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+		s.metrics.WorkersBusy.Add(-1)
+	}()
+
+	start := time.Now()
+	res, err := exp.RunSpec(job.ctx, job.Spec, exp.RunOptions{
+		OnSample: s.sampleHook(job),
+	})
+	wall := time.Since(start)
+
+	switch {
+	case err != nil:
+		job.finish(StateFailed, nil, err.Error(), wall, 0)
+		s.metrics.JobsFailed.Add(1)
+		s.metrics.ObserveSimWall(wall.Seconds())
+		s.log.Error("job failed", "job", job.ID, "err", err)
+	case res.Cancelled:
+		result, jerr := exp.ResultJSON(job.Spec, res)
+		if jerr != nil {
+			result = nil
+		}
+		job.finish(StateCancelled, result, "", wall, res.MemCycles)
+		s.metrics.JobsCancelled.Add(1)
+		s.metrics.SimMemCycles.Add(res.MemCycles)
+		s.metrics.ObserveSimWall(wall.Seconds())
+		s.log.Info("job cancelled", "job", job.ID, "mem_cycles", res.MemCycles)
+	default:
+		result, jerr := exp.ResultJSON(job.Spec, res)
+		if jerr != nil {
+			job.finish(StateFailed, nil, jerr.Error(), wall, res.MemCycles)
+			s.metrics.JobsFailed.Add(1)
+			return
+		}
+		job.finish(StateDone, result, "", wall, res.MemCycles)
+		s.cache.Put(job.Hash, result)
+		s.metrics.JobsDone.Add(1)
+		s.metrics.SimMemCycles.Add(res.MemCycles)
+		s.metrics.ObserveSimWall(wall.Seconds())
+		s.log.Info("job done", "job", job.ID,
+			"mem_cycles", res.MemCycles, "sim_wall_ms", wall.Milliseconds())
+	}
+}
+
+// sampleHook feeds live through-time samples into the job for the
+// NDJSON streaming endpoint; nil when sampling is off.
+func (s *Server) sampleHook(job *Job) func(stacks.Sample) {
+	if job.Spec.Sample <= 0 {
+		return nil
+	}
+	return func(sm stacks.Sample) {
+		job.appendSample(exp.SampleToJSON(sm, s.geom))
+	}
+}
+
+func (s *Server) clearActive(job *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active[job.Hash] == job {
+		delete(s.active, job.Hash)
+	}
+}

@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"dramstacks/internal/addrmap"
@@ -82,6 +83,11 @@ type Config struct {
 	// Trace, if non-nil, receives every issued DRAM command (e.g. a
 	// trace.Recorder hook for offline stack construction).
 	Trace func(cycle int64, cmd dram.Command)
+	// OnSample, if non-nil, receives each through-time sample (aggregated
+	// over all channels) as soon as it is cut, so long-running consumers
+	// (e.g. the dramstacksd service) can stream progress while the
+	// simulation is still executing. Requires SampleInterval > 0.
+	OnSample func(s stacks.Sample)
 }
 
 // Default returns the paper's machine configuration for the given core
@@ -143,6 +149,8 @@ type System struct {
 	cycleSamples []cyclestack.Stack
 	lastCycle    cyclestack.Stack
 	nextCut      int64
+	published    int // per-channel samples already delivered to OnSample
+	cancelled    bool
 
 	warmBW  []stacks.BandwidthStack
 	warmLat []stacks.LatencyStack
@@ -319,7 +327,20 @@ func (s *System) Hierarchy() *cache.Hierarchy { return s.hier }
 
 // Run simulates until the cycle budget is exhausted or every core's
 // stream has committed and the memory system has drained.
-func (s *System) Run() *Result {
+func (s *System) Run() *Result { return s.RunContext(context.Background()) }
+
+// cancelCheckMask controls how often RunContext polls the context: every
+// 1024 memory cycles (~0.85 µs simulated), cheap enough to be invisible
+// in profiles while bounding cancellation latency.
+const cancelCheckMask = 1<<10 - 1
+
+// RunContext simulates like Run but additionally polls ctx every few
+// memory cycles. When ctx is cancelled the run stops promptly and
+// returns the partial result accumulated so far (with Cancelled set);
+// warmup subtraction and through-time sampling behave exactly as on a
+// normal early stop, so the partial stacks remain internally consistent.
+func (s *System) RunContext(ctx context.Context) *Result {
+	done := ctx.Done()
 	for {
 		m := s.memCycle
 		for c := 0; c < s.cfg.CPUMult; c++ {
@@ -343,9 +364,20 @@ func (s *System) Run() *Result {
 		}
 		if s.cfg.SampleInterval > 0 && s.memCycle-s.nextCut >= s.cfg.SampleInterval {
 			s.cutCycleSample()
+			s.publishSamples()
 		}
 		if s.cfg.MaxMemCycles > 0 && s.memCycle >= s.cfg.MaxMemCycles {
 			break
+		}
+		if done != nil && s.memCycle&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				s.cancelled = true
+			default:
+			}
+			if s.cancelled {
+				break
+			}
 		}
 		if s.done() {
 			break
@@ -355,7 +387,33 @@ func (s *System) Run() *Result {
 		ctrl.FinishSampling()
 	}
 	s.finishCycleSample()
+	s.publishSamples()
 	return s.result()
+}
+
+// publishSamples delivers any newly cut per-channel samples to the
+// OnSample hook, aggregated across channels (all channels sample on the
+// same cycle grid, so index i lines up).
+func (s *System) publishSamples() {
+	if s.cfg.OnSample == nil {
+		return
+	}
+	n := len(s.ctrls[0].Samples())
+	for _, ctrl := range s.ctrls[1:] {
+		if k := len(ctrl.Samples()); k < n {
+			n = k
+		}
+	}
+	for i := s.published; i < n; i++ {
+		merged := s.ctrls[0].Samples()[i]
+		for _, ctrl := range s.ctrls[1:] {
+			sc := ctrl.Samples()[i]
+			merged.BW.Add(sc.BW)
+			merged.Lat.Add(sc.Lat)
+		}
+		s.cfg.OnSample(merged)
+	}
+	s.published = n
 }
 
 func (s *System) done() bool {
@@ -399,6 +457,9 @@ type Result struct {
 	Cfg       Config
 	Channels  int
 	MemCycles int64
+	// Cancelled reports that RunContext stopped early because its
+	// context was cancelled; the stacks cover only the cycles simulated.
+	Cancelled bool
 
 	// BW and Lat cover the post-warmup interval, aggregated over all
 	// channels (BW keeps the "components sum to total cycles" semantics;
@@ -436,6 +497,7 @@ func (s *System) result() *Result {
 		Cfg:          s.cfg,
 		Channels:     s.channels,
 		MemCycles:    s.memCycle,
+		Cancelled:    s.cancelled,
 		LLCStats:     s.hier.LLCStats(),
 		HierStats:    s.hier.Stats(),
 		Violations:   s.violations,
