@@ -8,15 +8,23 @@
 //	dramstacks -workload bfs -cores 8 -scale 16 -cycles 1000000
 //	dramstacks -workload seq -cores 2 -map int -trace seq2.trace
 //	dramstacks -workload seq -cores 4 -json
+//	dramstacks -sweep examples/sweeps/fig4.json
+//	dramstacks -sweep sweep.json -workers 4 -json > sweep.out.json
 //
 // Except for -workload trace (which replays a local file), experiments
 // are described by the shared spec layer in internal/exp, the same path
 // the dramstacksd service runs, so -json output is byte-identical to
 // the service's result for the same spec.
+//
+// With -sweep the single-experiment flags are ignored: the sweep file's
+// base spec plus axis lists expand into a deduplicated grid of specs run
+// across a bounded worker pool. The aggregate comes out as a table
+// (default), one JSON document (-json), or CSV rows (-csv).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -50,11 +58,77 @@ func main() {
 		csvOut    = flag.String("csv", "", "write through-time samples as CSV to this file (needs -sample)")
 		traceFile = flag.String("trace", "", "record the DRAM command trace to this file")
 		jsonOut   = flag.Bool("json", false, "print the result as JSON (the dramstacksd wire format) instead of charts")
+		sweepFile = flag.String("sweep", "", "run a sweep file (base spec + axis lists) instead of a single experiment; see doc/SERVICE.md for the schema")
+		workers   = flag.Int("workers", 0, "sweep worker-pool size (default GOMAXPROCS)")
+		keepGoing = flag.Bool("keep-going", false, "with -sweep, run remaining points after one fails instead of cancelling the rest")
 	)
 	flag.Parse()
-	if err := run(*wl, *inFile, *cores, *channels, *stores, *policy, *mapping, *cycles, *sample, *scale, *wq, *csvOut, *traceFile, *jsonOut); err != nil {
+	var err error
+	if *sweepFile != "" {
+		err = runSweep(*sweepFile, *workers, *keepGoing, *csvOut, *jsonOut)
+	} else {
+		err = run(*wl, *inFile, *cores, *channels, *stores, *policy, *mapping, *cycles, *sample, *scale, *wq, *csvOut, *traceFile, *jsonOut)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dramstacks:", err)
 		os.Exit(1)
+	}
+}
+
+// runSweep expands a sweep file and runs every point across the pool,
+// streaming per-point progress to stderr and the aggregate to stdout.
+func runSweep(sweepFile string, workers int, keepGoing bool, csvOut string, jsonOut bool) error {
+	data, err := os.ReadFile(sweepFile)
+	if err != nil {
+		return err
+	}
+	sw, err := exp.ParseSweep(data)
+	if err != nil {
+		return err
+	}
+	opt := exp.SweepOptions{
+		Workers:   workers,
+		KeepGoing: keepGoing,
+		OnPoint: func(pr exp.PointResult, done, total int) {
+			status := "ok"
+			switch {
+			case pr.Err != nil:
+				status = "error: " + pr.Err.Error()
+			case pr.Res != nil && pr.Res.Cancelled:
+				status = "cancelled (partial)"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s: %s\n", done, total, pr.Point.Label(), status)
+		},
+	}
+	res, err := exp.RunSweep(context.Background(), sw, opt)
+	if err != nil {
+		return err
+	}
+	switch {
+	case jsonOut:
+		doc, err := res.ToJSON()
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	case csvOut != "":
+		f, err := os.Create(csvOut)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d sweep points to %s\n", len(res.Points), csvOut)
+		return nil
+	default:
+		return res.WriteTable(os.Stdout)
 	}
 }
 

@@ -1,6 +1,7 @@
 // Command dramstacksd serves DRAM bandwidth/latency-stack simulations
-// over HTTP: experiment specs are submitted as jobs (POST /v1/jobs), run
-// on a bounded worker pool behind a FIFO queue, deduplicated through a
+// over HTTP: experiment specs are submitted as jobs (POST /v1/jobs) or
+// whole parameter grids as sweeps (POST /v1/sweeps), run on a bounded
+// worker pool behind a FIFO queue, deduplicated through a
 // content-addressed result cache, and observable via /metrics. See
 // doc/SERVICE.md for the API reference.
 //

@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// specFields is the set of accepted top-level spec JSON fields. Strict
+// decoding checks incoming documents against it so that a misspelled
+// field ("core" for "cores") is a named error instead of a silently
+// ignored knob.
+var specFields = map[string]bool{
+	"version":  true,
+	"workload": true,
+	"cores":    true,
+	"channels": true,
+	"stores":   true,
+	"policy":   true,
+	"map":      true,
+	"cycles":   true,
+	"sample":   true,
+	"scale":    true,
+	"wq":       true,
+}
+
+// knownFieldList renders a sorted, comma-separated field list for error
+// messages.
+func knownFieldList(fields map[string]bool) string {
+	names := make([]string, 0, len(fields))
+	for f := range fields {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// unknownFieldError names the offending field, suggests the closest
+// accepted one when the typo is small, and lists the full schema.
+func unknownFieldError(kind, field string, fields map[string]bool) error {
+	if near := closestField(field, fields); near != "" {
+		return fmt.Errorf("exp: unknown %s field %q (did you mean %q? known fields: %s)",
+			kind, field, near, knownFieldList(fields))
+	}
+	return fmt.Errorf("exp: unknown %s field %q (known fields: %s)",
+		kind, field, knownFieldList(fields))
+}
+
+// closestField returns the accepted field within Levenshtein distance 2
+// of name, or "" when nothing is close enough to suggest.
+func closestField(name string, fields map[string]bool) string {
+	best, bestDist := "", 3
+	lower := strings.ToLower(name)
+	for f := range fields {
+		if d := editDistance(lower, f); d < bestDist || (d == bestDist && f < best) {
+			best, bestDist = f, d
+		}
+	}
+	if bestDist > 2 {
+		return ""
+	}
+	return best
+}
+
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// checkFields rejects any top-level key of doc outside fields.
+func checkFields(kind string, doc map[string]json.RawMessage, fields map[string]bool) error {
+	var unknown []string
+	for k := range doc {
+		if !fields[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) == 0 {
+		return nil
+	}
+	sort.Strings(unknown) // deterministic error for multi-typo documents
+	return unknownFieldError(kind, unknown[0], fields)
+}
+
+// DecodeSpec strictly decodes one experiment spec document: unknown
+// top-level fields are rejected with a field-naming error, and the
+// embedded version (elided = current) must be one this build speaks.
+// The returned spec is not yet normalized or validated.
+func DecodeSpec(data []byte) (Spec, error) {
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return Spec{}, fmt.Errorf("exp: invalid spec JSON: %v", err)
+	}
+	if err := checkFields("spec", doc, specFields); err != nil {
+		return Spec{}, err
+	}
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("exp: invalid spec JSON: %v", err)
+	}
+	return s, nil
+}

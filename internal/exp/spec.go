@@ -26,11 +26,19 @@ const DefaultBudget = 500_000
 // as GAP kernels and traces).
 const BudgetUnlimited = -1
 
+// SpecVersion is the current experiment-schema version. Specs and
+// sweeps carry an explicit "version" field; 0 (elided) means the
+// current version, anything else is rejected so that a future v2 can
+// change field semantics without silently misreading old documents.
+const SpecVersion = 1
+
 // Spec is a portable, JSON-serializable experiment description shared by
 // cmd/dramstacks (one flag per field) and the dramstacksd service (POST
 // /v1/jobs body). The zero value of every field means "default"; see
 // Normalized for the resolution rules.
 type Spec struct {
+	// Version is the spec-schema version (0 or SpecVersion).
+	Version int `json:"version,omitempty"`
 	// Workload is a synthetic pattern (seq, random, strided), a STREAM
 	// kernel (copy, scale, add, triad), a GAP kernel (bc, bfs, cc, pr,
 	// sssp, tc), or a comma mix of synthetic/STREAM kinds assigned to
@@ -92,6 +100,9 @@ func isMixWorkload(w string) bool { return strings.Contains(w, ",") }
 // basis of the canonical encoding and therefore of the spec hash.
 func (s Spec) Normalized() Spec {
 	n := s
+	if n.Version == 0 {
+		n.Version = SpecVersion
+	}
 	n.Workload = strings.TrimSpace(n.Workload)
 	if n.Workload == "" {
 		n.Workload = "seq"
@@ -141,6 +152,9 @@ func (s Spec) Normalized() Spec {
 // Validate reports a descriptive error for unusable specs. It expects a
 // normalized spec; Canonical, Hash and RunSpec normalize first.
 func (s Spec) Validate() error {
+	if s.Version != SpecVersion {
+		return fmt.Errorf("exp: unsupported spec version %d (this build speaks version %d)", s.Version, SpecVersion)
+	}
 	switch {
 	case isMixWorkload(s.Workload):
 		for _, kind := range strings.Split(s.Workload, ",") {
@@ -199,6 +213,7 @@ func (s Spec) Canonical() ([]byte, error) {
 	}
 	// encoding/json sorts map keys, giving the deterministic ordering.
 	return json.Marshal(map[string]any{
+		"version":  n.Version,
 		"workload": n.Workload,
 		"cores":    n.Cores,
 		"channels": n.Channels,

@@ -46,6 +46,7 @@ func TestSpecHashDefaultElision(t *testing.T) {
 	base := mustHash(t, Spec{Workload: "seq"})
 	same := []Spec{
 		{}, // workload defaults to seq
+		{Workload: "seq", Version: SpecVersion},
 		{Workload: "seq", Cores: 1, Channels: 1, Mapping: "def", Policy: "open", Budget: DefaultBudget},
 		{Workload: " seq ", Scale: 17},     // whitespace + irrelevant scale
 		{Workload: "seq", WriteQueue: 128}, // wq applies to GAP only
@@ -91,7 +92,7 @@ func TestSpecCanonicalIsSortedAndStable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := `{"channels":1,"cores":1,"cycles":500000,"map":"def","policy":"open","sample":0,"scale":0,"stores":0,"workload":"seq","wq":0}`
+	want := `{"channels":1,"cores":1,"cycles":500000,"map":"def","policy":"open","sample":0,"scale":0,"stores":0,"version":1,"workload":"seq","wq":0}`
 	if string(c) != want {
 		t.Errorf("canonical = %s\nwant        %s", c, want)
 	}
@@ -108,6 +109,7 @@ func TestSpecValidateRejects(t *testing.T) {
 		{Spec{Workload: "seq", Cores: 9}, "cores"},
 		{Spec{Workload: "seq", Channels: 9}, "channels"},
 		{Spec{Workload: "seq", Stores: 1.5}, "store fraction"},
+		{Spec{Workload: "seq", Version: 2}, "unsupported spec version"},
 		{Spec{Workload: "seq", Policy: "lukewarm"}, "unknown policy"},
 		{Spec{Workload: "seq", Mapping: "zigzag"}, "unknown mapping"},
 		{Spec{Workload: "seq", Sample: -1}, "sample interval"},

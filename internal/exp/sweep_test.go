@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func expandHashes(t *testing.T, doc string) []string {
+	t.Helper()
+	sw, err := ParseSweep([]byte(doc))
+	if err != nil {
+		t.Fatalf("ParseSweep: %v", err)
+	}
+	points, err := sw.Expand()
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	hashes := make([]string, len(points))
+	for i, p := range points {
+		if p.Index != i {
+			t.Errorf("point %d has Index %d", i, p.Index)
+		}
+		hashes[i] = p.Hash
+	}
+	return hashes
+}
+
+// TestSweepExpandDeterministic expands the same sweep from differently
+// ordered JSON documents and expects identical ordered spec-hash lists.
+func TestSweepExpandDeterministic(t *testing.T) {
+	docs := []string{
+		`{"version":1,"base":{"workload":"seq","cycles":20000},"axes":{"cores":[1,2,4,8],"stores":[0,0.5]}}`,
+		`{"axes":{"stores":[0,0.5],"cores":[1,2,4,8]},"base":{"cycles":20000,"workload":"seq"}}`,
+	}
+	want := expandHashes(t, docs[0])
+	if len(want) != 8 {
+		t.Fatalf("expanded to %d points, want 8", len(want))
+	}
+	for _, doc := range docs {
+		for trial := 0; trial < 3; trial++ {
+			got := expandHashes(t, doc)
+			if strings.Join(got, ",") != strings.Join(want, ",") {
+				t.Fatalf("expansion differs:\n got %v\nwant %v", got, want)
+			}
+		}
+	}
+}
+
+// TestSweepExpandOrderAndDedup checks the sorted-axis, last-fastest
+// expansion order and that normalization-equivalent points collapse: a
+// scale axis is irrelevant to synthetic workloads, so seq points with
+// different scales dedup to one.
+func TestSweepExpandOrderAndDedup(t *testing.T) {
+	doc := `{"base":{"cycles":20000},"axes":{"workload":["bfs","seq"],"scale":[12,13],"cores":[1,2]}}`
+	sw, err := ParseSweep([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Axes sorted: cores, scale, workload (workload varies fastest).
+	// Per core count: bfs@12, seq@12, bfs@13, seq@13→dup of seq@12.
+	// 2 cores × 3 unique = 6 points.
+	if len(points) != 6 {
+		t.Fatalf("expanded to %d points, want 6 after dedup", len(points))
+	}
+	wantLabels := []string{
+		"cores=1 scale=12 workload=bfs",
+		"cores=1 scale=12 workload=seq",
+		"cores=1 scale=13 workload=bfs",
+		"cores=2 scale=12 workload=bfs",
+		"cores=2 scale=12 workload=seq",
+		"cores=2 scale=13 workload=bfs",
+	}
+	for i, p := range points {
+		if p.Label() != wantLabels[i] {
+			t.Errorf("point %d label %q, want %q", i, p.Label(), wantLabels[i])
+		}
+	}
+}
+
+func TestParseSweepRejects(t *testing.T) {
+	cases := []struct {
+		doc string
+		err string
+	}{
+		{`{"bases":{"workload":"seq"}}`, `unknown sweep field "bases" (did you mean "base"`},
+		{`{"version":2,"base":{"workload":"seq"}}`, "unsupported sweep version 2"},
+		{`{"base":{"core":4}}`, `unknown spec field "core" (did you mean "cores"`},
+		{`{"base":{"workload":"seq"},"axes":{"core":[1,2]}}`, `unknown sweep axis field "core" (did you mean "cores"`},
+		{`{"base":{"workload":"seq"},"axes":{"version":[1]}}`, `unknown sweep axis field "version"`},
+		{`{"base":{"workload":"seq"},"axes":{"cores":[]}}`, `axis "cores" has no values`},
+		{`{"base":{"workload":"seq"},"axes":{"cores":["two"]}}`, `axis "cores"`},
+		{`{"base":{"workload":"seq"},"axes":{"stores":["much"]}}`, `axis "stores"`},
+		{`{"base":{"workload":"seq"},"axes":{"workload":[7]}}`, `axis "workload" wants string values`},
+		{`{"base":{"workload":"nope"},"axes":{"cores":[1]}}`, "unknown workload"},
+		{`not json`, "invalid sweep JSON"},
+	}
+	for _, tc := range cases {
+		sw, err := ParseSweep([]byte(tc.doc))
+		if err == nil {
+			_, err = sw.Expand()
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.err) {
+			t.Errorf("ParseSweep(%s): err = %v, want mention of %q", tc.doc, err, tc.err)
+		}
+	}
+}
+
+// TestDecodeSpecUnknownField checks the strict spec decoder names the
+// offending field instead of silently ignoring it.
+func TestDecodeSpecUnknownField(t *testing.T) {
+	_, err := DecodeSpec([]byte(`{"workload":"seq","core":4}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	for _, want := range []string{`"core"`, `did you mean "cores"`, "known fields:"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if _, err := DecodeSpec([]byte(`{"workload":"seq","version":1,"cores":2}`)); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if _, err := DecodeSpec([]byte(`{"totally_unrelated":1}`)); err == nil ||
+		!strings.Contains(err.Error(), `"totally_unrelated"`) ||
+		strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("far-off field should not get a suggestion: %v", err)
+	}
+}
+
+// TestSweepVersionRoundTrip checks the version field is accepted both
+// elided and explicit, and that explicit version 1 does not perturb the
+// expansion.
+func TestSweepVersionRoundTrip(t *testing.T) {
+	a := expandHashes(t, `{"base":{"workload":"seq"},"axes":{"cores":[1,2]}}`)
+	b := expandHashes(t, `{"version":1,"base":{"workload":"seq","version":1},"axes":{"cores":[1,2]}}`)
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Errorf("explicit version changes hashes:\n%v\n%v", a, b)
+	}
+}

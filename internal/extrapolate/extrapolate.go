@@ -107,6 +107,19 @@ func NaiveSamples(samples []stacks.Sample, factor float64, geo dram.Geometry) fl
 	return sum / cycles
 }
 
+// Predict applies both methods to the sampled base run at the given
+// traffic factor and pairs the predictions with a measured value — one
+// row of the paper's Fig. 9, used by the sweep engine when a sweep
+// varies core counts.
+func Predict(name string, baseSamples []stacks.Sample, factor float64, geo dram.Geometry, measured float64) Prediction {
+	return Prediction{
+		Name:     name,
+		Measured: measured,
+		Naive:    NaiveSamples(baseSamples, factor, geo),
+		Stack:    StackSamples(baseSamples, factor, geo),
+	}
+}
+
 // Prediction compares both methods against a measured value.
 type Prediction struct {
 	Name     string

@@ -19,6 +19,10 @@ type Cache struct {
 type cacheEntry struct {
 	key string
 	val []byte
+	// complete marks a finished run. A cancelled run's partial result is
+	// stored marked incomplete so it is retrievable but never served in
+	// place of a full simulation.
+	complete bool
 }
 
 // NewCache returns a cache holding at most maxBytes of values. A
@@ -32,7 +36,10 @@ func NewCache(maxBytes int64) *Cache {
 	}
 }
 
-// Get returns the cached value for key and marks it most recently used.
+// Get returns the cached value of a *complete* run for key and marks it
+// most recently used. Entries stored incomplete (cancelled partial
+// results) never satisfy a Get: serving one in place of a full
+// simulation would silently truncate the requested experiment.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -40,25 +47,35 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
+	e := el.Value.(*cacheEntry)
+	if !e.complete {
+		return nil, false
+	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	return e.val, true
 }
 
-// Put stores val under key. Values larger than the whole budget are not
-// cached. The caller must not modify val afterwards.
-func (c *Cache) Put(key string, val []byte) {
+// Put stores val under key, marked complete or not. Values larger than
+// the whole budget are not cached, and an incomplete value never
+// overwrites a complete one (a cancelled rerun must not shadow a full
+// result). The caller must not modify val afterwards.
+func (c *Cache) Put(key string, val []byte, complete bool) {
 	if int64(len(val)) > c.maxBytes {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.index[key]; ok {
-		c.ll.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
+		if e.complete && !complete {
+			return
+		}
+		c.ll.MoveToFront(el)
 		c.bytes += int64(len(val)) - int64(len(e.val))
 		e.val = val
+		e.complete = complete
 	} else {
-		c.index[key] = c.ll.PushFront(&cacheEntry{key, val})
+		c.index[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, complete: complete})
 		c.bytes += int64(len(val))
 	}
 	for c.bytes > c.maxBytes {

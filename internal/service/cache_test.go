@@ -11,11 +11,11 @@ func TestCacheHitMissAndUpdate(t *testing.T) {
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.Put("a", []byte("hello"))
+	c.Put("a", []byte("hello"), true)
 	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("hello")) {
 		t.Fatalf("Get(a) = %q, %v", v, ok)
 	}
-	c.Put("a", []byte("goodbye"))
+	c.Put("a", []byte("goodbye"), true)
 	if v, _ := c.Get("a"); !bytes.Equal(v, []byte("goodbye")) {
 		t.Fatalf("updated Get(a) = %q", v)
 	}
@@ -30,7 +30,7 @@ func TestCacheHitMissAndUpdate(t *testing.T) {
 func TestCacheEvictsLRUWithinByteBudget(t *testing.T) {
 	c := NewCache(30)
 	for i := 0; i < 4; i++ {
-		c.Put(fmt.Sprintf("k%d", i), make([]byte, 10)) // 40 bytes total
+		c.Put(fmt.Sprintf("k%d", i), make([]byte, 10), true) // 40 bytes total
 	}
 	if c.Bytes() > 30 {
 		t.Errorf("cache holds %d bytes, budget 30", c.Bytes())
@@ -45,7 +45,7 @@ func TestCacheEvictsLRUWithinByteBudget(t *testing.T) {
 	if _, ok := c.Get("k1"); !ok {
 		t.Fatal("k1 should still be cached")
 	}
-	c.Put("k4", make([]byte, 10))
+	c.Put("k4", make([]byte, 10), true)
 	if _, ok := c.Get("k2"); ok {
 		t.Error("k2 should have been evicted (least recently used)")
 	}
@@ -56,11 +56,34 @@ func TestCacheEvictsLRUWithinByteBudget(t *testing.T) {
 
 func TestCacheRejectsOversizedValue(t *testing.T) {
 	c := NewCache(8)
-	c.Put("big", make([]byte, 9))
+	c.Put("big", make([]byte, 9), true)
 	if _, ok := c.Get("big"); ok {
 		t.Error("value larger than the whole budget must not be cached")
 	}
 	if c.Bytes() != 0 {
 		t.Errorf("Bytes = %d, want 0", c.Bytes())
+	}
+}
+
+// TestCachePartialEntriesNeverServedAsComplete pins the cancelled-run
+// rule: an incomplete (partial) entry misses on Get, a complete result
+// may overwrite it, and a later partial must not shadow the complete
+// one.
+func TestCachePartialEntriesNeverServedAsComplete(t *testing.T) {
+	c := NewCache(1024)
+	c.Put("spec", []byte("partial"), false)
+	if _, ok := c.Get("spec"); ok {
+		t.Fatal("partial entry served as complete")
+	}
+	if c.Len() != 1 {
+		t.Errorf("partial entry not stored: Len = %d", c.Len())
+	}
+	c.Put("spec", []byte("full"), true)
+	if v, ok := c.Get("spec"); !ok || !bytes.Equal(v, []byte("full")) {
+		t.Fatalf("complete overwrite: Get = %q, %v", v, ok)
+	}
+	c.Put("spec", []byte("partial-again"), false)
+	if v, ok := c.Get("spec"); !ok || !bytes.Equal(v, []byte("full")) {
+		t.Errorf("partial shadowed a complete entry: Get = %q, %v", v, ok)
 	}
 }

@@ -157,6 +157,15 @@ func (j *Job) snapshotSamples(from int) (new []exp.SampleJSON, n int, changed <-
 	return new, len(j.samples), j.updated, j.state.Terminal()
 }
 
+// stateAndChanged returns the current state together with a channel
+// that closes on the job's next state or sample change, for waiters
+// (the sweep collector).
+func (j *Job) stateAndChanged() (State, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.updated
+}
+
 // StatusJSON is the wire form of a job's status.
 type StatusJSON struct {
 	ID        string   `json:"id"`

@@ -25,6 +25,10 @@ type Metrics struct {
 	CacheHits   atomic.Int64
 	CacheMisses atomic.Int64
 
+	SweepsSubmitted atomic.Int64
+	SweepsDone      atomic.Int64
+	SweepPoints     atomic.Int64 // expanded points across all sweeps
+
 	WorkersBusy atomic.Int64
 
 	SimMemCycles atomic.Int64 // total simulated memory cycles
@@ -83,6 +87,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	gauge("dramstacksd_jobs_queued", "Jobs waiting in the FIFO queue.", int64(g.Queued))
 	gauge("dramstacksd_jobs_running", "Jobs currently simulating.", int64(g.Running))
 	gauge("dramstacksd_queue_capacity", "FIFO queue capacity.", int64(g.QueueCap))
+
+	counter("dramstacksd_sweeps_submitted_total", "Accepted sweep submissions.", m.SweepsSubmitted.Load())
+	counter("dramstacksd_sweeps_done_total", "Sweeps whose every point reached a terminal state.", m.SweepsDone.Load())
+	counter("dramstacksd_sweep_points_total", "Expanded sweep points across all sweeps.", m.SweepPoints.Load())
 
 	counter("dramstacksd_cache_hits_total", "Result-cache hits.", m.CacheHits.Load())
 	counter("dramstacksd_cache_misses_total", "Result-cache misses.", m.CacheMisses.Load())

@@ -10,6 +10,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"runtime"
@@ -69,12 +70,15 @@ type Server struct {
 	stop      context.CancelFunc
 	workersWG sync.WaitGroup
 
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	order   []string         // submission order, for GET /v1/jobs
-	active  map[string]*Job  // spec hash → queued/running job (in-flight dedup)
-	nextID  int64
-	running int
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	order       []string        // submission order, for GET /v1/jobs
+	active      map[string]*Job // spec hash → queued/running job (in-flight dedup)
+	nextID      int64
+	running     int
+	sweeps      map[string]*SweepJob
+	sweepOrder  []string // submission order, for GET /v1/sweeps
+	nextSweepID int64
 }
 
 // New assembles a server and starts its worker pool; call Close to stop.
@@ -90,6 +94,7 @@ func New(cfg Config) *Server {
 		geom:    geo,
 		jobs:    make(map[string]*Job),
 		active:  make(map[string]*Job),
+		sweeps:  make(map[string]*SweepJob),
 	}
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	s.handler = s.logMiddleware(s.routes())
@@ -121,6 +126,11 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/stacks", s.handleStacks)
 	mux.HandleFunc("GET /v1/jobs/{id}/samples", s.handleSamples)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -167,12 +177,28 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-type errorJSON struct {
-	Error string `json:"error"`
+// Error codes of the unified /v1 error envelope. Every non-2xx JSON
+// body is {"error": {"code": "...", "message": "..."}}.
+const (
+	ErrInvalidSpec  = "invalid_spec"
+	ErrInvalidSweep = "invalid_sweep"
+	ErrNotFound     = "not_found"
+	ErrQueueFull    = "queue_full"
+	ErrConflict     = "conflict"
+	ErrJobFailed    = "job_failed"
+)
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+type errorJSON struct {
+	Error errorBody `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: errorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
 // submitResponse is the POST /v1/jobs reply.
@@ -187,21 +213,24 @@ type submitResponse struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	var spec exp.Spec
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid spec JSON: %v", err)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrInvalidSpec, "reading spec: %v", err)
+		return
+	}
+	spec, err := exp.DecodeSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrInvalidSpec, "%v", err)
 		return
 	}
 	spec = spec.Normalized()
 	if err := spec.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, ErrInvalidSpec, "%v", err)
 		return
 	}
 	hash, err := spec.Hash()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, ErrInvalidSpec, "%v", err)
 		return
 	}
 
@@ -240,7 +269,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.unregisterJob(job)
 		s.metrics.JobsRejected.Add(1)
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "job queue full (%d deep); retry later", s.cfg.QueueDepth)
+		writeError(w, http.StatusTooManyRequests, ErrQueueFull, "job queue full (%d deep); retry later", s.cfg.QueueDepth)
 		return
 	}
 	s.mu.Lock()
@@ -283,7 +312,7 @@ func (s *Server) lookup(r *http.Request) (*Job, bool) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.lookup(r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, ErrNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, job.status())
@@ -307,11 +336,11 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.lookup(r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, ErrNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
 	if !job.requestCancel() {
-		writeError(w, http.StatusConflict, "job %s already %s", job.ID, job.State())
+		writeError(w, http.StatusConflict, ErrConflict, "job %s already %s", job.ID, job.State())
 		return
 	}
 	if job.State() == StateCancelled { // was still queued
@@ -325,7 +354,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStacks(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.lookup(r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, ErrNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
 	result, state := job.resultBytes()
@@ -334,7 +363,7 @@ func (s *Server) handleStacks(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(result)
 	case StateFailed:
-		writeError(w, http.StatusInternalServerError, "job %s failed: %s", job.ID, job.status().Error)
+		writeError(w, http.StatusInternalServerError, ErrJobFailed, "job %s failed: %s", job.ID, job.status().Error)
 	case StateCancelled:
 		if result != nil {
 			// Partial stacks of a cancelled run are still well-formed.
@@ -342,9 +371,9 @@ func (s *Server) handleStacks(w http.ResponseWriter, r *http.Request) {
 			w.Write(result)
 			return
 		}
-		writeError(w, http.StatusConflict, "job %s was cancelled before producing stacks", job.ID)
+		writeError(w, http.StatusConflict, ErrConflict, "job %s was cancelled before producing stacks", job.ID)
 	default:
-		writeError(w, http.StatusConflict, "job %s is %s; poll until done", job.ID, state)
+		writeError(w, http.StatusConflict, ErrConflict, "job %s is %s; poll until done", job.ID, state)
 	}
 }
 
@@ -354,11 +383,11 @@ func (s *Server) handleStacks(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.lookup(r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, ErrNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
 	if job.Spec.Sample <= 0 {
-		writeError(w, http.StatusConflict, "job %s has sampling off (submit with \"sample\" > 0)", job.ID)
+		writeError(w, http.StatusConflict, ErrConflict, "job %s has sampling off (submit with \"sample\" > 0)", job.ID)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -457,6 +486,11 @@ func (s *Server) runJob(job *Job) {
 			result = nil
 		}
 		job.finish(StateCancelled, result, "", wall, res.MemCycles)
+		if result != nil {
+			// Keep the partial retrievable but marked incomplete: it must
+			// never be served as if the full run had happened.
+			s.cache.Put(job.Hash, result, false)
+		}
 		s.metrics.JobsCancelled.Add(1)
 		s.metrics.SimMemCycles.Add(res.MemCycles)
 		s.metrics.ObserveSimWall(wall.Seconds())
@@ -469,7 +503,7 @@ func (s *Server) runJob(job *Job) {
 			return
 		}
 		job.finish(StateDone, result, "", wall, res.MemCycles)
-		s.cache.Put(job.Hash, result)
+		s.cache.Put(job.Hash, result, true)
 		s.metrics.JobsDone.Add(1)
 		s.metrics.SimMemCycles.Add(res.MemCycles)
 		s.metrics.ObserveSimWall(wall.Seconds())

@@ -415,3 +415,125 @@ func TestBadRequests(t *testing.T) {
 		t.Errorf("healthz = %d %q", code, body)
 	}
 }
+
+// TestErrorEnvelope asserts every /v1 error response carries the unified
+// {"error": {"code", "message"}} envelope with the documented code.
+func TestErrorEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	check := func(name string, resp *http.Response, wantStatus int, wantCode string) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Errorf("%s: status %d, want %d", name, resp.StatusCode, wantStatus)
+			return
+		}
+		var envelope errorJSON
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+			t.Errorf("%s: body is not the error envelope: %v", name, err)
+			return
+		}
+		if envelope.Error.Code != wantCode || envelope.Error.Message == "" {
+			t.Errorf("%s: envelope %+v, want code %q and a message", name, envelope.Error, wantCode)
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"workload":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("invalid spec", resp, http.StatusBadRequest, ErrInvalidSpec)
+
+	resp, err = http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(`{"axes":{"cores":[]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("invalid sweep", resp, http.StatusBadRequest, ErrInvalidSweep)
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("job not found", resp, http.StatusNotFound, ErrNotFound)
+
+	resp, err = http.Get(ts.URL + "/v1/sweeps/sweep-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("sweep not found", resp, http.StatusNotFound, ErrNotFound)
+
+	// Fill the queue for a queue_full envelope.
+	running, _ := postJob(t, ts, longSpec)
+	waitState(t, ts, running.ID, StateRunning)
+	queued, _ := postJob(t, ts, `{"workload":"random,seq","cores":2,"cycles":4000000000}`)
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"workload":"strided,seq","cores":2,"cycles":4000000000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("queue full", resp, http.StatusTooManyRequests, ErrQueueFull)
+
+	// Stacks on a queued job conflicts.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + queued.ID + "/stacks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("stacks before done", resp, http.StatusConflict, ErrConflict)
+
+	for _, id := range []string{queued.ID, running.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		if _, err := http.DefaultClient.Do(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Cancelling an already-cancelled job conflicts — still enveloped.
+	deadline := time.Now().Add(60 * time.Second)
+	for getStatus(t, ts, running.ID).State != StateCancelled && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+running.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("double cancel", resp, http.StatusConflict, ErrConflict)
+}
+
+// TestCancelledResultNotServedFromCache is the regression test for the
+// partial-result cache bug: after a job is cancelled mid-run, submitting
+// the identical spec again must re-simulate, not serve the truncated
+// stacks as if the full run had happened.
+func TestCancelledResultNotServedFromCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	first, _ := postJob(t, ts, longSpec)
+	waitState(t, ts, first.ID, StateRunning)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+first.ID, nil)
+	if _, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for getStatus(t, ts, first.ID).State != StateCancelled && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The partial stacks stay retrievable on the cancelled job itself...
+	if body, code := getBody(t, ts, "/v1/jobs/"+first.ID+"/stacks"); code != http.StatusOK {
+		t.Fatalf("partial stacks status %d: %s", code, body)
+	}
+
+	// ...but an identical resubmission must not be answered from cache.
+	second, code := postJob(t, ts, longSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit status %d, want 202 (fresh run)", code)
+	}
+	if second.Cached {
+		t.Fatal("cancelled partial result was served from the cache as complete")
+	}
+	waitState(t, ts, second.ID, StateRunning)
+	req2, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+second.ID, nil)
+	if _, err := http.DefaultClient.Do(req2); err != nil {
+		t.Fatal(err)
+	}
+}
