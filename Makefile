@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-figs bench-ablations figs serve clean
+.PHONY: all build test test-short race cover bench bench-check bench-figs bench-ablations bench-go figs serve clean
 
 # Port for `make serve` (override: make serve PORT=9000).
 PORT ?= 8080
@@ -19,8 +19,11 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Short race pass over everything, plus the full fast-forward
+# equivalence tests so the sim hot loop is race-checked end to end.
 race:
 	$(GO) test -race -short ./...
+	$(GO) test -race -count=1 -run 'Golden|FastForward' ./internal/sim/
 
 cover:
 	$(GO) test -cover ./internal/...
@@ -33,7 +36,20 @@ bench-figs:
 bench-ablations:
 	$(GO) test -run xxx -bench Ablation -benchtime 1x .
 
+# Reproducible harness (cmd/simbench): regenerates the committed
+# baseline the CI perf gate compares against. See doc/PERF.md for the
+# update policy before committing a new BENCH_3.json.
 bench:
+	$(GO) run ./cmd/simbench -count 3 -benchtime 1x -out BENCH_3.json
+
+# Compare a fresh measurement against the committed baseline the way CI
+# does (exit 1 on a >10% geomean throughput regression).
+bench-check:
+	$(GO) run ./cmd/simbench -count 3 -benchtime 1x -out BENCH_PR.json
+	$(GO) run ./cmd/benchdiff -threshold 0.10 BENCH_3.json BENCH_PR.json
+
+# The original go-test benchmarks (one per paper figure/table).
+bench-go:
 	$(GO) test -run xxx -bench . -benchmem -benchtime 1x . | tee bench_output.txt
 
 # Build and launch the simulation service (see doc/SERVICE.md).
@@ -46,4 +62,4 @@ figs:
 	$(GO) run ./cmd/paperfigs -fig all -out results
 
 clean:
-	rm -rf results bench_output.txt test_output.txt dramstacksd
+	rm -rf results bench_output.txt test_output.txt dramstacksd BENCH_PR.json

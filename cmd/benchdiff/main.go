@@ -1,0 +1,113 @@
+// Command benchdiff compares two simbench result files (see
+// cmd/simbench and doc/PERF.md) and fails — exit status 1 — when the
+// geometric mean of the per-case throughput ratios regresses by more
+// than the threshold. CI runs it on every pull request:
+//
+//	benchdiff -threshold 0.10 BENCH_3.json BENCH_PR.json
+//
+// Cases are matched by name and mode; cases present in only one file
+// are reported but do not affect the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+)
+
+// Benchmark mirrors cmd/simbench's output schema (the fields the
+// comparison needs).
+type Benchmark struct {
+	Name         string  `json:"name"`
+	Mode         string  `json:"mode"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
+}
+
+// File mirrors cmd/simbench's output schema.
+type File struct {
+	Version    int         `json:"version"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func load(path string) (map[string]Benchmark, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Version != 1 {
+		return nil, fmt.Errorf("%s: unsupported version %d", path, f.Version)
+	}
+	out := make(map[string]Benchmark, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		out[b.Name+"/"+b.Mode] = b
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	threshold := flag.Float64("threshold", 0.10,
+		"maximum allowed geomean throughput regression (0.10 = 10%)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		log.Fatal("usage: benchdiff [-threshold 0.10] OLD.json NEW.json")
+	}
+	oldB, err := load(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	newB, err := load(flag.Arg(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	keys := make([]string, 0, len(oldB))
+	for k := range oldB {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var logSum float64
+	matched := 0
+	fmt.Printf("%-28s %14s %14s %8s\n", "case", "old cyc/s", "new cyc/s", "ratio")
+	for _, k := range keys {
+		o := oldB[k]
+		n, ok := newB[k]
+		if !ok {
+			fmt.Printf("%-28s %14.4g %14s %8s\n", k, o.CyclesPerSec, "missing", "-")
+			continue
+		}
+		ratio := n.CyclesPerSec / o.CyclesPerSec
+		fmt.Printf("%-28s %14.4g %14.4g %7.3fx\n", k, o.CyclesPerSec, n.CyclesPerSec, ratio)
+		logSum += math.Log(ratio)
+		matched++
+	}
+	for k := range newB {
+		if _, ok := oldB[k]; !ok {
+			fmt.Printf("%-28s %14s %14.4g %8s\n", k, "new case", newB[k].CyclesPerSec, "-")
+		}
+	}
+	if matched == 0 {
+		log.Fatal("no cases in common; nothing to gate on")
+	}
+
+	geomean := math.Exp(logSum / float64(matched))
+	fmt.Printf("\ngeomean throughput ratio over %d cases: %.3fx (gate: >= %.3fx)\n",
+		matched, geomean, 1-*threshold)
+	if geomean < 1-*threshold {
+		log.Fatalf("FAIL: throughput regressed %.1f%% (threshold %.0f%%)",
+			100*(1-geomean), 100**threshold)
+	}
+	fmt.Println("PASS")
+}

@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"dramstacks/internal/cpu"
 	"dramstacks/internal/cyclestack"
@@ -61,18 +63,63 @@ func main() {
 		sweepFile = flag.String("sweep", "", "run a sweep file (base spec + axis lists) instead of a single experiment; see doc/SERVICE.md for the schema")
 		workers   = flag.Int("workers", 0, "sweep worker-pool size (default GOMAXPROCS)")
 		keepGoing = flag.Bool("keep-going", false, "with -sweep, run remaining points after one fails instead of cancelling the rest")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
-	var err error
+
+	stopProfiles, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dramstacks:", err)
+		os.Exit(1)
+	}
 	if *sweepFile != "" {
 		err = runSweep(*sweepFile, *workers, *keepGoing, *csvOut, *jsonOut)
 	} else {
 		err = run(*wl, *inFile, *cores, *channels, *stores, *policy, *mapping, *cycles, *sample, *scale, *wq, *csvOut, *traceFile, *jsonOut)
 	}
+	stopProfiles()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dramstacks:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles enables the requested pprof outputs and returns the
+// cleanup that flushes them; the caller runs it before exiting on error
+// too, so a profile of a failed run still comes out usable (see
+// doc/PERF.md for the profiling walkthrough).
+func startProfiles(cpuProf, memProf string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuProf != "" {
+		cpuFile, err = os.Create(cpuProf)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memProf == "" {
+			return
+		}
+		f, err := os.Create(memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dramstacks:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dramstacks:", err)
+		}
+	}, nil
 }
 
 // runSweep expands a sweep file and runs every point across the pool,

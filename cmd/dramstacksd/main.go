@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ handlers, gated by -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,16 +33,17 @@ func main() {
 		workers = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS-1)")
 		queue   = flag.Int("queue", 64, "job queue depth before submissions get 429")
 		cacheMB = flag.Int64("cache-mb", 64, "result cache budget in MiB")
+		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling a live service; keep off in untrusted networks)")
 		verbose = flag.Bool("v", false, "debug logging")
 	)
 	flag.Parse()
-	if err := serve(*addr, *workers, *queue, *cacheMB, *verbose); err != nil {
+	if err := serve(*addr, *workers, *queue, *cacheMB, *pprofOn, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "dramstacksd:", err)
 		os.Exit(1)
 	}
 }
 
-func serve(addr string, workers, queue int, cacheMB int64, verbose bool) error {
+func serve(addr string, workers, queue int, cacheMB int64, pprofOn, verbose bool) error {
 	level := slog.LevelInfo
 	if verbose {
 		level = slog.LevelDebug
@@ -56,9 +58,20 @@ func serve(addr string, workers, queue int, cacheMB int64, verbose bool) error {
 	})
 	defer svc.Close()
 
+	handler := svc.Handler()
+	if pprofOn {
+		// net/http/pprof registers on http.DefaultServeMux in its
+		// init; route /debug/pprof/ there, everything else to the API.
+		mux := http.NewServeMux()
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.Handle("/", handler)
+		handler = mux
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -1,0 +1,330 @@
+// Command simbench is the repository's reproducible benchmark harness:
+// it times a fixed set of synthetic and GAP simulations and writes the
+// results as JSON (see doc/PERF.md). CI runs it on every pull request
+// and gates on the geomean simulation throughput against the committed
+// baseline (BENCH_3.json) via cmd/benchdiff.
+//
+// Each case is timed in both the fast-forwarding production loop and,
+// for the low-utilisation cases, the reference per-cycle loop
+// (-tags=slowtick semantics via sim.SlowTick), so the speedup the
+// fast-forward path delivers is itself a tracked number.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"dramstacks/internal/cpu"
+	"dramstacks/internal/exp"
+	"dramstacks/internal/memctrl"
+	"dramstacks/internal/sim"
+	"dramstacks/internal/workload"
+)
+
+// Benchmark is one measured case in the output file. NsPerOp and the
+// allocation figures are per simulation run; CyclesPerSec is simulated
+// memory cycles per wall-clock second, the throughput number the CI gate
+// compares.
+type Benchmark struct {
+	Name         string  `json:"name"`
+	Mode         string  `json:"mode"` // "fast" or "slow"
+	Iters        int     `json:"iters"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	MemCycles    int64   `json:"mem_cycles"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
+	BytesPerOp   uint64  `json:"bytes_per_op"`
+	// SpeedupVsSlow is fast-mode throughput over slow-mode throughput
+	// for cases measured in both modes (fast entries only).
+	SpeedupVsSlow float64 `json:"speedup_vs_slow,omitempty"`
+}
+
+// File is the schema of BENCH_*.json.
+type File struct {
+	Version             int         `json:"version"`
+	Go                  string      `json:"go"`
+	GOOS                string      `json:"goos"`
+	GOARCH              string      `json:"goarch"`
+	Count               int         `json:"count"`
+	Benchtime           int         `json:"benchtime"`
+	Benchmarks          []Benchmark `json:"benchmarks"`
+	GeomeanCyclesPerSec float64     `json:"geomean_cycles_per_sec"`
+}
+
+// benchCase is one workload to measure. run executes a single
+// simulation and returns how many memory cycles it covered. lowUtil
+// cases are additionally measured with the reference per-cycle loop to
+// report the fast-forward speedup.
+type benchCase struct {
+	name    string
+	lowUtil bool
+	run     func() (int64, error)
+}
+
+func lowUtilSources(cores, workPerOp, branchEvery int, mispredict float64) []cpu.Source {
+	var sources []cpu.Source
+	for i := 0; i < cores; i++ {
+		sources = append(sources, workload.MustSynthetic(workload.SyntheticConfig{
+			Pattern:        workload.Sequential,
+			WorkPerOp:      workPerOp,
+			FootprintBytes: 1 << 14, // cache resident: almost no DRAM traffic
+			StrideBytes:    64,
+			BranchEvery:    branchEvery,
+			MispredictRate: mispredict,
+			BaseAddr:       uint64(i) * (256 << 20),
+			Seed:           int64(i + 1),
+		}))
+	}
+	return sources
+}
+
+func runLowUtil(cores, workPerOp, branchEvery int, mispredict float64, budget int64) (int64, error) {
+	cfg := sim.Default(cores)
+	cfg.MaxMemCycles = budget
+	cfg.PrewarmOps = 1 << 12
+	sys, err := sim.New(cfg, lowUtilSources(cores, workPerOp, branchEvery, mispredict))
+	if err != nil {
+		return 0, err
+	}
+	res := sys.Run()
+	if len(res.Violations) > 0 {
+		return 0, fmt.Errorf("timing violation: %v", res.Violations[0])
+	}
+	return res.MemCycles, nil
+}
+
+func runSynth(spec exp.SynthSpec) (int64, error) {
+	res, err := exp.RunSynth(spec)
+	if err != nil {
+		return 0, err
+	}
+	return res.MemCycles, nil
+}
+
+func cases() []benchCase {
+	return []benchCase{
+		// Low-utilisation single-core workloads: the fast-forward
+		// target. Cache-resident, so the memory system idles and the
+		// fast loop skips almost everything.
+		{"lowutil/compute-1c", true, func() (int64, error) {
+			return runLowUtil(1, 60, 0, 0, 400_000)
+		}},
+		{"lowutil/branch-1c", true, func() (int64, error) {
+			return runLowUtil(1, 0, 3, 0.5, 400_000)
+		}},
+		{"lowutil/compute-4c", true, func() (int64, error) {
+			return runLowUtil(4, 60, 0, 0, 200_000)
+		}},
+		// Paper synthetic patterns (Fig. 2 corners): DRAM-bound, little
+		// to skip — these track the cost of the per-cycle hot path.
+		{"synth/seq-1c", false, func() (int64, error) {
+			return runSynth(exp.SynthSpec{Pattern: workload.Sequential, Cores: 1,
+				Budget: 200_000, Prewarm: 1 << 20})
+		}},
+		{"synth/seq-8c", false, func() (int64, error) {
+			return runSynth(exp.SynthSpec{Pattern: workload.Sequential, Cores: 8,
+				Budget: 100_000, Prewarm: 1 << 20})
+		}},
+		{"synth/random-1c", true, func() (int64, error) {
+			return runSynth(exp.SynthSpec{Pattern: workload.Random, Cores: 1,
+				Budget: 200_000, Prewarm: 1 << 20})
+		}},
+		{"synth/random-8c", false, func() (int64, error) {
+			return runSynth(exp.SynthSpec{Pattern: workload.Random, Cores: 8,
+				Budget: 100_000, Prewarm: 1 << 20})
+		}},
+		// GAP kernels at reduced scale: realistic phase behavior.
+		{"gap/bfs-4c", false, func() (int64, error) {
+			spec := exp.DefaultGap("bfs", 4)
+			spec.Scale = 15
+			spec.Budget = 200_000
+			res, err := exp.RunGap(spec)
+			if err != nil {
+				return 0, err
+			}
+			return res.MemCycles, nil
+		}},
+		{"gap/tc-1c", false, func() (int64, error) {
+			spec := exp.DefaultGap("tc", 1)
+			spec.Scale = 15
+			spec.Policy = memctrl.ClosedPage
+			spec.Budget = 200_000
+			res, err := exp.RunGap(spec)
+			if err != nil {
+				return 0, err
+			}
+			return res.MemCycles, nil
+		}},
+	}
+}
+
+// measure times iters back-to-back runs of c once and returns the
+// aggregate view of that measurement.
+func measure(c benchCase, iters int) (Benchmark, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var cycles int64
+	for i := 0; i < iters; i++ {
+		mc, err := c.run()
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("%s: %w", c.name, err)
+		}
+		cycles += mc
+	}
+	dur := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if dur <= 0 {
+		dur = time.Nanosecond
+	}
+	return Benchmark{
+		Name:         c.name,
+		Iters:        iters,
+		NsPerOp:      dur.Nanoseconds() / int64(iters),
+		MemCycles:    cycles / int64(iters),
+		CyclesPerSec: float64(cycles) / dur.Seconds(),
+		AllocsPerOp:  (after.Mallocs - before.Mallocs) / uint64(iters),
+		BytesPerOp:   (after.TotalAlloc - before.TotalAlloc) / uint64(iters),
+	}, nil
+}
+
+// best runs count measurements and keeps the highest-throughput one
+// (minimum wall time), the conventional way to suppress scheduler noise
+// in regression gates.
+func best(c benchCase, count, iters int, verbose bool) (Benchmark, error) {
+	var b Benchmark
+	for i := 0; i < count; i++ {
+		m, err := measure(c, iters)
+		if err != nil {
+			return Benchmark{}, err
+		}
+		if verbose {
+			log.Printf("  run %d/%d: %s %.3g cycles/sec", i+1, count, c.name, m.CyclesPerSec)
+		}
+		if i == 0 || m.CyclesPerSec > b.CyclesPerSec {
+			b = m
+		}
+	}
+	return b, nil
+}
+
+// parseBenchtime accepts go-test style "3x" as well as a bare count.
+func parseBenchtime(s string) (int, error) {
+	s = strings.TrimSuffix(s, "x")
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("invalid -benchtime %q (want e.g. 1x)", s)
+	}
+	return n, nil
+}
+
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simbench: ")
+	var (
+		count     = flag.Int("count", 1, "measurements per case (best is kept)")
+		benchtime = flag.String("benchtime", "1x", "iterations per measurement, go-test style (e.g. 3x)")
+		pattern   = flag.String("run", "", "regexp selecting case names (default all)")
+		out       = flag.String("out", "", "output JSON file (default stdout)")
+		verbose   = flag.Bool("v", false, "log every measurement")
+	)
+	flag.Parse()
+
+	iters, err := parseBenchtime(*benchtime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var re *regexp.Regexp
+	if *pattern != "" {
+		if re, err = regexp.Compile(*pattern); err != nil {
+			log.Fatalf("invalid -run: %v", err)
+		}
+	}
+
+	file := File{
+		Version:   1,
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Count:     *count,
+		Benchtime: iters,
+	}
+	for _, c := range cases() {
+		if re != nil && !re.MatchString(c.name) {
+			continue
+		}
+		// Untimed warmup run: populates the exp graph cache and the
+		// runtime's lazily grown structures.
+		if _, err := c.run(); err != nil {
+			log.Fatalf("%s: warmup: %v", c.name, err)
+		}
+
+		fast, err := best(c, *count, iters, *verbose)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fast.Mode = "fast"
+		if c.lowUtil {
+			sim.SlowTick = true
+			slow, err := best(c, *count, iters, *verbose)
+			sim.SlowTick = false
+			if err != nil {
+				log.Fatal(err)
+			}
+			slow.Mode = "slow"
+			fast.SpeedupVsSlow = fast.CyclesPerSec / slow.CyclesPerSec
+			file.Benchmarks = append(file.Benchmarks, fast, slow)
+			log.Printf("%-20s %12.4g cycles/sec  %8.2f ms/op  speedup %.2fx",
+				c.name, fast.CyclesPerSec, float64(fast.NsPerOp)/1e6, fast.SpeedupVsSlow)
+		} else {
+			file.Benchmarks = append(file.Benchmarks, fast)
+			log.Printf("%-20s %12.4g cycles/sec  %8.2f ms/op",
+				c.name, fast.CyclesPerSec, float64(fast.NsPerOp)/1e6)
+		}
+	}
+
+	var fastRates []float64
+	for _, b := range file.Benchmarks {
+		if b.Mode == "fast" {
+			fastRates = append(fastRates, b.CyclesPerSec)
+		}
+	}
+	file.GeomeanCyclesPerSec = geomean(fastRates)
+	log.Printf("geomean (fast) %.4g cycles/sec over %d cases",
+		file.GeomeanCyclesPerSec, len(fastRates))
+
+	enc, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

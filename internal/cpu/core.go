@@ -18,6 +18,7 @@ package cpu
 
 import (
 	"fmt"
+	"math"
 
 	"dramstacks/internal/cache"
 	"dramstacks/internal/cyclestack"
@@ -207,6 +208,43 @@ func (c *Core) push(it robItem) {
 	c.tail = (c.tail + 1) % len(c.rob)
 	c.items++
 	c.occ += it.count
+}
+
+// NextEventCycle returns the first CPU cycle at or after now at which
+// the core might do anything other than repeat its current steady-state
+// cycle, assuming no external event (memory completion) arrives in
+// between. Two states are provably repetitive:
+//
+//   - a finished core (Done) idles forever: math.MaxInt64;
+//   - an empty core inside a branch-misprediction fetch bubble with no
+//     memory operations outstanding repeats a pure branch-penalty cycle
+//     until the bubble ends: fetchBlockedUntil.
+//
+// Everything else returns now (no skip): the core consumes its source,
+// retires, or waits on in-flight memory whose completion time this side
+// does not know. FastForward may only cover cycles strictly before the
+// returned cycle.
+func (c *Core) NextEventCycle(now int64) int64 {
+	if c.Done() {
+		return math.MaxInt64
+	}
+	if c.items == 0 && len(c.startQ) == 0 && c.outStores == 0 &&
+		c.pendingWork == 0 && c.pendingOp == nil && !c.srcDone &&
+		c.fetchBlockedUntil > now {
+		return c.fetchBlockedUntil
+	}
+	return now
+}
+
+// FastForward charges n CPU cycles in closed form, bit-identical to n
+// CPUCycle calls in the steady state NextEventCycle proved: idle cycles
+// for a finished core, branch cycles inside a fetch bubble.
+func (c *Core) FastForward(n int64) {
+	if c.Done() {
+		c.acct.AddCycles(cyclestack.Idle, n)
+		return
+	}
+	c.acct.AddCycles(cyclestack.Branch, n)
 }
 
 // CPUCycle advances the core by one CPU cycle: start eligible memory

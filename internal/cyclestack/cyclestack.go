@@ -73,6 +73,15 @@ func (a *Accountant) AddCycle(c Component) {
 	a.total++
 }
 
+// AddCycles attributes n full cycles to component c in closed form.
+// Component totals are whole-valued float64s well below 2^53, so this is
+// bit-identical to n AddCycle calls — required for fast-forwarded runs
+// to reproduce per-cycle results byte-for-byte.
+func (a *Accountant) AddCycles(c Component, n int64) {
+	a.cycles[c] += float64(n)
+	a.total += n
+}
+
 // Add attributes a fractional number of cycles to c without advancing the
 // total; use in pairs that sum to previously counted whole cycles.
 func (a *Accountant) Add(c Component, cycles float64) {

@@ -80,6 +80,16 @@ type Device struct {
 
 	apCount int // number of banks with a pending auto-precharge
 
+	// quietAt is the earliest cycle at which, absent further commands,
+	// the device is observably idle: no bank is inside an activate or
+	// precharge window (including pending auto-precharges), no rank is
+	// inside tRFC, and the data bus carries nothing. It is maintained in
+	// O(1) on every Issue so the controller can prove channel idleness
+	// without scanning the banks (the basis of idle-cycle
+	// fast-forwarding). Row-buffer state and next-allowed times may
+	// extend past quietAt; they only matter once a new command arrives.
+	quietAt int64
+
 	now int64
 
 	// Trace, if non-nil, receives every issued command with its cycle.
@@ -173,7 +183,22 @@ func (d *Device) applyPrecharge(b *bankState, at int64) {
 	if n := b.preDone; n > b.nextACT {
 		b.nextACT = n
 	}
+	d.bumpQuiet(b.preDone)
 }
+
+// bumpQuiet extends the observable-activity horizon.
+func (d *Device) bumpQuiet(t int64) {
+	if t > d.quietAt {
+		d.quietAt = t
+	}
+}
+
+// QuietAt returns the earliest cycle from which the device is observably
+// idle if no further commands are issued: BankBusy is (false, false) for
+// every bank, AnyRefreshing is false and the data bus is free at every
+// cycle ≥ QuietAt(). Open row buffers and residual next-allowed times do
+// not count as activity.
+func (d *Device) QuietAt() int64 { return d.quietAt }
 
 // RowOpen reports whether the bank at l has row l.Row open and usable
 // (activation complete) at cycle "at".
@@ -343,6 +368,7 @@ func (d *Device) Issue(cmd Command, at int64) {
 		b.row = cmd.Loc.Row
 		b.actStart = at
 		b.actDone = at + int64(tm.RCD)
+		d.bumpQuiet(b.actDone)
 		b.nextCol = at + int64(tm.RCD)
 		b.nextPRE = maxi64(b.nextPRE, at+int64(tm.RAS))
 		b.nextACT = maxi64(b.nextACT, at+int64(tm.RC))
@@ -395,6 +421,7 @@ func (d *Device) Issue(cmd Command, at int64) {
 
 	case CmdREF:
 		r.refUntil = at + int64(tm.RFC)
+		d.bumpQuiet(r.refUntil)
 		r.nextACT = maxi64(r.nextACT, r.refUntil)
 		r.nextRD = maxi64(r.nextRD, r.refUntil)
 		r.nextWR = maxi64(r.nextWR, r.refUntil)
@@ -411,6 +438,9 @@ func (d *Device) scheduleAutoPrecharge(b *bankState, at int64) {
 	b.apAt = at
 	d.apCount++
 	d.stats.AutoPRE++
+	// The pending auto-precharge shows as a busy bank in BankBusy for
+	// [apAt, apAt+RP) even before Sync applies it.
+	d.bumpQuiet(at + int64(d.tim.RP))
 }
 
 // busFreeFor returns the first cycle rank may start a data transfer,
@@ -432,6 +462,7 @@ func (d *Device) claimBus(start int64, kind DataKind, rank int) {
 	}
 	d.busBusyUntil = start + int64(d.tim.BL2)
 	d.busRank = rank
+	d.bumpQuiet(d.busBusyUntil)
 }
 
 // DataWindow returns the [start, end) data-bus interval for a column

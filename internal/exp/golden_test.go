@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"dramstacks/internal/sim"
+)
+
+// TestSweepJSONFastSlowIdentical is the end-to-end golden-equivalence
+// gate for idle-cycle fast-forwarding: the full Fig. 2/Fig. 4 grid
+// (sequential/random × 1..8 cores × open/closed pages, reduced budget)
+// must serialize to byte-identical SweepJSON — spec hashes, stacks,
+// through-time samples and extrapolations — whether the simulator runs
+// the fast-forwarding loop or the reference per-cycle loop.
+func TestSweepJSONFastSlowIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid equivalence sweep skipped in -short")
+	}
+	sw := Sweep{
+		Base: Spec{Workload: "seq", Budget: 30_000, Sample: 10_000},
+		Axes: map[string][]any{
+			"workload": {"seq", "random"},
+			"cores":    {1, 2, 4, 8},
+			"policy":   {"open", "closed"},
+		},
+	}
+	run := func(slow bool) []byte {
+		t.Helper()
+		was := sim.SlowTick
+		sim.SlowTick = slow
+		defer func() { sim.SlowTick = was }()
+		res, err := RunSweep(context.Background(), sw, SweepOptions{})
+		if err != nil {
+			t.Fatalf("slow=%v: %v", slow, err)
+		}
+		doc, err := res.ToJSON()
+		if err != nil {
+			t.Fatalf("slow=%v: %v", slow, err)
+		}
+		data, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatalf("slow=%v: %v", slow, err)
+		}
+		return data
+	}
+	fast := run(false)
+	slow := run(true)
+	if bytes.Equal(fast, slow) {
+		return
+	}
+	i := 0
+	for i < len(fast) && i < len(slow) && fast[i] == slow[i] {
+		i++
+	}
+	lo, hi := i-80, i+80
+	if lo < 0 {
+		lo = 0
+	}
+	clip := func(b []byte) []byte {
+		if hi > len(b) {
+			return b[lo:]
+		}
+		return b[lo:hi]
+	}
+	t.Errorf("SweepJSON differs at byte %d:\n fast: ...%s...\n slow: ...%s...",
+		i, clip(fast), clip(slow))
+}

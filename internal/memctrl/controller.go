@@ -277,6 +277,64 @@ func (c *Controller) Tick(now int64) {
 	c.account(now)
 }
 
+// NextEventCycle returns the next cycle at which Tick must run for real,
+// assuming no new requests are enqueued in between. Call it immediately
+// after Tick(now). For a controller with queued or in-flight work, or
+// with a pending refresh, or whose device still has observable activity
+// (banks opening/closing, data on the bus, a rank inside tRFC), it
+// returns now+1: every cycle must be simulated. Otherwise the controller
+// is provably idle and the only future event is the earliest refresh
+// deadline: every cycle before it is a pure idle cycle that
+// FastForwardIdle can account in closed form.
+func (c *Controller) NextEventCycle(now int64) int64 {
+	if len(c.readQ) > 0 || len(c.writeQ) > 0 || len(c.inflight) > 0 || len(c.fwdDone) > 0 {
+		return now + 1
+	}
+	for r := range c.refPending {
+		if c.refPending[r] {
+			return now + 1
+		}
+	}
+	if c.dev.QuietAt() > now+1 {
+		return now + 1
+	}
+	next := c.nextRefresh[0]
+	for _, t := range c.nextRefresh[1:] {
+		if t < next {
+			next = t
+		}
+	}
+	if next <= now {
+		return now + 1 // defensive: a due refresh is already pending
+	}
+	return next
+}
+
+// FastForwardIdle replays the ticks for cycles from..to (inclusive) in
+// closed form. It is valid only across a gap NextEventCycle proved idle:
+// every skipped cycle accounts as a whole idle cycle, queue-occupancy
+// integrals gain zero, and through-time samples are cut at exactly the
+// boundaries the per-cycle loop would have cut them. The result is
+// byte-identical to calling Tick for every cycle of the gap.
+func (c *Controller) FastForwardIdle(from, to int64) {
+	if to < from {
+		return
+	}
+	t := from
+	for t <= to {
+		end := to
+		if next := c.sampler.NextCut(); next > 0 && next-1 < end {
+			end = next - 1
+		}
+		n := end - t + 1
+		c.bw.AccountIdle(n)
+		c.stats.Cycles += n
+		t = end + 1
+		c.sampler.MaybeCut(t)
+	}
+	c.now = to
+}
+
 func (c *Controller) completeFinished(now int64) {
 	for len(c.inflight) > 0 && c.inflight[0].done <= now {
 		pd := c.inflight[0]

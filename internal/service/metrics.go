@@ -34,7 +34,7 @@ type Metrics struct {
 	SimMemCycles atomic.Int64 // total simulated memory cycles
 
 	// wall-time histogram: bucket counts + sum (float64 bits) + count
-	wallCounts [8]atomic.Int64 // len(wallBuckets)+1, last is +Inf
+	wallCounts  [8]atomic.Int64 // len(wallBuckets)+1, last is +Inf
 	wallSumBits atomic.Uint64
 	wallCount   atomic.Int64
 }

@@ -146,6 +146,16 @@ type System struct {
 
 	memCycle int64
 
+	// Idle-cycle fast-forwarding state (unused when slow is set).
+	// Controllers are ticked lazily: ctrlTicked is the last memory cycle
+	// each controller has simulated, ctrlNext the next cycle it must
+	// simulate for real (everything in between is provably idle and is
+	// replayed in closed form by catchUpCtrl). slow selects the
+	// per-cycle reference loop (the -tags=slowtick default).
+	ctrlTicked []int64
+	ctrlNext   []int64
+	slow       bool
+
 	cycleSamples []cyclestack.Stack
 	lastCycle    cyclestack.Stack
 	nextCut      int64
@@ -228,6 +238,12 @@ func New(cfg Config, sources []cpu.Source) (*System, error) {
 		}
 		s.ctrls = append(s.ctrls, ctrl)
 	}
+	s.slow = SlowTick
+	s.ctrlTicked = make([]int64, channels)
+	s.ctrlNext = make([]int64, channels)
+	for ch := range s.ctrlTicked {
+		s.ctrlTicked[ch] = -1
+	}
 	s.hier, err = cache.NewHierarchy(cfg.Hier, (*memPort)(s))
 	if err != nil {
 		return nil, err
@@ -294,18 +310,32 @@ type memPort System
 
 var _ cache.MemPort = (*memPort)(nil)
 
-// route returns the controller owning addr's channel.
-func (s *System) route(addr uint64) *memctrl.Controller {
+// route returns the channel index owning addr.
+func (s *System) route(addr uint64) int {
 	if s.channels == 1 {
-		return s.ctrls[0]
+		return 0
 	}
-	return s.ctrls[s.mapper.Decode(addr).Channel]
+	return s.mapper.Decode(addr).Channel
+}
+
+// enqueueTarget catches the addressed controller up to the cycle just
+// before the current one (requests at cycle m arrive after Tick(m-1) and
+// before Tick(m)) and marks it due for a real tick this cycle.
+func (s *System) enqueueTarget(addr uint64) *memctrl.Controller {
+	ch := s.route(addr)
+	if !s.slow {
+		s.catchUpCtrl(ch, s.memCycle-1)
+		if s.ctrlNext[ch] > s.memCycle {
+			s.ctrlNext[ch] = s.memCycle
+		}
+	}
+	return s.ctrls[ch]
 }
 
 // Read implements cache.MemPort.
 func (p *memPort) Read(nowCPU int64, addr uint64, onDone func(int64, float64)) bool {
 	s := (*System)(p)
-	_, ok := s.route(addr).EnqueueRead(s.memCycle, addr, func(r *memctrl.Request, at int64) {
+	_, ok := s.enqueueTarget(addr).EnqueueRead(s.memCycle, addr, func(r *memctrl.Request, at int64) {
 		onDone(at*int64(s.cfg.CPUMult), r.QueueFraction())
 	}, nil)
 	return ok
@@ -314,7 +344,7 @@ func (p *memPort) Read(nowCPU int64, addr uint64, onDone func(int64, float64)) b
 // Write implements cache.MemPort.
 func (p *memPort) Write(nowCPU int64, addr uint64) bool {
 	s := (*System)(p)
-	_, ok := s.route(addr).EnqueueWrite(s.memCycle, addr, nil, nil)
+	_, ok := s.enqueueTarget(addr).EnqueueWrite(s.memCycle, addr, nil, nil)
 	return ok
 }
 
@@ -334,12 +364,195 @@ func (s *System) Run() *Result { return s.RunContext(context.Background()) }
 // in profiles while bounding cancellation latency.
 const cancelCheckMask = 1<<10 - 1
 
+// SlowTick, when true, makes systems created afterwards use the reference
+// per-cycle loop instead of idle-cycle fast-forwarding. It defaults to
+// false; building with -tags=slowtick flips the default. Both loops
+// produce byte-identical results — the slow loop exists as the golden
+// reference for the equivalence tests and for debugging.
+var SlowTick = defaultSlowTick
+
 // RunContext simulates like Run but additionally polls ctx every few
 // memory cycles. When ctx is cancelled the run stops promptly and
 // returns the partial result accumulated so far (with Cancelled set);
 // warmup subtraction and through-time sampling behave exactly as on a
 // normal early stop, so the partial stacks remain internally consistent.
+//
+// The loop fast-forwards across provably idle cycles instead of ticking
+// every component every DRAM cycle (see doc/PERF.md): idle memory
+// controllers are ticked lazily and their idle gaps replayed in closed
+// form, and when additionally every core is in a provably repetitive
+// state with nothing in flight, whole memory cycles are skipped in bulk.
+// Every stack, sample and statistic stays byte-identical to the
+// reference per-cycle loop (build with -tags=slowtick, or set SlowTick,
+// to run it).
 func (s *System) RunContext(ctx context.Context) *Result {
+	if s.slow {
+		return s.runSlow(ctx)
+	}
+	done := ctx.Done()
+simLoop:
+	for {
+		m := s.memCycle
+		for c := 0; c < s.cfg.CPUMult; c++ {
+			cpuNow := m*int64(s.cfg.CPUMult) + int64(c)
+			for _, core := range s.cores {
+				core.CPUCycle(cpuNow)
+			}
+			s.hier.Tick(cpuNow)
+		}
+		for ch := range s.ctrls {
+			if s.ctrlNext[ch] <= m {
+				s.catchUpCtrl(ch, m)
+			}
+		}
+		s.memCycle++
+
+		// Post-cycle bookkeeping; repeats after a bulk skip so every
+		// boundary (warmup, sample cut, budget) is observed at exactly
+		// the cycle the per-cycle loop would observe it.
+		for {
+			if s.cfg.WarmupMemCycles > 0 && !s.warmed && s.memCycle >= s.cfg.WarmupMemCycles {
+				s.catchUpAll(s.memCycle - 1)
+				for _, ctrl := range s.ctrls {
+					s.warmBW = append(s.warmBW, ctrl.BandwidthStack())
+					s.warmLat = append(s.warmLat, ctrl.LatencyStack())
+				}
+				s.warmed = true
+			}
+			if s.cfg.SampleInterval > 0 && s.memCycle-s.nextCut >= s.cfg.SampleInterval {
+				s.catchUpAll(s.memCycle - 1)
+				s.cutCycleSample()
+				s.publishSamples()
+			}
+			if s.cfg.MaxMemCycles > 0 && s.memCycle >= s.cfg.MaxMemCycles {
+				break simLoop
+			}
+			if done != nil && s.memCycle&cancelCheckMask == 0 {
+				select {
+				case <-done:
+					s.cancelled = true
+				default:
+				}
+				if s.cancelled {
+					break simLoop
+				}
+			}
+			if s.done() {
+				break simLoop
+			}
+			skip := s.skipWindow()
+			if skip <= s.memCycle {
+				break
+			}
+			n := skip - s.memCycle
+			for _, core := range s.cores {
+				core.FastForward(n * int64(s.cfg.CPUMult))
+			}
+			s.memCycle = skip
+		}
+	}
+	s.catchUpAll(s.memCycle - 1)
+	for _, ctrl := range s.ctrls {
+		ctrl.FinishSampling()
+	}
+	s.finishCycleSample()
+	s.publishSamples()
+	return s.result()
+}
+
+// catchUpCtrl brings controller ch up to date through memory cycle
+// target: idle gaps (cycles before the controller's next real event) are
+// replayed in closed form, everything else — at most the refresh cycles
+// of a long gap — is ticked normally. Replaying later is byte-identical
+// to ticking inline because no requests arrived in between (enqueues
+// catch the controller up first), so the controller's evolution over the
+// gap is closed.
+func (s *System) catchUpCtrl(ch int, target int64) {
+	for s.ctrlTicked[ch] < target {
+		t := s.ctrlTicked[ch] + 1
+		if next := s.ctrlNext[ch]; t < next {
+			end := target
+			if next-1 < end {
+				end = next - 1
+			}
+			s.ctrls[ch].FastForwardIdle(t, end)
+			s.ctrlTicked[ch] = end
+		} else {
+			s.ctrls[ch].Tick(t)
+			s.ctrlTicked[ch] = t
+			s.ctrlNext[ch] = s.ctrls[ch].NextEventCycle(t)
+		}
+	}
+}
+
+// catchUpAll brings every controller up to date through memory cycle
+// target (before anything reads controller-side stacks or samples).
+func (s *System) catchUpAll(target int64) {
+	for ch := range s.ctrls {
+		s.catchUpCtrl(ch, target)
+	}
+}
+
+// skipWindow returns the first memory cycle at or after the current one
+// that must be simulated cycle by cycle. A return greater than
+// s.memCycle means every cycle in between is provably inert on all
+// sides: every channel is idle (no queued, in-flight or refresh-pending
+// work), the cache hierarchy has nothing in flight, and every core is in
+// a provably repetitive state — those cycles are charged in closed form
+// and skipped. The window is clamped to the next warmup, sample, budget
+// and core-resume boundary so bookkeeping fires on exactly the same
+// cycles as the per-cycle loop.
+func (s *System) skipWindow() int64 {
+	// Ordered cheapest-reject first: on a busy memory system the first
+	// channel check exits, keeping the fast loop's per-cycle overhead
+	// near zero when there is nothing to skip.
+	m := s.memCycle
+	limit := int64(0)
+	for ch := range s.ctrls {
+		next := s.ctrlNext[ch]
+		if next <= m {
+			return m
+		}
+		if limit == 0 || next < limit {
+			limit = next
+		}
+	}
+	mult := int64(s.cfg.CPUMult)
+	cpuNow := m * mult
+	for _, core := range s.cores {
+		e := core.NextEventCycle(cpuNow)
+		if e <= cpuNow {
+			return m
+		}
+		if mem := e / mult; mem < limit {
+			limit = mem
+		}
+	}
+	if s.hier.Pending() {
+		return m
+	}
+	if s.cfg.MaxMemCycles > 0 && s.cfg.MaxMemCycles < limit {
+		limit = s.cfg.MaxMemCycles
+	}
+	if s.cfg.WarmupMemCycles > 0 && !s.warmed && s.cfg.WarmupMemCycles < limit {
+		limit = s.cfg.WarmupMemCycles
+	}
+	if s.cfg.SampleInterval > 0 {
+		if b := s.nextCut + s.cfg.SampleInterval; b < limit {
+			limit = b
+		}
+	}
+	if limit < m {
+		return m
+	}
+	return limit
+}
+
+// runSlow is the reference per-cycle loop: every component ticks on
+// every DRAM cycle, exactly as the seed implementation did. It is the
+// default under -tags=slowtick and the baseline the golden-equivalence
+// tests compare the fast-forwarding loop against.
+func (s *System) runSlow(ctx context.Context) *Result {
 	done := ctx.Done()
 	for {
 		m := s.memCycle

@@ -1,0 +1,7 @@
+//go:build !slowtick
+
+package sim
+
+// defaultSlowTick selects the fast-forwarding loop by default; build with
+// -tags=slowtick to default to the reference per-cycle loop instead.
+const defaultSlowTick = false

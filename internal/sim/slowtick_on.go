@@ -1,0 +1,7 @@
+//go:build slowtick
+
+package sim
+
+// defaultSlowTick selects the reference per-cycle loop because the build
+// used -tags=slowtick.
+const defaultSlowTick = true

@@ -153,6 +153,15 @@ func (a *BandwidthAccountant) Account(v CycleView) {
 	}
 }
 
+// AccountIdle classifies n consecutive channel cycles as idle in closed
+// form. It is exactly equivalent to n Account calls with a zero
+// CycleView (no data, no refresh, no busy or blocked banks, nothing
+// pending) — the basis of idle-cycle fast-forwarding.
+func (a *BandwidthAccountant) AccountIdle(n int64) {
+	a.total += n
+	a.full[BWIdle] += n
+}
+
 // Stack returns the accumulated bandwidth stack.
 func (a *BandwidthAccountant) Stack() BandwidthStack {
 	s := BandwidthStack{Banks: a.banks, TotalCycles: a.total}

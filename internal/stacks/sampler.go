@@ -64,3 +64,13 @@ func (s *Sampler) cut(end int64) {
 
 // Samples returns the samples cut so far.
 func (s *Sampler) Samples() []Sample { return s.samples }
+
+// NextCut returns the cycle boundary at which the next sample will be
+// cut, or 0 when sampling is disabled. A fast-forwarding caller must
+// account all cycles below the boundary before calling MaybeCut with it.
+func (s *Sampler) NextCut() int64 {
+	if s.interval <= 0 {
+		return 0
+	}
+	return s.lastCut + s.interval
+}
