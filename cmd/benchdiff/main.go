@@ -6,53 +6,21 @@
 //	benchdiff -threshold 0.10 BENCH_3.json BENCH_PR.json
 //
 // Cases are matched by name and mode; cases present in only one file
-// are reported but do not affect the gate.
+// are reported but do not affect the gate, and cases with a non-finite
+// ratio (a zero or NaN baseline reading) are skipped with a warning
+// rather than poisoning the geomean. If every common case is skipped
+// the comparison errors out: a gate with no sound input must not pass.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
-	"math"
 	"os"
-	"sort"
+
+	"dramstacks/internal/benchfmt"
 )
-
-// Benchmark mirrors cmd/simbench's output schema (the fields the
-// comparison needs).
-type Benchmark struct {
-	Name         string  `json:"name"`
-	Mode         string  `json:"mode"`
-	NsPerOp      int64   `json:"ns_per_op"`
-	CyclesPerSec float64 `json:"cycles_per_sec"`
-	AllocsPerOp  uint64  `json:"allocs_per_op"`
-}
-
-// File mirrors cmd/simbench's output schema.
-type File struct {
-	Version    int         `json:"version"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
-
-func load(path string) (map[string]Benchmark, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var f File
-	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	if f.Version != 1 {
-		return nil, fmt.Errorf("%s: unsupported version %d", path, f.Version)
-	}
-	out := make(map[string]Benchmark, len(f.Benchmarks))
-	for _, b := range f.Benchmarks {
-		out[b.Name+"/"+b.Mode] = b
-	}
-	return out, nil
-}
 
 func main() {
 	log.SetFlags(0)
@@ -63,51 +31,53 @@ func main() {
 	if flag.NArg() != 2 {
 		log.Fatal("usage: benchdiff [-threshold 0.10] OLD.json NEW.json")
 	}
-	oldB, err := load(flag.Arg(0))
-	if err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	newB, err := load(flag.Arg(1))
+}
+
+// run loads, compares and gates; every failure mode (unreadable file,
+// no common cases, all-skipped, regression past the threshold) comes
+// back as an error so main can exit non-zero.
+func run(oldPath, newPath string, threshold float64, w io.Writer) error {
+	oldF, err := benchfmt.Load(oldPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	newF, err := benchfmt.Load(newPath)
+	if err != nil {
+		return err
+	}
+	cmp, err := benchfmt.Compare(oldF, newF)
+	report(w, cmp)
+	if err != nil {
+		return err
 	}
 
-	keys := make([]string, 0, len(oldB))
-	for k := range oldB {
-		keys = append(keys, k)
+	fmt.Fprintf(w, "\ngeomean throughput ratio over %d cases: %.3fx (gate: >= %.3fx)\n",
+		cmp.Matched, cmp.Geomean, 1-threshold)
+	if cmp.Geomean < 1-threshold {
+		return fmt.Errorf("FAIL: throughput regressed %.1f%% (threshold %.0f%%)",
+			100*(1-cmp.Geomean), 100*threshold)
 	}
-	sort.Strings(keys)
+	fmt.Fprintln(w, "PASS")
+	return nil
+}
 
-	var logSum float64
-	matched := 0
-	fmt.Printf("%-28s %14s %14s %8s\n", "case", "old cyc/s", "new cyc/s", "ratio")
-	for _, k := range keys {
-		o := oldB[k]
-		n, ok := newB[k]
-		if !ok {
-			fmt.Printf("%-28s %14.4g %14s %8s\n", k, o.CyclesPerSec, "missing", "-")
-			continue
+func report(w io.Writer, cmp benchfmt.Comparison) {
+	fmt.Fprintf(w, "%-28s %14s %14s %8s\n", "case", "old cyc/s", "new cyc/s", "ratio")
+	for _, r := range cmp.Rows {
+		switch r.Status {
+		case benchfmt.Compared:
+			fmt.Fprintf(w, "%-28s %14.4g %14.4g %7.3fx\n", r.Key, r.Old, r.New, r.Ratio)
+		case benchfmt.Skipped:
+			fmt.Fprintf(w, "%-28s %14.4g %14.4g %8s\n", r.Key, r.Old, r.New, "skipped")
+			log.Printf("warning: %s has a non-finite throughput ratio (old %g, new %g); excluded from the geomean",
+				r.Key, r.Old, r.New)
+		case benchfmt.OldOnly:
+			fmt.Fprintf(w, "%-28s %14.4g %14s %8s\n", r.Key, r.Old, "missing", "-")
+		case benchfmt.NewOnly:
+			fmt.Fprintf(w, "%-28s %14s %14.4g %8s\n", r.Key, "new case", r.New, "-")
 		}
-		ratio := n.CyclesPerSec / o.CyclesPerSec
-		fmt.Printf("%-28s %14.4g %14.4g %7.3fx\n", k, o.CyclesPerSec, n.CyclesPerSec, ratio)
-		logSum += math.Log(ratio)
-		matched++
 	}
-	for k := range newB {
-		if _, ok := oldB[k]; !ok {
-			fmt.Printf("%-28s %14s %14.4g %8s\n", k, "new case", newB[k].CyclesPerSec, "-")
-		}
-	}
-	if matched == 0 {
-		log.Fatal("no cases in common; nothing to gate on")
-	}
-
-	geomean := math.Exp(logSum / float64(matched))
-	fmt.Printf("\ngeomean throughput ratio over %d cases: %.3fx (gate: >= %.3fx)\n",
-		matched, geomean, 1-*threshold)
-	if geomean < 1-*threshold {
-		log.Fatalf("FAIL: throughput regressed %.1f%% (threshold %.0f%%)",
-			100*(1-geomean), 100**threshold)
-	}
-	fmt.Println("PASS")
 }

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dramstacks/internal/benchfmt"
+)
+
+func writeBench(t *testing.T, dir, name string, f benchfmt.File) string {
+	t.Helper()
+	data, err := benchfmt.Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func benchFile(rates map[string]float64) benchfmt.File {
+	f := benchfmt.File{Version: benchfmt.Version}
+	for name, rate := range rates {
+		f.Benchmarks = append(f.Benchmarks, benchfmt.Benchmark{
+			Name: name, Mode: "fast", CyclesPerSec: rate,
+		})
+	}
+	return f
+}
+
+func TestRunPassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 100, "b": 100}))
+	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"a": 95, "b": 100}))
+	var out bytes.Buffer
+	if err := run(oldP, newP, 0.10, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("output lacks PASS:\n%s", out.String())
+	}
+}
+
+func TestRunFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 100}))
+	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"a": 80}))
+	var out bytes.Buffer
+	err := run(oldP, newP, 0.10, &out)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("err = %v, want regression failure", err)
+	}
+}
+
+// TestRunSkipsZeroBaseline is the regression test for the gate-poisoning
+// bug: a zero baseline reading used to drive the geomean to +Inf (or
+// NaN), which either masked real regressions or tripped the gate on
+// healthy changes. It must now be skipped with the rest gated normally.
+func TestRunSkipsZeroBaseline(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"poison": 0, "a": 100, "b": 100}))
+	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"poison": 100, "a": 100, "b": 100}))
+	var out bytes.Buffer
+	if err := run(oldP, newP, 0.10, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "skipped") || !strings.Contains(s, "over 2 cases") {
+		t.Fatalf("expected poison case skipped and 2 gated cases:\n%s", s)
+	}
+}
+
+func TestRunErrsWhenAllSkipped(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 0}))
+	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"a": 100}))
+	var out bytes.Buffer
+	if err := run(oldP, newP, 0.10, &out); err == nil {
+		t.Fatalf("run passed with nothing sound to gate on:\n%s", out.String())
+	}
+}
+
+func TestRunErrsOnDisjointFiles(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 100}))
+	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"b": 100}))
+	var out bytes.Buffer
+	if err := run(oldP, newP, 0.10, &out); err == nil {
+		t.Fatal("run passed with no common cases")
+	}
+}
+
+func TestRunErrsOnBadFile(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := writeBench(t, dir, "good.json", benchFile(map[string]float64{"a": 1}))
+	var out bytes.Buffer
+	if err := run(bad, good, 0.10, &out); err == nil {
+		t.Fatal("run accepted an unsupported file version")
+	}
+	if err := run(good, filepath.Join(dir, "missing.json"), 0.10, &out); err == nil {
+		t.Fatal("run accepted a missing file")
+	}
+}

@@ -2,13 +2,14 @@
 // over HTTP: experiment specs are submitted as jobs (POST /v1/jobs) or
 // whole parameter grids as sweeps (POST /v1/sweeps), run on a bounded
 // worker pool behind a FIFO queue, deduplicated through a
-// content-addressed result cache, and observable via /metrics. See
-// doc/SERVICE.md for the API reference.
+// content-addressed result cache, and observable via /metrics. With
+// -data the full job/sweep state is journaled to disk and recovered on
+// restart. See doc/SERVICE.md for the API reference.
 //
 // Usage:
 //
 //	dramstacksd -addr :8080
-//	dramstacksd -addr 127.0.0.1:9000 -workers 4 -queue 128 -cache-mb 256
+//	dramstacksd -addr 127.0.0.1:9000 -workers 4 -queue 128 -cache-mb 256 -data /var/lib/dramstacksd
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/ handlers, gated by -pprof
 	"os"
@@ -33,29 +35,34 @@ func main() {
 		workers = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS-1)")
 		queue   = flag.Int("queue", 64, "job queue depth before submissions get 429")
 		cacheMB = flag.Int64("cache-mb", 64, "result cache budget in MiB")
+		dataDir = flag.String("data", "", "durable state directory (empty = in-memory only; see doc/SERVICE.md)")
 		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling a live service; keep off in untrusted networks)")
 		verbose = flag.Bool("v", false, "debug logging")
 	)
 	flag.Parse()
-	if err := serve(*addr, *workers, *queue, *cacheMB, *pprofOn, *verbose); err != nil {
+	if err := serve(*addr, *workers, *queue, *cacheMB, *dataDir, *pprofOn, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "dramstacksd:", err)
 		os.Exit(1)
 	}
 }
 
-func serve(addr string, workers, queue int, cacheMB int64, pprofOn, verbose bool) error {
+func serve(addr string, workers, queue int, cacheMB int64, dataDir string, pprofOn, verbose bool) error {
 	level := slog.LevelInfo
 	if verbose {
 		level = slog.LevelDebug
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	svc := service.New(service.Config{
+	svc, err := service.New(service.Config{
 		Workers:    workers,
 		QueueDepth: queue,
 		CacheBytes: cacheMB << 20,
+		DataDir:    dataDir,
 		Logger:     logger,
 	})
+	if err != nil {
+		return err
+	}
 	defer svc.Close()
 
 	handler := svc.Handler()
@@ -69,14 +76,18 @@ func serve(addr string, workers, queue int, cacheMB int64, pprofOn, verbose bool
 		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{
-		Addr:              addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// Graceful shutdown: stop accepting, drain in-flight requests, then
-	// cancel any running simulations via svc.Close.
+	// Graceful shutdown: stop accepting, drain in-flight requests (with
+	// a deadline: long-lived NDJSON streams must not hold the process
+	// open forever), then checkpoint and stop the service via svc.Close.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
@@ -86,12 +97,21 @@ func serve(addr string, workers, queue int, cacheMB int64, pprofOn, verbose bool
 		logger.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		srv.Shutdown(ctx)
+		if err := srv.Shutdown(ctx); err != nil {
+			// The drain deadline passed with connections still open
+			// (typically an in-flight sample/result stream): surface it
+			// and force-close the stragglers so svc.Close can checkpoint.
+			logger.Error("graceful drain incomplete; forcing close", "err", err)
+			if cerr := srv.Close(); cerr != nil {
+				logger.Error("force close failed", "err", cerr)
+			}
+		}
 	}()
 
-	logger.Info("dramstacksd listening", "addr", addr,
-		"workers", workers, "queue", queue, "cache_mb", cacheMB)
-	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+	// The resolved address matters when -addr picks port 0 (tests).
+	logger.Info("dramstacksd listening", "addr", ln.Addr().String(),
+		"workers", workers, "queue", queue, "cache_mb", cacheMB, "data", dataDir)
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	<-done

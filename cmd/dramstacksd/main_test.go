@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dramstacks/internal/exp"
+	"dramstacks/internal/service"
+	"dramstacks/pkg/client"
+)
+
+// buildDaemon compiles the dramstacksd binary into a temp dir once per
+// test run.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dramstacksd")
+	cmd := exec.Command("go", "build", "-o", bin, "dramstacks/cmd/dramstacksd")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building dramstacksd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon launches the binary on an ephemeral port and returns the
+// resolved listen address parsed from its startup log line.
+func startDaemon(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-data", dataDir, "-workers", "1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.Contains(line, "dramstacksd listening") {
+				continue
+			}
+			for _, f := range strings.Fields(line) {
+				if a, ok := strings.CutPrefix(f, "addr="); ok {
+					select {
+					case addrCh <- a:
+					default:
+					}
+				}
+			}
+		}
+		// Keep draining so the child never blocks on a full pipe.
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("daemon did not log its listen address in time")
+		return nil, ""
+	}
+}
+
+// TestCrashRecoveryEndToEnd is the acceptance test for durability at
+// the process level: SIGKILL the daemon mid-sweep, restart it on the
+// same data dir, and require that every point of the finished sweep is
+// byte-identical to an uninterrupted in-process run of the same spec.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real daemon; skipped with -short")
+	}
+	bin := buildDaemon(t)
+	dataDir := t.TempDir()
+	retry := client.RetryPolicy{MaxAttempts: 20, BaseDelay: 10 * time.Millisecond, MaxDelay: 200 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	const sweepDoc = `{"base": {"workload": "seq,random", "cores": 2}, "axes": {"cycles": [20000, 2000000, 4000000]}}`
+
+	// The uninterrupted reference: the simulator is deterministic, so an
+	// in-process run of each expanded point yields the exact document the
+	// recovered service must serve.
+	sw, err := exp.ParseSweep([]byte(sweepDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string][]byte, len(points)) // spec hash → result doc
+	for _, p := range points {
+		res, err := exp.RunSpec(ctx, p.Spec, exp.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := exp.ResultJSON(p.Spec, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[p.Hash] = doc
+	}
+
+	cmd, addr := startDaemon(t, bin, dataDir)
+	c := client.New("http://"+addr, client.Options{Retry: retry})
+	sub, err := c.SubmitSweep(ctx, []byte(sweepDoc))
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal(err)
+	}
+
+	// Let at least the first point complete, then pull the plug.
+	for {
+		st, err := c.Sweep(ctx, sub.ID)
+		if err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal(err)
+		}
+		if st.Completed >= 1 {
+			break
+		}
+		if err := sleepCtx(ctx, 10*time.Millisecond); err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal(err)
+		}
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no checkpoint, no cleanup
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Restart over the same data dir (fresh port) and let the recovered
+	// sweep run to completion.
+	cmd2, addr2 := startDaemon(t, bin, dataDir)
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	c2 := client.New("http://"+addr2, client.Options{Retry: retry})
+
+	got := map[string][]byte{}
+	n, err := c2.SweepResults(ctx, sub.ID, func(l service.SweepResultLine) error {
+		if l.State != service.StateDone {
+			t.Errorf("point %d recovered as %s (%s)", l.Index, l.State, l.Error)
+		}
+		got[l.SpecHash] = append([]byte(nil), l.Result...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(points) {
+		t.Fatalf("recovered sweep streamed %d lines, want %d", n, len(points))
+	}
+
+	for hash, wantDoc := range want {
+		// The NDJSON line embeds the result compacted; compare compact
+		// forms, then fetch the raw document for byte-level identity.
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, wantDoc); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[hash], buf.Bytes()) {
+			t.Errorf("sweep line for %s differs from uninterrupted run:\nwant %s\ngot  %s", hash, buf.Bytes(), got[hash])
+		}
+	}
+
+	// Byte-level identity of the full documents via the job endpoints.
+	st, err := c2.Sweep(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || st.Completed != len(points) {
+		t.Fatalf("recovered sweep = %s (%d/%d points)", st.State, st.Completed, len(points))
+	}
+	for _, job := range st.Jobs {
+		doc, err := c2.Stacks(ctx, job.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantDoc, ok := want[job.SpecHash]; !ok || !bytes.Equal(doc, wantDoc) {
+			t.Errorf("stacks of %s differ from uninterrupted run:\nwant %s\ngot  %s", job.JobID, wantDoc, doc)
+		}
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

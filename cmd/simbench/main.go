@@ -11,11 +11,9 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"math"
 	"os"
 	"regexp"
 	"runtime"
@@ -23,42 +21,13 @@ import (
 	"strings"
 	"time"
 
+	"dramstacks/internal/benchfmt"
 	"dramstacks/internal/cpu"
 	"dramstacks/internal/exp"
 	"dramstacks/internal/memctrl"
 	"dramstacks/internal/sim"
 	"dramstacks/internal/workload"
 )
-
-// Benchmark is one measured case in the output file. NsPerOp and the
-// allocation figures are per simulation run; CyclesPerSec is simulated
-// memory cycles per wall-clock second, the throughput number the CI gate
-// compares.
-type Benchmark struct {
-	Name         string  `json:"name"`
-	Mode         string  `json:"mode"` // "fast" or "slow"
-	Iters        int     `json:"iters"`
-	NsPerOp      int64   `json:"ns_per_op"`
-	MemCycles    int64   `json:"mem_cycles"`
-	CyclesPerSec float64 `json:"cycles_per_sec"`
-	AllocsPerOp  uint64  `json:"allocs_per_op"`
-	BytesPerOp   uint64  `json:"bytes_per_op"`
-	// SpeedupVsSlow is fast-mode throughput over slow-mode throughput
-	// for cases measured in both modes (fast entries only).
-	SpeedupVsSlow float64 `json:"speedup_vs_slow,omitempty"`
-}
-
-// File is the schema of BENCH_*.json.
-type File struct {
-	Version             int         `json:"version"`
-	Go                  string      `json:"go"`
-	GOOS                string      `json:"goos"`
-	GOARCH              string      `json:"goarch"`
-	Count               int         `json:"count"`
-	Benchtime           int         `json:"benchtime"`
-	Benchmarks          []Benchmark `json:"benchmarks"`
-	GeomeanCyclesPerSec float64     `json:"geomean_cycles_per_sec"`
-}
 
 // benchCase is one workload to measure. run executes a single
 // simulation and returns how many memory cycles it covered. lowUtil
@@ -169,7 +138,7 @@ func cases() []benchCase {
 
 // measure times iters back-to-back runs of c once and returns the
 // aggregate view of that measurement.
-func measure(c benchCase, iters int) (Benchmark, error) {
+func measure(c benchCase, iters int) (benchfmt.Benchmark, error) {
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -178,7 +147,7 @@ func measure(c benchCase, iters int) (Benchmark, error) {
 	for i := 0; i < iters; i++ {
 		mc, err := c.run()
 		if err != nil {
-			return Benchmark{}, fmt.Errorf("%s: %w", c.name, err)
+			return benchfmt.Benchmark{}, fmt.Errorf("%s: %w", c.name, err)
 		}
 		cycles += mc
 	}
@@ -187,7 +156,7 @@ func measure(c benchCase, iters int) (Benchmark, error) {
 	if dur <= 0 {
 		dur = time.Nanosecond
 	}
-	return Benchmark{
+	return benchfmt.Benchmark{
 		Name:         c.name,
 		Iters:        iters,
 		NsPerOp:      dur.Nanoseconds() / int64(iters),
@@ -201,12 +170,12 @@ func measure(c benchCase, iters int) (Benchmark, error) {
 // best runs count measurements and keeps the highest-throughput one
 // (minimum wall time), the conventional way to suppress scheduler noise
 // in regression gates.
-func best(c benchCase, count, iters int, verbose bool) (Benchmark, error) {
-	var b Benchmark
+func best(c benchCase, count, iters int, verbose bool) (benchfmt.Benchmark, error) {
+	var b benchfmt.Benchmark
 	for i := 0; i < count; i++ {
 		m, err := measure(c, iters)
 		if err != nil {
-			return Benchmark{}, err
+			return benchfmt.Benchmark{}, err
 		}
 		if verbose {
 			log.Printf("  run %d/%d: %s %.3g cycles/sec", i+1, count, c.name, m.CyclesPerSec)
@@ -226,17 +195,6 @@ func parseBenchtime(s string) (int, error) {
 		return 0, fmt.Errorf("invalid -benchtime %q (want e.g. 1x)", s)
 	}
 	return n, nil
-}
-
-func geomean(vals []float64) float64 {
-	if len(vals) == 0 {
-		return 0
-	}
-	var sum float64
-	for _, v := range vals {
-		sum += math.Log(v)
-	}
-	return math.Exp(sum / float64(len(vals)))
 }
 
 func main() {
@@ -262,8 +220,8 @@ func main() {
 		}
 	}
 
-	file := File{
-		Version:   1,
+	file := benchfmt.File{
+		Version:   benchfmt.Version,
 		Go:        runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -310,15 +268,14 @@ func main() {
 			fastRates = append(fastRates, b.CyclesPerSec)
 		}
 	}
-	file.GeomeanCyclesPerSec = geomean(fastRates)
+	file.GeomeanCyclesPerSec = benchfmt.Geomean(fastRates)
 	log.Printf("geomean (fast) %.4g cycles/sec over %d cases",
 		file.GeomeanCyclesPerSec, len(fastRates))
 
-	enc, err := json.MarshalIndent(file, "", "  ")
+	enc, err := benchfmt.Encode(file)
 	if err != nil {
 		log.Fatal(err)
 	}
-	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
 		return

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"dramstacks/internal/benchfmt"
+)
+
+func TestParseBenchtime(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"1x", 1, true},
+		{"3x", 3, true},
+		{"10", 10, true}, // bare count accepted
+		{"0x", 0, false},
+		{"-1x", 0, false},
+		{"", 0, false},
+		{"3s", 0, false}, // durations are not supported
+	} {
+		got, err := parseBenchtime(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("parseBenchtime(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("parseBenchtime(%q) = %d, want error", tc.in, got)
+		}
+	}
+}
+
+// TestMeasureCountsCyclesAndIters checks the aggregate arithmetic with
+// a deterministic fake case: no simulator, just a fixed cycle count.
+func TestMeasureCountsCyclesAndIters(t *testing.T) {
+	calls := 0
+	c := benchCase{name: "fake", run: func() (int64, error) {
+		calls++
+		return 1000, nil
+	}}
+	b, err := measure(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 || b.Iters != 4 || b.MemCycles != 1000 {
+		t.Fatalf("calls=%d b=%+v, want 4 iters of 1000 cycles each", calls, b)
+	}
+	if b.CyclesPerSec <= 0 || math.IsInf(b.CyclesPerSec, 0) {
+		t.Fatalf("CyclesPerSec = %v, want finite positive", b.CyclesPerSec)
+	}
+}
+
+func TestMeasurePropagatesCaseError(t *testing.T) {
+	c := benchCase{name: "boom", run: func() (int64, error) {
+		return 0, errTest
+	}}
+	if _, err := measure(c, 1); err == nil {
+		t.Fatal("measure swallowed the case error")
+	}
+}
+
+var errTest = errFake("fake failure")
+
+type errFake string
+
+func (e errFake) Error() string { return string(e) }
+
+// TestBenchOutputRoundTripsThroughBenchdiff is the cross-tool contract:
+// a file produced the way simbench produces it must load and
+// self-compare cleanly through the benchfmt logic cmd/benchdiff gates
+// with, at geomean exactly 1.0.
+func TestBenchOutputRoundTripsThroughBenchdiff(t *testing.T) {
+	fake := []benchCase{
+		{name: "fake/a", run: func() (int64, error) { return 1000, nil }},
+		{name: "fake/b", run: func() (int64, error) { return 2000, nil }},
+	}
+	file := benchfmt.File{Version: benchfmt.Version, Count: 1, Benchtime: 2}
+	var rates []float64
+	for _, c := range fake {
+		b, err := best(c, 1, 2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Mode = "fast"
+		file.Benchmarks = append(file.Benchmarks, b)
+		rates = append(rates, b.CyclesPerSec)
+	}
+	file.GeomeanCyclesPerSec = benchfmt.Geomean(rates)
+
+	data, err := benchfmt.Encode(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := benchfmt.Decode(data)
+	if err != nil {
+		t.Fatalf("benchdiff-side decode rejected simbench output: %v", err)
+	}
+	cmp, err := benchfmt.Compare(loaded, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Matched != 2 || math.Abs(cmp.Geomean-1) > 1e-12 {
+		t.Fatalf("self-comparison: matched %d geomean %v, want 2 and 1.0", cmp.Matched, cmp.Geomean)
+	}
+}
+
+// TestRealCaseProducesComparableOutput runs the cheapest real benchmark
+// case once to prove the measured path emits gate-able numbers.
+func TestRealCaseProducesComparableOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real simulation; skipped with -short")
+	}
+	var target *benchCase
+	for _, c := range cases() {
+		if c.name == "lowutil/compute-1c" {
+			cc := c
+			target = &cc
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("case lowutil/compute-1c disappeared from the suite")
+	}
+	b, err := measure(*target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.CyclesPerSec <= 0 || b.MemCycles <= 0 {
+		t.Fatalf("measured %+v, want positive throughput", b)
+	}
+}

@@ -1,0 +1,210 @@
+// Package benchfmt is the shared schema of the repository's benchmark
+// result files (BENCH_*.json, see doc/PERF.md) and their comparison
+// logic: cmd/simbench writes them, cmd/benchdiff gates CI on them.
+// Both commands are package main, so the schema and the write → load →
+// compare round-trip live here, where they can be imported and tested
+// in one place.
+package benchfmt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Version is the on-disk schema version; Decode rejects files that
+// disagree.
+const Version = 1
+
+// Benchmark is one measured case. NsPerOp and the allocation figures
+// are per simulation run; CyclesPerSec is simulated memory cycles per
+// wall-clock second, the throughput number the CI gate compares.
+type Benchmark struct {
+	Name         string  `json:"name"`
+	Mode         string  `json:"mode"` // "fast" or "slow"
+	Iters        int     `json:"iters"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	MemCycles    int64   `json:"mem_cycles"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
+	BytesPerOp   uint64  `json:"bytes_per_op"`
+	// SpeedupVsSlow is fast-mode throughput over slow-mode throughput
+	// for cases measured in both modes (fast entries only).
+	SpeedupVsSlow float64 `json:"speedup_vs_slow,omitempty"`
+}
+
+// Key identifies a case across files: cases are matched by name and
+// mode.
+func (b Benchmark) Key() string { return b.Name + "/" + b.Mode }
+
+// File is the schema of BENCH_*.json.
+type File struct {
+	Version             int         `json:"version"`
+	Go                  string      `json:"go"`
+	GOOS                string      `json:"goos"`
+	GOARCH              string      `json:"goarch"`
+	Count               int         `json:"count"`
+	Benchtime           int         `json:"benchtime"`
+	Benchmarks          []Benchmark `json:"benchmarks"`
+	GeomeanCyclesPerSec float64     `json:"geomean_cycles_per_sec"`
+}
+
+// Index maps every case by its Key.
+func (f File) Index() map[string]Benchmark {
+	out := make(map[string]Benchmark, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		out[b.Key()] = b
+	}
+	return out
+}
+
+// Encode renders a file in the canonical committed form: indented,
+// trailing newline.
+func Encode(f File) ([]byte, error) {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode parses a benchmark file and enforces the schema version.
+func Decode(data []byte) (File, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, err
+	}
+	if f.Version != Version {
+		return File{}, fmt.Errorf("unsupported benchmark file version %d (this build speaks version %d)", f.Version, Version)
+	}
+	return f, nil
+}
+
+// Load reads and decodes path.
+func Load(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	f, err := Decode(data)
+	if err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Status classifies one comparison row.
+type Status string
+
+const (
+	// Compared rows have a finite throughput ratio and enter the geomean.
+	Compared Status = "compared"
+	// Skipped rows exist in both files but have a non-finite ratio (a
+	// zero, negative or NaN reading on either side — typically a corrupt
+	// or hand-edited baseline). They are excluded from the geomean: one
+	// bad reading must not poison the gate with ±Inf or NaN.
+	Skipped Status = "skipped"
+	// OldOnly / NewOnly rows exist in just one file; they are reported
+	// but never gate.
+	OldOnly Status = "old-only"
+	NewOnly Status = "new-only"
+)
+
+// Row is one case of a comparison. Old and New are cycles/sec (NaN on
+// the missing side); Ratio is New/Old for Compared rows and NaN
+// otherwise.
+type Row struct {
+	Key      string
+	Old, New float64
+	Ratio    float64
+	Status   Status
+}
+
+// Comparison is the outcome of Compare: rows in key order, matched
+// (old-and-new) rows first, then new-only rows.
+type Comparison struct {
+	Rows    []Row
+	Matched int     // rows with Status Compared
+	Skipped int     // rows with Status Skipped
+	Geomean float64 // geomean of New/Old over Compared rows
+}
+
+// Compare matches two files case-by-case and computes the geomean
+// throughput ratio. It errors when the files share no cases, or when
+// every shared case was skipped for a non-finite ratio — in either
+// situation there is nothing sound to gate on, and passing silently
+// would disarm the CI gate.
+func Compare(oldF, newF File) (Comparison, error) {
+	oldIdx, newIdx := oldF.Index(), newF.Index()
+	keys := make([]string, 0, len(oldIdx))
+	for k := range oldIdx {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var cmp Comparison
+	var logSum float64
+	common := 0
+	for _, k := range keys {
+		o := oldIdx[k]
+		n, ok := newIdx[k]
+		if !ok {
+			cmp.Rows = append(cmp.Rows, Row{Key: k, Old: o.CyclesPerSec,
+				New: math.NaN(), Ratio: math.NaN(), Status: OldOnly})
+			continue
+		}
+		common++
+		ratio := n.CyclesPerSec / o.CyclesPerSec
+		if !finitePositive(o.CyclesPerSec) || !finitePositive(n.CyclesPerSec) || !finitePositive(ratio) {
+			cmp.Rows = append(cmp.Rows, Row{Key: k, Old: o.CyclesPerSec,
+				New: n.CyclesPerSec, Ratio: math.NaN(), Status: Skipped})
+			cmp.Skipped++
+			continue
+		}
+		cmp.Rows = append(cmp.Rows, Row{Key: k, Old: o.CyclesPerSec,
+			New: n.CyclesPerSec, Ratio: ratio, Status: Compared})
+		logSum += math.Log(ratio)
+		cmp.Matched++
+	}
+
+	newKeys := make([]string, 0, len(newIdx))
+	for k := range newIdx {
+		if _, ok := oldIdx[k]; !ok {
+			newKeys = append(newKeys, k)
+		}
+	}
+	sort.Strings(newKeys)
+	for _, k := range newKeys {
+		cmp.Rows = append(cmp.Rows, Row{Key: k, Old: math.NaN(),
+			New: newIdx[k].CyclesPerSec, Ratio: math.NaN(), Status: NewOnly})
+	}
+
+	if common == 0 {
+		return cmp, errors.New("no cases in common; nothing to gate on")
+	}
+	if cmp.Matched == 0 {
+		return cmp, fmt.Errorf("all %d common cases skipped (non-finite ratios); nothing sound to gate on", common)
+	}
+	cmp.Geomean = math.Exp(logSum / float64(cmp.Matched))
+	return cmp, nil
+}
+
+// Geomean is the geometric mean of vals (0 when empty), shared by the
+// simbench summary line and its tests.
+func Geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+func finitePositive(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}

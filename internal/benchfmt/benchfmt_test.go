@@ -1,0 +1,157 @@
+package benchfmt
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func file(benchmarks ...Benchmark) File {
+	return File{Version: Version, Benchmarks: benchmarks}
+}
+
+func bench(name, mode string, rate float64) Benchmark {
+	return Benchmark{Name: name, Mode: mode, CyclesPerSec: rate}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := File{
+		Version: Version, Go: "go1.22", GOOS: "linux", GOARCH: "amd64",
+		Count: 3, Benchtime: 1,
+		Benchmarks: []Benchmark{
+			{Name: "synth/seq-1c", Mode: "fast", Iters: 1, NsPerOp: 1000,
+				MemCycles: 20000, CyclesPerSec: 2e7, AllocsPerOp: 5, BytesPerOp: 640,
+				SpeedupVsSlow: 3.5},
+		},
+		GeomeanCyclesPerSec: 2e7,
+	}
+	data, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Error("Encode output lacks trailing newline")
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != 1 || got.Benchmarks[0] != f.Benchmarks[0] {
+		t.Fatalf("round trip changed the case: %+v", got.Benchmarks[0])
+	}
+	if got.GeomeanCyclesPerSec != f.GeomeanCyclesPerSec || got.Count != f.Count {
+		t.Fatalf("round trip changed the header: %+v", got)
+	}
+}
+
+func TestDecodeRejectsWrongVersion(t *testing.T) {
+	if _, err := Decode([]byte(`{"version": 2, "benchmarks": []}`)); err == nil {
+		t.Fatal("Decode accepted version 2")
+	}
+	if _, err := Decode([]byte(`not json`)); err == nil {
+		t.Fatal("Decode accepted garbage")
+	}
+}
+
+func TestIndexKeysByNameAndMode(t *testing.T) {
+	f := file(bench("a", "fast", 1), bench("a", "slow", 2))
+	idx := f.Index()
+	if len(idx) != 2 || idx["a/fast"].CyclesPerSec != 1 || idx["a/slow"].CyclesPerSec != 2 {
+		t.Fatalf("Index = %v", idx)
+	}
+}
+
+func TestCompareGeomean(t *testing.T) {
+	oldF := file(bench("a", "fast", 100), bench("b", "fast", 100))
+	newF := file(bench("a", "fast", 200), bench("b", "fast", 50))
+	cmp, err := Compare(oldF, newF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ratios 2.0 and 0.5: geomean exactly 1.
+	if cmp.Matched != 2 || math.Abs(cmp.Geomean-1) > 1e-12 {
+		t.Fatalf("matched %d geomean %v, want 2 and 1.0", cmp.Matched, cmp.Geomean)
+	}
+}
+
+func TestCompareSkipsNonFiniteRatios(t *testing.T) {
+	oldF := file(
+		bench("zero-base", "fast", 0),         // new/0 → +Inf
+		bench("both-zero", "fast", 0),         // 0/0 → NaN
+		bench("nan-base", "fast", math.NaN()), // NaN baseline
+		bench("good", "fast", 100),
+	)
+	newF := file(
+		bench("zero-base", "fast", 100),
+		bench("both-zero", "fast", 0),
+		bench("nan-base", "fast", 100),
+		bench("good", "fast", 90),
+	)
+	cmp, err := Compare(oldF, newF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Matched != 1 || cmp.Skipped != 3 {
+		t.Fatalf("matched %d skipped %d, want 1 and 3", cmp.Matched, cmp.Skipped)
+	}
+	if math.Abs(cmp.Geomean-0.9) > 1e-12 {
+		t.Fatalf("geomean %v poisoned by skipped cases, want 0.9", cmp.Geomean)
+	}
+	for _, r := range cmp.Rows {
+		if r.Status == Skipped && !math.IsNaN(r.Ratio) {
+			t.Errorf("skipped row %s has ratio %v, want NaN", r.Key, r.Ratio)
+		}
+	}
+}
+
+func TestCompareErrorsWhenAllSkipped(t *testing.T) {
+	oldF := file(bench("a", "fast", 0), bench("b", "fast", 0))
+	newF := file(bench("a", "fast", 100), bench("b", "fast", 100))
+	if _, err := Compare(oldF, newF); err == nil {
+		t.Fatal("Compare passed with every common case skipped")
+	}
+}
+
+func TestCompareErrorsWithNoCommonCases(t *testing.T) {
+	oldF := file(bench("a", "fast", 100))
+	newF := file(bench("b", "fast", 100))
+	cmp, err := Compare(oldF, newF)
+	if err == nil {
+		t.Fatal("Compare passed with no common cases")
+	}
+	// Disjoint cases still show up in the report.
+	if len(cmp.Rows) != 2 || cmp.Rows[0].Status != OldOnly || cmp.Rows[1].Status != NewOnly {
+		t.Fatalf("rows = %+v", cmp.Rows)
+	}
+}
+
+func TestCompareReportsOneSidedCases(t *testing.T) {
+	oldF := file(bench("common", "fast", 100), bench("gone", "fast", 100))
+	newF := file(bench("common", "fast", 100), bench("added", "fast", 100))
+	cmp, err := Compare(oldF, newF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Status{}
+	for _, r := range cmp.Rows {
+		byKey[r.Key] = r.Status
+	}
+	if byKey["common/fast"] != Compared || byKey["gone/fast"] != OldOnly || byKey["added/fast"] != NewOnly {
+		t.Fatalf("statuses = %v", byKey)
+	}
+	if cmp.Matched != 1 {
+		t.Fatalf("matched = %d, want 1 (one-sided cases must not gate)", cmp.Matched)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %v, want 0", g)
+	}
+	if g := Geomean([]float64{4}); g != 4 {
+		t.Errorf("Geomean([4]) = %v", g)
+	}
+	if g := Geomean([]float64{1, 100}); math.Abs(g-10) > 1e-9 {
+		t.Errorf("Geomean([1,100]) = %v, want 10", g)
+	}
+}

@@ -3,6 +3,8 @@ package exp
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 
 	"dramstacks/internal/dram"
@@ -99,6 +101,24 @@ func encodeRow(row RowJSON, res *sim.Result) ([]byte, error) {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// ResultSpecHash extracts the spec_hash stamped into a result document
+// by ResultJSON, without decoding the rest. The dramstacksd durability
+// layer uses it to validate recovered results: a journaled result whose
+// embedded hash disagrees with its record is corrupt and must be
+// re-simulated rather than served.
+func ResultSpecHash(result []byte) (string, error) {
+	var doc struct {
+		SpecHash string `json:"spec_hash"`
+	}
+	if err := json.Unmarshal(result, &doc); err != nil {
+		return "", fmt.Errorf("exp: undecodable result document: %w", err)
+	}
+	if doc.SpecHash == "" {
+		return "", errors.New("exp: result document carries no spec_hash")
+	}
+	return doc.SpecHash, nil
 }
 
 // SampleJSON is the machine-readable form of one through-time sample

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestCanonicalDecodeRoundTrip pins the property the durability layer
+// leans on: the canonical encoding a journal stores decodes back to a
+// spec with the same hash, so a recovered job is the same experiment.
+func TestCanonicalDecodeRoundTrip(t *testing.T) {
+	for _, raw := range []string{
+		`{"workload":"seq","cores":1,"cycles":20000}`,
+		`{"workload":"seq,random","cores":2,"cycles":50000,"policy":"closed"}`,
+		`{"workload":"bfs","cores":4,"cycles":20000,"scale":15}`,
+		`{"workload":"random","cores":8,"cycles":30000,"sample":5000}`,
+	} {
+		spec, err := DecodeSpec([]byte(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", raw, err)
+		}
+		spec = spec.Normalized()
+		wantHash, err := spec.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon, err := spec.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form of %s does not decode: %v\n%s", raw, err, canon)
+		}
+		gotHash, err := back.Normalized().Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotHash != wantHash {
+			t.Errorf("%s: hash changed across canonical round trip: %s → %s", raw, wantHash, gotHash)
+		}
+	}
+}
+
+func TestResultSpecHash(t *testing.T) {
+	spec, err := DecodeSpec([]byte(`{"workload":"seq","cores":1,"cycles":20000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec = spec.Normalized()
+	res, err := RunSpec(context.Background(), spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ResultJSON(spec, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := ResultSpecHash(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != want {
+		t.Errorf("ResultSpecHash = %s, want %s", h, want)
+	}
+
+	if _, err := ResultSpecHash([]byte(`not json`)); err == nil {
+		t.Error("ResultSpecHash accepted garbage")
+	}
+	if _, err := ResultSpecHash([]byte(`{"label":"x"}`)); err == nil {
+		t.Error("ResultSpecHash accepted a document with no spec_hash")
+	}
+	// A tampered document still parses but must not match the spec.
+	tampered := strings.Replace(string(doc), want, strings.Repeat("0", len(want)), 1)
+	if h, err := ResultSpecHash([]byte(tampered)); err != nil || h == want {
+		t.Errorf("tampered document: hash %q err %v, want a different hash", h, err)
+	}
+}

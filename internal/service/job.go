@@ -34,18 +34,19 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu        sync.Mutex
-	state     State
-	errMsg    string
-	result    []byte // marshaled result JSON, set when done
-	cached    bool   // served from the result cache without simulating
-	samples   []exp.SampleJSON
-	updated   chan struct{} // closed and replaced on every state/sample change
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	simWall   time.Duration
-	memCycles int64
+	mu         sync.Mutex
+	state      State
+	errMsg     string
+	result     []byte // marshaled result JSON, set when done
+	cached     bool   // served from the result cache without simulating
+	userCancel bool   // cancel requested by a client (vs. server shutdown)
+	samples    []exp.SampleJSON
+	updated    chan struct{} // closed and replaced on every state/sample change
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	simWall    time.Duration
+	memCycles  int64
 }
 
 func newJob(parent context.Context, id string, spec exp.Spec, hash string) *Job {
@@ -128,6 +129,7 @@ func (j *Job) requestCancel() bool {
 	if j.state.Terminal() {
 		return false
 	}
+	j.userCancel = true
 	if j.state == StateQueued {
 		j.state = StateCancelled
 		j.finished = time.Now()
@@ -135,6 +137,69 @@ func (j *Job) requestCancel() bool {
 	}
 	j.cancel()
 	return true
+}
+
+// userCancelled reports whether a client requested the cancellation, as
+// opposed to the context cancel of a server shutdown. The distinction
+// decides whether a cancelled run is journaled terminal (client intent)
+// or left queued for re-enqueue on restart (interrupted by shutdown).
+func (j *Job) userCancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.userCancel
+}
+
+// restoreTerminal rebuilds a terminal job from its durable record during
+// recovery.
+func (j *Job) restoreTerminal(state State, result []byte, errMsg string, simWallMS float64, memCycles int64, cached bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.result = result
+	j.errMsg = errMsg
+	j.simWall = time.Duration(simWallMS * float64(time.Millisecond))
+	j.memCycles = memCycles
+	j.cached = cached
+	j.finished = j.submitted
+	j.cancel()
+	j.notifyLocked()
+}
+
+// record renders the job's durable submission record (state queued: the
+// write-ahead entry precedes execution).
+func (j *Job) record() *jobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	canon, err := j.Spec.Canonical()
+	if err != nil {
+		canon = nil // unreachable for a registered (validated) spec
+	}
+	return &jobRecord{
+		ID:        j.ID,
+		SpecHash:  j.Hash,
+		Spec:      canon,
+		Submitted: j.submitted,
+		State:     StateQueued,
+	}
+}
+
+// terminalRecord renders the job's durable terminal record. Results of
+// cache-served jobs are elided (recovery resolves them by spec hash).
+func (j *Job) terminalRecord() *jobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := &jobRecord{
+		ID:        j.ID,
+		State:     j.state,
+		Error:     j.errMsg,
+		Cached:    j.cached,
+		SimWallMS: float64(j.simWall) / float64(time.Millisecond),
+		MemCycles: j.memCycles,
+	}
+	if !j.cached {
+		rec.Result = string(j.result)
+	}
+	return rec
 }
 
 // appendSample records one live through-time sample and wakes streamers.

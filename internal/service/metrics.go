@@ -33,6 +33,12 @@ type Metrics struct {
 
 	SimMemCycles atomic.Int64 // total simulated memory cycles
 
+	// Durability-layer counters (all zero when no data dir is set).
+	JobsRecovered   atomic.Int64 // jobs rebuilt from the journal at start
+	SweepsRecovered atomic.Int64 // sweeps rebuilt from the journal at start
+	JournalRecords  atomic.Int64 // records appended to the journal
+	Snapshots       atomic.Int64 // compacted snapshots written
+
 	// wall-time histogram: bucket counts + sum (float64 bits) + count
 	wallCounts  [8]atomic.Int64 // len(wallBuckets)+1, last is +Inf
 	wallSumBits atomic.Uint64
@@ -101,6 +107,11 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	gauge("dramstacksd_workers_busy", "Workers currently running a job.", m.WorkersBusy.Load())
 
 	counter("dramstacksd_sim_mem_cycles_total", "Total simulated memory cycles across all jobs.", m.SimMemCycles.Load())
+
+	counter("dramstacksd_recovered_jobs_total", "Jobs rebuilt from the durable journal at start.", m.JobsRecovered.Load())
+	counter("dramstacksd_recovered_sweeps_total", "Sweeps rebuilt from the durable journal at start.", m.SweepsRecovered.Load())
+	counter("dramstacksd_journal_records_total", "Records appended to the write-ahead journal.", m.JournalRecords.Load())
+	counter("dramstacksd_snapshots_total", "Compacted snapshots written.", m.Snapshots.Load())
 
 	fmt.Fprintf(w, "# HELP dramstacksd_sim_wall_seconds Per-job simulation wall time.\n# TYPE dramstacksd_sim_wall_seconds histogram\n")
 	var cum int64

@@ -14,7 +14,9 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dramstacks/internal/dram"
@@ -32,6 +34,13 @@ type Config struct {
 	QueueDepth int
 	// CacheBytes is the result-cache byte budget (default 64 MiB).
 	CacheBytes int64
+	// DataDir, when non-empty, enables the durability layer: every job
+	// and sweep submission and every terminal result is journaled there
+	// (write-ahead NDJSON + compacted snapshot), and on start the state
+	// is recovered — completed results re-populate the cache
+	// byte-identically, and jobs that were queued or running at crash
+	// time are re-enqueued. Empty keeps today's pure in-memory behavior.
+	DataDir string
 	// Logger receives structured request and job logs (default
 	// slog.Default()).
 	Logger *slog.Logger
@@ -65,10 +74,12 @@ type Server struct {
 	metrics *Metrics
 	handler http.Handler
 	geom    dram.Geometry
+	store   *Store // nil without Config.DataDir
 
 	baseCtx   context.Context
 	stop      context.CancelFunc
 	workersWG sync.WaitGroup
+	draining  atomic.Bool // graceful shutdown in progress
 
 	mu          sync.Mutex
 	jobs        map[string]*Job
@@ -81,8 +92,9 @@ type Server struct {
 	nextSweepID int64
 }
 
-// New assembles a server and starts its worker pool; call Close to stop.
-func New(cfg Config) *Server {
+// New assembles a server, recovers durable state when Config.DataDir is
+// set, and starts its worker pool; call Close to stop.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	geo, _ := dram.DDR4_2400()
 	s := &Server{
@@ -98,18 +110,39 @@ func New(cfg Config) *Server {
 	}
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	s.handler = s.logMiddleware(s.routes())
+	if cfg.DataDir != "" {
+		store, err := OpenStore(cfg.DataDir, s.metrics)
+		if err != nil {
+			s.stop()
+			return nil, err
+		}
+		s.store = store
+		s.recover()
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workersWG.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
-// Close stops the worker pool, cancelling any running simulations, and
-// waits for the workers to exit.
+// Close shuts down gracefully: workers stop picking up queued jobs,
+// running simulations are cancelled cooperatively (and treated as
+// interrupted, not client-cancelled), and with a data dir the full
+// non-terminal state is checkpointed so a subsequent start re-enqueues
+// it.
 func (s *Server) Close() {
+	s.draining.Store(true)
 	s.stop()
 	s.workersWG.Wait()
+	if s.store != nil {
+		if err := s.store.Checkpoint(); err != nil {
+			s.log.Error("shutdown checkpoint failed", "err", err)
+		}
+		if err := s.store.Close(); err != nil {
+			s.log.Error("closing journal failed", "err", err)
+		}
+	}
 }
 
 // Handler returns the HTTP handler (also usable under httptest).
@@ -201,8 +234,8 @@ func writeError(w http.ResponseWriter, status int, code string, format string, a
 	writeJSON(w, status, errorJSON{Error: errorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
-// submitResponse is the POST /v1/jobs reply.
-type submitResponse struct {
+// SubmitResponse is the POST /v1/jobs reply.
+type SubmitResponse struct {
 	ID       string `json:"id"`
 	SpecHash string `json:"spec_hash"`
 	State    State  `json:"state"`
@@ -240,9 +273,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.metrics.JobsSubmitted.Add(1)
 		job := s.registerJob(spec, hash)
 		job.finishCached(result)
+		s.persistJob(job)
+		s.persistResult(job)
 		s.metrics.JobsDone.Add(1)
 		s.log.Info("job served from cache", "job", job.ID, "spec_hash", hash)
-		writeJSON(w, http.StatusOK, submitResponse{
+		writeJSON(w, http.StatusOK, SubmitResponse{
 			ID: job.ID, SpecHash: hash, State: StateDone, Cached: true,
 		})
 		return
@@ -254,7 +289,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if dup, ok := s.active[hash]; ok && !dup.State().Terminal() {
 		s.mu.Unlock()
 		s.metrics.JobsSubmitted.Add(1)
-		writeJSON(w, http.StatusOK, submitResponse{
+		writeJSON(w, http.StatusOK, SubmitResponse{
 			ID: dup.ID, SpecHash: hash, State: dup.State(), Deduped: true,
 		})
 		return
@@ -275,9 +310,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.active[hash] = job
 	s.mu.Unlock()
+	s.persistJob(job)
 	s.metrics.JobsSubmitted.Add(1)
 	s.log.Info("job queued", "job", job.ID, "spec_hash", hash, "workload", spec.Workload)
-	writeJSON(w, http.StatusAccepted, submitResponse{
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
 		ID: job.ID, SpecHash: hash, State: StateQueued,
 	})
 }
@@ -345,6 +381,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	if job.State() == StateCancelled { // was still queued
 		s.clearActive(job)
+		s.persistResult(job)
 		s.metrics.JobsCancelled.Add(1)
 	}
 	s.log.Info("job cancel requested", "job", job.ID, "state", job.State())
@@ -377,9 +414,25 @@ func (s *Server) handleStacks(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// parseFrom reads the optional ?from=N resume offset of the NDJSON
+// streaming endpoints: the response starts at line index N, so a client
+// that lost its connection resumes where it left off instead of
+// re-reading (and re-counting) everything.
+func parseFrom(r *http.Request) (int, error) {
+	q := r.URL.Query().Get("from")
+	if q == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid from offset %q (want a non-negative integer)", q)
+	}
+	return n, nil
+}
+
 // handleSamples streams through-time samples as NDJSON, following the
 // run live until the job reaches a terminal state or the client goes
-// away.
+// away. ?from=N resumes at sample index N.
 func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.lookup(r)
 	if !ok {
@@ -390,11 +443,16 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, ErrConflict, "job %s has sampling off (submit with \"sample\" > 0)", job.ID)
 		return
 	}
+	from, err := parseFrom(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrInvalidSpec, "%v", err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	sent := 0
+	sent := from
 	for {
 		batch, n, changed, terminal := job.snapshotSamples(sent)
 		for _, sample := range batch {
@@ -477,6 +535,7 @@ func (s *Server) runJob(job *Job) {
 	switch {
 	case err != nil:
 		job.finish(StateFailed, nil, err.Error(), wall, 0)
+		s.persistResult(job)
 		s.metrics.JobsFailed.Add(1)
 		s.metrics.ObserveSimWall(wall.Seconds())
 		s.log.Error("job failed", "job", job.ID, "err", err)
@@ -491,6 +550,12 @@ func (s *Server) runJob(job *Job) {
 			// never be served as if the full run had happened.
 			s.cache.Put(job.Hash, result, false)
 		}
+		// A run interrupted by graceful shutdown (as opposed to a client
+		// cancel) is not journaled terminal: the final checkpoint leaves
+		// it queued, so the next start re-enqueues it.
+		if job.userCancelled() || !s.draining.Load() {
+			s.persistResult(job)
+		}
 		s.metrics.JobsCancelled.Add(1)
 		s.metrics.SimMemCycles.Add(res.MemCycles)
 		s.metrics.ObserveSimWall(wall.Seconds())
@@ -499,11 +564,13 @@ func (s *Server) runJob(job *Job) {
 		result, jerr := exp.ResultJSON(job.Spec, res)
 		if jerr != nil {
 			job.finish(StateFailed, nil, jerr.Error(), wall, res.MemCycles)
+			s.persistResult(job)
 			s.metrics.JobsFailed.Add(1)
 			return
 		}
 		job.finish(StateDone, result, "", wall, res.MemCycles)
 		s.cache.Put(job.Hash, result, true)
+		s.persistResult(job)
 		s.metrics.JobsDone.Add(1)
 		s.metrics.SimMemCycles.Add(res.MemCycles)
 		s.metrics.ObserveSimWall(wall.Seconds())

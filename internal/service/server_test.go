@@ -24,7 +24,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -33,14 +36,14 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	return s, ts
 }
 
-func postJob(t *testing.T, ts *httptest.Server, spec string) (submitResponse, int) {
+func postJob(t *testing.T, ts *httptest.Server, spec string) (SubmitResponse, int) {
 	t.Helper()
 	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out submitResponse
+	var out SubmitResponse
 	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			t.Fatal(err)
@@ -355,7 +358,7 @@ func TestConcurrentSubmissions(t *testing.T) {
 				return
 			}
 			defer resp.Body.Close()
-			var out submitResponse
+			var out SubmitResponse
 			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 				errs[i] = fmt.Errorf("decode: %v", err)
 				return

@@ -1,0 +1,390 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// The durable layout under the -data directory:
+//
+//	<data>/snapshot.json    periodically compacted full state
+//	<data>/journal.ndjson   append-only write-ahead journal since the snapshot
+//
+// Every mutation (job submission, terminal result, sweep submission) is
+// appended to the journal and fsynced before the server acknowledges it.
+// Recovery replays the snapshot, then the journal, in order; both are
+// idempotent per job/sweep id, so a crash between snapshot rename and
+// journal truncation only re-applies records that are already reflected.
+const (
+	journalName  = "journal.ndjson"
+	snapshotName = "snapshot.json"
+
+	// snapshotVersion guards the on-disk schema the way SpecVersion
+	// guards the wire schema.
+	snapshotVersion = 1
+
+	// defaultCompactEvery is the journal-record count that triggers
+	// folding journal + snapshot into a fresh snapshot.
+	defaultCompactEvery = 1024
+)
+
+// jobRecord is the durable form of one job. A "job" journal entry
+// carries the full record in state queued; a "result" entry carries the
+// same shape with only the id and the terminal fields set, and is merged
+// onto the submission record during replay. Done results of cache-served
+// jobs elide the result bytes (Cached is set instead) — recovery resolves
+// them through the completed record with the same spec hash.
+type jobRecord struct {
+	ID        string          `json:"id"`
+	SpecHash  string          `json:"spec_hash,omitempty"`
+	Spec      json.RawMessage `json:"spec,omitempty"` // canonical encoding
+	Submitted time.Time       `json:"submitted,omitempty"`
+	State     State           `json:"state"`
+	Error     string          `json:"error,omitempty"`
+	Cached    bool            `json:"cached,omitempty"`
+	// Result holds the terminal result document as a JSON *string*, not
+	// an embedded object: encoding/json compacts embedded RawMessage
+	// bytes, and recovered results must be byte-identical to what the
+	// service originally served (indentation included).
+	Result    string  `json:"result,omitempty"`
+	SimWallMS float64 `json:"sim_wall_ms,omitempty"`
+	MemCycles int64   `json:"mem_cycles,omitempty"`
+}
+
+// sweepPointRecord is the durable form of one expanded sweep point.
+type sweepPointRecord struct {
+	Spec  json.RawMessage   `json:"spec"` // canonical encoding
+	Hash  string            `json:"spec_hash"`
+	Axes  map[string]string `json:"axes"`
+	JobID string            `json:"job"`
+}
+
+// sweepRecord is the durable form of one sweep submission. Point jobs
+// are journaled individually before the sweep entry, so replay resolves
+// JobID references against already-applied job records.
+type sweepRecord struct {
+	ID        string             `json:"id"`
+	Hash      string             `json:"sweep_hash"`
+	AxisNames []string           `json:"axis_names"`
+	Points    []sweepPointRecord `json:"points"`
+	Submitted time.Time          `json:"submitted"`
+}
+
+// journalEntry is one NDJSON line of the write-ahead journal.
+type journalEntry struct {
+	Op     string       `json:"op"` // "job", "result" or "sweep"
+	Job    *jobRecord   `json:"job,omitempty"`
+	Result *jobRecord   `json:"result,omitempty"`
+	Sweep  *sweepRecord `json:"sweep,omitempty"`
+}
+
+// snapshotDoc is the compacted on-disk state.
+type snapshotDoc struct {
+	Version int            `json:"version"`
+	Jobs    []*jobRecord   `json:"jobs"`
+	Sweeps  []*sweepRecord `json:"sweeps"`
+}
+
+// Store is the service's durability layer: a write-ahead journal plus a
+// periodically compacted snapshot, mirrored in memory so compaction and
+// recovery never consult the live server. It is safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu           sync.Mutex
+	journal      *os.File
+	appends      int // journal records since the last snapshot
+	compactEvery int
+
+	// In-memory mirror of snapshot+journal, in submission order.
+	jobs   []*jobRecord
+	jobIdx map[string]*jobRecord
+	sweeps []*sweepRecord
+
+	// skipped counts journal lines dropped during recovery (torn final
+	// write after a crash, or corruption).
+	skipped int
+
+	metrics *Metrics // may be nil
+}
+
+// OpenStore opens (creating if needed) the durable state under dir and
+// replays snapshot + journal into the in-memory mirror. Unparseable
+// journal lines — e.g. a torn final write from a crash mid-append — are
+// skipped and counted, never fatal.
+func OpenStore(dir string, metrics *Metrics) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating data dir: %w", err)
+	}
+	st := &Store{
+		dir:          dir,
+		compactEvery: defaultCompactEvery,
+		jobIdx:       make(map[string]*jobRecord),
+		metrics:      metrics,
+	}
+	if err := st.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := st.replayJournal(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening journal: %w", err)
+	}
+	st.journal = f
+	if err := st.sealTornTail(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+func (st *Store) loadSnapshot() error {
+	data, err := os.ReadFile(filepath.Join(st.dir, snapshotName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	var doc snapshotDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("store: corrupt snapshot %s: %w", snapshotName, err)
+	}
+	if doc.Version != snapshotVersion {
+		return fmt.Errorf("store: unsupported snapshot version %d (this build speaks version %d)", doc.Version, snapshotVersion)
+	}
+	for _, rec := range doc.Jobs {
+		st.applyJob(rec)
+	}
+	st.sweeps = append(st.sweeps, doc.Sweeps...)
+	return nil
+}
+
+func (st *Store) replayJournal() error {
+	f, err := os.Open(filepath.Join(st.dir, journalName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: opening journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			st.skipped++
+			continue
+		}
+		st.apply(e)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: reading journal: %w", err)
+	}
+	return nil
+}
+
+// sealTornTail makes the journal safe to append to after a crash that
+// tore the final line: if the file does not end in a newline, one is
+// added so the torn record (already skipped by replay) cannot corrupt
+// the next append.
+func (st *Store) sealTornTail() error {
+	info, err := st.journal.Stat()
+	if err != nil {
+		return err
+	}
+	if info.Size() == 0 {
+		return nil
+	}
+	r, err := os.Open(filepath.Join(st.dir, journalName))
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	buf := make([]byte, 1)
+	if _, err := r.ReadAt(buf, info.Size()-1); err != nil {
+		return err
+	}
+	if buf[0] != '\n' {
+		if _, err := st.journal.Write([]byte{'\n'}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// apply folds one journal entry into the mirror. Application is
+// idempotent: duplicate submissions and terminal records for
+// already-terminal jobs are ignored.
+func (st *Store) apply(e journalEntry) {
+	switch e.Op {
+	case "job":
+		if e.Job != nil {
+			st.applyJob(e.Job)
+		}
+	case "result":
+		if e.Result == nil {
+			return
+		}
+		rec, ok := st.jobIdx[e.Result.ID]
+		if !ok || rec.State.Terminal() {
+			return
+		}
+		rec.State = e.Result.State
+		rec.Error = e.Result.Error
+		rec.Cached = e.Result.Cached
+		rec.Result = e.Result.Result
+		rec.SimWallMS = e.Result.SimWallMS
+		rec.MemCycles = e.Result.MemCycles
+	case "sweep":
+		if e.Sweep == nil {
+			return
+		}
+		for _, sw := range st.sweeps {
+			if sw.ID == e.Sweep.ID {
+				return
+			}
+		}
+		st.sweeps = append(st.sweeps, e.Sweep)
+	}
+}
+
+func (st *Store) applyJob(rec *jobRecord) {
+	if _, ok := st.jobIdx[rec.ID]; ok {
+		return
+	}
+	st.jobs = append(st.jobs, rec)
+	st.jobIdx[rec.ID] = rec
+}
+
+// append writes one entry to the journal (fsynced, so an acknowledged
+// mutation survives a crash), folds it into the mirror, and compacts
+// once enough records accumulated.
+func (st *Store) append(e journalEntry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: encoding journal entry: %w", err)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.journal == nil {
+		return fmt.Errorf("store: closed")
+	}
+	if _, err := st.journal.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("store: appending journal entry: %w", err)
+	}
+	if err := st.journal.Sync(); err != nil {
+		return fmt.Errorf("store: syncing journal: %w", err)
+	}
+	st.apply(e)
+	st.appends++
+	if st.metrics != nil {
+		st.metrics.JournalRecords.Add(1)
+	}
+	if st.appends >= st.compactEvery {
+		return st.compactLocked()
+	}
+	return nil
+}
+
+// AppendJob journals a job submission.
+func (st *Store) AppendJob(rec *jobRecord) error {
+	return st.append(journalEntry{Op: "job", Job: rec})
+}
+
+// AppendResult journals a job's terminal state.
+func (st *Store) AppendResult(rec *jobRecord) error {
+	return st.append(journalEntry{Op: "result", Result: rec})
+}
+
+// AppendSweep journals a sweep submission.
+func (st *Store) AppendSweep(rec *sweepRecord) error {
+	return st.append(journalEntry{Op: "sweep", Sweep: rec})
+}
+
+// Checkpoint compacts unconditionally: the graceful-shutdown path calls
+// it after the workers stopped so queued and interrupted jobs are
+// persisted as queued and re-enqueued on the next start.
+func (st *Store) Checkpoint() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.compactLocked()
+}
+
+// compactLocked folds the mirror into a fresh snapshot (written
+// atomically: tmp + fsync + rename) and truncates the journal. Callers
+// hold st.mu.
+func (st *Store) compactLocked() error {
+	doc := snapshotDoc{Version: snapshotVersion, Jobs: st.jobs, Sweeps: st.sweeps}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	tmp := filepath.Join(st.dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(st.dir, snapshotName)); err != nil {
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	if st.journal != nil {
+		if err := st.journal.Truncate(0); err != nil {
+			return fmt.Errorf("store: truncating journal: %w", err)
+		}
+		if _, err := st.journal.Seek(0, 0); err != nil {
+			return fmt.Errorf("store: rewinding journal: %w", err)
+		}
+	}
+	st.appends = 0
+	if st.metrics != nil {
+		st.metrics.Snapshots.Add(1)
+	}
+	return nil
+}
+
+// Close closes the journal. It does not checkpoint; the server's
+// graceful-shutdown path checkpoints first, and a crash simply leaves
+// the journal to be replayed.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.journal == nil {
+		return nil
+	}
+	err := st.journal.Close()
+	st.journal = nil
+	return err
+}
+
+// Recovered returns the replayed jobs and sweeps in submission order,
+// plus the count of skipped (torn/corrupt) journal lines.
+func (st *Store) Recovered() (jobs []*jobRecord, sweeps []*sweepRecord, skipped int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.jobs, st.sweeps, st.skipped
+}

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testJobRecord(id, hash string) *jobRecord {
+	return &jobRecord{
+		ID:        id,
+		SpecHash:  hash,
+		Spec:      json.RawMessage(`{"version":1,"workload":"seq"}`),
+		Submitted: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC),
+		State:     StateQueued,
+	}
+}
+
+func TestStoreJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendJob(testJobRecord("job-000001", "aaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendJob(testJobRecord("job-000002", "bbb")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendResult(&jobRecord{
+		ID: "job-000001", State: StateDone,
+		Result: `{"spec_hash":"aaa"}`, MemCycles: 42,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendSweep(&sweepRecord{
+		ID: "sweep-000001", Hash: "s1", AxisNames: []string{"cores"},
+		Points: []sweepPointRecord{{Hash: "aaa", JobID: "job-000001",
+			Spec: json.RawMessage(`{"version":1,"workload":"seq"}`),
+			Axes: map[string]string{"cores": "1"}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, err := OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	jobs, sweeps, skipped := st2.Recovered()
+	if skipped != 0 {
+		t.Fatalf("skipped = %d, want 0", skipped)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("recovered %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].ID != "job-000001" || jobs[0].State != StateDone || jobs[0].MemCycles != 42 {
+		t.Errorf("job 1 = %+v, want done with result", jobs[0])
+	}
+	if string(jobs[0].Result) != `{"spec_hash":"aaa"}` {
+		t.Errorf("job 1 result = %s", jobs[0].Result)
+	}
+	if jobs[1].ID != "job-000002" || jobs[1].State != StateQueued {
+		t.Errorf("job 2 = %+v, want queued", jobs[1])
+	}
+	if len(sweeps) != 1 || sweeps[0].ID != "sweep-000001" || len(sweeps[0].Points) != 1 {
+		t.Fatalf("sweeps = %+v", sweeps)
+	}
+}
+
+func TestStoreReplayIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AppendJob(testJobRecord("job-000001", "aaa"))
+	st.AppendJob(testJobRecord("job-000001", "aaa")) // duplicate submission
+	st.AppendResult(&jobRecord{ID: "job-000001", State: StateDone,
+		Result: `{"spec_hash":"aaa"}`})
+	st.AppendResult(&jobRecord{ID: "job-000001", State: StateCancelled}) // post-terminal: ignored
+	st.AppendResult(&jobRecord{ID: "job-999999", State: StateDone})      // unknown id: ignored
+	st.Close()
+
+	st2, err := OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	jobs, _, _ := st2.Recovered()
+	if len(jobs) != 1 {
+		t.Fatalf("recovered %d jobs, want 1", len(jobs))
+	}
+	if jobs[0].State != StateDone || len(jobs[0].Result) == 0 {
+		t.Fatalf("job = %+v, want done with result intact", jobs[0])
+	}
+}
+
+func TestStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.compactEvery = 3
+	st.AppendJob(testJobRecord("job-000001", "aaa"))
+	st.AppendJob(testJobRecord("job-000002", "bbb"))
+	st.AppendResult(&jobRecord{ID: "job-000001", State: StateDone,
+		Result: `{"spec_hash":"aaa"}`}) // 3rd record triggers compaction
+	st.Close()
+
+	if fi, err := os.Stat(filepath.Join(dir, journalName)); err != nil || fi.Size() != 0 {
+		t.Fatalf("journal after compaction: size=%v err=%v, want empty", fi.Size(), err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatalf("snapshot missing after compaction: %v", err)
+	}
+
+	st2, err := OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	jobs, _, _ := st2.Recovered()
+	if len(jobs) != 2 || jobs[0].State != StateDone || jobs[1].State != StateQueued {
+		t.Fatalf("post-compaction recovery = %+v", jobs)
+	}
+}
+
+func TestStoreTornTailIsSkippedAndSealed(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AppendJob(testJobRecord("job-000001", "aaa"))
+	st.Close()
+
+	// Simulate a crash mid-append: a torn, newline-less record.
+	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"job","job":{"id":"job-0000`)
+	f.Close()
+
+	st2, err := OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, _, skipped := st2.Recovered()
+	if len(jobs) != 1 || skipped != 1 {
+		t.Fatalf("recovered %d jobs, %d skipped; want 1 job, 1 skipped", len(jobs), skipped)
+	}
+	// The sealed journal must accept appends that the next replay sees.
+	if err := st2.AppendJob(testJobRecord("job-000002", "bbb")); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+
+	st3, err := OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	jobs, _, _ = st3.Recovered()
+	if len(jobs) != 2 || jobs[1].ID != "job-000002" {
+		t.Fatalf("post-seal recovery = %+v, want 2 jobs", jobs)
+	}
+}
+
+func TestStoreRejectsUnsupportedSnapshotVersion(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapshotName),
+		[]byte(`{"version":99,"jobs":[],"sweeps":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir, nil); err == nil {
+		t.Fatal("OpenStore accepted snapshot version 99")
+	}
+}

@@ -176,7 +176,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Resolve every point: instant cache hit, coalesce onto an identical
 	// in-flight job, or register a fresh job for the queue feeder.
-	var toEnqueue []*Job
+	var toEnqueue, newJobs []*Job
 	for i, p := range points {
 		s.metrics.JobsSubmitted.Add(1)
 		if result, ok := s.cache.Get(p.Hash); ok {
@@ -185,6 +185,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 			job.finishCached(result)
 			s.metrics.JobsDone.Add(1)
 			sw.jobs[i] = job
+			newJobs = append(newJobs, job)
 			continue
 		}
 		s.metrics.CacheMisses.Add(1)
@@ -204,6 +205,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		sw.jobs[i] = job
 		toEnqueue = append(toEnqueue, job)
+		newJobs = append(newJobs, job)
 	}
 
 	s.mu.Lock()
@@ -212,6 +214,16 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	s.sweeps[sw.ID] = sw
 	s.sweepOrder = append(s.sweepOrder, sw.ID)
 	s.mu.Unlock()
+	// Write-ahead: journal the fresh/cache-served point jobs, then the
+	// sweep that references them, before acknowledging the submission.
+	// Coalesced points reference jobs journaled by their own submission.
+	for _, job := range newJobs {
+		s.persistJob(job)
+		if job.State().Terminal() {
+			s.persistResult(job)
+		}
+	}
+	s.persistSweep(sw)
 	s.metrics.SweepsSubmitted.Add(1)
 	s.metrics.SweepPoints.Add(int64(len(points)))
 
@@ -265,10 +277,10 @@ func (s *Server) collectSweep(sw *SweepJob) {
 	s.log.Info("sweep finished", "sweep", sw.ID, "state", st.State, "points", st.Total)
 }
 
-// sweepResultLine is one NDJSON line of /v1/sweeps/{id}/results. Result
+// SweepResultLine is one NDJSON line of /v1/sweeps/{id}/results. Result
 // is the point's single-job document (byte-identical to the job's
 // /stacks body, compacted onto one line).
-type sweepResultLine struct {
+type SweepResultLine struct {
 	Index    int               `json:"index"`
 	Axes     map[string]string `json:"axes"`
 	Label    string            `json:"label"`
@@ -283,7 +295,7 @@ type sweepResultLine struct {
 func (s *Server) renderPointLine(sw *SweepJob, i int) []byte {
 	job := sw.jobs[i]
 	js := job.status()
-	line := sweepResultLine{
+	line := SweepResultLine{
 		Index:    i,
 		Axes:     sw.Points[i].Axes,
 		Label:    sw.Points[i].Label(),
@@ -301,7 +313,7 @@ func (s *Server) renderPointLine(sw *SweepJob, i int) []byte {
 	}
 	b, err := json.Marshal(line)
 	if err != nil {
-		b, _ = json.Marshal(sweepResultLine{Index: i, State: StateFailed, Error: err.Error()})
+		b, _ = json.Marshal(SweepResultLine{Index: i, State: StateFailed, Error: err.Error()})
 	}
 	return b
 }
@@ -357,6 +369,7 @@ func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
 		cancelled++
 		if job.State() == StateCancelled { // was still queued
 			s.clearActive(job)
+			s.persistResult(job)
 			s.metrics.JobsCancelled.Add(1)
 		}
 	}
@@ -370,17 +383,23 @@ func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
 
 // handleSweepResults streams the per-point result lines as NDJSON in
 // point order, live while the sweep runs, until every point is rendered
-// or the client goes away.
+// or the client goes away. ?from=N resumes at point index N, so a
+// client can ride out a server bounce without re-reading earlier points.
 func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
 	sw, ok := s.lookupSweep(r)
 	if !ok {
 		writeError(w, http.StatusNotFound, ErrNotFound, "no such sweep %q", r.PathValue("id"))
 		return
 	}
+	from, err := parseFrom(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrInvalidSweep, "%v", err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	sent := 0
+	sent := from
 	for {
 		batch, n, changed, terminal := sw.snapshotLines(sent)
 		for _, line := range batch {

@@ -45,7 +45,10 @@ func getSweepStatus(t *testing.T, ts *httptest.Server, id string) SweepStatusJSO
 
 func waitSweepTerminal(t *testing.T, ts *httptest.Server, id string) SweepStatusJSON {
 	t.Helper()
-	deadline := time.Now().Add(120 * time.Second)
+	// Generous: the big concurrent sweep sits just above 120s under
+	// -race, and a too-tight deadline here fails runs that are merely
+	// slow, not wrong.
+	deadline := time.Now().Add(300 * time.Second)
 	for time.Now().Before(deadline) {
 		st := getSweepStatus(t, ts, id)
 		if st.State != "running" {
@@ -57,7 +60,7 @@ func waitSweepTerminal(t *testing.T, ts *httptest.Server, id string) SweepStatus
 	return SweepStatusJSON{}
 }
 
-func readSweepResults(t *testing.T, ts *httptest.Server, id string) []sweepResultLine {
+func readSweepResults(t *testing.T, ts *httptest.Server, id string) []SweepResultLine {
 	t.Helper()
 	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/results")
 	if err != nil {
@@ -70,11 +73,11 @@ func readSweepResults(t *testing.T, ts *httptest.Server, id string) []sweepResul
 	if got := resp.Header.Get("Content-Type"); got != "application/x-ndjson" {
 		t.Errorf("results Content-Type %q", got)
 	}
-	var lines []sweepResultLine
+	var lines []SweepResultLine
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		var line sweepResultLine
+		var line SweepResultLine
 		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
 			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
 		}
@@ -321,7 +324,7 @@ func TestSweepConcurrentWithSingles(t *testing.T) {
 				return
 			}
 			defer resp.Body.Close()
-			var out submitResponse
+			var out SubmitResponse
 			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 				t.Error(err)
 				return

@@ -1,0 +1,360 @@
+// Package client is a Go client for the dramstacksd /v1 API
+// (doc/SERVICE.md). It wraps the raw HTTP endpoints with
+// context-aware retries — exponential backoff with jitter on 429,
+// 5xx and connection errors — and resumable NDJSON result streaming,
+// so a sweep consumer rides through a service restart without losing
+// or double-counting lines.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"dramstacks/internal/exp"
+	"dramstacks/internal/service"
+)
+
+// RetryPolicy shapes the client's backoff on retryable failures
+// (connection errors, 429 Too Many Requests, and 5xx responses).
+type RetryPolicy struct {
+	// MaxAttempts bounds the total tries per request (default 8).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 100ms); each retry
+	// doubles it up to MaxDelay (default 5s), then equal-jitters: the
+	// actual sleep is uniform in [delay/2, delay]. A Retry-After header
+	// overrides the computed delay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	return p
+}
+
+// delay computes the sleep before retry attempt (1-based, i.e. after
+// the attempt-th failure).
+func (p RetryPolicy) delay(attempt int, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay << (attempt - 1)
+	if d > p.MaxDelay || d <= 0 { // <= 0 guards shift overflow
+		d = p.MaxDelay
+	}
+	// Equal jitter: half deterministic, half uniform, so synchronized
+	// clients (a sweep fan-out hitting one restarting server) spread out.
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+}
+
+// APIError is a non-2xx response decoded from the service's unified
+// error envelope {"error": {"code": ..., "message": ...}}.
+type APIError struct {
+	Status  int    // HTTP status code
+	Code    string // envelope code, e.g. "invalid_spec", "queue_full"
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("dramstacksd: %s (%s, http %d)", e.Message, e.Code, e.Status)
+}
+
+// Options configures New.
+type Options struct {
+	// HTTPClient overrides http.DefaultClient (tests, custom transports).
+	HTTPClient *http.Client
+	// Retry shapes the backoff; the zero value means the defaults
+	// documented on RetryPolicy.
+	Retry RetryPolicy
+}
+
+// Client talks to one dramstacksd instance.
+type Client struct {
+	base  string
+	http  *http.Client
+	retry RetryPolicy
+	rng   *rand.Rand
+}
+
+// New returns a client for the service at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func New(baseURL string, opts Options) *Client {
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{
+		base:  baseURL,
+		http:  hc,
+		retry: opts.Retry.withDefaults(),
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// retryable reports whether a response status warrants another try.
+// 429 is backpressure (the queue is full), 5xx is a server-side fault;
+// both are expected to clear. 4xx other than 429 is the caller's bug
+// and retrying would just repeat it.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// do issues one request with retries. body is re-sent from scratch on
+// every attempt (it is a byte slice, not a stream). On 2xx it returns
+// the response body; otherwise the decoded *APIError of the final
+// attempt, or the final connection error.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		data, retryAfter, err := c.once(ctx, method, path, body)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && !retryable(apiErr.Status) {
+			return nil, err
+		}
+		if attempt >= c.retry.MaxAttempts {
+			return nil, fmt.Errorf("after %d attempts: %w", attempt, lastErr)
+		}
+		d := c.retry.delay(attempt, c.rng)
+		if retryAfter > d {
+			d = retryAfter
+		}
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// once issues a single attempt, returning the body on 2xx, and any
+// Retry-After hint alongside the error otherwise.
+func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]byte, time.Duration, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, 0, err // connection-level: always retryable
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return data, 0, nil
+	}
+	var retryAfter time.Duration
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, perr := strconv.Atoi(s); perr == nil && secs >= 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return nil, retryAfter, decodeError(resp.StatusCode, data)
+}
+
+func decodeError(status int, body []byte) error {
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
+		return &APIError{Status: status, Code: "http_error",
+			Message: fmt.Sprintf("unexpected response: %s", bytes.TrimSpace(body))}
+	}
+	return &APIError{Status: status, Code: env.Error.Code, Message: env.Error.Message}
+}
+
+// SubmitJob submits one experiment spec (POST /v1/jobs). Queue-full
+// 429s are retried with backoff; the returned response may be a cache
+// hit (Cached) or coalesced onto an identical in-flight job (Deduped).
+func (c *Client) SubmitJob(ctx context.Context, spec exp.Spec) (service.SubmitResponse, error) {
+	body, err := spec.Canonical()
+	if err != nil {
+		return service.SubmitResponse{}, err
+	}
+	return postJSON[service.SubmitResponse](c, ctx, "/v1/jobs", body)
+}
+
+// Job fetches a job's status (GET /v1/jobs/{id}).
+func (c *Client) Job(ctx context.Context, id string) (service.StatusJSON, error) {
+	return getJSON[service.StatusJSON](c, ctx, "/v1/jobs/"+url.PathEscape(id))
+}
+
+// WaitJob polls until the job reaches a terminal state.
+func (c *Client) WaitJob(ctx context.Context, id string) (service.StatusJSON, error) {
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Stacks fetches a done job's result document verbatim
+// (GET /v1/jobs/{id}/stacks) — the bytes are exactly what the
+// deterministic simulator produced for the spec.
+func (c *Client) Stacks(ctx context.Context, id string) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/stacks", nil)
+}
+
+// CancelJob cancels a queued or running job (DELETE /v1/jobs/{id}).
+func (c *Client) CancelJob(ctx context.Context, id string) error {
+	_, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil)
+	return err
+}
+
+// SubmitSweep submits a raw sweep document (POST /v1/sweeps).
+func (c *Client) SubmitSweep(ctx context.Context, doc []byte) (service.SweepStatusJSON, error) {
+	return postJSON[service.SweepStatusJSON](c, ctx, "/v1/sweeps", doc)
+}
+
+// Sweep fetches a sweep's status (GET /v1/sweeps/{id}).
+func (c *Client) Sweep(ctx context.Context, id string) (service.SweepStatusJSON, error) {
+	return getJSON[service.SweepStatusJSON](c, ctx, "/v1/sweeps/"+url.PathEscape(id))
+}
+
+// CancelSweep cancels every non-terminal point (DELETE /v1/sweeps/{id}).
+func (c *Client) CancelSweep(ctx context.Context, id string) error {
+	_, err := c.do(ctx, http.MethodDelete, "/v1/sweeps/"+url.PathEscape(id), nil)
+	return err
+}
+
+// SweepResults streams a sweep's NDJSON result lines
+// (GET /v1/sweeps/{id}/results), calling fn once per line in point
+// order, and returns the total number of lines delivered. The stream
+// follows the sweep live until every point is terminal. If the
+// connection drops mid-stream — including a service restart — it
+// reconnects with ?from=<lines delivered so far>, so fn never sees a
+// line twice and never misses one.
+func (c *Client) SweepResults(ctx context.Context, id string, fn func(service.SweepResultLine) error) (int, error) {
+	delivered := 0
+	for attempt := 1; ; {
+		n, err := c.streamResults(ctx, id, delivered, fn)
+		delivered += n
+		if err == nil {
+			// Clean EOF. Trust it only once the sweep really is terminal:
+			// a restarting server can end a chunked response cleanly.
+			st, serr := c.Sweep(ctx, id)
+			if serr != nil {
+				return delivered, serr
+			}
+			if st.State != "running" {
+				return delivered, nil
+			}
+			err = errors.New("stream ended while sweep still running")
+		}
+		if ctx.Err() != nil {
+			return delivered, ctx.Err()
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && !retryable(apiErr.Status) {
+			return delivered, err
+		}
+		if n > 0 {
+			attempt = 1 // progress resets the backoff clock
+		}
+		if attempt >= c.retry.MaxAttempts {
+			return delivered, fmt.Errorf("after %d attempts: %w", attempt, err)
+		}
+		d := c.retry.delay(attempt, c.rng)
+		attempt++
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return delivered, ctx.Err()
+		}
+	}
+}
+
+// streamResults reads one connection's worth of result lines starting
+// at offset from, returning how many lines it delivered.
+func (c *Client) streamResults(ctx context.Context, id string, from int, fn func(service.SweepResultLine) error) (int, error) {
+	path := "/v1/sweeps/" + url.PathEscape(id) + "/results?from=" + strconv.Itoa(from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return 0, decodeError(resp.StatusCode, data)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	n := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var out service.SweepResultLine
+		if err := json.Unmarshal(line, &out); err != nil {
+			return n, fmt.Errorf("bad result line: %w", err)
+		}
+		if err := fn(out); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, sc.Err()
+}
+
+func postJSON[T any](c *Client, ctx context.Context, path string, body []byte) (T, error) {
+	var out T
+	data, err := c.do(ctx, http.MethodPost, path, body)
+	if err != nil {
+		return out, err
+	}
+	return out, json.Unmarshal(data, &out)
+}
+
+func getJSON[T any](c *Client, ctx context.Context, path string) (T, error) {
+	var out T
+	data, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return out, err
+	}
+	return out, json.Unmarshal(data, &out)
+}

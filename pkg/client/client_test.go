@@ -1,0 +1,305 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dramstacks/internal/exp"
+	"dramstacks/internal/service"
+)
+
+func fastRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func testSpec(t *testing.T) exp.Spec {
+	t.Helper()
+	spec, err := exp.DecodeSpec([]byte(`{"workload":"seq","cores":1,"cycles":20000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec.Normalized()
+}
+
+// startService runs a real dramstacksd over httptest.
+func startService(t *testing.T, cfg service.Config) (*service.Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = quietLogger()
+	}
+	s, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func TestSubmitWaitStacks(t *testing.T) {
+	_, ts := startService(t, service.Config{Workers: 2})
+	c := New(ts.URL, Options{Retry: fastRetry()})
+	ctx := context.Background()
+
+	sub, err := c.SubmitJob(ctx, testSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitJob(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("job finished %s (%s)", st.State, st.Error)
+	}
+	result, err := c.Stacks(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, err := exp.ResultSpecHash(result); err != nil || h != sub.SpecHash {
+		t.Fatalf("result hash %q err %v, want %q", h, err, sub.SpecHash)
+	}
+}
+
+func TestRetryOn429ThenSuccess(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"queue_full","message":"full"}}`)
+			return
+		}
+		fmt.Fprint(w, `{"id":"job-000001","spec_hash":"h","state":"queued"}`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{Retry: fastRetry()})
+	sub, err := c.SubmitJob(context.Background(), testSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID != "job-000001" || calls.Load() != 3 {
+		t.Fatalf("sub=%+v calls=%d, want success on 3rd call", sub, calls.Load())
+	}
+}
+
+func TestRetryOnConnectionError(t *testing.T) {
+	// A listener that closes its first accepted connection without a
+	// response, then serves normally.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"id":"job-000002","spec_hash":"h","state":"queued"}`)
+	})}
+	var dropped atomic.Bool
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn.Close() // simulate a reset before any bytes
+		dropped.Store(true)
+		srv.Serve(ln)
+	}()
+	defer srv.Close()
+
+	c := New("http://"+ln.Addr().String(), Options{Retry: fastRetry()})
+	sub, err := c.SubmitJob(context.Background(), testSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID != "job-000002" || !dropped.Load() {
+		t.Fatalf("sub=%+v dropped=%v", sub, dropped.Load())
+	}
+}
+
+func TestNoRetryOnInvalidSpec(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":{"code":"invalid_spec","message":"no"}}`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{Retry: fastRetry()})
+	_, err := c.SubmitJob(context.Background(), testSpec(t))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "invalid_spec" {
+		t.Fatalf("err = %v, want invalid_spec APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want exactly 1 (4xx is not retryable)", calls.Load())
+	}
+}
+
+func TestSweepResultsEndToEnd(t *testing.T) {
+	_, ts := startService(t, service.Config{Workers: 2})
+	c := New(ts.URL, Options{Retry: fastRetry()})
+	ctx := context.Background()
+
+	sw, err := c.SubmitSweep(ctx, []byte(`{"base": {"workload": "seq", "cycles": 20000}, "axes": {"cores": [1, 2]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []service.SweepResultLine
+	n, err := c.SweepResults(ctx, sw.ID, func(l service.SweepResultLine) error {
+		lines = append(lines, l)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(lines) != 2 {
+		t.Fatalf("streamed %d lines (%d collected), want 2", n, len(lines))
+	}
+	for i, l := range lines {
+		if l.Index != i || l.State != service.StateDone || len(l.Result) == 0 {
+			t.Errorf("line %d = %+v, want done with result", i, l)
+		}
+	}
+}
+
+// flakyStream proxies to a backend but kills the response after one
+// NDJSON line on the first ?from=0 request, forcing the client to
+// resume with ?from=1.
+func TestSweepResultsResumeAfterDrop(t *testing.T) {
+	_, ts := startService(t, service.Config{Workers: 2})
+
+	var cut atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		req, err := http.NewRequest(r.Method, ts.URL+r.URL.String(), r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(resp.StatusCode)
+		if r.URL.Path == "/v1/sweeps/sweep-000001/results" && cut.CompareAndSwap(false, true) {
+			// Forward exactly one line, then cut the connection mid-stream.
+			line, _ := bufio.NewReader(resp.Body).ReadBytes('\n')
+			w.Write(line)
+			if hj, ok := w.(http.Hijacker); ok {
+				conn, _, _ := hj.Hijack()
+				conn.Close()
+				return
+			}
+			return
+		}
+		io.Copy(w, resp.Body)
+	}))
+	defer proxy.Close()
+
+	c := New(proxy.URL, Options{Retry: fastRetry()})
+	ctx := context.Background()
+	sw, err := c.SubmitSweep(ctx, []byte(`{"base": {"workload": "seq", "cycles": 20000}, "axes": {"cores": [1, 2]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	n, err := c.SweepResults(ctx, sw.ID, func(l service.SweepResultLine) error {
+		seen[l.Index]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cut.Load() {
+		t.Fatal("proxy never cut the stream; test is vacuous")
+	}
+	if n != 2 || seen[0] != 1 || seen[1] != 1 {
+		t.Fatalf("streamed %d lines, seen=%v; want each of 2 lines exactly once", n, seen)
+	}
+}
+
+// TestClientRidesThroughRestart is the acceptance check for the client
+// half of durability: submit against a durable service, restart it on
+// the same address and data dir mid-conversation, and observe the job's
+// result with plain client calls — the retry loop absorbs the outage.
+func TestClientRidesThroughRestart(t *testing.T) {
+	dir := t.TempDir()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+
+	newService := func() *service.Server {
+		s, err := service.New(service.Config{Workers: 2, DataDir: dir, Logger: quietLogger()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1 := newService()
+	srv1 := &http.Server{Handler: s1.Handler()}
+	go srv1.Serve(ln)
+
+	c := New("http://"+addr, Options{Retry: RetryPolicy{
+		MaxAttempts: 20, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond,
+	}})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	sub, err := c.SubmitJob(ctx, testSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitJob(ctx, sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Stacks(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: graceful stop, new listener on the same port.
+	srv1.Close()
+	s1.Close()
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := newService()
+	srv2 := &http.Server{Handler: s2.Handler()}
+	go srv2.Serve(ln2)
+	t.Cleanup(func() {
+		srv2.Close()
+		s2.Close()
+	})
+
+	got, err := c.Stacks(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("stacks changed across restart:\npre  %s\npost %s", want, got)
+	}
+}
