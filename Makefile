@@ -2,10 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-check bench-figs bench-ablations bench-go figs serve clean
+.PHONY: all build test test-short race cover bench bench-check bench-figs bench-ablations bench-go figs serve vet fuzz clean
 
 # Port for `make serve` (override: make serve PORT=9000).
 PORT ?= 8080
+
+# Budget per fuzz target for `make fuzz` (override: make fuzz FUZZTIME=5m).
+FUZZTIME ?= 30s
 
 all: build test
 
@@ -52,6 +55,19 @@ bench-check:
 bench-go:
 	$(GO) test -run xxx -bench . -benchmem -benchtime 1x . | tee bench_output.txt
 
+# Build the repo's own analyzer suite (cmd/dramvet) and run it through
+# the standard vet driver, exactly like CI. See doc/LINTING.md.
+vet:
+	$(GO) build -o dramvet ./cmd/dramvet
+	$(GO) vet -vettool=$(CURDIR)/dramvet ./...
+
+# Run both fuzz targets for FUZZTIME each: the strict spec decoder
+# (canonical-encoding fixed point, hash determinism) and journal
+# recovery (corruption is never fatal, torn tails are sealed).
+fuzz:
+	$(GO) test ./internal/exp/ -run FuzzDecodeSpec -fuzz FuzzDecodeSpec -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/service/ -run FuzzJournalReplay -fuzz FuzzJournalReplay -fuzztime $(FUZZTIME)
+
 # Build and launch the simulation service (see doc/SERVICE.md).
 serve:
 	$(GO) build -o dramstacksd ./cmd/dramstacksd
@@ -62,4 +78,4 @@ figs:
 	$(GO) run ./cmd/paperfigs -fig all -out results
 
 clean:
-	rm -rf results bench_output.txt test_output.txt dramstacksd BENCH_PR.json
+	rm -rf results bench_output.txt test_output.txt dramstacksd dramvet BENCH_PR.json

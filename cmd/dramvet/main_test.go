@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dramstacks/internal/analysis"
+)
+
+func TestAllAnalyzersRegistered(t *testing.T) {
+	want := []string{"canonhash", "detrange", "errenvelope", "lockhold", "nowallclock"}
+	if len(Analyzers) != len(want) {
+		t.Fatalf("registered %d analyzers, want %d", len(Analyzers), len(want))
+	}
+	names := make(map[string]bool)
+	for _, a := range Analyzers {
+		names[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+	}
+	for _, n := range want {
+		if !names[n] {
+			t.Errorf("analyzer %s is not registered", n)
+		}
+	}
+	if err := analysis.Validate(Analyzers); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVetToolProtocol builds the tool and runs it through the real
+// `go vet -vettool` protocol over the deterministic core and the
+// service, which doubles as the enforcement that the tree stays clean.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and vets the tree; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "dramvet")
+	build := exec.Command("go", "build", "-o", bin, "dramstacks/cmd/dramvet")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building dramvet: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin,
+		"./internal/exp/...", "./internal/service/...", "./internal/stacks/...")
+	vet.Dir = "../.."
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=dramvet found violations: %v\n%s", err, out)
+	}
+	// -V=full must print a version line in the form vet expects.
+	ver := exec.Command(bin, "-V=full")
+	out, err := ver.Output()
+	if err != nil {
+		t.Fatalf("dramvet -V=full: %v", err)
+	}
+	if !strings.Contains(string(out), "buildID=") {
+		t.Fatalf("dramvet -V=full output %q lacks a buildID", out)
+	}
+}

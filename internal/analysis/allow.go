@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// directiveRE parses //dramvet:allow <analyzer>(<reason>). The reason
+// is mandatory: an acknowledged violation without a recorded why is
+// just a violation with extra steps. The reason match is greedy so it
+// may itself contain parentheses; the directive ends at the final ')'.
+var directiveRE = regexp.MustCompile(`^//dramvet:allow\s+([a-z][a-z0-9]*)\((.*)\)\s*$`)
+
+// directive is one parsed //dramvet:allow comment.
+type directive struct {
+	analyzer string
+	reason   string
+	line     int
+	pos      token.Pos
+}
+
+// fileDirectives extracts every dramvet directive of one file. A
+// comment that starts with //dramvet: but does not parse is returned in
+// malformed so the driver can surface it instead of silently ignoring a
+// typo'd suppression.
+func fileDirectives(fset *token.FileSet, f *ast.File) (dirs []directive, malformed []*ast.Comment) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, "//dramvet:") {
+				continue
+			}
+			m := directiveRE.FindStringSubmatch(text)
+			if m == nil || strings.TrimSpace(m[2]) == "" {
+				malformed = append(malformed, c)
+				continue
+			}
+			dirs = append(dirs, directive{
+				analyzer: m[1],
+				reason:   strings.TrimSpace(m[2]),
+				line:     fset.Position(c.Pos()).Line,
+				pos:      c.Pos(),
+			})
+		}
+	}
+	return dirs, malformed
+}
+
+// MalformedDirectives reports every comment that starts with
+// //dramvet: but does not parse as a well-formed allow directive, so a
+// typo'd suppression is surfaced instead of silently ignored. Drivers
+// call it once per package (not per analyzer) to avoid duplicates.
+func MalformedDirectives(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range files {
+		_, malformed := fileDirectives(fset, f)
+		for _, c := range malformed {
+			diags = append(diags, Diagnostic{
+				Pos: c.Pos(),
+				Message: "malformed dramvet directive: want //dramvet:allow <analyzer>(<reason>) " +
+					"with a non-empty reason",
+			})
+		}
+	}
+	return diags
+}
+
+// suppress drops diagnostics acknowledged by a //dramvet:allow
+// directive for this analyzer: on the same line, on the line directly
+// above, or in the doc comment of the enclosing function declaration
+// (which acknowledges the whole function).
+func suppress(name string, fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	type funcScope struct {
+		lo, hi token.Pos
+	}
+	// Per file: line → analyzer names allowed there, plus function
+	// ranges whose doc comment allows the analyzer.
+	lineAllow := make(map[string]map[int]map[string]bool)
+	var funcAllows []funcScope
+
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		dirs, _ := fileDirectives(fset, f)
+		if len(dirs) == 0 {
+			continue
+		}
+		byLine := lineAllow[fname]
+		if byLine == nil {
+			byLine = make(map[int]map[string]bool)
+			lineAllow[fname] = byLine
+		}
+		for _, d := range dirs {
+			if d.analyzer != name {
+				continue
+			}
+			if byLine[d.line] == nil {
+				byLine[d.line] = make(map[string]bool)
+			}
+			byLine[d.line][d.analyzer] = true
+		}
+		// Function-scoped: directive inside a FuncDecl's doc comment.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, d := range dirs {
+				if d.analyzer == name && d.pos >= fd.Doc.Pos() && d.pos <= fd.Doc.End() {
+					funcAllows = append(funcAllows, funcScope{fd.Pos(), fd.End()})
+				}
+			}
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		allowed := false
+		if byLine := lineAllow[posn.Filename]; byLine != nil {
+			if byLine[posn.Line][name] || byLine[posn.Line-1][name] {
+				allowed = true
+			}
+		}
+		for _, fs := range funcAllows {
+			if d.Pos >= fs.lo && d.Pos < fs.hi {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

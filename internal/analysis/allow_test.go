@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestDirectiveParsing(t *testing.T) {
+	cases := []struct {
+		comment  string
+		analyzer string
+		reason   string
+		ok       bool
+	}{
+		{"//dramvet:allow detrange(order cannot matter)", "detrange", "order cannot matter", true},
+		{"//dramvet:allow lockhold(min over (distance, name) is total)", "lockhold", "min over (distance, name) is total", true},
+		{"//dramvet:allow detrange()", "", "", false},
+		{"//dramvet:allow detrange(   )", "", "", false},
+		{"//dramvet:allow detrange", "", "", false},
+		{"//dramvet:allow DetRange(reason)", "", "", false},
+		{"//dramvet:allowdetrange(reason)", "", "", false},
+	}
+	for _, tc := range cases {
+		src := "package p\n\n" + tc.comment + "\nvar X int\n"
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.comment, err)
+		}
+		dirs, malformed := fileDirectives(fset, f)
+		if tc.ok {
+			if len(dirs) != 1 || len(malformed) != 0 {
+				t.Errorf("%q: got %d directives, %d malformed; want 1, 0", tc.comment, len(dirs), len(malformed))
+				continue
+			}
+			if dirs[0].analyzer != tc.analyzer || dirs[0].reason != tc.reason {
+				t.Errorf("%q: parsed (%q, %q), want (%q, %q)",
+					tc.comment, dirs[0].analyzer, dirs[0].reason, tc.analyzer, tc.reason)
+			}
+		} else if len(dirs) != 0 || len(malformed) != 1 {
+			t.Errorf("%q: got %d directives, %d malformed; want 0, 1", tc.comment, len(dirs), len(malformed))
+		}
+	}
+}

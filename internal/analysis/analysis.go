@@ -1,0 +1,111 @@
+// Package analysis is a minimal, stdlib-only reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package and reports Diagnostics through a Pass.
+//
+// It exists because this repository is dependency-free by policy; the
+// API mirrors x/tools closely enough that the repo-specific analyzers
+// under internal/analysis/passes could be ported to the real framework
+// by changing only import paths. Two drivers consume it:
+//
+//   - internal/analysis/unit speaks the `go vet -vettool` protocol, so
+//     `go vet -vettool=$(which dramvet) ./...` runs the suite exactly
+//     like the standard vet analyzers (see cmd/dramvet).
+//   - internal/analysis/analysistest runs one analyzer over fixture
+//     packages under testdata/src and checks `// want` expectations.
+//
+// Suppression: a finding can be acknowledged in source with
+//
+//	//dramvet:allow <analyzer>(<reason>)
+//
+// on the flagged line or the line above it, or in the doc comment of
+// the enclosing function to acknowledge every finding of that analyzer
+// in the function. The reason is mandatory; see doc/LINTING.md.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, flags, and
+	// //dramvet:allow directives. Lowercase letters and digits only.
+	Name string
+	// Doc is the help text; the first line is the summary.
+	Doc string
+	// Run applies the check to one package and reports findings via
+	// pass.Report/Reportf. The returned value is ignored by the drivers
+	// (kept for x/tools API shape).
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Validate checks that the analyzers are well-formed and distinctly
+// named (mirrors x/tools analysis.Validate).
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		if a == nil {
+			return fmt.Errorf("analysis: nil analyzer")
+		}
+		if a.Name == "" || a.Run == nil {
+			return fmt.Errorf("analysis: analyzer %q lacks a name or Run function", a.Name)
+		}
+		for _, r := range a.Name {
+			if (r < 'a' || r > 'z') && (r < '0' || r > '9') {
+				return fmt.Errorf("analysis: analyzer name %q must be lowercase letters and digits", a.Name)
+			}
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("analysis: duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
+// Analyze runs one analyzer over a type-checked package, applies
+// //dramvet:allow suppression, and returns the surviving diagnostics in
+// position order. Both drivers route through it so suppression behaves
+// identically under `go vet` and under analysistest.
+func Analyze(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+	}
+	return suppress(a.Name, fset, files, diags), nil
+}

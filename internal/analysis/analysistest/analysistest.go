@@ -1,0 +1,217 @@
+// Package analysistest runs one analyzer over fixture packages and
+// checks its diagnostics against // want expectations, mirroring the
+// x/tools package of the same name (stdlib-only, like the rest of
+// internal/analysis).
+//
+// Fixtures live under <testdata>/src/<importpath>/ and are loaded with
+// that import path, so package-gated analyzers (detrange, lockhold, …)
+// can be exercised by naming the fixture directory accordingly, e.g.
+// testdata/src/internal/dram. Fixture imports resolve first against
+// sibling fixture packages under src/, then against the standard
+// library (compiled from source, so no build step is needed).
+//
+// Expectations are trailing comments of the form
+//
+//	for k := range m { // want `range over map`
+//
+// where each backquoted or double-quoted string is a regular expression
+// that must match the message of exactly one diagnostic reported on
+// that line. Diagnostics without a matching expectation, and
+// expectations without a matching diagnostic, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dramstacks/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads the fixture package at <testdata>/src/<path>, applies the
+// analyzer (including //dramvet:allow suppression), and checks the
+// diagnostics against the fixture's // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	if err := analysis.Validate([]*analysis.Analyzer{a}); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		fset: fset,
+		src:  filepath.Join(testdata, "src"),
+		pkgs: make(map[string]*types.Package),
+	}
+	imp.std = importer.ForCompiler(fset, "source", nil)
+
+	files, pkg, info, err := imp.load(path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+
+	diags, err := analysis.Analyze(a, fset, files, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags = append(diags, analysis.MalformedDirectives(fset, files)...)
+	check(t, fset, files, diags)
+}
+
+// check matches diagnostics against // want expectations line by line.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*expectation)
+	var all []*expectation
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				posn := fset.Position(c.Pos())
+				for _, ex := range parseWants(t, posn, c.Text) {
+					k := key{fname, posn.Line}
+					wants[k] = append(wants[k], ex)
+					all = append(all, ex)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		matched := false
+		for _, ex := range wants[key{posn.Filename, posn.Line}] {
+			if !ex.matched && ex.re.MatchString(d.Message) {
+				ex.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for _, ex := range all {
+		if !ex.matched {
+			t.Errorf("%s: no diagnostic matching %q", ex.posn, ex.re)
+		}
+	}
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	posn    token.Position
+	matched bool
+}
+
+// wantRE extracts the payload of a // want comment; each quoted or
+// backquoted string in the payload is one expectation.
+var (
+	wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	exprRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+func parseWants(t *testing.T, posn token.Position, comment string) []*expectation {
+	t.Helper()
+	m := wantRE.FindStringSubmatch(comment)
+	if m == nil {
+		return nil
+	}
+	var out []*expectation
+	for _, q := range exprRE.FindAllString(m[1], -1) {
+		s, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: malformed want pattern %s: %v", posn, q, err)
+		}
+		re, err := regexp.Compile(s)
+		if err != nil {
+			t.Fatalf("%s: malformed want regexp %s: %v", posn, q, err)
+		}
+		out = append(out, &expectation{re: re, posn: posn})
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: // want comment with no quoted pattern", posn)
+	}
+	return out
+}
+
+// fixtureImporter resolves imports first against fixture packages under
+// src/, then against the standard library.
+type fixtureImporter struct {
+	fset *token.FileSet
+	src  string
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(im.src, filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		_, pkg, _, err := im.load(path)
+		return pkg, err
+	}
+	return im.std.Import(path)
+}
+
+// load parses and type-checks the fixture package at src/<path>.
+func (im *fixtureImporter) load(path string) ([]*ast.File, *types.Package, *types.Info, error) {
+	dir := filepath.Join(im.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: im}
+	pkg, err := conf.Check(path, im.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	im.pkgs[path] = pkg
+	return files, pkg, info, nil
+}

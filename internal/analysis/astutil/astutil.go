@@ -1,0 +1,67 @@
+// Package astutil holds the small AST/type-resolution helpers shared by
+// the dramvet passes.
+package astutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PackagePath resolves the import path of the package a selector's
+// qualifier names: for `json.Marshal`, "encoding/json". It returns ""
+// when the qualifier is not a package name (e.g. a method selector).
+func PackagePath(info *types.Info, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkgName, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pkgName.Imported().Path()
+}
+
+// IsPkgFunc reports whether the call expression's function is the
+// package-level function path.name.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, path, name string) bool {
+	sel, ok := Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	if PackagePath(info, sel) == path {
+		return true
+	}
+	// Resolve through the object for dot-imports or vendored paths.
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+		if pkg := fn.Pkg(); pkg != nil && pkg.Path() == path && fn.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Unparen strips any enclosing parentheses.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// IsNamed reports whether t (after unwrapping pointers and aliases) is
+// the named type pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

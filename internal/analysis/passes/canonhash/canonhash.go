@@ -1,0 +1,236 @@
+// Package canonhash enforces the one-true-path rule for content
+// hashing: any bytes that flow into a spec/sweep hash must come from
+// the canonical encoder (exp.Spec.Canonical and friends), never from
+// raw encoding/json.Marshal. Raw marshaling of a struct is
+// field-order-, tag-, and version-sensitive, so two semantically
+// identical specs could hash differently — exactly the corruption class
+// the dramstacksd recovery validation defends against.
+//
+// Mechanically: inside each function, the analyzer traces the data
+// argument of crypto hash sinks — sha256.Sum256(...), and Write calls
+// on values obtained from a crypto/hash constructor (sha256.New etc.)
+// or typed hash.Hash — through local single-assignment variables,
+// conversions, and slicing. If the traced origin is a call to
+// encoding/json Marshal or MarshalIndent, the hash site is flagged.
+// The analysis is intraprocedural by design: the canonical encoder
+// itself marshals a sorted map internally and returns the bytes, which
+// is invisible (and fine) at its call sites.
+package canonhash
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dramstacks/internal/analysis"
+	"dramstacks/internal/analysis/astutil"
+)
+
+// Analyzer is the canonhash pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "canonhash",
+	Doc: "require the canonical encoder for bytes flowing into spec/sweep hashes\n\n" +
+		"Content addresses (spec_hash, sweep hashes) must be computed over the canonical\n" +
+		"JSON encoding, never raw json.Marshal output: raw marshaling is field-order- and\n" +
+		"version-sensitive, so identical specs could hash differently.",
+	Run: run,
+}
+
+// hashPackages are the crypto packages whose Sum*/New* functions are
+// hash sinks/constructors.
+var hashPackages = map[string]bool{
+	"crypto/sha256": true,
+	"crypto/sha512": true,
+	"crypto/sha1":   true,
+	"crypto/md5":    true,
+	"hash/fnv":      true,
+	"hash/crc32":    true,
+	"hash/crc64":    true,
+	"hash/maphash":  true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	defs := singleAssignments(pass, fd.Body)
+	writers := hashWriters(pass, defs)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := astutil.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case strings.HasPrefix(sel.Sel.Name, "Sum") && hashPackages[astutil.PackagePath(pass.TypesInfo, sel)]:
+			// sha256.Sum256(data) and friends.
+			checkOrigin(pass, call.Args[0], defs)
+		case sel.Sel.Name == "Write" && isHashWriter(pass, sel.X, writers):
+			// h.Write(data) on a hash.Hash.
+			checkOrigin(pass, call.Args[0], defs)
+		}
+		return true
+	})
+}
+
+// checkOrigin traces data to its origin and flags raw json encodings.
+func checkOrigin(pass *analysis.Pass, data ast.Expr, defs map[types.Object]ast.Expr) {
+	origin := trace(pass, data, defs, 0)
+	call, ok := origin.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	for _, name := range []string{"Marshal", "MarshalIndent"} {
+		if astutil.IsPkgFunc(pass.TypesInfo, call, "encoding/json", name) {
+			pass.Reportf(data.Pos(),
+				"hashed bytes originate from raw json.%s: content hashes must be computed "+
+					"over the canonical encoding (exp.Spec.Canonical), or annotate "+
+					"//dramvet:allow canonhash(reason)", name)
+			return
+		}
+	}
+}
+
+// trace unwraps conversions, slicing, parens, and single-assignment
+// locals to find where a value was produced.
+func trace(pass *analysis.Pass, e ast.Expr, defs map[types.Object]ast.Expr, depth int) ast.Expr {
+	if depth > 16 {
+		return e
+	}
+	switch x := astutil.Unparen(e).(type) {
+	case *ast.CallExpr:
+		// A conversion like []byte(s) is transparent.
+		if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return trace(pass, x.Args[0], defs, depth+1)
+		}
+		return x
+	case *ast.SliceExpr:
+		return trace(pass, x.X, defs, depth+1)
+	case *ast.Ident:
+		obj := pass.TypesInfo.ObjectOf(x)
+		if rhs, ok := defs[obj]; ok {
+			return trace(pass, rhs, defs, depth+1)
+		}
+		return x
+	default:
+		return x
+	}
+}
+
+// singleAssignments maps each local object assigned exactly once in
+// the function body to its defining expression; multiply-assigned
+// locals are excluded (their origin is ambiguous).
+func singleAssignments(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]ast.Expr {
+	count := make(map[types.Object]int)
+	rhs := make(map[types.Object]ast.Expr)
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		record := func(lhs, def ast.Expr) {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			if obj == nil {
+				return
+			}
+			count[obj]++
+			rhs[obj] = def
+		}
+		switch {
+		case len(asg.Lhs) == len(asg.Rhs):
+			for i, lhs := range asg.Lhs {
+				record(lhs, asg.Rhs[i])
+			}
+		case len(asg.Rhs) == 1:
+			// Multi-value form `b, err := json.Marshal(v)`: the first
+			// result carries the data; tracing later results to the same
+			// call is harmless (they are never hashed).
+			for _, lhs := range asg.Lhs {
+				record(lhs, asg.Rhs[0])
+			}
+		}
+		return true
+	})
+	out := make(map[types.Object]ast.Expr)
+	for obj, n := range count {
+		if n == 1 {
+			out[obj] = rhs[obj]
+		}
+	}
+	return out
+}
+
+// hashWriters collects the objects holding values produced by a crypto
+// hash constructor (sha256.New() etc.), so Write calls on them are
+// treated as hash sinks.
+func hashWriters(pass *analysis.Pass, defs map[types.Object]ast.Expr) map[types.Object]bool {
+	writers := make(map[types.Object]bool)
+	for obj, rhs := range defs {
+		call, ok := astutil.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := astutil.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		if strings.HasPrefix(sel.Sel.Name, "New") && hashPackages[astutil.PackagePath(pass.TypesInfo, sel)] {
+			writers[obj] = true
+		}
+	}
+	return writers
+}
+
+// isHashWriter reports whether recv denotes a hash sink: a local bound
+// to a crypto constructor, or any value typed hash.Hash.
+func isHashWriter(pass *analysis.Pass, recv ast.Expr, writers map[types.Object]bool) bool {
+	if id, ok := astutil.Unparen(recv).(*ast.Ident); ok {
+		if writers[pass.TypesInfo.ObjectOf(id)] {
+			return true
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[recv]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return astutil.IsNamed(tv.Type, "hash", "Hash") || isHashInterface(tv.Type)
+}
+
+// isHashInterface reports whether t is an interface embedding the
+// hash.Hash method set (Sum/Reset/Size/BlockSize + io.Writer).
+func isHashInterface(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	need := map[string]bool{"Write": false, "Sum": false, "Reset": false, "Size": false, "BlockSize": false}
+	for i := 0; i < iface.NumMethods(); i++ {
+		if _, ok := need[iface.Method(i).Name()]; ok {
+			need[iface.Method(i).Name()] = true
+		}
+	}
+	for _, got := range need {
+		if !got {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package canonhash_test
+
+import (
+	"testing"
+
+	"dramstacks/internal/analysis/analysistest"
+	"dramstacks/internal/analysis/passes/canonhash"
+)
+
+func TestCanonHash(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), canonhash.Analyzer, "canon")
+}

@@ -1,0 +1,74 @@
+// Package canon is a canonhash fixture: bytes flowing into content
+// hashes must come from a canonical encoder, never raw json.Marshal.
+package canon
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"hash"
+	"sort"
+)
+
+type spec struct {
+	A, B int
+	Tags map[string]string
+}
+
+// Flagged: hashing a raw marshal of a struct is field-order- and
+// version-sensitive.
+func badSum(s spec) [32]byte {
+	b, _ := json.Marshal(s)
+	return sha256.Sum256(b) // want `raw json.Marshal`
+}
+
+// Flagged: the taint survives conversions and slicing.
+func badConverted(s spec) [32]byte {
+	b, _ := json.Marshal(s)
+	return sha256.Sum256([]byte(string(b))[:]) // want `raw json.Marshal`
+}
+
+// Flagged: Write on a constructed hash is a sink too.
+func badWriter(s spec) []byte {
+	h := sha256.New()
+	raw, _ := json.MarshalIndent(s, "", " ")
+	h.Write(raw) // want `raw json.MarshalIndent`
+	return h.Sum(nil)
+}
+
+// Flagged: hash.Hash-typed sinks are recognized without a visible
+// constructor.
+func badIface(h hash.Hash, s spec) {
+	b, _ := json.Marshal(s)
+	h.Write(b) // want `raw json.Marshal`
+}
+
+// Clean: hashing the canonical encoding.
+func goodCanonical(s spec) [32]byte {
+	return sha256.Sum256(canonical(s))
+}
+
+// canonical is the fixture's stand-in for exp.Spec.Canonical:
+// marshaling a deterministically keyed form inside the encoder is the
+// point; only its output may be hashed.
+func canonical(s spec) []byte {
+	keys := make([]string, 0, len(s.Tags))
+	for k := range s.Tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b, _ := json.Marshal(map[string]any{"a": s.A, "b": s.B, "tags": keys})
+	return b
+}
+
+// Clean: bytes of unknown provenance are the caller's problem, not a
+// raw-marshal violation.
+func goodDirect(data []byte) [32]byte {
+	return sha256.Sum256(data)
+}
+
+// Clean: acknowledged with a recorded reason.
+func allowed(s spec) [32]byte {
+	b, _ := json.Marshal(s)
+	//dramvet:allow canonhash(checksum of a transient debug dump; never stored or compared across versions)
+	return sha256.Sum256(b)
+}

@@ -1,0 +1,26 @@
+package detpkg
+
+import "testing"
+
+func TestDeterministic(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"internal/dram", true},
+		{"dramstacks/internal/dram", true},
+		{"dramstacks/internal/exp", true},
+		{"dramstacks/internal/exp.test", true},
+		{"dramstacks/internal/exp_test", true},
+		{"dramstacks/internal/exp [dramstacks/internal/exp.test]", true},
+		{"dramstacks/internal/service", false},
+		{"dramstacks/cmd/dramstacks", false},
+		{"internal/drama", false},
+		{"time", false},
+	}
+	for _, tc := range cases {
+		if got := Deterministic(tc.path); got != tc.want {
+			t.Errorf("Deterministic(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}

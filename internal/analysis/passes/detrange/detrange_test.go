@@ -1,0 +1,16 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"dramstacks/internal/analysis/analysistest"
+	"dramstacks/internal/analysis/passes/detrange"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detrange.Analyzer, "internal/dram")
+}
+
+func TestOtherPackagesExempt(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detrange.Analyzer, "pkg/other")
+}

@@ -1,0 +1,90 @@
+// Package dram is a detrange fixture standing in for the real
+// deterministic package of the same import path.
+package dram
+
+import "sort"
+
+// Flagged: the body observes iteration order (returns the first pair).
+func first(m map[string]int) (string, int) {
+	for k, v := range m { // want `range over map in deterministic package internal/dram`
+		return k, v
+	}
+	return "", 0
+}
+
+// Flagged: appends values in iteration order with no later sort.
+func values(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `range over map in deterministic package internal/dram`
+		out = append(out, v)
+	}
+	return out
+}
+
+// Clean: the canonical collect-then-sort idiom.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clean: collect-then-sort behind a single filtering guard.
+func positiveKeys(m map[string]int) []string {
+	var keys []string
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clean: pure accumulation cannot observe order.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Clean: writes a distinct key per iteration.
+func clone(m map[string]int) map[string]int {
+	dst := make(map[string]int, len(m))
+	for k, v := range m {
+		dst[k] = v
+	}
+	return dst
+}
+
+// Clean: acknowledged for the whole function via the doc comment.
+//
+//dramvet:allow detrange(an arbitrary element is the contract here; order cannot matter)
+func anyKey(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// Clean: acknowledged on the line above the range.
+func anyValue(m map[string]int) int {
+	//dramvet:allow detrange(an arbitrary element is the contract here; order cannot matter)
+	for _, v := range m {
+		return v
+	}
+	return 0
+}
+
+// A directive without a reason is itself a finding, not a silent no-op.
+func unreasoned(m map[string]int) string {
+	//dramvet:allow detrange() // want `malformed dramvet directive`
+	for k := range m { // want `range over map in deterministic package internal/dram`
+		return k
+	}
+	return ""
+}

@@ -1,0 +1,10 @@
+// Package other is outside the deterministic package list: map
+// iteration here is not dramvet's business.
+package other
+
+func first(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}

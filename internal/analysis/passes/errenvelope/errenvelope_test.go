@@ -1,0 +1,12 @@
+package errenvelope_test
+
+import (
+	"testing"
+
+	"dramstacks/internal/analysis/analysistest"
+	"dramstacks/internal/analysis/passes/errenvelope"
+)
+
+func TestErrEnvelope(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errenvelope.Analyzer, "internal/service")
+}

@@ -1,0 +1,44 @@
+// Package service is an errenvelope fixture standing in for the real
+// internal/service: every /v1 error response is the JSON envelope
+// {"error":{"code":…,"message":…}}, emitted through writeError.
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError implements the envelope, so its own WriteHeader is exempt.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]apiError{"error": {Code: code, Message: msg}})
+}
+
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed) // want `http.Error bypasses the unified /v1 error envelope`
+		return
+	}
+	w.WriteHeader(http.StatusBadRequest) // want `bare WriteHeader\(400\) bypasses the unified /v1 error envelope`
+}
+
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent) // success statuses are fine
+}
+
+// Clean: acknowledged for the whole function with a recorded reason.
+//
+//dramvet:allow errenvelope(plain-text probe endpoint consumed by load balancers, not pkg/client)
+func legacyProbe(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "shutting down", http.StatusServiceUnavailable)
+}

@@ -1,0 +1,318 @@
+// Package lockhold enforces the dramstacksd store invariant in code
+// instead of prose: no slow or blocking operation may run while an
+// internal/service mutex is held. Holding a lock across an fsync, a
+// journal append, a simulation, or a blocking channel operation would
+// stall every request that touches the same lock — the exact contention
+// the durable store's in-memory mirror was built to avoid.
+//
+// Within each function, the analyzer tracks sync.Mutex/RWMutex
+// Lock/Unlock pairs (including `defer mu.Unlock()`, which holds to
+// function end) and flags, while any lock is held:
+//
+//   - exp.RunSpec calls (a whole simulation under a lock);
+//   - (*os.File).Write / Sync (journal appends and fsyncs);
+//   - calls to *Store journal methods (append, AppendJob, AppendResult,
+//     AppendSweep, Checkpoint);
+//   - channel sends and receives, and select statements without a
+//     default clause.
+//
+// Methods named *Locked are exempt as callees (the convention marks
+// them as requiring the caller to hold the lock; their own bodies are
+// analyzed like any other function). The one deliberate exception — the
+// store serializing journal appends under its own mutex — is
+// acknowledged with //dramvet:allow lockhold(...) at the definition.
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dramstacks/internal/analysis"
+	"dramstacks/internal/analysis/astutil"
+)
+
+// Analyzer is the lockhold pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc: "forbid blocking work (fsync, journal appends, RunSpec, channel ops) under a service mutex\n\n" +
+		"internal/service locks guard in-memory state only; I/O and simulations must happen\n" +
+		"outside the critical section (the durable store's mirror exists for exactly this).",
+	Run: run,
+}
+
+// storeMethods are the *Store journal entry points that fsync.
+var storeMethods = map[string]bool{
+	"append":       true,
+	"AppendJob":    true,
+	"AppendResult": true,
+	"AppendSweep":  true,
+	"Checkpoint":   true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !servicePackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkFunc walks one function body in statement order, tracking which
+// mutexes are held.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	held := make(map[string]bool) // rendered lock expr → held
+	walkBlock(pass, body, held)
+}
+
+func walkBlock(pass *analysis.Pass, block *ast.BlockStmt, held map[string]bool) {
+	// Locks taken inside this block are released when it ends (a
+	// conservative approximation: an early Unlock is honored, a Lock
+	// leaking out of a block is rare and would be flagged in callers).
+	local := make(map[string]bool, len(held))
+	for k, v := range held {
+		local[k] = v
+	}
+	for _, stmt := range block.List {
+		walkStmt(pass, stmt, local)
+	}
+}
+
+func walkStmt(pass *analysis.Pass, stmt ast.Stmt, held map[string]bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := lockOp(pass, s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[key] = true
+			case "Unlock", "RUnlock":
+				delete(held, key)
+			}
+			return
+		}
+		checkExpr(pass, s.X, held)
+	case *ast.DeferStmt:
+		if _, op, ok := lockOp(pass, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			// Deferred unlock: the lock stays held for the rest of the walk.
+			return
+		}
+		checkExpr(pass, s.Call, held)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			checkExpr(pass, rhs, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			checkExpr(pass, r, held)
+		}
+	case *ast.SendStmt:
+		if anyHeld(held) {
+			pass.Reportf(s.Pos(),
+				"channel send while %s is held: blocking operations must not run under a "+
+					"service mutex (or annotate //dramvet:allow lockhold(reason))", heldName(held))
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && anyHeld(held) {
+			pass.Reportf(s.Pos(),
+				"blocking select while %s is held: blocking operations must not run under a "+
+					"service mutex (or annotate //dramvet:allow lockhold(reason))", heldName(held))
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				for _, b := range cc.Body {
+					walkStmt(pass, b, held)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkStmt(pass, s.Init, held)
+		}
+		checkExpr(pass, s.Cond, held)
+		walkBlock(pass, s.Body, held)
+		if s.Else != nil {
+			walkStmt(pass, s.Else, held)
+		}
+	case *ast.ForStmt:
+		walkBlock(pass, s.Body, held)
+	case *ast.RangeStmt:
+		walkBlock(pass, s.Body, held)
+	case *ast.BlockStmt:
+		walkBlock(pass, s, held)
+	case *ast.SwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				for _, b := range cc.Body {
+					walkStmt(pass, b, held)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				for _, b := range cc.Body {
+					walkStmt(pass, b, held)
+				}
+			}
+		}
+	case *ast.GoStmt:
+		// A goroutine body runs without the caller's locks.
+	}
+}
+
+// checkExpr flags blocking operations in an expression evaluated while
+// locks are held: receives, RunSpec, file writes/fsyncs, store appends.
+func checkExpr(pass *analysis.Pass, e ast.Expr, held map[string]bool) {
+	if e == nil || !anyHeld(held) {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // deferred/assigned closures run elsewhere
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				pass.Reportf(x.Pos(),
+					"channel receive while %s is held: blocking operations must not run under "+
+						"a service mutex (or annotate //dramvet:allow lockhold(reason))", heldName(held))
+			}
+		case *ast.CallExpr:
+			checkCall(pass, x, held)
+		}
+		return true
+	})
+}
+
+// servicePackage reports whether path (possibly a vet test-variant
+// spelling) is the internal/service package or its tests.
+func servicePackage(path string) bool {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	path = strings.TrimSuffix(path, ".test")
+	path = strings.TrimSuffix(path, "_test")
+	return path == "internal/service" || strings.HasSuffix(path, "/internal/service")
+}
+
+// isRunSpec matches exp.RunSpec by resolved function object: package
+// path ending in "exp" (the real tree's dramstacks/internal/exp, or a
+// fixture's local exp package) and name RunSpec.
+func isRunSpec(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := astutil.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "RunSpec" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return p == "exp" || strings.HasSuffix(p, "/exp")
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, held map[string]bool) {
+	if isRunSpec(pass, call) {
+		pass.Reportf(call.Pos(),
+			"exp.RunSpec while %s is held: a simulation must never run under a service mutex "+
+				"(or annotate //dramvet:allow lockhold(reason))", heldName(held))
+		return
+	}
+	sel, ok := astutil.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recvType := func() types.Type {
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok {
+			return nil
+		}
+		return tv.Type
+	}
+	switch {
+	case (sel.Sel.Name == "Sync" || sel.Sel.Name == "Write") && recvType() != nil && astutil.IsNamed(recvType(), "os", "File"):
+		pass.Reportf(call.Pos(),
+			"(*os.File).%s while %s is held: journal I/O must not run under a service mutex "+
+				"(or annotate //dramvet:allow lockhold(reason))", sel.Sel.Name, heldName(held))
+	case storeMethods[sel.Sel.Name] && recvType() != nil && isStore(recvType()):
+		pass.Reportf(call.Pos(),
+			"store %s (journal append + fsync) while %s is held: persist outside the critical "+
+				"section (or annotate //dramvet:allow lockhold(reason))", sel.Sel.Name, heldName(held))
+	}
+}
+
+// isStore matches the package's durable store type by name, so the
+// analyzer works both on internal/service and on its test fixtures.
+func isStore(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj().Name() == "Store"
+}
+
+// lockOp recognizes expr as a mutex Lock/Unlock call and returns a
+// stable key for the lock expression.
+func lockOp(pass *analysis.Pass, e ast.Expr) (key, op string, ok bool) {
+	call, isCall := astutil.Unparen(e).(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := astutil.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	tv, found := pass.TypesInfo.Types[sel.X]
+	if !found || tv.Type == nil {
+		return "", "", false
+	}
+	if !astutil.IsNamed(tv.Type, "sync", "Mutex") && !astutil.IsNamed(tv.Type, "sync", "RWMutex") {
+		return "", "", false
+	}
+	return exprKey(sel.X), sel.Sel.Name, true
+}
+
+// exprKey renders a lock expression ("s.mu") as a comparison key.
+func exprKey(e ast.Expr) string {
+	switch x := astutil.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprKey(x.X) + "." + x.Sel.Name
+	default:
+		return "lock"
+	}
+}
+
+func anyHeld(held map[string]bool) bool { return len(held) > 0 }
+
+// heldName names one held lock for the diagnostic (sorted for
+// determinism when several are held).
+func heldName(held map[string]bool) string {
+	best := ""
+	for k := range held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}

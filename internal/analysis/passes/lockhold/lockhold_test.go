@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"dramstacks/internal/analysis/analysistest"
+	"dramstacks/internal/analysis/passes/lockhold"
+)
+
+func TestLockHold(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockhold.Analyzer, "internal/service")
+}

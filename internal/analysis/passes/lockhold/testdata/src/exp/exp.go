@@ -1,0 +1,10 @@
+// Package exp is a lockhold fixture standing in for
+// dramstacks/internal/exp: RunSpec is the entry point that must never
+// run under a service mutex.
+package exp
+
+type Spec struct{ Seed int64 }
+
+type Result struct{ Cycles int64 }
+
+func RunSpec(s Spec) (*Result, error) { return &Result{}, nil }

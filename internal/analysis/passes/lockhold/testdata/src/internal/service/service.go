@@ -1,0 +1,114 @@
+// Package service is a lockhold fixture standing in for the real
+// internal/service: locks guard in-memory state only; I/O, simulations,
+// and blocking channel operations happen outside the critical section.
+package service
+
+import (
+	"os"
+	"sync"
+
+	"exp"
+)
+
+type Store struct {
+	mu      sync.Mutex
+	journal *os.File
+}
+
+// The fixture mirror of the real store's one deliberate exception.
+//
+//dramvet:allow lockhold(st.mu exists to serialize journal appends; I/O under this lock is the design)
+func (st *Store) append(id string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, err := st.journal.Write([]byte(id)); err != nil {
+		return err
+	}
+	return st.journal.Sync()
+}
+
+func (st *Store) AppendJob(id string) error { return st.append(id) }
+
+type Server struct {
+	mu    sync.Mutex
+	st    *Store
+	jobs  chan string
+	specs map[string]exp.Spec
+}
+
+func (s *Server) badRun(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	exp.RunSpec(s.specs[id]) // want `exp.RunSpec while s.mu is held`
+}
+
+func (s *Server) badJournal(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.st.journal.Write([]byte(id)); err != nil { // want `\(\*os.File\).Write while s.mu is held`
+		return err
+	}
+	return s.st.journal.Sync() // want `\(\*os.File\).Sync while s.mu is held`
+}
+
+func (s *Server) badPersist(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.AppendJob(id) // want `store AppendJob \(journal append \+ fsync\) while s.mu is held`
+}
+
+func (s *Server) badSend(id string) {
+	s.mu.Lock()
+	s.jobs <- id // want `channel send while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *Server) badRecv() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.jobs // want `channel receive while s.mu is held`
+}
+
+func (s *Server) badSelect(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while s.mu is held`
+	case <-done:
+	case id := <-s.jobs:
+		_ = id
+	}
+}
+
+// Clean: snapshot under the lock, then do the slow work outside it —
+// the pattern the analyzer exists to protect.
+func (s *Server) goodUnlockFirst(id string) error {
+	s.mu.Lock()
+	spec := s.specs[id]
+	s.mu.Unlock()
+	if _, err := exp.RunSpec(spec); err != nil {
+		return err
+	}
+	return s.st.AppendJob(id)
+}
+
+// Clean: a select with a default clause cannot block.
+func (s *Server) goodNonBlocking() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case id := <-s.jobs:
+		_ = id
+		return true
+	default:
+		return false
+	}
+}
+
+// Clean: a goroutine body runs without the caller's locks.
+func (s *Server) goodGoroutine(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.jobs <- id
+	}()
+}

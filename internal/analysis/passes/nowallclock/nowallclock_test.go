@@ -1,0 +1,16 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"dramstacks/internal/analysis/analysistest"
+	"dramstacks/internal/analysis/passes/nowallclock"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nowallclock.Analyzer, "internal/sim")
+}
+
+func TestOtherPackagesExempt(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nowallclock.Analyzer, "pkg/tools")
+}

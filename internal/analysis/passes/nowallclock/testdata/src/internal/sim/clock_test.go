@@ -1,0 +1,11 @@
+// Test files are exempt: tests legitimately measure wall time for
+// deadlines, and that cannot leak into simulated results.
+package sim
+
+import "time"
+
+func elapsed(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}

@@ -1,0 +1,40 @@
+// Package sim is a nowallclock fixture standing in for the real
+// deterministic package of the same import path.
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()                     // want `time.Now in deterministic package internal/sim`
+	_, _ = os.LookupEnv("HOME")        // want `os.LookupEnv in deterministic package internal/sim`
+	_ = os.Getenv("HOME")              // want `os.Getenv in deterministic package internal/sim`
+	_ = rand.Intn(4)                   // want `math/rand.Intn in deterministic package internal/sim`
+	rand.Shuffle(1, func(i, j int) {}) // want `math/rand.Shuffle in deterministic package internal/sim`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in deterministic package internal/sim`
+}
+
+// Clean: explicitly seeded generators are how workloads get
+// reproducible randomness.
+func good(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(4)
+}
+
+// Clean: time types and arithmetic are fine; only ambient clock reads
+// are forbidden.
+func goodDuration(cycles int64, hz int64) time.Duration {
+	return time.Duration(cycles) * time.Second / time.Duration(hz)
+}
+
+// Clean: acknowledged with a recorded reason.
+func allowed() int64 {
+	//dramvet:allow nowallclock(log timestamp only; never flows into simulated state)
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,12 @@
+// Package tools is outside the deterministic package list: wall-clock
+// reads here are not dramvet's business.
+package tools
+
+import (
+	"os"
+	"time"
+)
+
+func stamp() (int64, string) {
+	return time.Now().UnixNano(), os.Getenv("USER")
+}

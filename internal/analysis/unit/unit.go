@@ -1,0 +1,301 @@
+// Package unit implements the `go vet -vettool` protocol for the
+// dramvet analyzers: a stdlib-only equivalent of
+// golang.org/x/tools/go/analysis/unitchecker.
+//
+// The go command invokes the tool once per package with a JSON config
+// file describing the source files and the export data of every
+// dependency; the tool parses and type-checks the package (via
+// go/importer reading that export data — the same mechanism the real
+// unitchecker uses), runs the analyzers, and prints findings to stderr
+// with a non-zero exit status. Two auxiliary invocation forms complete
+// the protocol: `-V=full` prints a build-identifying version line the
+// go command uses as a cache key, and `-flags` describes the tool's
+// flags as JSON.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"dramstacks/internal/analysis"
+)
+
+// Config is the JSON schema of the file the go command passes as the
+// sole positional argument (see cmd/go/internal/work and the x/tools
+// unitchecker, which define the same contract).
+type Config struct {
+	ID                        string // e.g. "time [time.test]"
+	Compiler                  string // gc or gccgo
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// versionFlag implements -V=full, the objabi version protocol: the go
+// command keys its vet result cache on this line, so it must change
+// whenever the tool binary changes (hence the content hash).
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return false }
+func (versionFlag) String() string   { return "" }
+
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s", s)
+	}
+	progname := os.Args[0]
+	f, err := os.Open(progname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+// Main is the entry point of a dramvet-style multichecker.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := "dramvet"
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+	if err := analysis.Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	flags := flag.NewFlagSet(progname, flag.ExitOnError)
+	flags.Usage = func() {
+		fmt.Fprintf(os.Stderr, "%s: custom vet suite for the dramstacks repository.\n\n", progname)
+		fmt.Fprintf(os.Stderr, "Usage: go vet -vettool=$(which %s) [-<analyzer>] packages...\n\nAnalyzers:\n", progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+	flags.Var(versionFlag{}, "V", "print version and exit")
+	printFlags := flags.Bool("flags", false, "print flags as JSON and exit (go vet protocol)")
+	jsonOut := flags.Bool("json", false, "emit diagnostics as JSON instead of text")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = flags.Bool(a.Name, false, "enable only "+a.Name+" (default: all analyzers)")
+	}
+	flags.Parse(os.Args[1:])
+
+	if *printFlags {
+		// The go command runs `tool -flags` to learn which vet flags the
+		// tool accepts; the schema is []{Name, Bool, Usage}.
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var out []jsonFlag
+		flags.VisitAll(func(f *flag.Flag) {
+			if f.Name == "flags" || f.Name == "V" {
+				return
+			}
+			b, ok := f.Value.(interface{ IsBoolFlag() bool })
+			out = append(out, jsonFlag{Name: f.Name, Bool: ok && b.IsBoolFlag(), Usage: f.Usage})
+		})
+		data, err := json.Marshal(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		os.Exit(0)
+	}
+
+	// An explicit -<analyzer> flag narrows the run to the named subset.
+	var selected []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			selected = append(selected, a)
+		}
+	}
+	if len(selected) == 0 {
+		selected = analyzers
+	}
+
+	args := flags.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		flags.Usage()
+		fmt.Fprintf(os.Stderr, "\ninvoking %s directly is unsupported; use go vet -vettool\n", progname)
+		os.Exit(1)
+	}
+	run(args[0], selected, *jsonOut)
+}
+
+func run(configFile string, analyzers []*analysis.Analyzer, jsonOut bool) {
+	cfg, err := readConfig(configFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The go command demands a facts file for every unit even though
+	// this suite defines no cross-package facts; an empty one keeps the
+	// protocol (and result caching) happy.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			log.Fatalf("writing vetx output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		// Facts-only run over a dependency: nothing to do.
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	files, pkg, info, err := typecheck(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compiler will report the error; vet stays quiet.
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+
+	type result struct {
+		name  string
+		diags []analysis.Diagnostic
+	}
+	results := []result{{"dramvet", analysis.MalformedDirectives(fset, files)}}
+	for _, a := range analyzers {
+		diags, err := analysis.Analyze(a, fset, files, pkg, info)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, result{a.Name, diags})
+	}
+
+	if jsonOut {
+		// Shape mirrors x/tools: {pkgID: {analyzer: [{posn, message}]}}.
+		type jsonDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		byAnalyzer := make(map[string][]jsonDiag)
+		for _, res := range results {
+			for _, d := range res.diags {
+				byAnalyzer[res.name] = append(byAnalyzer[res.name],
+					jsonDiag{Posn: fset.Position(d.Pos).String(), Message: d.Message})
+			}
+		}
+		data, err := json.MarshalIndent(map[string]map[string][]jsonDiag{cfg.ID: byAnalyzer}, "", "\t")
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		os.Exit(0)
+	}
+
+	exit := 0
+	for _, res := range results {
+		sort.Slice(res.diags, func(i, j int) bool { return res.diags[i].Pos < res.diags[j].Pos })
+		for _, d := range res.diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", path, err)
+	}
+	if len(cfg.GoFiles) == 0 && !cfg.VetxOnly {
+		// The go command vets packages with no Go files (e.g. assembly
+		// only); nothing for us to do there.
+		os.Exit(0)
+	}
+	return cfg, nil
+}
+
+// typecheck parses and type-checks the unit exactly like the real
+// unitchecker: dependencies are imported from the compiler export data
+// files the go command names in cfg.PackageFile.
+func typecheck(fset *token.FileSet, cfg *Config) ([]*ast.File, *types.Package, *types.Info, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not a source import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		path, ok := cfg.ImportMap[importPath] // resolves vendoring
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return files, pkg, info, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

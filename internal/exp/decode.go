@@ -52,6 +52,7 @@ func unknownFieldError(kind, field string, fields map[string]bool) error {
 func closestField(name string, fields map[string]bool) string {
 	best, bestDist := "", 3
 	lower := strings.ToLower(name)
+	//dramvet:allow detrange(min over (distance, name) with a total tiebreak; result is independent of iteration order)
 	for f := range fields {
 		if d := editDistance(lower, f); d < bestDist || (d == bestDist && f < best) {
 			best, bestDist = f, d

@@ -155,18 +155,22 @@ func TestFigFunctionsSmallBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure sweeps skipped in -short")
 	}
-	for name, run := range map[string]func() (int, error){
-		"fig3": func() (int, error) { rows, err := Fig3(50_000); return len(rows), err },
-		"fig4": func() (int, error) { rows, err := Fig4(50_000); return len(rows), err },
-		"fig6": func() (int, error) { rows, err := Fig6(50_000); return len(rows), err },
-	} {
-		n, err := run()
+	figs := []struct {
+		name string
+		run  func() (int, error)
+		want int
+	}{
+		{"fig3", func() (int, error) { rows, err := Fig3(50_000); return len(rows), err }, 8},
+		{"fig4", func() (int, error) { rows, err := Fig4(50_000); return len(rows), err }, 4},
+		{"fig6", func() (int, error) { rows, err := Fig6(50_000); return len(rows), err }, 4},
+	}
+	for _, f := range figs {
+		n, err := f.run()
 		if err != nil {
-			t.Fatalf("%s: %v", name, err)
+			t.Fatalf("%s: %v", f.name, err)
 		}
-		want := map[string]int{"fig3": 8, "fig4": 4, "fig6": 4}[name]
-		if n != want {
-			t.Errorf("%s rows = %d, want %d", name, n, want)
+		if n != f.want {
+			t.Errorf("%s rows = %d, want %d", f.name, n, f.want)
 		}
 	}
 }

@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"fmt"
 	"testing"
 
 	"dramstacks/internal/extrapolate"
@@ -96,6 +95,6 @@ func TestNaiveVsStackOnSaturatingWorkload(t *testing.T) {
 		t.Errorf("stack error %.1f%% worse than naive %.1f%% on the saturating case",
 			100*se, 100*ne)
 	}
-	t.Logf(fmt.Sprintf("seq 1c->8c: measured %.2f, naive %.2f, stack %.2f",
-		measured, naive, stack))
+	t.Logf("seq 1c->8c: measured %.2f, naive %.2f, stack %.2f",
+		measured, naive, stack)
 }

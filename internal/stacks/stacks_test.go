@@ -49,8 +49,8 @@ func TestBandwidthAccountingExample(t *testing.T) {
 		BWConstraints: 1 + 0.25,   // cycle 5 full + cycle 7 share
 		BWIdle:        1,
 	}
-	for c, w := range want {
-		if got := s.Cycles[c]; math.Abs(got-w) > 1e-12 {
+	for c := BWComponent(0); c < NumBWComponents; c++ {
+		if got, w := s.Cycles[c], want[c]; math.Abs(got-w) > 1e-12 {
 			t.Errorf("%v = %v cycles, want %v", c, got, w)
 		}
 	}
