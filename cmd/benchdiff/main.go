@@ -18,6 +18,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	"dramstacks/internal/benchfmt"
 )
@@ -66,6 +67,7 @@ func run(oldPath, newPath string, threshold float64, w io.Writer) error {
 
 func report(w io.Writer, cmp benchfmt.Comparison) {
 	fmt.Fprintf(w, "%-28s %14s %14s %8s\n", "case", "old cyc/s", "new cyc/s", "ratio")
+	var newOnly []string
 	for _, r := range cmp.Rows {
 		switch r.Status {
 		case benchfmt.Compared:
@@ -78,6 +80,14 @@ func report(w io.Writer, cmp benchfmt.Comparison) {
 			fmt.Fprintf(w, "%-28s %14.4g %14s %8s\n", r.Key, r.Old, "missing", "-")
 		case benchfmt.NewOnly:
 			fmt.Fprintf(w, "%-28s %14s %14.4g %8s\n", r.Key, "new case", r.New, "-")
+			newOnly = append(newOnly, r.Key)
 		}
+	}
+	// A case with no baseline reading cannot regress; name it loudly so
+	// a fresh benchmark suite entry (say, a new DRAM standard scenario)
+	// reads as "needs a baseline refresh", not as a silent pass.
+	if len(newOnly) > 0 {
+		log.Printf("note: %d case(s) not in the baseline, excluded from the gate: %s",
+			len(newOnly), strings.Join(newOnly, ", "))
 	}
 }

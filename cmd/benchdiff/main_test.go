@@ -75,6 +75,32 @@ func TestRunSkipsZeroBaseline(t *testing.T) {
 	}
 }
 
+// TestRunTreatsNewCasesAsNew covers the suite-growth path: benchmark
+// names absent from the committed baseline (e.g. freshly added DRAM
+// standard scenarios) are reported as new and excluded from the
+// geomean, and the gate still passes on the common cases.
+func TestRunTreatsNewCasesAsNew(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{
+		"synth/seq-1c": 100, "synth/seq-8c": 100}))
+	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{
+		"synth/seq-1c": 100, "synth/seq-8c": 100,
+		"std/ddr5-seq-4c": 50, "std/hbm2-seq-4c": 60}))
+	var out bytes.Buffer
+	if err := run(oldP, newP, 0.10, &out); err != nil {
+		t.Fatalf("run errored on baseline-absent cases: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "PASS") || !strings.Contains(s, "over 2 cases") {
+		t.Fatalf("new cases leaked into the gate:\n%s", s)
+	}
+	for _, name := range []string{"std/ddr5-seq-4c", "std/hbm2-seq-4c"} {
+		if !strings.Contains(s, name) || !strings.Contains(s, "new case") {
+			t.Fatalf("new case %s not reported:\n%s", name, s)
+		}
+	}
+}
+
 func TestRunErrsWhenAllSkipped(t *testing.T) {
 	dir := t.TempDir()
 	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 0}))

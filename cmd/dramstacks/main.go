@@ -4,6 +4,8 @@
 // Usage examples:
 //
 //	dramstacks -workload seq -cores 4
+//	dramstacks -workload seq -cores 4 -standard ddr5-4800
+//	dramstacks -list-standards
 //	dramstacks -workload random -cores 8 -stores 0.2 -policy closed
 //	dramstacks -workload bfs -cores 8 -scale 16 -cycles 1000000
 //	dramstacks -workload seq -cores 2 -map int -trace seq2.trace
@@ -27,13 +29,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"text/tabwriter"
 
 	"dramstacks/internal/cpu"
 	"dramstacks/internal/cyclestack"
 	"dramstacks/internal/dram"
+	"dramstacks/internal/dram/standard"
 	"dramstacks/internal/exp"
 	"dramstacks/internal/memctrl"
 	"dramstacks/internal/power"
@@ -53,6 +58,8 @@ func main() {
 		stores    = flag.Float64("stores", 0, "store fraction for synthetic workloads (0..1)")
 		policy    = flag.String("policy", "", "page policy: open or closed (default: open; GAP kernels default closed, tc open)")
 		mapping   = flag.String("map", "def", "address mapping: def (Fig 5a), int (cache-line interleaved, Fig 5b), or xor (permutation bank hashing)")
+		stdName   = flag.String("standard", "", "DRAM standard preset (default ddr4-2400; see -list-standards)")
+		listStds  = flag.Bool("list-standards", false, "print the registered DRAM standards with derived peak bandwidth, geometry and key timings, then exit")
 		cycles    = flag.Int64("cycles", 500_000, "memory-cycle budget (0 = run workload to completion)")
 		sample    = flag.Int64("sample", 0, "through-time sample interval in memory cycles (0 = off)")
 		scale     = flag.Int("scale", 17, "Kronecker graph scale for GAP kernels")
@@ -68,6 +75,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if *listStds {
+		printStandards(os.Stdout)
+		return
+	}
+
 	stopProfiles, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dramstacks:", err)
@@ -76,7 +88,7 @@ func main() {
 	if *sweepFile != "" {
 		err = runSweep(*sweepFile, *workers, *keepGoing, *csvOut, *jsonOut)
 	} else {
-		err = run(*wl, *inFile, *cores, *channels, *stores, *policy, *mapping, *cycles, *sample, *scale, *wq, *csvOut, *traceFile, *jsonOut)
+		err = run(*wl, *inFile, *cores, *channels, *stores, *policy, *mapping, *stdName, *cycles, *sample, *scale, *wq, *csvOut, *traceFile, *jsonOut)
 	}
 	stopProfiles()
 	if err != nil {
@@ -179,7 +191,7 @@ func runSweep(sweepFile string, workers int, keepGoing bool, csvOut string, json
 	}
 }
 
-func run(wl, inFile string, cores, channels int, stores float64, policy, mapping string,
+func run(wl, inFile string, cores, channels int, stores float64, policy, mapping, stdName string,
 	cycles, sample int64, scale, wq int, csvOut, traceFile string, jsonOut bool) error {
 	if csvOut != "" && sample <= 0 {
 		return fmt.Errorf("-csv needs -sample > 0: without sampling no through-time samples are recorded and the CSV would hold only a header")
@@ -192,16 +204,21 @@ func run(wl, inFile string, cores, channels int, stores float64, policy, mapping
 	}
 
 	if wl == "trace" {
-		res, err := runTrace(inFile, cores, channels, policy, mapping, cycles, sample, hook)
+		std, err := standard.Lookup(stdName)
 		if err != nil {
 			return err
 		}
-		return report(&simResult{res, fmt.Sprintf("trace %dc", cores), rec.Events()}, nil, csvOut, traceFile, jsonOut)
+		res, err := runTrace(inFile, cores, channels, policy, mapping, std, cycles, sample, hook)
+		if err != nil {
+			return err
+		}
+		return report(&simResult{res, fmt.Sprintf("trace %dc", cores), rec.Events()}, nil, std, csvOut, traceFile, jsonOut)
 	}
 
 	spec := exp.Spec{
 		Workload: wl, Cores: cores, Channels: channels, Stores: stores,
-		Policy: policy, Mapping: mapping, Budget: cycles, Sample: sample,
+		Policy: policy, Mapping: mapping, Standard: stdName,
+		Budget: cycles, Sample: sample,
 		Scale: scale, WriteQueue: wq,
 	}
 	if cycles == 0 {
@@ -211,13 +228,17 @@ func run(wl, inFile string, cores, channels int, stores float64, policy, mapping
 	if err != nil {
 		return err
 	}
-	return report(&simResult{res, spec.Label(), rec.Events()}, &spec, csvOut, traceFile, jsonOut)
+	std, err := exp.SpecStandard(spec)
+	if err != nil {
+		return err
+	}
+	return report(&simResult{res, spec.Label(), rec.Events()}, &spec, std, csvOut, traceFile, jsonOut)
 }
 
 // runTrace replays an application memory trace on every core (the one
 // workload kind that needs a local file and therefore stays outside the
 // shared spec layer).
-func runTrace(inFile string, cores, channels int, policy, mapping string,
+func runTrace(inFile string, cores, channels int, policy, mapping string, std standard.Standard,
 	cycles, sample int64, hook func(int64, dram.Command)) (*sim.Result, error) {
 	m := sim.MapDefault
 	switch mapping {
@@ -241,7 +262,7 @@ func runTrace(inFile string, cores, channels int, policy, mapping string,
 	if err != nil {
 		return nil, err
 	}
-	cfg := sim.Default(cores)
+	cfg := sim.DefaultFor(std, cores)
 	cfg.Channels = channels
 	cfg.Map = m
 	if policy == "closed" {
@@ -268,13 +289,39 @@ func runTrace(inFile string, cores, channels int, policy, mapping string,
 	return r, nil
 }
 
+// printStandards renders the registry as a table: one row per preset
+// with its derived peak bandwidth, clock, geometry and key timings.
+func printStandards(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tFAMILY\tCLOCK\tPEAK/CHANNEL\tGEOMETRY\tPAGE\tKEY TIMINGS\tDESCRIPTION")
+	for _, std := range standard.All() {
+		g, t := std.Geometry, std.Timing
+		geom := fmt.Sprintf("%dr x %dbg x %db, %dB bus x%d", g.Ranks, g.Groups, g.Banks, g.BusBytes, g.DataRate)
+		if std.SubChannels > 1 {
+			geom = fmt.Sprintf("%dpc x %s", std.SubChannels, geom)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d MHz\t%.1f GB/s\t%s\t%s\tCL%d RCD%d RP%d RAS%d FAW%d RFC%d\t%s\n",
+			std.Name, std.Family, g.ClockMHz, std.PeakBandwidthGBs(), geom,
+			pageSize(g.RowBytes()), t.CL, t.RCD, t.RP, t.RAS, t.FAW, t.RFC,
+			std.Description)
+	}
+	tw.Flush()
+}
+
+func pageSize(bytes int) string {
+	if bytes >= 1024 && bytes%1024 == 0 {
+		return fmt.Sprintf("%d KB", bytes/1024)
+	}
+	return fmt.Sprintf("%d B", bytes)
+}
+
 type simResult struct {
 	r      *sim.Result
 	label  string
 	events []trace.Event
 }
 
-func report(res *simResult, spec *exp.Spec, csvOut, traceFile string, jsonOut bool) error {
+func report(res *simResult, spec *exp.Spec, std standard.Standard, csvOut, traceFile string, jsonOut bool) error {
 	r := res.r
 	geo := r.Cfg.Geom
 
@@ -329,13 +376,17 @@ func report(res *simResult, spec *exp.Spec, csvOut, traceFile string, jsonOut bo
 		return err
 	}
 
-	fmt.Printf("simulated %d memory cycles (%.3f ms), %d instructions retired, %d channel(s)\n",
-		r.MemCycles, r.RuntimeMS(), r.TotalRetired(), r.Channels)
+	fmt.Printf("simulated %d memory cycles (%.3f ms) on %s, %d instructions retired, %d device(s)\n",
+		r.MemCycles, r.RuntimeMS(), std.Name, r.TotalRetired(), r.Channels)
 	fmt.Printf("page hit rate %.1f%%, %d refreshes, %d reads / %d writes to DRAM\n",
 		100*r.CtrlStats.PageHitRate(), r.CtrlStats.Refreshes,
 		r.CtrlStats.IssuedReads, r.CtrlStats.IssuedWrites)
-	if rep, err := power.DDR4().Estimate(r.DevStats, r.MemCycles, geo); err == nil {
-		fmt.Println(rep)
+	// The IDD-derived energy model is calibrated for DDR4 devices only;
+	// other families would get numbers with DDR4 currents behind them.
+	if std.Family == "DDR4" {
+		if rep, err := power.DDR4().Estimate(r.DevStats, r.MemCycles, geo); err == nil {
+			fmt.Println(rep)
+		}
 	}
 	if h := r.LatHist; h.Count() > 0 {
 		fmt.Printf("read latency: mean %.1f ns, p50 <= %.1f, p95 <= %.1f, p99 <= %.1f, max %.1f\n",

@@ -23,6 +23,7 @@ import (
 
 	"dramstacks/internal/benchfmt"
 	"dramstacks/internal/cpu"
+	"dramstacks/internal/dram/standard"
 	"dramstacks/internal/exp"
 	"dramstacks/internal/memctrl"
 	"dramstacks/internal/sim"
@@ -61,6 +62,24 @@ func runLowUtil(cores, workPerOp, branchEvery int, mispredict float64, budget in
 	cfg.MaxMemCycles = budget
 	cfg.PrewarmOps = 1 << 12
 	sys, err := sim.New(cfg, lowUtilSources(cores, workPerOp, branchEvery, mispredict))
+	if err != nil {
+		return 0, err
+	}
+	res := sys.Run()
+	if len(res.Violations) > 0 {
+		return 0, fmt.Errorf("timing violation: %v", res.Violations[0])
+	}
+	return res.MemCycles, nil
+}
+
+// runStandard times a DRAM-bound sequential run on a non-default
+// standard from the registry: each preset exercises its own timing set
+// (and, for HBM2, the pseudo-channel device fan-out) in the hot path.
+func runStandard(name string, cores int, budget int64) (int64, error) {
+	cfg := sim.DefaultFor(standard.MustLookup(name), cores)
+	cfg.MaxMemCycles = budget
+	cfg.PrewarmOps = 1 << 20
+	sys, err := sim.New(cfg, sim.SyntheticSources(workload.Sequential, cores, 0.2))
 	if err != nil {
 		return 0, err
 	}
@@ -110,6 +129,18 @@ func cases() []benchCase {
 		{"synth/random-8c", false, func() (int64, error) {
 			return runSynth(exp.SynthSpec{Pattern: workload.Random, Cores: 8,
 				Budget: 100_000, Prewarm: 1 << 20})
+		}},
+		// Non-default DRAM standards: one DRAM-bound scenario per
+		// registry preset beyond the DDR4-2400 baseline, so a timing
+		// or topology change in any preset shows up in the gate.
+		{"std/ddr5-seq-4c", false, func() (int64, error) {
+			return runStandard("ddr5-4800", 4, 100_000)
+		}},
+		{"std/lpddr5-seq-2c", false, func() (int64, error) {
+			return runStandard("lpddr5-6400", 2, 100_000)
+		}},
+		{"std/hbm2-seq-4c", false, func() (int64, error) {
+			return runStandard("hbm2-2000", 4, 100_000)
 		}},
 		// GAP kernels at reduced scale: realistic phase behavior.
 		{"gap/bfs-4c", false, func() (int64, error) {

@@ -1,0 +1,69 @@
+package addrmap
+
+import (
+	"fmt"
+
+	"dramstacks/internal/dram"
+	"dramstacks/internal/dram/standard"
+)
+
+// Select builds the mapper for a machine of `channels` addressed
+// channels with `subChannels` independently timed sub-devices (HBM
+// pseudo-channels) behind each, using the named scheme kind ("def",
+// "int" or "xor", as sim.Mapping prints them; "" means "def").
+//
+// Sub-channels are address-mapped exactly like extra channels: the
+// mapper distributes lines over channels × subChannels devices, and for
+// any multi-device layout the device-select bits sit directly above the
+// cache-line offset. For HBM that places the pseudo-channel bit in its
+// architectural position (low address bits), so consecutive lines
+// alternate pseudo-channels.
+//
+// For subChannels == 1 the selection is byte-identical to the historical
+// single-standard behavior: "def" picks the paper's Fig. 5(a) scheme
+// (channel-interleaved when channels > 1), "int" the Fig. 5(b)
+// cache-line-interleaved scheme (with the channel bits lowest when
+// channels > 1), and "xor" the permutation-based bank hash over the
+// "def" layout.
+func Select(geo dram.Geometry, subChannels, channels int, kind string) (Mapper, error) {
+	if subChannels <= 0 {
+		subChannels = 1
+	}
+	if channels <= 0 {
+		channels = 1
+	}
+	devices := channels * subChannels
+	switch kind {
+	case "int":
+		if devices == 1 {
+			return NewInterleaved(geo, 1)
+		}
+		return NewScheme("interleaved-multichannel", geo, devices,
+			[]Field{FieldChannel, FieldGroup, FieldBank, FieldColumn, FieldRank, FieldRow})
+	case "xor":
+		var base *Scheme
+		var err error
+		if devices == 1 {
+			base, err = NewDefault(geo, 1)
+		} else {
+			base, err = NewChannelInterleaved(geo, devices)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return NewXOR(base), nil
+	case "def", "":
+		if devices == 1 {
+			return NewDefault(geo, 1)
+		}
+		return NewChannelInterleaved(geo, devices)
+	default:
+		return nil, fmt.Errorf("addrmap: unknown mapping kind %q (want def, int or xor)", kind)
+	}
+}
+
+// ForStandard builds the mapper for `channels` addressed channels of the
+// given DRAM standard, including its pseudo-channel topology.
+func ForStandard(std standard.Standard, channels int, kind string) (Mapper, error) {
+	return Select(std.Geometry, std.SubChannels, channels, kind)
+}

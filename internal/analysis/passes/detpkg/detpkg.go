@@ -14,6 +14,7 @@ var List = []string{
 	"internal/cpu",
 	"internal/cyclestack",
 	"internal/dram",
+	"internal/dram/standard",
 	"internal/exp",
 	"internal/memctrl",
 	"internal/sim",

@@ -9,6 +9,8 @@ func TestDeterministic(t *testing.T) {
 	}{
 		{"internal/dram", true},
 		{"dramstacks/internal/dram", true},
+		{"dramstacks/internal/dram/standard", true},
+		{"dramstacks/internal/dram/standard [dramstacks/internal/dram/standard.test]", true},
 		{"dramstacks/internal/exp", true},
 		{"dramstacks/internal/exp.test", true},
 		{"dramstacks/internal/exp_test", true},

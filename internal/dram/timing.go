@@ -210,6 +210,91 @@ func DDR5_4800() (Geometry, Timing) {
 	return g, t
 }
 
+// LPDDR5_6400 returns one 16-bit LPDDR5-6400 channel in bank-group mode:
+// a 1600 MHz command clock with four data transfers per clock (WCK 2:1
+// signalling folded into the data rate), for 12.8 GB/s peak on a 2-byte
+// bus. Mobile DRAM trades bus width for efficiency: the same cache line
+// occupies the bus four times longer than on DDR4-2400 (BL32), pages are
+// a quarter the size, and refresh is comparatively cheap.
+func LPDDR5_6400() (Geometry, Timing) {
+	g := Geometry{
+		Ranks:     1,
+		Groups:    4,
+		Banks:     4,
+		Rows:      64 * 1024,
+		Cols:      32, // 32 × 64 B = 2 KB page
+		LineBytes: 64,
+		BusBytes:  2,
+		DataRate:  4,
+		ClockMHz:  1600,
+	}
+	t := Timing{
+		CL:   27, // RL ≈ 17 ns
+		CWL:  14,
+		BL2:  8, // BL32 on the x16 bus: 8 bus-clock cycles of data
+		RCD:  29,
+		RP:   29,
+		RAS:  68,
+		RC:   97,
+		RTP:  12,
+		WR:   28,
+		CCDS: 8, // seamless across bank groups (= BL2)
+		CCDL: 12,
+		RRDS: 8,
+		RRDL: 10,
+		FAW:  32, // 20 ns
+		WTRS: 12,
+		WTRL: 18,
+		RTW:  27 + 8 + 2 - 14, // CL + BL/2 + 2 - CWL
+		RTRS: 4,
+		RFC:  448, // 280 ns all-bank refresh, 16 Gb die
+		REFI: 6250, // 3.9 µs
+	}
+	return g, t
+}
+
+// HBM2_2000 returns one pseudo-channel of an HBM2-2000 stack: a 1 GHz
+// clock on an 8-byte bus (16 GB/s peak per pseudo-channel; a full
+// 8-channel stack is 16 pseudo-channels, 256 GB/s). Bandwidth comes from
+// width, not speed: short BL4 bursts, small 1 KB pages, a tight 16 ns
+// tFAW and low absolute latencies.
+func HBM2_2000() (Geometry, Timing) {
+	g := Geometry{
+		Ranks:     1,
+		Groups:    4,
+		Banks:     4,
+		Rows:      16 * 1024,
+		Cols:      16, // 16 × 64 B = 1 KB page per pseudo-channel
+		LineBytes: 64,
+		BusBytes:  8,
+		DataRate:  2,
+		ClockMHz:  1000,
+	}
+	t := Timing{
+		CL:   14,
+		CWL:  7,
+		BL2:  4, // two back-to-back BL4 bursts move one 64 B line
+		RCD:  14,
+		RP:   14,
+		RAS:  33,
+		RC:   47,
+		RTP:  6,
+		WR:   16,
+		CCDS: 4, // seamless across bank groups (= BL2)
+		CCDL: 6,
+		RRDS: 4,
+		RRDL: 6,
+		FAW:  16, // 16 ns
+		WTRS: 4,
+		WTRL: 8,
+		RTW:  14 + 4 + 2 - 7, // CL + BL/2 + 2 - CWL
+		RTRS: 2,
+		RFC:  260, // 260 ns, 8 Gb channel
+		REFI: 3900, // 3.9 µs
+	}
+	return g, t
+}
+
 // DDR4_2400_DualRank returns the same module as DDR4_2400 with two ranks
 // per channel (32 banks, 8 GB): more bank parallelism for the same peak
 // bandwidth, at the cost of rank-to-rank bus switch gaps (tRTRS).

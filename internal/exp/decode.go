@@ -19,6 +19,7 @@ var specFields = map[string]bool{
 	"stores":   true,
 	"policy":   true,
 	"map":      true,
+	"standard": true,
 	"cycles":   true,
 	"sample":   true,
 	"scale":    true,

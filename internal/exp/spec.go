@@ -10,6 +10,7 @@ import (
 
 	"dramstacks/internal/cpu"
 	"dramstacks/internal/dram"
+	"dramstacks/internal/dram/standard"
 	"dramstacks/internal/gap"
 	"dramstacks/internal/memctrl"
 	"dramstacks/internal/sim"
@@ -53,6 +54,11 @@ type Spec struct {
 	Policy string `json:"policy"`
 	// Mapping is the address mapping: "def", "int" or "xor".
 	Mapping string `json:"map"`
+	// Standard names the DRAM standard preset the machine is built from
+	// (see internal/dram/standard); "" means ddr4-2400, the paper's
+	// configuration. The default is elided from the canonical encoding so
+	// pre-standard specs keep their hashes.
+	Standard string `json:"standard,omitempty"`
 	// Budget is the memory-cycle budget. 0 means DefaultBudget;
 	// BudgetUnlimited (-1) runs the workload to completion.
 	Budget int64 `json:"cycles"`
@@ -123,6 +129,10 @@ func (s Spec) Normalized() Spec {
 	if n.Mapping == "" {
 		n.Mapping = "def"
 	}
+	n.Standard = strings.ToLower(strings.TrimSpace(n.Standard))
+	if n.Standard == "" {
+		n.Standard = standard.DefaultName
+	}
 	if n.Budget == 0 {
 		n.Budget = DefaultBudget
 	} else if n.Budget < 0 {
@@ -186,6 +196,9 @@ func (s Spec) Validate() error {
 	default:
 		return fmt.Errorf("exp: unknown mapping %q (want def, int or xor)", s.Mapping)
 	}
+	if _, err := standard.Lookup(s.Standard); err != nil {
+		return err
+	}
 	if s.Budget < BudgetUnlimited {
 		return fmt.Errorf("exp: budget must be positive, 0 (default) or -1 (unlimited), got %d", s.Budget)
 	}
@@ -212,7 +225,7 @@ func (s Spec) Canonical() ([]byte, error) {
 		return nil, err
 	}
 	// encoding/json sorts map keys, giving the deterministic ordering.
-	return json.Marshal(map[string]any{
+	m := map[string]any{
 		"version":  n.Version,
 		"workload": n.Workload,
 		"cores":    n.Cores,
@@ -224,7 +237,14 @@ func (s Spec) Canonical() ([]byte, error) {
 		"sample":   n.Sample,
 		"scale":    n.Scale,
 		"wq":       n.WriteQueue,
-	})
+	}
+	// The default standard is elided so every spec written before the
+	// standard field existed keeps its canonical bytes — and therefore
+	// its spec hash, cache entries and journaled results.
+	if n.Standard != standard.DefaultName {
+		m["standard"] = n.Standard
+	}
+	return json.Marshal(m)
 }
 
 // Hash returns the content address of the spec: the hex SHA-256 of its
@@ -240,19 +260,25 @@ func (s Spec) Hash() (string, error) {
 }
 
 // Label returns the human-readable experiment label used in charts and
-// result JSON, in the style of the paper figures ("sequential 4c").
+// result JSON, in the style of the paper figures ("sequential 4c"). A
+// non-default DRAM standard is appended ("sequential 4c ddr5-4800").
 func (s Spec) Label() string {
 	n := s.Normalized()
+	var lbl string
 	switch {
 	case isMixWorkload(n.Workload):
-		return fmt.Sprintf("mix(%s) %dc", n.Workload, n.Cores)
+		lbl = fmt.Sprintf("mix(%s) %dc", n.Workload, n.Cores)
 	case isSynthWorkload(n.Workload):
-		return fmt.Sprintf("%s %dc", synthPattern(n.Workload), n.Cores)
+		lbl = fmt.Sprintf("%s %dc", synthPattern(n.Workload), n.Cores)
 	case isStreamWorkload(n.Workload):
-		return fmt.Sprintf("stream-%s %dc", n.Workload, n.Cores)
+		lbl = fmt.Sprintf("stream-%s %dc", n.Workload, n.Cores)
 	default:
-		return fmt.Sprintf("%s %dc", n.Workload, n.Cores)
+		lbl = fmt.Sprintf("%s %dc", n.Workload, n.Cores)
 	}
+	if n.Standard != standard.DefaultName {
+		lbl += " " + n.Standard
+	}
+	return lbl
 }
 
 func synthPattern(w string) workload.Pattern {
@@ -277,6 +303,14 @@ func streamKind(w string) workload.StreamKind {
 	default:
 		return workload.StreamCopy
 	}
+}
+
+// SpecStandard resolves the DRAM standard a spec runs on (the default
+// standard for pre-standard specs). Callers that need per-spec geometry
+// — e.g. the service's sample conversion — go through this so their view
+// matches what RunSpec simulates.
+func SpecStandard(s Spec) (standard.Standard, error) {
+	return standard.Lookup(s.Normalized().Standard)
 }
 
 // RunOptions carries the side-channel hooks of a spec run.
@@ -304,7 +338,11 @@ func RunSpec(ctx context.Context, spec Spec, opt RunOptions) (*sim.Result, error
 	if budget == BudgetUnlimited {
 		budget = 0 // sim.Config: 0 = run to completion
 	}
-	cfg := sim.Default(n.Cores)
+	std, err := standard.Lookup(n.Standard)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.DefaultFor(std, n.Cores)
 	cfg.Channels = n.Channels
 	switch n.Mapping {
 	case "int":

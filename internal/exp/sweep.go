@@ -228,7 +228,7 @@ func axisLabel(v any) string {
 // value, enforcing the field's type.
 func setSpecField(s *Spec, name string, v any) error {
 	switch name {
-	case "workload", "policy", "map":
+	case "workload", "policy", "map", "standard":
 		str, ok := v.(string)
 		if !ok {
 			return fmt.Errorf("exp: sweep axis %q wants string values, got %v", name, v)
@@ -240,6 +240,8 @@ func setSpecField(s *Spec, name string, v any) error {
 			s.Policy = str
 		case "map":
 			s.Mapping = str
+		case "standard":
+			s.Standard = str
 		}
 		return nil
 	case "stores":

@@ -19,7 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"dramstacks/internal/dram"
+	"dramstacks/internal/dram/standard"
 	"dramstacks/internal/exp"
 	"dramstacks/internal/stacks"
 )
@@ -73,7 +73,6 @@ type Server struct {
 	cache   *Cache
 	metrics *Metrics
 	handler http.Handler
-	geom    dram.Geometry
 	store   *Store // nil without Config.DataDir
 
 	baseCtx   context.Context
@@ -96,14 +95,12 @@ type Server struct {
 // set, and starts its worker pool; call Close to stop.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	geo, _ := dram.DDR4_2400()
 	s := &Server{
 		cfg:     cfg,
 		log:     cfg.Logger,
 		queue:   make(chan *Job, cfg.QueueDepth),
 		cache:   NewCache(cfg.CacheBytes),
 		metrics: &Metrics{},
-		geom:    geo,
 		jobs:    make(map[string]*Job),
 		active:  make(map[string]*Job),
 		sweeps:  make(map[string]*SweepJob),
@@ -164,6 +161,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
+	mux.HandleFunc("GET /v1/standards", s.handleStandards)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -579,14 +577,35 @@ func (s *Server) runJob(job *Job) {
 	}
 }
 
+// handleStandards lists the registered DRAM standards with their derived
+// parameters (GET /v1/standards), in deterministic name order.
+func (s *Server) handleStandards(w http.ResponseWriter, r *http.Request) {
+	all := standard.All()
+	out := make([]standard.Info, 0, len(all))
+	for _, std := range all {
+		out = append(out, std.Info())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 // sampleHook feeds live through-time samples into the job for the
-// NDJSON streaming endpoint; nil when sampling is off.
+// NDJSON streaming endpoint; nil when sampling is off. Cycle-to-time
+// conversions use the geometry of the job's own DRAM standard, not a
+// server-wide one.
 func (s *Server) sampleHook(job *Job) func(stacks.Sample) {
 	if job.Spec.Sample <= 0 {
 		return nil
 	}
+	std, err := exp.SpecStandard(job.Spec)
+	if err != nil {
+		// Specs are validated at submission; an unresolvable standard here
+		// means a corrupted recovery record — fall back to the default so
+		// the run itself (which will fail in RunSpec) stays observable.
+		std = standard.Default()
+	}
+	geo := std.Geometry
 	return func(sm stacks.Sample) {
-		job.appendSample(exp.SampleToJSON(sm, s.geom))
+		job.appendSample(exp.SampleToJSON(sm, geo))
 	}
 }
 

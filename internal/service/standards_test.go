@@ -1,0 +1,145 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"dramstacks/internal/dram/standard"
+	"dramstacks/internal/exp"
+)
+
+// GET /v1/standards serves the registry in deterministic name order with
+// the derived parameters a client needs to pick a preset.
+func TestStandardsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	resp, err := http.Get(ts.URL + "/v1/standards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/standards status %d", resp.StatusCode)
+	}
+	var infos []standard.Info
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	names := standard.Names()
+	if len(infos) != len(names) {
+		t.Fatalf("%d standards served, registry has %d", len(infos), len(names))
+	}
+	byName := map[string]standard.Info{}
+	for i, info := range infos {
+		if info.Name != names[i] {
+			t.Errorf("standards[%d] = %q, want sorted order %q", i, info.Name, names[i])
+		}
+		byName[info.Name] = info
+	}
+	if got := byName["ddr4-2400"].PeakGBs; got != 19.2 {
+		t.Errorf("ddr4-2400 peak = %g, want 19.2", got)
+	}
+	if got := byName["hbm2-2000"]; got.SubChannels != 2 || got.PeakGBs != 32.0 {
+		t.Errorf("hbm2-2000 = %+v, want 2 sub-channels at 32 GB/s", got)
+	}
+}
+
+// A "standard"-axis sweep runs end-to-end through /v1: each point is
+// simulated on its own standard's machine, and the legacy (ddr4-2400)
+// point keeps the spec hash it had before the standard field existed.
+func TestStandardAxisSweepEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 16})
+
+	st, code := postSweep(t, ts, `{
+		"base": {"workload": "seq", "cycles": 20000},
+		"axes": {"standard": ["ddr4-2400", "lpddr5-6400"]}
+	}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps status %d", code)
+	}
+	if st.Total != 2 {
+		t.Fatalf("sweep has %d points, want 2", st.Total)
+	}
+	if len(st.AxisNames) != 1 || st.AxisNames[0] != "standard" {
+		t.Errorf("axis_names = %v", st.AxisNames)
+	}
+
+	final := waitSweepTerminal(t, ts, st.ID)
+	if final.State != "done" || final.Completed != 2 {
+		t.Fatalf("sweep ended %s with %d/%d points", final.State, final.Completed, final.Total)
+	}
+
+	// The ddr4 point's hash must equal the standard-free spec's hash:
+	// unchanged spec hashes for legacy specs is the compatibility gate.
+	legacy, err := (exp.Spec{Workload: "seq", Budget: 20_000}).Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lines := readSweepResults(t, ts, st.ID)
+	if len(lines) != 2 {
+		t.Fatalf("results stream has %d lines, want 2", len(lines))
+	}
+	wantPeak := map[string]float64{"ddr4-2400": 19.2, "lpddr5-6400": 12.8}
+	for _, line := range lines {
+		name := line.Axes["standard"]
+		if line.State != StateDone || line.Result == nil {
+			t.Fatalf("point %s ended %s without result", name, line.State)
+		}
+		var row struct {
+			Label    string  `json:"label"`
+			SpecHash string  `json:"spec_hash"`
+			PeakGBps float64 `json:"peak_gbps"`
+		}
+		if err := json.Unmarshal(line.Result, &row); err != nil {
+			t.Fatal(err)
+		}
+		if row.PeakGBps != wantPeak[name] {
+			t.Errorf("%s peak = %g GB/s, want %g (wrong machine?)", name, row.PeakGBps, wantPeak[name])
+		}
+		if row.SpecHash != line.SpecHash {
+			t.Errorf("%s: embedded hash %s != point hash %s", name, row.SpecHash, line.SpecHash)
+		}
+		if name == "ddr4-2400" && line.SpecHash != legacy {
+			t.Errorf("ddr4 point hash %s != legacy standard-free hash %s", line.SpecHash, legacy)
+		}
+		if name == "lpddr5-6400" && line.SpecHash == legacy {
+			t.Error("lpddr5 point collided with the legacy hash")
+		}
+	}
+}
+
+// A non-default-standard job's sample stream converts cycles to time
+// with the job's own clock, not the server-wide DDR4 one.
+func TestSampleTimesUsePerJobStandard(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	sub, code := postJob(t, ts, `{"workload": "seq", "cycles": 20000, "sample": 10000, "standard": "lpddr5-6400"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs status %d", code)
+	}
+	waitState(t, ts, sub.ID, StateDone)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/samples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no sample lines: %v", sc.Err())
+	}
+	var sample exp.SampleJSON
+	if err := json.Unmarshal(sc.Bytes(), &sample); err != nil {
+		t.Fatal(err)
+	}
+	// lpddr5-6400 runs a 1600 MHz clock: 10000 cycles = 6.25 µs.
+	want := standard.MustLookup("lpddr5-6400").Geometry.CyclesToNS(sample.EndCycle) / 1e6
+	if sample.TimeMS != want {
+		t.Errorf("sample time = %v ms at cycle %d, want %v (lpddr5 clock)", sample.TimeMS, sample.EndCycle, want)
+	}
+	ddr4 := standard.Default().Geometry.CyclesToNS(sample.EndCycle) / 1e6
+	if sample.TimeMS == ddr4 {
+		t.Error("sample time used the DDR4 clock")
+	}
+}

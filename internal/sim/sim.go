@@ -16,6 +16,7 @@ import (
 	"dramstacks/internal/cpu"
 	"dramstacks/internal/cyclestack"
 	"dramstacks/internal/dram"
+	"dramstacks/internal/dram/standard"
 	"dramstacks/internal/memctrl"
 	"dramstacks/internal/stacks"
 )
@@ -56,6 +57,13 @@ type Config struct {
 	// the per-controller stacks are aggregated in the Result, as the
 	// paper describes (§IV).
 	Channels int
+	// SubChannels is the number of independently timed sub-devices (HBM
+	// pseudo-channels) behind each addressed channel (0 means 1). Each
+	// sub-channel gets its own controller, device and stacks, exactly
+	// like a channel; the sub-channel select bit sits directly above the
+	// cache-line offset in the address map. Standards set this via
+	// DefaultFor (2 for hbm2-2000, 1 otherwise).
+	SubChannels int
 
 	Core cpu.Config
 	Hier cache.HierConfig
@@ -91,20 +99,33 @@ type Config struct {
 }
 
 // Default returns the paper's machine configuration for the given core
-// count, with a cycle budget the caller usually overrides.
+// count, with a cycle budget the caller usually overrides. The memory
+// is the default standard from the registry (ddr4-2400, the exact
+// configuration the paper evaluates).
 func Default(cores int) Config {
-	geo, tim := dram.DDR4_2400()
-	return Config{
+	return DefaultFor(standard.Default(), cores)
+}
+
+// DefaultFor returns the paper's machine configuration for the given
+// core count attached to the given DRAM standard: the standard supplies
+// geometry, timing and pseudo-channel topology; everything CPU-side
+// stays the paper's machine.
+func DefaultFor(std standard.Standard, cores int) Config {
+	cfg := Config{
 		Cores:        cores,
 		CPUMult:      3,
 		Core:         cpu.DefaultConfig(),
 		Hier:         cache.DefaultHierConfig(cores),
 		Ctrl:         memctrl.DefaultConfig(),
-		Geom:         geo,
-		Tim:          tim,
+		Geom:         std.Geometry,
+		Tim:          std.Timing,
 		MaxMemCycles: 2_000_000,
 		Verify:       true,
 	}
+	if std.SubChannels > 1 {
+		cfg.SubChannels = std.SubChannels
+	}
+	return cfg
 }
 
 // Validate reports a descriptive error for unusable configurations.
@@ -121,6 +142,12 @@ func (c Config) Validate() error {
 	if c.Channels < 0 || c.Channels > 8 {
 		return fmt.Errorf("sim: channels must be in 0..8, got %d", c.Channels)
 	}
+	if c.SubChannels < 0 || c.SubChannels > 4 {
+		return fmt.Errorf("sim: sub-channels must be in 0..4, got %d", c.SubChannels)
+	}
+	if d := c.devices(); d > 16 {
+		return fmt.Errorf("sim: channels x sub-channels must be at most 16 devices, got %d", d)
+	}
 	if c.MaxMemCycles < 0 || c.WarmupMemCycles < 0 {
 		return fmt.Errorf("sim: negative cycle budget")
 	}
@@ -129,6 +156,20 @@ func (c Config) Validate() error {
 			c.WarmupMemCycles, c.MaxMemCycles)
 	}
 	return c.Core.Validate()
+}
+
+// devices returns the number of independently timed memory devices the
+// configuration instantiates: channels × sub-channels (zeros mean 1).
+func (c Config) devices() int {
+	ch := c.Channels
+	if ch == 0 {
+		ch = 1
+	}
+	sub := c.SubChannels
+	if sub == 0 {
+		sub = 1
+	}
+	return ch * sub
 }
 
 // System is an assembled machine ready to Run.
@@ -177,34 +218,12 @@ func New(cfg Config, sources []cpu.Source) (*System, error) {
 		return nil, fmt.Errorf("sim: %d sources for %d cores", len(sources), cfg.Cores)
 	}
 
-	channels := cfg.Channels
-	if channels == 0 {
-		channels = 1
+	channels := cfg.devices()
+	sub := cfg.SubChannels
+	if sub == 0 {
+		sub = 1
 	}
-	var mapper addrmap.Mapper
-	var err error
-	switch {
-	case cfg.Map == MapInterleaved && channels == 1:
-		mapper, err = addrmap.NewInterleaved(cfg.Geom, 1)
-	case cfg.Map == MapInterleaved:
-		mapper, err = addrmap.NewScheme("interleaved-multichannel", cfg.Geom, channels,
-			[]addrmap.Field{addrmap.FieldChannel, addrmap.FieldGroup, addrmap.FieldBank,
-				addrmap.FieldColumn, addrmap.FieldRank, addrmap.FieldRow})
-	case cfg.Map == MapXOR:
-		var base *addrmap.Scheme
-		if channels == 1 {
-			base, err = addrmap.NewDefault(cfg.Geom, 1)
-		} else {
-			base, err = addrmap.NewChannelInterleaved(cfg.Geom, channels)
-		}
-		if err == nil {
-			mapper = addrmap.NewXOR(base)
-		}
-	case channels == 1:
-		mapper, err = addrmap.NewDefault(cfg.Geom, 1)
-	default:
-		mapper, err = addrmap.NewChannelInterleaved(cfg.Geom, channels)
-	}
+	mapper, err := addrmap.Select(cfg.Geom, sub, cfg.Channels, cfg.Map.String())
 	if err != nil {
 		return nil, err
 	}
@@ -667,7 +686,11 @@ func (s *System) finishCycleSample() {
 
 // Result carries everything an experiment reports.
 type Result struct {
-	Cfg       Config
+	Cfg Config
+	// Channels is the number of independently timed memory devices the
+	// run instantiated: addressed channels × sub-channels, so an HBM
+	// pseudo-channel counts like a channel here (it has its own
+	// controller, stacks and peak bandwidth contribution).
 	Channels  int
 	MemCycles int64
 	// Cancelled reports that RunContext stopped early because its

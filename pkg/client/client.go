@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"time"
 
+	"dramstacks/internal/dram/standard"
 	"dramstacks/internal/exp"
 	"dramstacks/internal/service"
 )
@@ -239,6 +240,13 @@ func (c *Client) Stacks(ctx context.Context, id string) ([]byte, error) {
 func (c *Client) CancelJob(ctx context.Context, id string) error {
 	_, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil)
 	return err
+}
+
+// Standards fetches the DRAM standard registry (GET /v1/standards):
+// every preset a spec's "standard" field accepts, with its derived
+// parameters, sorted by name.
+func (c *Client) Standards(ctx context.Context) ([]standard.Info, error) {
+	return getJSON[[]standard.Info](c, ctx, "/v1/standards")
 }
 
 // SubmitSweep submits a raw sweep document (POST /v1/sweeps).

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"dramstacks/internal/dram/standard"
 	"dramstacks/internal/exp"
 	"dramstacks/internal/service"
 )
@@ -75,6 +76,28 @@ func TestSubmitWaitStacks(t *testing.T) {
 	}
 	if h, err := exp.ResultSpecHash(result); err != nil || h != sub.SpecHash {
 		t.Fatalf("result hash %q err %v, want %q", h, err, sub.SpecHash)
+	}
+}
+
+func TestStandards(t *testing.T) {
+	_, ts := startService(t, service.Config{Workers: 1})
+	c := New(ts.URL, Options{Retry: fastRetry()})
+
+	infos, err := c.Standards(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := standard.Names()
+	if len(infos) != len(want) {
+		t.Fatalf("%d standards, registry has %d", len(infos), len(want))
+	}
+	for i, info := range infos {
+		if info.Name != want[i] {
+			t.Errorf("standards[%d] = %q, want %q", i, info.Name, want[i])
+		}
+		if info.PeakGBs <= 0 {
+			t.Errorf("%s peak = %g, want positive", info.Name, info.PeakGBs)
+		}
 	}
 }
 
