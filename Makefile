@@ -41,15 +41,17 @@ bench-ablations:
 
 # Reproducible harness (cmd/simbench): regenerates the committed
 # baseline the CI perf gate compares against. See doc/PERF.md for the
-# update policy before committing a new BENCH_3.json.
+# update policy before committing a new BENCH_7.json. (BENCH_3.json is
+# kept as the historical pre-event-wheel baseline.)
 bench:
-	$(GO) run ./cmd/simbench -count 3 -benchtime 1x -out BENCH_3.json
+	$(GO) run ./cmd/simbench -count 3 -benchtime 1x -out BENCH_7.json
 
 # Compare a fresh measurement against the committed baseline the way CI
-# does (exit 1 on a >10% geomean throughput regression).
+# does (exit 1 on a >10% geomean throughput regression or a >10%
+# geomean allocs_per_op regression).
 bench-check:
 	$(GO) run ./cmd/simbench -count 3 -benchtime 1x -out BENCH_PR.json
-	$(GO) run ./cmd/benchdiff -threshold 0.10 BENCH_3.json BENCH_PR.json
+	$(GO) run ./cmd/benchdiff -threshold 0.10 -alloc-threshold 0.10 BENCH_7.json BENCH_PR.json
 
 # The original go-test benchmarks (one per paper figure/table).
 bench-go:

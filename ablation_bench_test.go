@@ -23,7 +23,7 @@ func runCfg(b *testing.B, cfg sim.Config, pat workload.Pattern, stores float64) 
 	b.Helper()
 	var res *sim.Result
 	for i := 0; i < b.N; i++ {
-		sys, err := sim.New(cfg, sim.SyntheticSources(pat, cfg.Cores, stores))
+		sys, err := sim.NewFromConfig(cfg, sim.SyntheticSources(pat, cfg.Cores, stores))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -283,7 +283,7 @@ func BenchmarkStream(b *testing.B) {
 				cfg := sim.Default(4)
 				cfg.MaxMemCycles = benchSynthBudget
 				cfg.PrewarmOps = 1 << 19
-				sys, err := sim.New(cfg, workload.StreamSources(kind, 4))
+				sys, err := sim.NewFromConfig(cfg, workload.StreamSources(kind, 4))
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,15 +1,20 @@
 // Command benchdiff compares two simbench result files (see
 // cmd/simbench and doc/PERF.md) and fails — exit status 1 — when the
 // geometric mean of the per-case throughput ratios regresses by more
-// than the threshold. CI runs it on every pull request:
+// than the threshold, or when the geomean allocs_per_op ratio grows by
+// more than the allocation threshold (the allocation ratchet). CI runs
+// it on every pull request:
 //
-//	benchdiff -threshold 0.10 BENCH_3.json BENCH_PR.json
+//	benchdiff -threshold 0.10 -alloc-threshold 0.10 BENCH_7.json BENCH_PR.json
 //
 // Cases are matched by name and mode; cases present in only one file
-// are reported but do not affect the gate, and cases with a non-finite
-// ratio (a zero or NaN baseline reading) are skipped with a warning
-// rather than poisoning the geomean. If every common case is skipped
-// the comparison errors out: a gate with no sound input must not pass.
+// are reported but do not affect either gate, and cases with a
+// non-finite ratio (a zero or NaN reading on either side) are skipped
+// with a warning rather than poisoning the geomean. The same rule
+// applies per-gate: a case with no allocation reading skips the
+// ratchet but still enters the throughput gate. If every common case
+// is skipped for a gate, the comparison errors out: a gate with no
+// sound input must not pass.
 package main
 
 import (
@@ -28,19 +33,21 @@ func main() {
 	log.SetPrefix("benchdiff: ")
 	threshold := flag.Float64("threshold", 0.10,
 		"maximum allowed geomean throughput regression (0.10 = 10%)")
+	allocThreshold := flag.Float64("alloc-threshold", 0.10,
+		"maximum allowed geomean allocs_per_op growth (0.10 = 10%)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		log.Fatal("usage: benchdiff [-threshold 0.10] OLD.json NEW.json")
+		log.Fatal("usage: benchdiff [-threshold 0.10] [-alloc-threshold 0.10] OLD.json NEW.json")
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *threshold, *allocThreshold, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // run loads, compares and gates; every failure mode (unreadable file,
-// no common cases, all-skipped, regression past the threshold) comes
-// back as an error so main can exit non-zero.
-func run(oldPath, newPath string, threshold float64, w io.Writer) error {
+// no common cases, all-skipped, regression past either threshold)
+// comes back as an error so main can exit non-zero.
+func run(oldPath, newPath string, threshold, allocThreshold float64, w io.Writer) error {
 	oldF, err := benchfmt.Load(oldPath)
 	if err != nil {
 		return err
@@ -61,25 +68,43 @@ func run(oldPath, newPath string, threshold float64, w io.Writer) error {
 		return fmt.Errorf("FAIL: throughput regressed %.1f%% (threshold %.0f%%)",
 			100*(1-cmp.Geomean), 100*threshold)
 	}
+	if cmp.AllocMatched == 0 {
+		return fmt.Errorf("all common cases lack an allocs_per_op reading; nothing sound to ratchet on")
+	}
+	fmt.Fprintf(w, "geomean allocs_per_op ratio over %d cases: %.3fx (ratchet: <= %.3fx)\n",
+		cmp.AllocMatched, cmp.AllocGeomean, 1+allocThreshold)
+	if cmp.AllocGeomean > 1+allocThreshold {
+		return fmt.Errorf("FAIL: allocs_per_op grew %.1f%% (threshold %.0f%%)",
+			100*(cmp.AllocGeomean-1), 100*allocThreshold)
+	}
 	fmt.Fprintln(w, "PASS")
 	return nil
 }
 
 func report(w io.Writer, cmp benchfmt.Comparison) {
-	fmt.Fprintf(w, "%-28s %14s %14s %8s\n", "case", "old cyc/s", "new cyc/s", "ratio")
+	fmt.Fprintf(w, "%-28s %14s %14s %8s %9s\n", "case", "old cyc/s", "new cyc/s", "ratio", "allocs")
 	var newOnly []string
 	for _, r := range cmp.Rows {
+		allocs := "-"
+		switch r.AllocStatus {
+		case benchfmt.Compared:
+			allocs = fmt.Sprintf("%.3fx", r.AllocRatio)
+		case benchfmt.Skipped:
+			allocs = "skipped"
+			log.Printf("warning: %s has no allocs_per_op reading (old %d, new %d); excluded from the ratchet",
+				r.Key, r.OldAllocs, r.NewAllocs)
+		}
 		switch r.Status {
 		case benchfmt.Compared:
-			fmt.Fprintf(w, "%-28s %14.4g %14.4g %7.3fx\n", r.Key, r.Old, r.New, r.Ratio)
+			fmt.Fprintf(w, "%-28s %14.4g %14.4g %7.3fx %9s\n", r.Key, r.Old, r.New, r.Ratio, allocs)
 		case benchfmt.Skipped:
-			fmt.Fprintf(w, "%-28s %14.4g %14.4g %8s\n", r.Key, r.Old, r.New, "skipped")
+			fmt.Fprintf(w, "%-28s %14.4g %14.4g %8s %9s\n", r.Key, r.Old, r.New, "skipped", allocs)
 			log.Printf("warning: %s has a non-finite throughput ratio (old %g, new %g); excluded from the geomean",
 				r.Key, r.Old, r.New)
 		case benchfmt.OldOnly:
-			fmt.Fprintf(w, "%-28s %14.4g %14s %8s\n", r.Key, r.Old, "missing", "-")
+			fmt.Fprintf(w, "%-28s %14.4g %14s %8s %9s\n", r.Key, r.Old, "missing", "-", "-")
 		case benchfmt.NewOnly:
-			fmt.Fprintf(w, "%-28s %14s %14.4g %8s\n", r.Key, "new case", r.New, "-")
+			fmt.Fprintf(w, "%-28s %14s %14.4g %8s %9s\n", r.Key, "new case", r.New, "-", "-")
 			newOnly = append(newOnly, r.Key)
 		}
 	}

@@ -27,7 +27,19 @@ func benchFile(rates map[string]float64) benchfmt.File {
 	f := benchfmt.File{Version: benchfmt.Version}
 	for name, rate := range rates {
 		f.Benchmarks = append(f.Benchmarks, benchfmt.Benchmark{
-			Name: name, Mode: "fast", CyclesPerSec: rate,
+			Name: name, Mode: "fast", CyclesPerSec: rate, AllocsPerOp: 100,
+		})
+	}
+	return f
+}
+
+// allocFile is benchFile with per-case allocation readings, for
+// exercising the allocs_per_op ratchet.
+func allocFile(cases map[string]uint64) benchfmt.File {
+	f := benchfmt.File{Version: benchfmt.Version}
+	for name, allocs := range cases {
+		f.Benchmarks = append(f.Benchmarks, benchfmt.Benchmark{
+			Name: name, Mode: "fast", CyclesPerSec: 100, AllocsPerOp: allocs,
 		})
 	}
 	return f
@@ -38,7 +50,7 @@ func TestRunPassesWithinThreshold(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 100, "b": 100}))
 	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"a": 95, "b": 100}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, &out); err != nil {
+	if err := run(oldP, newP, 0.10, 0.10, &out); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "PASS") {
@@ -51,7 +63,7 @@ func TestRunFailsOnRegression(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 100}))
 	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"a": 80}))
 	var out bytes.Buffer
-	err := run(oldP, newP, 0.10, &out)
+	err := run(oldP, newP, 0.10, 0.10, &out)
 	if err == nil || !strings.Contains(err.Error(), "regressed") {
 		t.Fatalf("err = %v, want regression failure", err)
 	}
@@ -66,7 +78,7 @@ func TestRunSkipsZeroBaseline(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"poison": 0, "a": 100, "b": 100}))
 	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"poison": 100, "a": 100, "b": 100}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, &out); err != nil {
+	if err := run(oldP, newP, 0.10, 0.10, &out); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	s := out.String()
@@ -87,7 +99,7 @@ func TestRunTreatsNewCasesAsNew(t *testing.T) {
 		"synth/seq-1c": 100, "synth/seq-8c": 100,
 		"std/ddr5-seq-4c": 50, "std/hbm2-seq-4c": 60}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, &out); err != nil {
+	if err := run(oldP, newP, 0.10, 0.10, &out); err != nil {
 		t.Fatalf("run errored on baseline-absent cases: %v\n%s", err, out.String())
 	}
 	s := out.String()
@@ -106,8 +118,63 @@ func TestRunErrsWhenAllSkipped(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 0}))
 	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"a": 100}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, &out); err == nil {
+	if err := run(oldP, newP, 0.10, 0.10, &out); err == nil {
 		t.Fatalf("run passed with nothing sound to gate on:\n%s", out.String())
+	}
+}
+
+// TestRunFailsOnAllocRegression covers the allocation ratchet: a run
+// whose throughput holds steady but whose allocs_per_op grows past the
+// threshold must fail, so the event-wheel's allocation-free steady
+// state cannot silently erode.
+func TestRunFailsOnAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", allocFile(map[string]uint64{"a": 100, "b": 100}))
+	newP := writeBench(t, dir, "new.json", allocFile(map[string]uint64{"a": 130, "b": 100}))
+	var out bytes.Buffer
+	err := run(oldP, newP, 0.10, 0.10, &out)
+	if err == nil || !strings.Contains(err.Error(), "allocs_per_op grew") {
+		t.Fatalf("err = %v, want allocation ratchet failure\n%s", err, out.String())
+	}
+}
+
+func TestRunPassesWithinAllocThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", allocFile(map[string]uint64{"a": 100, "b": 100}))
+	newP := writeBench(t, dir, "new.json", allocFile(map[string]uint64{"a": 105, "b": 100}))
+	var out bytes.Buffer
+	if err := run(oldP, newP, 0.10, 0.10, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs_per_op ratio") {
+		t.Fatalf("output lacks the ratchet summary:\n%s", out.String())
+	}
+}
+
+// TestRunSkipsMissingAllocReading: a case with no allocation figure on
+// one side (e.g. a hand-repaired baseline) skips the ratchet with a
+// warning but still enters the throughput gate.
+func TestRunSkipsMissingAllocReading(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", allocFile(map[string]uint64{"noalloc": 0, "a": 100}))
+	newP := writeBench(t, dir, "new.json", allocFile(map[string]uint64{"noalloc": 500, "a": 100}))
+	var out bytes.Buffer
+	if err := run(oldP, newP, 0.10, 0.10, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "allocs_per_op ratio over 1 cases") {
+		t.Fatalf("expected the ratchet to gate on 1 case:\n%s", s)
+	}
+}
+
+func TestRunErrsWhenAllAllocsSkipped(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", allocFile(map[string]uint64{"a": 0, "b": 0}))
+	newP := writeBench(t, dir, "new.json", allocFile(map[string]uint64{"a": 10, "b": 10}))
+	var out bytes.Buffer
+	if err := run(oldP, newP, 0.10, 0.10, &out); err == nil {
+		t.Fatalf("run passed with nothing sound to ratchet on:\n%s", out.String())
 	}
 }
 
@@ -116,7 +183,7 @@ func TestRunErrsOnDisjointFiles(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 100}))
 	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"b": 100}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, &out); err == nil {
+	if err := run(oldP, newP, 0.10, 0.10, &out); err == nil {
 		t.Fatal("run passed with no common cases")
 	}
 }
@@ -129,10 +196,10 @@ func TestRunErrsOnBadFile(t *testing.T) {
 	}
 	good := writeBench(t, dir, "good.json", benchFile(map[string]float64{"a": 1}))
 	var out bytes.Buffer
-	if err := run(bad, good, 0.10, &out); err == nil {
+	if err := run(bad, good, 0.10, 0.10, &out); err == nil {
 		t.Fatal("run accepted an unsupported file version")
 	}
-	if err := run(good, filepath.Join(dir, "missing.json"), 0.10, &out); err == nil {
+	if err := run(good, filepath.Join(dir, "missing.json"), 0.10, 0.10, &out); err == nil {
 		t.Fatal("run accepted a missing file")
 	}
 }

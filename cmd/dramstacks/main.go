@@ -262,15 +262,6 @@ func runTrace(inFile string, cores, channels int, policy, mapping string, std st
 	if err != nil {
 		return nil, err
 	}
-	cfg := sim.DefaultFor(std, cores)
-	cfg.Channels = channels
-	cfg.Map = m
-	if policy == "closed" {
-		cfg.Ctrl.Policy = memctrl.ClosedPage
-	}
-	cfg.MaxMemCycles = cycles
-	cfg.SampleInterval = sample
-	cfg.Trace = hook
 	// Each core replays the trace from its own copy.
 	var sources []cpu.Source
 	for i := 0; i < cores; i++ {
@@ -278,7 +269,18 @@ func runTrace(inFile string, cores, channels int, policy, mapping string, std st
 		p.Loop = true
 		sources = append(sources, &p)
 	}
-	sys, err := sim.New(cfg, sources)
+	sys, err := sim.New(std,
+		sim.WithSources(sources...),
+		sim.WithChannels(channels),
+		sim.WithMapping(m),
+		sim.WithCtrl(func(c *memctrl.Config) {
+			if policy == "closed" {
+				c.Policy = memctrl.ClosedPage
+			}
+		}),
+		sim.WithMaxMemCycles(cycles),
+		sim.WithSampleInterval(sample),
+		sim.WithTrace(hook))
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,7 @@ import (
 	"dramstacks/internal/analysis/passes/errenvelope"
 	"dramstacks/internal/analysis/passes/lockhold"
 	"dramstacks/internal/analysis/passes/nowallclock"
+	"dramstacks/internal/analysis/passes/poolescape"
 	"dramstacks/internal/analysis/unit"
 )
 
@@ -28,6 +29,7 @@ var Analyzers = []*analysis.Analyzer{
 	errenvelope.Analyzer,
 	lockhold.Analyzer,
 	nowallclock.Analyzer,
+	poolescape.Analyzer,
 }
 
 func main() {

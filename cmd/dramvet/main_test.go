@@ -10,7 +10,7 @@ import (
 )
 
 func TestAllAnalyzersRegistered(t *testing.T) {
-	want := []string{"canonhash", "detrange", "errenvelope", "lockhold", "nowallclock"}
+	want := []string{"canonhash", "detrange", "errenvelope", "lockhold", "nowallclock", "poolescape"}
 	if len(Analyzers) != len(want) {
 		t.Fatalf("registered %d analyzers, want %d", len(Analyzers), len(want))
 	}

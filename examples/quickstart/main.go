@@ -8,7 +8,7 @@ import (
 	"log"
 	"os"
 
-	"dramstacks/internal/cpu"
+	"dramstacks/internal/dram/standard"
 	"dramstacks/internal/sim"
 	"dramstacks/internal/stacks"
 	"dramstacks/internal/viz"
@@ -17,18 +17,18 @@ import (
 
 func main() {
 	// One core streaming sequentially, one core chasing random lines.
-	cfg := sim.Default(2)
-	cfg.MaxMemCycles = 300_000 // 0.25 ms of DDR4-2400 time
-	cfg.PrewarmOps = 1 << 20   // start with warm caches
-
 	seq := workload.DefaultSequential()
 	rnd := workload.DefaultRandom()
 	rnd.BaseAddr = 512 << 20 // separate regions
 
-	sys, err := sim.New(cfg, []cpu.Source{
-		workload.MustSynthetic(seq),
-		workload.MustSynthetic(rnd),
-	})
+	sys, err := sim.New(standard.Default(),
+		sim.WithSources(
+			workload.MustSynthetic(seq),
+			workload.MustSynthetic(rnd),
+		),
+		sim.WithMaxMemCycles(300_000), // 0.25 ms of DDR4-2400 time
+		sim.WithPrewarmOps(1<<20),     // start with warm caches
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,14 +37,15 @@ func main() {
 		log.Fatalf("DRAM timing violation: %v", res.Violations[0])
 	}
 
+	geom := res.Cfg.Geom
 	fmt.Printf("simulated %.3f ms: %.2f GB/s achieved of %.1f peak\n\n",
-		res.RuntimeMS(), res.AchievedGBps(), cfg.Geom.PeakBandwidthGBs())
+		res.RuntimeMS(), res.AchievedGBps(), geom.PeakBandwidthGBs())
 
 	viz.BandwidthChart(os.Stdout, []string{"seq+random 2c"},
-		[]stacks.BandwidthStack{res.BW}, cfg.Geom)
+		[]stacks.BandwidthStack{res.BW}, geom)
 	fmt.Println()
 	viz.LatencyChart(os.Stdout, []string{"seq+random 2c"},
-		[]stacks.LatencyStack{res.Lat}, cfg.Geom)
+		[]stacks.LatencyStack{res.Lat}, geom)
 
 	g := res.BWGBps()
 	fmt.Printf("\nreading the stack: %.1f GB/s is real traffic, %.1f is refresh,\n",

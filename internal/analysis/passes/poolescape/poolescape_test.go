@@ -1,0 +1,17 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"dramstacks/internal/analysis/analysistest"
+	"dramstacks/internal/analysis/passes/poolescape"
+)
+
+func TestPoolEscape(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), poolescape.Analyzer, "internal/memctrl")
+}
+
+func TestSkipsNonDeterministicPackages(t *testing.T) {
+	// The same fixture shapes outside detpkg.List must report nothing.
+	analysistest.Run(t, analysistest.TestData(), poolescape.Analyzer, "outside")
+}

@@ -1,0 +1,61 @@
+// Fixture for the poolescape analyzer: free-list discipline in a
+// deterministic hot-loop package.
+package memctrl
+
+// Req is a pooled hot object.
+type Req struct{ addr uint64 }
+
+// Orphan is pooled but its free list is never appended to.
+type Orphan struct{ n int }
+
+type ctrl struct {
+	reqFree  []*Req
+	lostFree []*Orphan // want `free list lostFree is never appended to`
+	queue    []*Req    // not a pool: name does not say so
+}
+
+// orphanage declares a pool with no recycle path at all.
+type orphanage struct {
+	orphanPool []*Orphan // want `free list orphanPool is never appended to`
+}
+
+func (c *ctrl) get() *Req {
+	if n := len(c.reqFree); n > 0 {
+		r := c.reqFree[n-1]
+		c.reqFree = c.reqFree[:n-1]
+		return r
+	}
+	return &Req{}
+}
+
+func (c *ctrl) put(r *Req) {
+	*r = Req{}
+	c.reqFree = append(c.reqFree, r)
+}
+
+// Acquire hands a pooled object across the package boundary.
+func (c *ctrl) Acquire() *Req { // want `exported Acquire returns pooled type \*internal/memctrl\.Req`
+	return c.get()
+}
+
+// AcquireAll leaks a whole slice of pooled objects.
+func (c *ctrl) AcquireAll() []*Req { // want `exported AcquireAll returns pooled type`
+	return []*Req{c.get()}
+}
+
+// Borrow is an acknowledged hand-off: the caller may inspect the
+// request until its completion fires, never after.
+//
+//dramvet:allow poolescape(caller may inspect until completion fires; recycle happens at completion)
+func (c *ctrl) Borrow() *Req {
+	return c.get()
+}
+
+// Snapshot returns a copy, not the pooled object.
+func (c *ctrl) Snapshot() Req {
+	return *c.get()
+}
+
+func (c *ctrl) internalGet() *Req { // unexported: in-package hand-offs are fine
+	return c.get()
+}

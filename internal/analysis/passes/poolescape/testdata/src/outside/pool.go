@@ -1,0 +1,19 @@
+// Fixture: identical pool shapes outside the deterministic core are
+// not poolescape's business.
+package outside
+
+type Req struct{ addr uint64 }
+
+type ctrl struct {
+	reqFree []*Req // never appended to, but this package is not gated
+}
+
+// Acquire would escape in a hot-loop package; here it is fine.
+func (c *ctrl) Acquire() *Req {
+	if n := len(c.reqFree); n > 0 {
+		r := c.reqFree[n-1]
+		c.reqFree = c.reqFree[:n-1]
+		return r
+	}
+	return &Req{}
+}

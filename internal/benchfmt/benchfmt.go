@@ -115,12 +115,19 @@ const (
 
 // Row is one case of a comparison. Old and New are cycles/sec (NaN on
 // the missing side); Ratio is New/Old for Compared rows and NaN
-// otherwise.
+// otherwise. The Alloc fields carry the allocs_per_op ratchet, judged
+// independently of throughput: a row can enter one gate and be skipped
+// by the other (e.g. a baseline that predates allocation tracking
+// records zero allocs but a sound throughput).
 type Row struct {
 	Key      string
 	Old, New float64
 	Ratio    float64
 	Status   Status
+
+	OldAllocs, NewAllocs uint64
+	AllocRatio           float64 // NewAllocs/OldAllocs, NaN unless AllocStatus is Compared
+	AllocStatus          Status
 }
 
 // Comparison is the outcome of Compare: rows in key order, matched
@@ -130,6 +137,10 @@ type Comparison struct {
 	Matched int     // rows with Status Compared
 	Skipped int     // rows with Status Skipped
 	Geomean float64 // geomean of New/Old over Compared rows
+
+	AllocMatched int     // rows with AllocStatus Compared
+	AllocSkipped int     // common rows with AllocStatus Skipped
+	AllocGeomean float64 // geomean of NewAllocs/OldAllocs over alloc-compared rows (0 when none)
 }
 
 // Compare matches two files case-by-case and computes the geomean
@@ -146,28 +157,44 @@ func Compare(oldF, newF File) (Comparison, error) {
 	sort.Strings(keys)
 
 	var cmp Comparison
-	var logSum float64
+	var logSum, allocLogSum float64
 	common := 0
 	for _, k := range keys {
 		o := oldIdx[k]
 		n, ok := newIdx[k]
 		if !ok {
 			cmp.Rows = append(cmp.Rows, Row{Key: k, Old: o.CyclesPerSec,
-				New: math.NaN(), Ratio: math.NaN(), Status: OldOnly})
+				New: math.NaN(), Ratio: math.NaN(), Status: OldOnly,
+				AllocRatio: math.NaN(), AllocStatus: OldOnly})
 			continue
 		}
 		common++
+		row := Row{Key: k, Old: o.CyclesPerSec, New: n.CyclesPerSec,
+			OldAllocs: o.AllocsPerOp, NewAllocs: n.AllocsPerOp}
+
 		ratio := n.CyclesPerSec / o.CyclesPerSec
 		if !finitePositive(o.CyclesPerSec) || !finitePositive(n.CyclesPerSec) || !finitePositive(ratio) {
-			cmp.Rows = append(cmp.Rows, Row{Key: k, Old: o.CyclesPerSec,
-				New: n.CyclesPerSec, Ratio: math.NaN(), Status: Skipped})
+			row.Ratio, row.Status = math.NaN(), Skipped
 			cmp.Skipped++
-			continue
+		} else {
+			row.Ratio, row.Status = ratio, Compared
+			logSum += math.Log(ratio)
+			cmp.Matched++
 		}
-		cmp.Rows = append(cmp.Rows, Row{Key: k, Old: o.CyclesPerSec,
-			New: n.CyclesPerSec, Ratio: ratio, Status: Compared})
-		logSum += math.Log(ratio)
-		cmp.Matched++
+
+		// Allocation ratchet: a zero reading on either side means the
+		// figure was never recorded (a real run always allocates at
+		// least the result), so skip rather than divide by zero.
+		if o.AllocsPerOp == 0 || n.AllocsPerOp == 0 {
+			row.AllocRatio, row.AllocStatus = math.NaN(), Skipped
+			cmp.AllocSkipped++
+		} else {
+			row.AllocRatio = float64(n.AllocsPerOp) / float64(o.AllocsPerOp)
+			row.AllocStatus = Compared
+			allocLogSum += math.Log(row.AllocRatio)
+			cmp.AllocMatched++
+		}
+		cmp.Rows = append(cmp.Rows, row)
 	}
 
 	newKeys := make([]string, 0, len(newIdx))
@@ -179,7 +206,8 @@ func Compare(oldF, newF File) (Comparison, error) {
 	sort.Strings(newKeys)
 	for _, k := range newKeys {
 		cmp.Rows = append(cmp.Rows, Row{Key: k, Old: math.NaN(),
-			New: newIdx[k].CyclesPerSec, Ratio: math.NaN(), Status: NewOnly})
+			New: newIdx[k].CyclesPerSec, Ratio: math.NaN(), Status: NewOnly,
+			NewAllocs: newIdx[k].AllocsPerOp, AllocRatio: math.NaN(), AllocStatus: NewOnly})
 	}
 
 	if common == 0 {
@@ -189,6 +217,9 @@ func Compare(oldF, newF File) (Comparison, error) {
 		return cmp, fmt.Errorf("all %d common cases skipped (non-finite ratios); nothing sound to gate on", common)
 	}
 	cmp.Geomean = math.Exp(logSum / float64(cmp.Matched))
+	if cmp.AllocMatched > 0 {
+		cmp.AllocGeomean = math.Exp(allocLogSum / float64(cmp.AllocMatched))
+	}
 	return cmp, nil
 }
 

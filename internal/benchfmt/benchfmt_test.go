@@ -144,6 +144,69 @@ func TestCompareReportsOneSidedCases(t *testing.T) {
 	}
 }
 
+func allocBench(name string, rate float64, allocs uint64) Benchmark {
+	return Benchmark{Name: name, Mode: "fast", CyclesPerSec: rate, AllocsPerOp: allocs}
+}
+
+func TestCompareAllocGeomean(t *testing.T) {
+	oldF := file(allocBench("a", 100, 100), allocBench("b", 100, 100))
+	newF := file(allocBench("a", 100, 200), allocBench("b", 100, 50))
+	cmp, err := Compare(oldF, newF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alloc ratios 2.0 and 0.5: geomean exactly 1.
+	if cmp.AllocMatched != 2 || math.Abs(cmp.AllocGeomean-1) > 1e-12 {
+		t.Fatalf("alloc matched %d geomean %v, want 2 and 1.0", cmp.AllocMatched, cmp.AllocGeomean)
+	}
+}
+
+func TestCompareAllocSkipIsIndependentOfThroughput(t *testing.T) {
+	oldF := file(
+		allocBench("no-allocs", 100, 0), // alloc-skipped, throughput sound
+		allocBench("no-rate", 0, 100),   // throughput-skipped, allocs sound
+		allocBench("good", 100, 100),
+	)
+	newF := file(
+		allocBench("no-allocs", 100, 50),
+		allocBench("no-rate", 100, 120),
+		allocBench("good", 100, 110),
+	)
+	cmp, err := Compare(oldF, newF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Matched != 2 || cmp.Skipped != 1 {
+		t.Fatalf("throughput matched %d skipped %d, want 2 and 1", cmp.Matched, cmp.Skipped)
+	}
+	if cmp.AllocMatched != 2 || cmp.AllocSkipped != 1 {
+		t.Fatalf("alloc matched %d skipped %d, want 2 and 1", cmp.AllocMatched, cmp.AllocSkipped)
+	}
+	// geomean of 1.2 and 1.1 over the two alloc-sound rows.
+	want := math.Sqrt(1.2 * 1.1)
+	if math.Abs(cmp.AllocGeomean-want) > 1e-12 {
+		t.Fatalf("alloc geomean %v, want %v", cmp.AllocGeomean, want)
+	}
+	for _, r := range cmp.Rows {
+		if r.AllocStatus == Skipped && !math.IsNaN(r.AllocRatio) {
+			t.Errorf("alloc-skipped row %s has ratio %v, want NaN", r.Key, r.AllocRatio)
+		}
+	}
+}
+
+func TestCompareAllocAllSkipped(t *testing.T) {
+	oldF := file(allocBench("a", 100, 0), allocBench("b", 100, 0))
+	newF := file(allocBench("a", 100, 10), allocBench("b", 100, 10))
+	cmp, err := Compare(oldF, newF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput still gates; the ratchet reports no sound input.
+	if cmp.AllocMatched != 0 || cmp.AllocGeomean != 0 {
+		t.Fatalf("alloc matched %d geomean %v, want 0 and 0", cmp.AllocMatched, cmp.AllocGeomean)
+	}
+}
+
 func TestGeomean(t *testing.T) {
 	if g := Geomean(nil); g != 0 {
 		t.Errorf("Geomean(nil) = %v, want 0", g)

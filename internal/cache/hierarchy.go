@@ -6,16 +6,26 @@ import (
 	"dramstacks/internal/prefetch"
 )
 
+// Waiter receives the completion of an in-flight memory operation.
+// MemDone is invoked with the completion CPU cycle and the fraction of
+// the request's DRAM latency that was queueing-related (queue +
+// writeburst + refresh), used for the cycle stack's dram-queue split.
+//
+// Completions are delivered through this interface rather than a
+// callback closure so the hot path allocates nothing per access: a
+// pooled ticket or MSHR entry passed as a Waiter is a plain interface
+// conversion of an existing pointer.
+type Waiter interface {
+	MemDone(doneCPU int64, queueFrac float64)
+}
+
 // MemPort is the hierarchy's view of the memory controller. Times are in
 // CPU cycles; the adapter owns the CPU-to-memory clock conversion.
 type MemPort interface {
-	// Read requests a line fill. onDone is invoked when the data has
-	// returned, with the completion CPU cycle and the fraction of the
-	// request's DRAM latency that was queueing-related (queue +
-	// writeburst + refresh), used for the cycle stack's dram-queue
-	// split. Read reports false when the controller cannot accept the
-	// request this cycle (back pressure: retry later).
-	Read(now int64, addr uint64, onDone func(doneCPU int64, queueFrac float64)) bool
+	// Read requests a line fill; w.MemDone fires when the data has
+	// returned. Read reports false when the controller cannot accept
+	// the request this cycle (back pressure: retry later).
+	Read(now int64, addr uint64, w Waiter) bool
 	// Write hands a dirty line back to memory; false means retry later.
 	Write(now int64, addr uint64) bool
 }
@@ -89,12 +99,21 @@ func (c HierConfig) Validate() error {
 	return nil
 }
 
+// mshrEntry tracks one in-flight line fill. The entry itself is the
+// Waiter handed to the memory port, so no per-miss closure is needed;
+// entries are pooled by the owning Hierarchy and recycled on fill.
 type mshrEntry struct {
+	h        *Hierarchy
 	addr     uint64
 	core     int
 	prefetch bool
 	dirty    bool // a store is waiting: mark the line dirty on fill
-	waiters  []func(doneCPU int64, queueFrac float64)
+	waiters  []Waiter
+}
+
+// MemDone implements Waiter: the fill for this entry's line completed.
+func (e *mshrEntry) MemDone(doneCPU int64, queueFrac float64) {
+	e.h.fill(doneCPU, e, queueFrac)
 }
 
 // HierStats aggregates hierarchy-wide counters.
@@ -118,6 +137,7 @@ type Hierarchy struct {
 	pf []*prefetch.Streamer
 
 	mshr        map[uint64]*mshrEntry
+	mshrFree    []*mshrEntry // recycled entries; waiters capacity reused
 	perCoreUsed []int
 
 	pendingWB []uint64 // dirty lines waiting for controller queue space
@@ -218,9 +238,9 @@ func (h *Hierarchy) Warm(core int, addr uint64, write bool) {
 
 // Access performs a demand load (write=false) or a store's
 // read-for-ownership (write=true) for core at CPU cycle now. For Pending
-// outcomes onDone fires when the fill completes; it must be non-nil for
-// loads. Stores may pass nil.
-func (h *Hierarchy) Access(now int64, core int, addr uint64, write bool, onDone func(doneCPU int64, queueFrac float64)) Outcome {
+// outcomes w.MemDone fires when the fill completes; w must be non-nil
+// for loads. Stores may pass nil.
+func (h *Hierarchy) Access(now int64, core int, addr uint64, write bool, w Waiter) Outcome {
 	line := addr & h.lineMask
 
 	if h.l1[core].Lookup(line, true, write) {
@@ -243,8 +263,8 @@ func (h *Hierarchy) Access(now int64, core int, addr uint64, write bool, onDone 
 		h.stats.MSHRMerges++
 		e.dirty = e.dirty || write
 		e.prefetch = false // a demand now waits on this fill
-		if onDone != nil {
-			e.waiters = append(e.waiters, onDone)
+		if w != nil {
+			e.waiters = append(e.waiters, w)
 		}
 		return Outcome{Status: Pending}
 	}
@@ -252,13 +272,13 @@ func (h *Hierarchy) Access(now int64, core int, addr uint64, write bool, onDone 
 		h.stats.Retries++
 		return Outcome{Status: Retry}
 	}
-	e := &mshrEntry{addr: line, core: core, dirty: write}
-	if onDone != nil {
-		e.waiters = append(e.waiters, onDone)
+	e := h.newEntry(line, core)
+	e.dirty = write
+	if w != nil {
+		e.waiters = append(e.waiters, w)
 	}
-	if !h.mem.Read(now, line, func(doneCPU int64, queueFrac float64) {
-		h.fill(doneCPU, e, queueFrac)
-	}) {
+	if !h.mem.Read(now, line, e) {
+		h.putEntry(e)
 		h.stats.Retries++
 		return Outcome{Status: Retry}
 	}
@@ -268,8 +288,29 @@ func (h *Hierarchy) Access(now int64, core int, addr uint64, write bool, onDone 
 	return Outcome{Status: Pending}
 }
 
+// newEntry takes an MSHR entry from the pool (or allocates one) and
+// resets it for line/core.
+func (h *Hierarchy) newEntry(line uint64, core int) *mshrEntry {
+	if n := len(h.mshrFree); n > 0 {
+		e := h.mshrFree[n-1]
+		h.mshrFree = h.mshrFree[:n-1]
+		e.addr, e.core, e.prefetch, e.dirty = line, core, false, false
+		return e
+	}
+	return &mshrEntry{h: h, addr: line, core: core}
+}
+
+// putEntry returns an entry to the pool, dropping waiter references.
+func (h *Hierarchy) putEntry(e *mshrEntry) {
+	for i := range e.waiters {
+		e.waiters[i] = nil
+	}
+	e.waiters = e.waiters[:0]
+	h.mshrFree = append(h.mshrFree, e)
+}
+
 // fill completes an MSHR: install the line, cascade evictions, wake
-// waiters.
+// waiters, recycle the entry.
 func (h *Hierarchy) fill(doneCPU int64, e *mshrEntry, queueFrac float64) {
 	delete(h.mshr, e.addr)
 	h.perCoreUsed[e.core]--
@@ -280,8 +321,9 @@ func (h *Hierarchy) fill(doneCPU int64, e *mshrEntry, queueFrac float64) {
 		h.fillL1(e.core, e.addr, e.dirty)
 	}
 	for _, w := range e.waiters {
-		w(doneCPU, queueFrac)
+		w.MemDone(doneCPU, queueFrac)
 	}
+	h.putEntry(e)
 }
 
 // Prefetch issues a hardware prefetch for core into L2+LLC. It is
@@ -298,10 +340,10 @@ func (h *Hierarchy) Prefetch(now int64, core int, addr uint64) {
 		h.stats.PrefetchDropped++
 		return
 	}
-	e := &mshrEntry{addr: line, core: core, prefetch: true}
-	if !h.mem.Read(now, line, func(doneCPU int64, queueFrac float64) {
-		h.fill(doneCPU, e, queueFrac)
-	}) {
+	e := h.newEntry(line, core)
+	e.prefetch = true
+	if !h.mem.Read(now, line, e) {
+		h.putEntry(e)
 		h.stats.PrefetchDropped++
 		return
 	}

@@ -20,16 +20,21 @@ type fakeMem struct {
 type fakeRead struct {
 	addr uint64
 	at   int64
-	done func(int64, float64)
+	done Waiter
 }
 
-func (m *fakeMem) Read(now int64, addr uint64, onDone func(int64, float64)) bool {
+func (m *fakeMem) Read(now int64, addr uint64, w Waiter) bool {
 	if m.rejectRd {
 		return false
 	}
-	m.reads = append(m.reads, fakeRead{addr, now, onDone})
+	m.reads = append(m.reads, fakeRead{addr, now, w})
 	return true
 }
+
+// fnWaiter adapts a closure to the Waiter interface for tests.
+type fnWaiter func(int64, float64)
+
+func (f fnWaiter) MemDone(doneCPU int64, queueFrac float64) { f(doneCPU, queueFrac) }
 
 func (m *fakeMem) Write(now int64, addr uint64) bool {
 	if m.rejectWr {
@@ -43,7 +48,7 @@ func (m *fakeMem) Write(now int64, addr uint64) bool {
 func (m *fakeMem) deliver(queueFrac float64) {
 	r := m.reads[m.delivered]
 	m.delivered++
-	r.done(r.at+m.latency, queueFrac)
+	r.done.MemDone(r.at+m.latency, queueFrac)
 }
 
 func testHier(t *testing.T, cores int, pf prefetch.Config) (*Hierarchy, *fakeMem) {
@@ -68,7 +73,7 @@ func testHier(t *testing.T, cores int, pf prefetch.Config) (*Hierarchy, *fakeMem
 func TestMissFillsAllLevels(t *testing.T) {
 	h, mem := testHier(t, 1, prefetch.Config{})
 	gotDone := int64(-1)
-	out := h.Access(0, 0, 0x4000, false, func(done int64, _ float64) { gotDone = done })
+	out := h.Access(0, 0, 0x4000, false, fnWaiter(func(done int64, _ float64) { gotDone = done }))
 	if out.Status != Pending {
 		t.Fatalf("first access = %+v, want Pending", out)
 	}
@@ -92,8 +97,8 @@ func TestMissFillsAllLevels(t *testing.T) {
 func TestMSHRMerging(t *testing.T) {
 	h, mem := testHier(t, 2, prefetch.Config{})
 	done1, done2 := false, false
-	h.Access(0, 0, 0x8000, false, func(int64, float64) { done1 = true })
-	out := h.Access(1, 1, 0x8000, false, func(int64, float64) { done2 = true })
+	h.Access(0, 0, 0x8000, false, fnWaiter(func(int64, float64) { done1 = true }))
+	out := h.Access(1, 1, 0x8000, false, fnWaiter(func(int64, float64) { done2 = true }))
 	if out.Status != Pending {
 		t.Fatalf("merged access = %+v", out)
 	}
@@ -112,16 +117,16 @@ func TestMSHRMerging(t *testing.T) {
 func TestPerCoreMSHRLimit(t *testing.T) {
 	h, _ := testHier(t, 2, prefetch.Config{})
 	for i := 0; i < 4; i++ {
-		out := h.Access(0, 0, uint64(0x10000+i*64), false, func(int64, float64) {})
+		out := h.Access(0, 0, uint64(0x10000+i*64), false, fnWaiter(func(int64, float64) {}))
 		if out.Status != Pending {
 			t.Fatalf("access %d = %+v", i, out)
 		}
 	}
-	if out := h.Access(0, 0, 0x20000, false, func(int64, float64) {}); out.Status != Retry {
+	if out := h.Access(0, 0, 0x20000, false, fnWaiter(func(int64, float64) {})); out.Status != Retry {
 		t.Errorf("5th miss from one core = %+v, want Retry (per-core limit 4)", out)
 	}
 	// The other core still has budget.
-	if out := h.Access(0, 1, 0x30000, false, func(int64, float64) {}); out.Status != Pending {
+	if out := h.Access(0, 1, 0x30000, false, fnWaiter(func(int64, float64) {})); out.Status != Pending {
 		t.Errorf("other core's miss = %+v, want Pending", out)
 	}
 }
@@ -131,7 +136,7 @@ func TestGlobalMSHRLimit(t *testing.T) {
 	n := 0
 	for core := 0; core < 4; core++ {
 		for i := 0; i < 2; i++ {
-			out := h.Access(0, core, uint64(0x40000+(core*2+i)*64), false, func(int64, float64) {})
+			out := h.Access(0, core, uint64(0x40000+(core*2+i)*64), false, fnWaiter(func(int64, float64) {}))
 			if out.Status == Pending {
 				n++
 			}
@@ -140,7 +145,7 @@ func TestGlobalMSHRLimit(t *testing.T) {
 	if n != 8 {
 		t.Fatalf("filled %d MSHRs, want 8", n)
 	}
-	if out := h.Access(0, 3, 0x90000, false, func(int64, float64) {}); out.Status != Retry {
+	if out := h.Access(0, 3, 0x90000, false, fnWaiter(func(int64, float64) {})); out.Status != Retry {
 		t.Errorf("9th miss = %+v, want Retry (global limit 8)", out)
 	}
 }
@@ -148,7 +153,7 @@ func TestGlobalMSHRLimit(t *testing.T) {
 func TestControllerBackpressureRetry(t *testing.T) {
 	h, mem := testHier(t, 1, prefetch.Config{})
 	mem.rejectRd = true
-	out := h.Access(0, 0, 0x1000, false, func(int64, float64) {})
+	out := h.Access(0, 0, 0x1000, false, fnWaiter(func(int64, float64) {}))
 	if out.Status != Retry {
 		t.Fatalf("access with rejecting port = %+v, want Retry", out)
 	}
@@ -156,7 +161,7 @@ func TestControllerBackpressureRetry(t *testing.T) {
 		t.Error("MSHR leaked on rejected read")
 	}
 	mem.rejectRd = false
-	if out := h.Access(1, 0, 0x1000, false, func(int64, float64) {}); out.Status != Pending {
+	if out := h.Access(1, 0, 0x1000, false, fnWaiter(func(int64, float64) {})); out.Status != Pending {
 		t.Errorf("retried access = %+v", out)
 	}
 }
@@ -164,7 +169,7 @@ func TestControllerBackpressureRetry(t *testing.T) {
 func TestStoreRFOMakesLineDirtyAndWritebackReachesMemory(t *testing.T) {
 	h, mem := testHier(t, 1, prefetch.Config{})
 	// Store to a line: RFO read.
-	h.Access(0, 0, 0x0, true, func(int64, float64) {})
+	h.Access(0, 0, 0x0, true, fnWaiter(func(int64, float64) {}))
 	mem.deliver(0)
 	if len(mem.writes) != 0 {
 		t.Fatal("premature writeback")
@@ -173,7 +178,7 @@ func TestStoreRFOMakesLineDirtyAndWritebackReachesMemory(t *testing.T) {
 	// L2: 4, LLC: 4. Insert enough conflicting lines to push the dirty
 	// line out of the LLC (set stride 16KB/4ways/64B=64 sets -> 4 KB).
 	for i := 1; i <= 8; i++ {
-		h.Access(int64(i*10), 0, uint64(i)*4096, false, func(int64, float64) {})
+		h.Access(int64(i*10), 0, uint64(i)*4096, false, fnWaiter(func(int64, float64) {}))
 		mem.deliver(0)
 	}
 	if len(mem.writes) == 0 {
@@ -189,11 +194,11 @@ func TestStoreRFOMakesLineDirtyAndWritebackReachesMemory(t *testing.T) {
 
 func TestWritebackBackpressureQueues(t *testing.T) {
 	h, mem := testHier(t, 1, prefetch.Config{})
-	h.Access(0, 0, 0x0, true, func(int64, float64) {})
+	h.Access(0, 0, 0x0, true, fnWaiter(func(int64, float64) {}))
 	mem.deliver(0)
 	mem.rejectWr = true
 	for i := 1; i <= 8; i++ {
-		h.Access(int64(i*10), 0, uint64(i)*4096, false, func(int64, float64) {})
+		h.Access(int64(i*10), 0, uint64(i)*4096, false, fnWaiter(func(int64, float64) {}))
 		mem.deliver(0)
 	}
 	if len(mem.writes) != 0 {
@@ -213,8 +218,8 @@ func TestPrefetchFillsL2NotL1(t *testing.T) {
 	h, mem := testHier(t, 1, prefetch.Config{Streams: 4, Depth: 2, Degree: 2})
 	// Two sequential L2 misses train the streamer; the prefetches fetch
 	// ahead.
-	h.Access(0, 0, 0*64, false, func(int64, float64) {})
-	h.Access(1, 0, 1*64, false, func(int64, float64) {})
+	h.Access(0, 0, 0*64, false, fnWaiter(func(int64, float64) {}))
+	h.Access(1, 0, 1*64, false, fnWaiter(func(int64, float64) {}))
 	if h.Stats().PrefetchesToMem == 0 {
 		t.Fatal("no prefetches issued")
 	}
@@ -235,7 +240,7 @@ func TestPrefetchDropsOnHazard(t *testing.T) {
 	h, _ := testHier(t, 1, prefetch.Config{})
 	// Exhaust per-core MSHRs with demand misses.
 	for i := 0; i < 4; i++ {
-		h.Access(0, 0, uint64(0x50000+i*64), false, func(int64, float64) {})
+		h.Access(0, 0, uint64(0x50000+i*64), false, fnWaiter(func(int64, float64) {}))
 	}
 	h.Prefetch(0, 0, 0x60000)
 	if h.Stats().PrefetchDropped != 1 {
@@ -274,7 +279,7 @@ func TestDemandPromotesPendingPrefetch(t *testing.T) {
 		t.Fatal("prefetch not issued")
 	}
 	woken := false
-	out := h.Access(1, 0, 0x7000, false, func(int64, float64) { woken = true })
+	out := h.Access(1, 0, 0x7000, false, fnWaiter(func(int64, float64) { woken = true }))
 	if out.Status != Pending {
 		t.Fatalf("demand on pending prefetch = %+v", out)
 	}

@@ -14,6 +14,18 @@
 // component (package cyclestack): base, branch, dcache, dram-latency,
 // dram-queue or idle, with DRAM stalls split using the per-request DRAM
 // latency stack (queue fraction) exactly as Fig. 7 requires.
+//
+// The hot loop is allocation-free in steady state: load tickets are
+// reference-counted and pooled, and memory completions arrive through
+// the cache.Waiter interface (a pooled ticket is its own completion
+// waiter) instead of per-access closures. Three provably repetitive
+// states let the system replay stretches of cycles in closed form
+// instead of ticking them: a finished core (idle), an empty core inside
+// a branch-misprediction bubble (branch), and a core dispatching a pure
+// ALU run (base) — see NextEventCycle/FastForward. A core stalled on an
+// in-flight DRAM load can additionally go to sleep entirely and have
+// its stall cycles replayed when the completion wakes it — see
+// TrySleep/MemDone.
 package cpu
 
 import (
@@ -70,10 +82,11 @@ type Source interface {
 	Next() (ins Instr, ok bool)
 }
 
-// Mem is the core's port into the cache hierarchy.
+// Mem is the core's port into the cache hierarchy. Completions are
+// delivered through the cache.Waiter the core passes in (a pooled load
+// ticket, or the core itself for store read-for-ownerships).
 type Mem interface {
-	Access(now int64, core int, addr uint64, write bool,
-		onDone func(doneCPU int64, queueFrac float64)) cache.Outcome
+	Access(now int64, core int, addr uint64, write bool, w cache.Waiter) cache.Outcome
 }
 
 // Config parameterizes a core.
@@ -106,13 +119,29 @@ func (c Config) Validate() error {
 }
 
 // ticket tracks one load's completion state; dependent loads hold a
-// pointer to their producer's ticket.
+// pointer to their producer's ticket. Tickets are pooled by their core:
+// refs counts the load-history slot and any dependent operations still
+// pointing at the ticket, and a retired ticket returns to the pool when
+// the last reference drops (see release). A ticket doubles as the
+// cache.Waiter for its own in-flight fill.
 type ticket struct {
+	c         *Core
 	started   bool
+	retired   bool
+	refs      int32 // load-history slot + dependent startQ entries
 	done      int64 // completion CPU cycle, -1 while unknown
 	level     int   // cache level of a hit; 0 = DRAM
 	queueFrac float64
 	stall     int64 // head-of-ROB stall cycles charged to this load
+}
+
+// MemDone implements cache.Waiter: the DRAM fill for this load is
+// complete. It also wakes the owning core if the core slept through the
+// stall (see TrySleep).
+func (tk *ticket) MemDone(doneCPU int64, queueFrac float64) {
+	tk.done = doneCPU
+	tk.queueFrac = queueFrac
+	tk.c.wake(doneCPU)
 }
 
 type robItem struct {
@@ -152,6 +181,7 @@ type Core struct {
 	tail  int
 	items int
 	occ   int // occupied uop slots
+	loads int // KindLoad items currently in the ROB
 
 	startQ []memOp
 
@@ -165,6 +195,19 @@ type Core struct {
 	loadHist  [32]*ticket
 	loadHistN int
 	outStores int // store RFOs in flight in the memory system
+
+	tkFree []*ticket // ticket pool
+
+	// DRAM-stall sleep state: while asleep, the system stops ticking
+	// the core and the first CPU cycle not yet simulated is sleepFrom.
+	// A memory completion only marks the core wakePending — the skipped
+	// stall cycles are replayed in closed form when the system resumes
+	// the core at the next CPU cycle it would tick (Resume), because
+	// completions fire mid-memory-cycle, before the sleeping core's
+	// remaining subcycles of that same memory cycle.
+	asleep      bool
+	wakePending bool
+	sleepFrom   int64
 
 	stats Stats
 }
@@ -208,23 +251,157 @@ func (c *Core) push(it robItem) {
 	c.tail = (c.tail + 1) % len(c.rob)
 	c.items++
 	c.occ += it.count
+	if it.kind == KindLoad {
+		c.loads++
+	}
+}
+
+// newTicket takes a ticket from the pool (or allocates one) reset for a
+// fresh load.
+func (c *Core) newTicket() *ticket {
+	if n := len(c.tkFree); n > 0 {
+		tk := c.tkFree[n-1]
+		c.tkFree = c.tkFree[:n-1]
+		tk.started, tk.retired = false, false
+		tk.done, tk.level, tk.queueFrac, tk.stall = -1, 0, 0, 0
+		return tk
+	}
+	return &ticket{c: c, done: -1}
+}
+
+// release drops one reference and recycles the ticket once it is
+// retired and unreferenced. A retired DRAM load has already had its
+// completion delivered (retirement requires done >= 0), so no callback
+// can reach a pooled ticket.
+func (c *Core) release(tk *ticket) {
+	if tk.refs == 0 && tk.retired {
+		c.tkFree = append(c.tkFree, tk)
+	}
+}
+
+// unref drops one counted reference (history slot or dependent op).
+func (c *Core) unref(tk *ticket) {
+	tk.refs--
+	c.release(tk)
+}
+
+// streakLen returns how many cycles of an ALU dispatch streak start at
+// CPU cycle now, or 0. During a streak every cycle provably repeats the
+// same step — retire Width ready uops, dispatch one Width-uop ALU
+// chunk, attribute base — so FastForward can replay it in closed form:
+//
+//   - every ROB item ahead of the retire head's reach is an ALU, branch
+//     or store chunk pushed before now, so its readyAt is at most now
+//     and retirement never blocks (retire treats the three kinds
+//     identically); with occ >= Width, exactly Width uops retire per
+//     cycle;
+//   - pendingWork >= Width per remaining cycle keeps dispatch from
+//     consulting the source, and robFree >= Width keeps the push whole
+//     (occupancy is constant: Width in, Width out);
+//   - an empty start queue means no memory access can begin, so no
+//     external state is touched (in-flight store RFOs only decrement
+//     outStores on completion, which no streak cycle reads).
+//
+// A core whose ROB holds a load is handled by windowLen instead.
+func (c *Core) streakLen(now int64) int64 {
+	if c.asleep || c.items == 0 || c.loads != 0 || len(c.startQ) != 0 ||
+		c.pendingWork < c.cfg.Width || c.fetchBlockedUntil > now ||
+		c.occ < c.cfg.Width || c.robFree() < c.cfg.Width {
+		return 0
+	}
+	return int64(c.pendingWork / c.cfg.Width)
+}
+
+// windowLen returns how many cycles of a single-load window start at
+// CPU cycle now, or 0. The window covers a core whose ROB holds exactly
+// one load with a known completion (a cache hit, or a DRAM fill whose
+// timestamp has been delivered): retirement drains the uops ahead of
+// the load at Width per cycle, stalls at the load until its completion,
+// retires it, and drains on — every cycle of which is determined by the
+// load's position and completion alone, so replayWindow can replay the
+// whole stretch in closed form. Dispatch must be replayable for the
+// window's length, which selects one of:
+//
+//   - regular dispatch — a full Width of buffered ALU uops pushed every
+//     cycle: the window may run through the load's retirement and ends
+//     when the source would be consulted (or a push would be partial),
+//     min(pendingWork, robFree)/Width cycles out;
+//   - a fetch bubble or provably inert dispatch (full ROB with work
+//     buffered, or an exhausted source) — no pushes: the window must
+//     end by the load's completion, before retirement would change
+//     what dispatch sees.
+//
+// An empty start queue (kept empty by ALU-only dispatch) means no
+// memory access can begin, so no external state is touched.
+func (c *Core) windowLen(now int64) int64 {
+	if c.asleep || c.loads != 1 || len(c.startQ) != 0 {
+		return 0
+	}
+	idx := c.head
+	a := 0
+	for c.rob[idx].kind != KindLoad {
+		a += c.rob[idx].count
+		idx = (idx + 1) % len(c.rob)
+	}
+	tk := c.rob[idx].tk
+	if !tk.started || tk.done < 0 {
+		return 0 // completion unknown: sleep handles in-flight DRAM
+	}
+	w := c.cfg.Width
+	switch {
+	case c.fetchBlockedUntil > now:
+		k := tk.done - now
+		if b := c.fetchBlockedUntil - now; b < k {
+			k = b
+		}
+		return k
+	case c.pendingWork >= w && c.robFree() >= w:
+		if a < w && tk.done <= now && c.occ-1 < w {
+			// The load retires on the window's first cycle (jR = 0) with
+			// fewer than Width uops in the ROB: the first cycle's retire
+			// budget would outrun the ROB content (this cycle's dispatch
+			// is not retirable yet), which the closed form does not
+			// model. Take a real cycle.
+			return 0
+		}
+		avail := c.pendingWork
+		if f := c.robFree(); f < avail {
+			avail = f
+		}
+		return int64(avail / w)
+	case c.robFree() == 0 && (c.pendingWork > 0 || c.pendingOp != nil || c.srcDone):
+		return tk.done - now
+	case c.srcDone && c.pendingWork == 0 && c.pendingOp == nil:
+		return tk.done - now
+	default:
+		return 0 // dispatch would consult the source or dispatch an op
+	}
 }
 
 // NextEventCycle returns the first CPU cycle at or after now at which
 // the core might do anything other than repeat its current steady-state
 // cycle, assuming no external event (memory completion) arrives in
-// between. Two states are provably repetitive:
+// between. Four states are provably repetitive:
 //
 //   - a finished core (Done) idles forever: math.MaxInt64;
 //   - an empty core inside a branch-misprediction fetch bubble with no
 //     memory operations outstanding repeats a pure branch-penalty cycle
-//     until the bubble ends: fetchBlockedUntil.
+//     until the bubble ends: fetchBlockedUntil;
+//   - a core whose ROB holds exactly one load with a known completion
+//     replays the whole drain/stall/retire window around it (see
+//     windowLen): now + windowLen;
+//   - a core in a pure ALU dispatch streak (see streakLen) repeats a
+//     retire-and-dispatch base cycle until the source must be
+//     consulted: now + streakLen.
 //
 // Everything else returns now (no skip): the core consumes its source,
-// retires, or waits on in-flight memory whose completion time this side
-// does not know. FastForward may only cover cycles strictly before the
-// returned cycle.
+// starts memory accesses, or waits on in-flight memory whose completion
+// time this side does not know. FastForward may only cover cycles
+// strictly before the returned cycle.
 func (c *Core) NextEventCycle(now int64) int64 {
+	if c.asleep {
+		return now
+	}
 	if c.Done() {
 		return math.MaxInt64
 	}
@@ -233,22 +410,266 @@ func (c *Core) NextEventCycle(now int64) int64 {
 		c.fetchBlockedUntil > now {
 		return c.fetchBlockedUntil
 	}
+	if c.loads == 1 {
+		if k := c.windowLen(now); k > 0 {
+			return now + k
+		}
+		return now
+	}
+	if k := c.streakLen(now); k > 0 {
+		return now + k
+	}
 	return now
 }
 
-// FastForward charges n CPU cycles in closed form, bit-identical to n
-// CPUCycle calls in the steady state NextEventCycle proved: idle cycles
-// for a finished core, branch cycles inside a fetch bubble.
-func (c *Core) FastForward(n int64) {
+// FastForward charges the n CPU cycles starting at from in closed form,
+// bit-identical to n CPUCycle calls in the steady state NextEventCycle
+// proved: idle cycles for a finished core, branch cycles inside a fetch
+// bubble, a replayed single-load window, or a replayed ALU dispatch
+// streak.
+func (c *Core) FastForward(from, n int64) {
 	if c.Done() {
 		c.acct.AddCycles(cyclestack.Idle, n)
 		return
 	}
-	c.acct.AddCycles(cyclestack.Branch, n)
+	if c.items == 0 {
+		c.acct.AddCycles(cyclestack.Branch, n)
+		return
+	}
+	if c.loads == 1 {
+		c.replayWindow(from, n)
+		return
+	}
+	c.replayStreak(from, n)
 }
 
-// CPUCycle advances the core by one CPU cycle: start eligible memory
-// accesses, retire, dispatch, then attribute the cycle.
+// consume retires k plain uops FIFO from the ROB head, the ring-level
+// half of a replay. Chunk kinds and readiness are inert here (see
+// replayStreak); occupancy and statistics are the caller's business.
+func (c *Core) consume(k int64) {
+	size := len(c.rob)
+	for k > 0 {
+		if c.items == 0 {
+			panic("cpu: replay drained the ROB")
+		}
+		it := &c.rob[c.head]
+		if it.kind == KindLoad {
+			panic("cpu: replay reached an in-flight load")
+		}
+		m := int64(it.count)
+		if m > k {
+			m = k
+		}
+		it.count -= int(m)
+		k -= m
+		if it.count == 0 {
+			c.head = (c.head + 1) % size
+			c.items--
+		}
+	}
+}
+
+// replayWindow replays n cycles of the single-load window starting at
+// CPU cycle from, bit-identical to n CPUCycle calls in the state
+// windowLen proved. With the load `a` uops behind the retire head,
+// completing at D, and a retire budget of Width per cycle, the slow
+// loop's behavior is fully determined (cycle indices j = 0..n-1
+// relative to from):
+//
+//   - drain: cycles j < ceil(a/Width) retire pre-load uops (base);
+//   - stall: cycles from ceil(a/Width) up to jR classify against the
+//     load by its level (DRAM total / Dcache / L1-shadow base), where
+//     jR = max(floor(a/Width), D-from) is the cycle the retire budget
+//     reaches the load AND its completion has passed;
+//   - retire: if n > jR (regular dispatch only — inert modes end by D),
+//     cycle jR retires the load (releasing its ticket and settling the
+//     DRAM queue/latency split) plus the rest of that cycle's budget
+//     from the uops behind it, and later cycles drain Width each.
+//
+// Dispatch meanwhile pushes either nothing (bubble / inert modes) or
+// exactly Width ALU uops per cycle; the n chunks collapse into one
+// ready at from+n, pushed before the drain so post-load retirement can
+// consume into it exactly as the slow loop consumes earlier pushes.
+// Every consumed uop was ready when the budget reached it, and every
+// survivor is first reachable at or after from+n — the same inertness
+// argument as replayStreak.
+func (c *Core) replayWindow(from, n int64) {
+	idx := c.head
+	a := int64(0)
+	for c.rob[idx].kind != KindLoad {
+		a += int64(c.rob[idx].count)
+		idx = (idx + 1) % len(c.rob)
+	}
+	tk := c.rob[idx].tk
+	if len(c.startQ) != 0 || !tk.started || tk.done < 0 {
+		panic("cpu: FastForward outside a provable steady state")
+	}
+	w := int64(c.cfg.Width)
+	jR := a / w
+	if d := tk.done - from; d > jR {
+		jR = d
+	}
+	// Dispatch, mirroring the mode windowLen proved (checked before any
+	// state moves).
+	pushes := int64(0)
+	switch {
+	case c.fetchBlockedUntil > from:
+		if c.fetchBlockedUntil < from+n || tk.done < from+n {
+			panic("cpu: window replay crosses the end of a fetch bubble")
+		}
+	case c.pendingWork >= c.cfg.Width && c.robFree() >= c.cfg.Width:
+		pushes = n * w
+		if int64(c.pendingWork) < pushes || int64(c.robFree()) < pushes {
+			panic("cpu: window replay outruns the buffered work")
+		}
+	default:
+		inert := (c.robFree() == 0 && (c.pendingWork > 0 || c.pendingOp != nil || c.srcDone)) ||
+			(c.srcDone && c.pendingWork == 0 && c.pendingOp == nil)
+		if !inert || tk.done < from+n {
+			panic("cpu: FastForward outside a provable steady state")
+		}
+	}
+	// Attribution: stall cycles classify against the load, the rest
+	// retire something and attribute base.
+	s := jR
+	if n < s {
+		s = n
+	}
+	s -= (a + w - 1) / w
+	if s < 0 {
+		s = 0
+	}
+	base := n - s
+	switch {
+	case tk.level == 0:
+		// DRAM stall: totals now, split at retirement (see retire).
+		tk.stall += s
+		c.acct.AddTotal(s)
+	case tk.level >= 2:
+		c.acct.AddCycles(cyclestack.Dcache, s)
+	default:
+		base = n // L1 hit shadow classifies base too
+	}
+	if base > 0 {
+		c.acct.AddCycles(cyclestack.Base, base)
+	}
+	if pushes > 0 {
+		c.pushALU(int(pushes), from+n)
+		c.pendingWork -= int(pushes)
+	}
+	// Retirement. counted tracks what the slow loop's retire() adds to
+	// stats.Retired, which is less than the uops actually drained when a
+	// cycle ends blocked: retire() returns early at a not-yet-done load
+	// and skips its stats update, dropping that cycle's partial drain
+	// (a%Width pre-load uops) from the count. That happens exactly when
+	// the pre-load drain empties mid-cycle before the load's completion
+	// (jR past the drain); when the load retires the same cycle, the
+	// cycle runs its full budget and everything is counted.
+	retired := a
+	counted := retired
+	if m := n * w; m < retired {
+		retired, counted = m, m
+	} else if rem := a % w; rem > 0 && jR > a/w {
+		counted -= rem
+	}
+	c.consume(retired)
+	if n > jR {
+		// The load retires at cycle jR with the ticket bookkeeping the
+		// slow retire arm performs, and the rest of the window drains the
+		// uops (and collapsed pushes) behind it.
+		it := &c.rob[c.head]
+		if it.kind != KindLoad || retired != a {
+			panic("cpu: window replay lost track of its load")
+		}
+		if tk.level == 0 && tk.stall > 0 {
+			// Split this load's head-of-ROB stall using its DRAM
+			// latency stack (see retire).
+			c.acct.Add(cyclestack.DramQueue, float64(tk.stall)*tk.queueFrac)
+			c.acct.Add(cyclestack.DramLatency, float64(tk.stall)*(1-tk.queueFrac))
+		}
+		it.tk = nil
+		tk.retired = true
+		c.release(tk)
+		c.head = (c.head + 1) % len(c.rob)
+		c.items--
+		c.loads--
+		remPre := a - jR*w
+		if remPre < 0 {
+			remPre = 0
+		}
+		post := (w - remPre - 1) + (n-1-jR)*w
+		c.consume(post)
+		retired += 1 + post
+		counted += 1 + post
+	}
+	c.occ -= int(retired) // pushALU already counted the pushes
+	c.stats.Retired += counted
+}
+
+// replayStreak replays n cycles of an ALU dispatch streak starting
+// at CPU cycle from, bit-identical to n CPUCycle calls: per cycle,
+// Width uops retire FIFO from the head (all ready, as streakLen
+// proved — ALU, branch and store chunks retire identically once their
+// readyAt has passed) and one Width-uop chunk ready next cycle is
+// pushed; the cycle attributes base. Occupancy is unchanged (Width in,
+// Width out), so the net effect is consuming the first n*Width uops of
+// the stream "current content, then the n pushed chunks" and keeping
+// the rest.
+//
+// The survivors' chunk boundaries, kinds (ALU/branch/store retire and
+// classify identically) and readiness are all inert: a surviving chunk
+// is first reachable by the retire head at or after from+n, and every
+// survivor is ready by then. That licenses two collapses, making the
+// replay O(chunks consumed) instead of O(n): the n pushed chunks
+// become one chunk ready at from+n, and when the streak consumes the
+// entire prior content (no load rides along and occ <= n*Width uops,
+// so the slow loop would start consuming its own pushes) the final ROB
+// is exactly one such chunk holding the unchanged occupancy.
+//
+// streakLen sized n so the replay never consumes an in-flight load;
+// the panic below enforces that invariant.
+func (c *Core) replayStreak(from, n int64) {
+	w := c.cfg.Width
+	total := int(n) * w
+	if len(c.startQ) != 0 || c.pendingWork < total {
+		panic("cpu: FastForward outside a provable steady state")
+	}
+	size := len(c.rob)
+	if c.loads == 0 && c.occ <= total {
+		// Everything currently buffered retires inside the window; what
+		// remains is the tail of the replayed pushes, occ uops in one
+		// collapsed chunk.
+		c.head, c.tail, c.items = 0, 1, 1
+		c.rob[0] = robItem{kind: KindALU, count: c.occ, readyAt: from + n}
+	} else {
+		need := total
+		for need > 0 {
+			it := &c.rob[c.head]
+			if it.kind == KindLoad {
+				panic("cpu: streak replay reached an in-flight load")
+			}
+			m := it.count
+			if m > need {
+				m = need
+			}
+			it.count -= m
+			need -= m
+			if it.count == 0 {
+				c.head = (c.head + 1) % size
+				c.items--
+			}
+		}
+		c.rob[c.tail] = robItem{kind: KindALU, count: total, readyAt: from + n}
+		c.tail = (c.tail + 1) % size
+		c.items++
+	}
+	c.pendingWork -= total
+	c.stats.Retired += n * int64(w)
+	c.acct.AddCycles(cyclestack.Base, n)
+}
+
+// CPUCycle advances the core by one CPU cycle: retire, dispatch, start
+// eligible memory accesses, then attribute the cycle.
 func (c *Core) CPUCycle(now int64) {
 	if c.Done() {
 		c.acct.AddCycle(cyclestack.Idle)
@@ -269,16 +690,13 @@ func (c *Core) startAccesses(now int64) {
 			continue // producer not finished: address unknown
 		}
 		tk := op.tk
-		write := op.write
-		out := c.mem.Access(now, c.id, op.addr, op.write, func(doneCPU int64, qf float64) {
-			if tk != nil {
-				tk.done = doneCPU
-				tk.queueFrac = qf
-			}
-			if write {
-				c.outStores--
-			}
-		})
+		var w cache.Waiter
+		if tk != nil {
+			w = tk
+		} else {
+			w = c // store RFO: completion only drops outStores
+		}
+		out := c.mem.Access(now, c.id, op.addr, op.write, w)
 		switch out.Status {
 		case cache.Retry:
 			// Structural hazard: leave the op queued; later ops would
@@ -302,9 +720,19 @@ func (c *Core) startAccesses(now int64) {
 			}
 		}
 		started++
+		if op.dep != nil {
+			c.unref(op.dep)
+		}
 		c.startQ = append(c.startQ[:i], c.startQ[i+1:]...)
 		i--
 	}
+}
+
+// MemDone implements cache.Waiter for store read-for-ownerships: the
+// line arrived, the store's writeback obligation is met.
+func (c *Core) MemDone(doneCPU int64, queueFrac float64) {
+	c.outStores--
+	c.wake(doneCPU)
 }
 
 // retire commits up to Width ready uops from the ROB head and returns how
@@ -342,8 +770,14 @@ func (c *Core) retire(now int64) int {
 			c.occ--
 			budget--
 			retired++
+			it.tk = nil
+			tk.retired = true
+			c.release(tk)
 		}
 		if it.count == 0 {
+			if it.kind == KindLoad {
+				c.loads--
+			}
 			c.head = (c.head + 1) % len(c.rob)
 			c.items--
 		}
@@ -402,10 +836,19 @@ func (c *Core) dispatch(now int64) {
 		budget--
 		switch op.Kind {
 		case KindLoad:
-			tk := &ticket{done: -1}
+			tk := c.newTicket()
 			c.push(robItem{kind: KindLoad, count: 1, tk: tk})
-			c.startQ = append(c.startQ, memOp{addr: op.Addr, write: false, dep: c.depTicket(op.LoadDep), tk: tk})
-			c.loadHist[c.loadHistN%len(c.loadHist)] = tk
+			dep := c.depTicket(op.LoadDep)
+			if dep != nil {
+				dep.refs++
+			}
+			c.startQ = append(c.startQ, memOp{addr: op.Addr, write: false, dep: dep, tk: tk})
+			slot := c.loadHistN % len(c.loadHist)
+			if old := c.loadHist[slot]; old != nil {
+				c.unref(old)
+			}
+			tk.refs++
+			c.loadHist[slot] = tk
 			c.loadHistN++
 			c.stats.Loads++
 		case KindStore:
@@ -480,4 +923,90 @@ func (c *Core) classify(now int64, retired int) {
 		}
 		c.acct.AddCycle(cyclestack.Base)
 	}
+}
+
+// TrySleep puts the core to sleep after it simulated CPU cycle now, if
+// this cycle was a DRAM stall that provably repeats until a memory
+// completion arrives: the head-of-ROB load is in flight (started, no
+// completion yet), dispatch is inert on its own (the ROB is full with
+// buffered work, or the source is exhausted with nothing buffered) and
+// not inside a fetch bubble that would end by itself, and every queued
+// memory operation waits on an address dependency that is itself in
+// flight. Under those conditions every subsequent cycle repeats exactly
+// "stall++, total++" until some completion for this core fires, so the
+// system can stop ticking the core and wake replays the skipped cycles
+// in closed form. Reports whether the core went to sleep.
+func (c *Core) TrySleep(now int64) bool {
+	if c.asleep || c.items == 0 || c.fetchBlockedUntil > now+1 {
+		return false
+	}
+	head := &c.rob[c.head]
+	if head.kind != KindLoad {
+		return false
+	}
+	tk := head.tk
+	if !tk.started || tk.done >= 0 || tk.level != 0 {
+		return false
+	}
+	if c.pendingWork > 0 || c.pendingOp != nil {
+		if c.robFree() != 0 {
+			return false // dispatch would push buffered work
+		}
+	} else if !c.srcDone {
+		return false // dispatch would consult the source
+	}
+	for i := range c.startQ {
+		dep := c.startQ[i].dep
+		if dep == nil || dep.done >= 0 {
+			return false // could start (or become startable) on its own
+		}
+	}
+	c.asleep = true
+	c.wakePending = false
+	c.sleepFrom = now + 1
+	return true
+}
+
+// Asleep reports whether the core is sleeping through a DRAM stall.
+func (c *Core) Asleep() bool { return c.asleep }
+
+// NeedsWake reports whether a memory completion has arrived for a
+// sleeping core, so the system must Resume it at the next CPU cycle it
+// would tick.
+func (c *Core) NeedsWake() bool { return c.asleep && c.wakePending }
+
+// wake marks a sleeping core for resumption. It deliberately does not
+// end the sleep: the completion fires during the controller phase of
+// memory cycle m with a CPU-domain timestamp that precedes the core's
+// not-yet-simulated subcycles of that same memory cycle, all of which
+// are still stall cycles (the load retires no earlier than the next
+// subcycle). Resume replays them in closed form.
+func (c *Core) wake(int64) {
+	if c.asleep {
+		c.wakePending = true
+	}
+}
+
+// Resume ends a sleep at CPU cycle at (exclusive), replaying the
+// skipped cycles: each was a head-of-ROB DRAM stall, so the whole
+// stretch is stall += n on the head load and total += n —
+// bit-identical to ticking them (both counters are integers). at is
+// the first cycle the resumed per-cycle loop will simulate.
+func (c *Core) Resume(at int64) {
+	c.SyncSleep(at)
+	c.asleep = false
+	c.wakePending = false
+}
+
+// SyncSleep replays a sleeping core's skipped stall cycles up to CPU
+// cycle upto (exclusive) without waking it, so its cycle stack can be
+// read mid-sleep (sample cuts, early stops, final results).
+func (c *Core) SyncSleep(upto int64) {
+	if !c.asleep || upto <= c.sleepFrom {
+		return
+	}
+	tk := c.rob[c.head].tk
+	tk.stall += upto - c.sleepFrom
+	c.acct.AddTotal(upto - c.sleepFrom)
+	c.sleepFrom = upto
 }

@@ -13,14 +13,14 @@ type scriptMem struct {
 	outcome  cache.Outcome
 	latency  int64 // completion delay for Pending accesses
 	qf       float64
-	pending  []func(int64, float64)
+	pending  []func()
 	started  []uint64
 	retries  int
 	maxInFly int
 }
 
 func (m *scriptMem) Access(now int64, core int, addr uint64, write bool,
-	onDone func(int64, float64)) cache.Outcome {
+	w cache.Waiter) cache.Outcome {
 	if m.outcome.Status == cache.Retry {
 		m.retries++
 		return m.outcome
@@ -28,7 +28,7 @@ func (m *scriptMem) Access(now int64, core int, addr uint64, write bool,
 	m.started = append(m.started, addr)
 	if m.outcome.Status == cache.Pending {
 		done := now + m.latency
-		m.pending = append(m.pending, func(int64, float64) { onDone(done, m.qf) })
+		m.pending = append(m.pending, func() { w.MemDone(done, m.qf) })
 		if len(m.pending) > m.maxInFly {
 			m.maxInFly = len(m.pending)
 		}
@@ -39,7 +39,7 @@ func (m *scriptMem) Access(now int64, core int, addr uint64, write bool,
 // deliverAll completes every pending access.
 func (m *scriptMem) deliverAll() {
 	for _, f := range m.pending {
-		f(0, 0)
+		f()
 	}
 	m.pending = nil
 }
@@ -201,11 +201,10 @@ func TestDependentLoadsSerialize(t *testing.T) {
 		c.CPUCycle(now)
 		now++
 		// Deliver completions as their time arrives.
-		var rest []func(int64, float64)
 		for _, f := range mem.pending {
-			f(0, 0)
+			f()
 		}
-		mem.pending = rest
+		mem.pending = nil
 	}
 	if !c.Done() {
 		t.Fatal("core not done")

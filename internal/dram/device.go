@@ -241,6 +241,33 @@ func (d *Device) BusKindAt(at int64) DataKind {
 	return d.busKind[at&(busRingSize-1)]
 }
 
+// RefreshOnlyUntil returns the cycle through which the device's only
+// observable activity is in-flight rank refreshes, assuming no further
+// commands are issued: when at cycle at the data bus is clear, no bank
+// is precharging or activating, no auto-precharge is pending, and at
+// least one rank is inside tRFC, it returns the latest refUntil — every
+// cycle in [at, result) then observes exactly "refreshing, nothing
+// else" (ranks refreshing at at cover that whole span, since each
+// covers [at, its refUntil)). Otherwise it returns at.
+func (d *Device) RefreshOnlyUntil(at int64) int64 {
+	end := at
+	for r := range d.ranks {
+		if u := d.ranks[r].refUntil; u > end {
+			end = u
+		}
+	}
+	if end == at || d.apCount > 0 || d.busBusyUntil > at {
+		return at
+	}
+	for i := range d.banks {
+		b := &d.banks[i]
+		if b.preDone > at || b.actDone > at {
+			return at
+		}
+	}
+	return end
+}
+
 // BankBusy classifies the bank's activity at cycle at for the bandwidth
 // stack: precharging, activating, or neither.
 func (d *Device) BankBusy(bank int, at int64) (precharging, activating bool) {

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"dramstacks/internal/dram"
+	"dramstacks/internal/dram/standard"
 	"dramstacks/internal/extrapolate"
 	"dramstacks/internal/gap"
 	"dramstacks/internal/graph"
@@ -41,15 +42,15 @@ type SynthSpec struct {
 
 // RunSynth runs one synthetic experiment.
 func RunSynth(spec SynthSpec) (*sim.Result, error) {
-	cfg := sim.Default(spec.Cores)
-	cfg.Channels = spec.Channels
-	cfg.Map = spec.Map
-	cfg.Ctrl.Policy = spec.Policy
-	cfg.MaxMemCycles = spec.Budget
-	cfg.PrewarmOps = spec.Prewarm
-	cfg.SampleInterval = spec.Sample
-	cfg.Trace = spec.Trace
-	sys, err := sim.New(cfg, sim.SyntheticSources(spec.Pattern, spec.Cores, spec.StoreFrac))
+	sys, err := sim.New(standard.Default(),
+		sim.WithSources(sim.SyntheticSources(spec.Pattern, spec.Cores, spec.StoreFrac)...),
+		sim.WithChannels(spec.Channels),
+		sim.WithMapping(spec.Map),
+		sim.WithCtrl(func(c *memctrl.Config) { c.Policy = spec.Policy }),
+		sim.WithMaxMemCycles(spec.Budget),
+		sim.WithPrewarmOps(spec.Prewarm),
+		sim.WithSampleInterval(spec.Sample),
+		sim.WithTrace(spec.Trace))
 	if err != nil {
 		return nil, err
 	}
@@ -74,14 +75,14 @@ type StreamSpec struct {
 
 // RunStream runs one STREAM kernel experiment.
 func RunStream(spec StreamSpec) (*sim.Result, error) {
-	cfg := sim.Default(spec.Cores)
-	cfg.Channels = spec.Channels
-	cfg.Map = spec.Map
-	cfg.Ctrl.Policy = spec.Policy
-	cfg.MaxMemCycles = spec.Budget
-	cfg.PrewarmOps = spec.Prewarm
-	cfg.SampleInterval = spec.Sample
-	sys, err := sim.New(cfg, workload.StreamSources(spec.Kind, spec.Cores))
+	sys, err := sim.New(standard.Default(),
+		sim.WithSources(workload.StreamSources(spec.Kind, spec.Cores)...),
+		sim.WithChannels(spec.Channels),
+		sim.WithMapping(spec.Map),
+		sim.WithCtrl(func(c *memctrl.Config) { c.Policy = spec.Policy }),
+		sim.WithMaxMemCycles(spec.Budget),
+		sim.WithPrewarmOps(spec.Prewarm),
+		sim.WithSampleInterval(spec.Sample))
 	if err != nil {
 		return nil, err
 	}
@@ -164,18 +165,20 @@ func RunGap(spec GapSpec) (*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := sim.Default(spec.Cores)
-	cfg.Map = spec.Map
-	cfg.Ctrl.Policy = spec.Policy
-	if spec.WriteQueue > 0 {
-		cfg.Ctrl.WriteQueueCap = spec.WriteQueue
-		cfg.Ctrl.WriteHi = spec.WriteQueue * 3 / 4
-		cfg.Ctrl.WriteLo = spec.WriteQueue / 4
-	}
-	cfg.MaxMemCycles = spec.Budget
-	cfg.SampleInterval = spec.Sample
-	cfg.Trace = spec.Trace
-	sys, err := sim.New(cfg, runner.Sources())
+	sys, err := sim.New(standard.Default(),
+		sim.WithSources(runner.Sources()...),
+		sim.WithMapping(spec.Map),
+		sim.WithCtrl(func(c *memctrl.Config) {
+			c.Policy = spec.Policy
+			if spec.WriteQueue > 0 {
+				c.WriteQueueCap = spec.WriteQueue
+				c.WriteHi = spec.WriteQueue * 3 / 4
+				c.WriteLo = spec.WriteQueue / 4
+			}
+		}),
+		sim.WithMaxMemCycles(spec.Budget),
+		sim.WithSampleInterval(spec.Sample),
+		sim.WithTrace(spec.Trace))
 	if err != nil {
 		return nil, err
 	}

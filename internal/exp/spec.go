@@ -357,7 +357,6 @@ func RunSpec(ctx context.Context, spec Spec, opt RunOptions) (*sim.Result, error
 	cfg.MaxMemCycles = budget
 	cfg.SampleInterval = n.Sample
 	cfg.Trace = opt.Trace
-	cfg.OnSample = opt.OnSample
 
 	var sources []cpu.Source
 	switch {
@@ -391,7 +390,11 @@ func RunSpec(ctx context.Context, spec Spec, opt RunOptions) (*sim.Result, error
 		sources = runner.Sources()
 	}
 
-	sys, err := sim.New(cfg, sources)
+	opts := []sim.Option{sim.WithConfig(cfg), sim.WithSources(sources...)}
+	if opt.OnSample != nil {
+		opts = append(opts, sim.WithSampleFunc(opt.OnSample))
+	}
+	sys, err := sim.New(std, opts...)
 	if err != nil {
 		return nil, err
 	}

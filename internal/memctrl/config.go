@@ -98,6 +98,14 @@ type Config struct {
 	// SampleInterval, when positive, cuts a through-time stack sample
 	// every so many memory cycles.
 	SampleInterval int64
+
+	// Recycle, when true, returns completed *Request objects to an
+	// internal freelist so steady-state operation allocates nothing per
+	// request. A caller that opts in must not retain a *Request after
+	// its OnComplete callback returns (the object may be reused for a
+	// later request). The simulator's hot loop opts in; external users
+	// of the package API get stable requests by default.
+	Recycle bool
 }
 
 // DefaultConfig returns the paper's controller configuration: FR-FCFS,

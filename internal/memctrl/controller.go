@@ -118,6 +118,9 @@ type Controller struct {
 	hist    stacks.LatencyHistogram
 	sampler *stacks.Sampler
 
+	// Request freelist, used only when cfg.Recycle is set.
+	reqFree []*Request
+
 	// Per-tick scheduling scratch, reused across cycles.
 	cand           []bankCand
 	blockedMask    uint64
@@ -214,14 +217,42 @@ func (c *Controller) Pending() bool {
 	return len(c.readQ)+len(c.writeQ)+len(c.inflight)+len(c.fwdDone) > 0
 }
 
+// newRequest allocates a request, reusing a recycled one when the
+// freelist is enabled and non-empty.
+func (c *Controller) newRequest(addr uint64, write bool, onComplete func(*Request, int64), meta any, now int64) *Request {
+	if n := len(c.reqFree); n > 0 {
+		req := c.reqFree[n-1]
+		c.reqFree = c.reqFree[:n-1]
+		*req = Request{Addr: addr, Write: write, OnComplete: onComplete, Meta: meta, arrive: now}
+		return req
+	}
+	return &Request{Addr: addr, Write: write, OnComplete: onComplete, Meta: meta, arrive: now}
+}
+
+// recycle returns a completed request to the freelist when cfg.Recycle
+// is set. Callers guarantee the request's OnComplete has already run.
+func (c *Controller) recycle(req *Request) {
+	if !c.cfg.Recycle {
+		return
+	}
+	req.OnComplete, req.Meta = nil, nil
+	c.reqFree = append(c.reqFree, req)
+}
+
 // EnqueueRead presents a cache-line read at cycle now. It reports false
 // (and does nothing) when the read queue is full. If the line is present
 // in the write buffer the read is served by store forwarding and never
 // reaches DRAM.
+//
+// The returned *Request is owned by the controller: the caller may
+// inspect it until onComplete fires and must not retain it afterwards,
+// when it returns to the free list.
+//
+//dramvet:allow poolescape(caller may inspect the request until onComplete fires; recycle happens at completion)
 func (c *Controller) EnqueueRead(now int64, addr uint64, onComplete func(*Request, int64), meta any) (*Request, bool) {
 	addr &^= uint64(c.geo.LineBytes - 1)
-	req := &Request{Addr: addr, OnComplete: onComplete, Meta: meta, arrive: now}
 	if _, hit := c.wbuf[addr]; hit {
+		req := c.newRequest(addr, false, onComplete, meta, now)
 		req.forwarded = true
 		c.stats.ForwardedReads++
 		c.stats.EnqueuedReads++
@@ -231,6 +262,7 @@ func (c *Controller) EnqueueRead(now int64, addr uint64, onComplete func(*Reques
 	if len(c.readQ) >= c.cfg.ReadQueueCap {
 		return nil, false
 	}
+	req := c.newRequest(addr, false, onComplete, meta, now)
 	req.loc = c.mapper.Decode(addr)
 	req.refSnap = c.cumRefresh
 	req.drainSnap = c.cumDrainOnly
@@ -242,21 +274,27 @@ func (c *Controller) EnqueueRead(now int64, addr uint64, onComplete func(*Reques
 // EnqueueWrite presents a dirty-line writeback at cycle now. It reports
 // false when the write buffer is full. Writes to a line already buffered
 // coalesce into the existing entry (the new request completes immediately).
+//
+// Like EnqueueRead, the returned *Request stays owned by the controller
+// and must not be retained after onComplete fires.
+//
+//dramvet:allow poolescape(caller may inspect the request until onComplete fires; recycle happens at completion)
 func (c *Controller) EnqueueWrite(now int64, addr uint64, onComplete func(*Request, int64), meta any) (*Request, bool) {
 	addr &^= uint64(c.geo.LineBytes - 1)
 	if _, dup := c.wbuf[addr]; dup {
 		c.stats.CoalescedWrites++
 		c.stats.EnqueuedWrites++
-		req := &Request{Addr: addr, Write: true, Meta: meta, arrive: now}
+		req := c.newRequest(addr, true, nil, meta, now)
 		if onComplete != nil {
 			onComplete(req, now)
 		}
+		c.recycle(req)
 		return req, true
 	}
 	if len(c.writeQ) >= c.cfg.WriteQueueCap {
 		return nil, false
 	}
-	req := &Request{Addr: addr, Write: true, OnComplete: onComplete, Meta: meta, arrive: now}
+	req := c.newRequest(addr, true, onComplete, meta, now)
 	req.loc = c.mapper.Decode(addr)
 	c.writeQ = append(c.writeQ, req)
 	c.wbuf[addr] = req
@@ -281,11 +319,12 @@ func (c *Controller) Tick(now int64) {
 // assuming no new requests are enqueued in between. Call it immediately
 // after Tick(now). For a controller with queued or in-flight work, or
 // with a pending refresh, or whose device still has observable activity
-// (banks opening/closing, data on the bus, a rank inside tRFC), it
-// returns now+1: every cycle must be simulated. Otherwise the controller
-// is provably idle and the only future event is the earliest refresh
-// deadline: every cycle before it is a pure idle cycle that
-// FastForwardIdle can account in closed form.
+// beyond a pure refresh wait (banks opening/closing, data on the bus),
+// it returns now+1: every cycle must be simulated. Otherwise the
+// controller is provably quiet and the only future events are the end
+// of an in-flight refresh (tRFC) and the earliest refresh deadline:
+// every cycle before the sooner of the two is a pure refresh or idle
+// cycle that FastForwardQuiet can account in closed form.
 func (c *Controller) NextEventCycle(now int64) int64 {
 	if len(c.readQ) > 0 || len(c.writeQ) > 0 || len(c.inflight) > 0 || len(c.fwdDone) > 0 {
 		return now + 1
@@ -295,14 +334,18 @@ func (c *Controller) NextEventCycle(now int64) int64 {
 			return now + 1
 		}
 	}
-	if c.dev.QuietAt() > now+1 {
-		return now + 1
-	}
 	next := c.nextRefresh[0]
 	for _, t := range c.nextRefresh[1:] {
 		if t < next {
 			next = t
 		}
+	}
+	if c.dev.QuietAt() > now+1 && c.dev.RefreshOnlyUntil(now+1) <= now+1 {
+		// Device activity beyond a bare refresh wait: tick every cycle.
+		// (A pure refresh wait runs out by itself at a known cycle, so
+		// the whole gap to the next refresh deadline replays in closed
+		// form as refresh-then-idle; see FastForwardQuiet.)
+		return now + 1
 	}
 	if next <= now {
 		return now + 1 // defensive: a due refresh is already pending
@@ -335,6 +378,38 @@ func (c *Controller) FastForwardIdle(from, to int64) {
 	c.now = to
 }
 
+// FastForwardQuiet replays the ticks for cycles from..to (inclusive) in
+// closed form across a gap NextEventCycle proved quiet: first the tail
+// of an in-flight refresh wait (every cycle observes "refreshing,
+// nothing else" — see dram.Device.RefreshOnlyUntil), then pure idle
+// cycles. Byte-identical to calling Tick for every cycle of the gap.
+func (c *Controller) FastForwardQuiet(from, to int64) {
+	if to < from {
+		return
+	}
+	if refEnd := c.dev.RefreshOnlyUntil(from) - 1; refEnd >= from {
+		if refEnd > to {
+			refEnd = to
+		}
+		t := from
+		for t <= refEnd {
+			end := refEnd
+			if next := c.sampler.NextCut(); next > 0 && next-1 < end {
+				end = next - 1
+			}
+			n := end - t + 1
+			c.bw.AccountRefreshing(n)
+			c.cumRefresh += n
+			c.stats.Cycles += n
+			t = end + 1
+			c.sampler.MaybeCut(t)
+		}
+		c.now = refEnd
+		from = refEnd + 1
+	}
+	c.FastForwardIdle(from, to)
+}
+
 func (c *Controller) completeFinished(now int64) {
 	for len(c.inflight) > 0 && c.inflight[0].done <= now {
 		pd := c.inflight[0]
@@ -342,6 +417,7 @@ func (c *Controller) completeFinished(now int64) {
 		if pd.req.OnComplete != nil {
 			pd.req.OnComplete(pd.req, pd.done)
 		}
+		c.recycle(pd.req)
 	}
 	for len(c.fwdDone) > 0 && c.fwdDone[0].done <= now {
 		pd := c.fwdDone[0]
@@ -349,6 +425,7 @@ func (c *Controller) completeFinished(now int64) {
 		if pd.req.OnComplete != nil {
 			pd.req.OnComplete(pd.req, pd.done)
 		}
+		c.recycle(pd.req)
 	}
 }
 

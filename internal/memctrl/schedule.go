@@ -220,6 +220,7 @@ func (c *Controller) issueColumn(now int64, req *Request, kind dram.CommandKind)
 		if req.OnComplete != nil {
 			req.OnComplete(req, now)
 		}
+		c.recycle(req)
 		return
 	}
 	c.readQ = removeReq(c.readQ, req)

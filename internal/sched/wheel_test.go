@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// popAll drains the due mask into a slice of actor IDs (ascending).
+func popAll(w *Wheel) []int {
+	var out []int
+	mask := w.PopDue()
+	for mask != 0 {
+		a := trailingZeros(mask)
+		mask &^= 1 << uint(a)
+		out = append(out, a)
+	}
+	return out
+}
+
+func TestScheduleAndPopSameCycleOrder(t *testing.T) {
+	w := New()
+	w.Schedule(5, 10)
+	w.Schedule(2, 10)
+	w.Schedule(63, 10)
+	if got := w.Earliest(); got != 10 {
+		t.Fatalf("Earliest = %d, want 10", got)
+	}
+	w.Advance(10)
+	got := popAll(w)
+	want := []int{2, 5, 63}
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped %v, want %v (ascending actor IDs)", got, want)
+		}
+	}
+	if w.Earliest() != None {
+		t.Fatalf("Earliest after drain = %d, want None", w.Earliest())
+	}
+}
+
+func TestRescheduleMovesEvent(t *testing.T) {
+	w := New()
+	w.Schedule(1, 100)
+	w.Schedule(1, 7) // earlier
+	if got := w.Earliest(); got != 7 {
+		t.Fatalf("Earliest = %d, want 7", got)
+	}
+	if got := w.At(1); got != 7 {
+		t.Fatalf("At(1) = %d, want 7", got)
+	}
+	w.Schedule(1, 5000) // later again
+	if got := w.Earliest(); got != 5000 {
+		t.Fatalf("Earliest = %d, want 5000", got)
+	}
+	w.Advance(5000)
+	if got := popAll(w); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("popped %v, want [1]", got)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	w := New()
+	w.Schedule(3, 42)
+	w.Cancel(3)
+	if w.Scheduled(3) {
+		t.Fatal("actor still scheduled after Cancel")
+	}
+	if w.Earliest() != None {
+		t.Fatalf("Earliest = %d, want None", w.Earliest())
+	}
+	w.Cancel(3) // idempotent
+}
+
+// TestCascade schedules events at every level of the hierarchy and far
+// beyond it, then advances cycle ranges that force cascading.
+func TestCascade(t *testing.T) {
+	w := New()
+	at := []int64{3, 70, 64 * 64 * 3, 64 * 64 * 64 * 5, int64(1) << 40}
+	for a, c := range at {
+		w.Schedule(a, c)
+	}
+	for i, c := range at {
+		if got := w.Earliest(); got != c {
+			t.Fatalf("step %d: Earliest = %d, want %d", i, got, c)
+		}
+		w.Advance(c)
+		got := popAll(w)
+		if len(got) != 1 || got[0] != i {
+			t.Fatalf("at cycle %d popped %v, want [%d]", c, got, i)
+		}
+	}
+}
+
+func TestEarliestAcrossFrameBoundary(t *testing.T) {
+	w := New()
+	w.Advance(63)
+	w.Schedule(0, 64) // next level-0 frame: must live at level 1 until advance
+	if got := w.Earliest(); got != 64 {
+		t.Fatalf("Earliest = %d, want 64", got)
+	}
+	w.Advance(64)
+	if got := popAll(w); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("popped %v, want [0]", got)
+	}
+}
+
+func TestAdvancePastPendingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("advancing past a pending event did not panic")
+		}
+	}()
+	w := New()
+	w.Schedule(0, 5)
+	w.Advance(200) // crosses frames, forcing a re-place that detects the miss
+}
+
+// TestRandomizedAgainstModel drives the wheel with random schedules,
+// cancels and advances and checks Earliest/PopDue against a naive
+// reference model at every step.
+func TestRandomizedAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := New()
+	model := map[int]int64{} // actor -> cycle
+	now := int64(0)
+
+	modelEarliest := func() int64 {
+		min := int64(None)
+		//dramvet:allow detrange(min over values is order-insensitive)
+		for _, c := range model {
+			if c < min {
+				min = c
+			}
+		}
+		return min
+	}
+
+	for step := 0; step < 20000; step++ {
+		switch rng.Intn(4) {
+		case 0, 1: // schedule
+			a := rng.Intn(MaxActors)
+			// Mix near, mid, far and very far horizons.
+			var d int64
+			switch rng.Intn(4) {
+			case 0:
+				d = int64(rng.Intn(4))
+			case 1:
+				d = int64(rng.Intn(200))
+			case 2:
+				d = int64(rng.Intn(100_000))
+			case 3:
+				d = int64(rng.Intn(1 << 30))
+			}
+			w.Schedule(a, now+d)
+			model[a] = now + d
+		case 2: // cancel
+			a := rng.Intn(MaxActors)
+			w.Cancel(a)
+			delete(model, a)
+		case 3: // advance to the next event (or a bit into the void)
+			e := modelEarliest()
+			if e == None {
+				now += int64(rng.Intn(1000))
+				w.Advance(now)
+				continue
+			}
+			now = e
+			w.Advance(now)
+			got := popAll(w)
+			var want []int
+			//dramvet:allow detrange(want is compared as a set: length + membership checks below)
+			for a, c := range model {
+				if c == now {
+					want = append(want, a)
+				}
+			}
+			for _, a := range want {
+				delete(model, a)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("step %d cycle %d: popped %d actors, want %d", step, now, len(got), len(want))
+			}
+			for _, a := range got {
+				if _, ok := model[a]; ok {
+					t.Fatalf("step %d: actor %d popped but still due in model", step, a)
+				}
+			}
+		}
+		if got, want := w.Earliest(), modelEarliest(); got != want {
+			t.Fatalf("step %d (now %d): Earliest = %d, model %d", step, now, got, want)
+		}
+	}
+}
+
+func BenchmarkScheduleAdvancePop(b *testing.B) {
+	w := New()
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		w.Schedule(i&15, now+int64(i&1023)+1)
+		if e := w.Earliest(); e != None {
+			now = e
+			w.Advance(now)
+			w.PopDue()
+		}
+	}
+}

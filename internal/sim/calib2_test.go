@@ -33,7 +33,7 @@ func runSyn2(t *testing.T, pat workload.Pattern, cores int, storeFrac float64,
 	cfg.MaxMemCycles = budget
 	cfg.PrewarmOps = 1 << 20
 	sources := SyntheticSources(pat, cores, storeFrac)
-	sys, err := New(cfg, sources)
+	sys, err := NewFromConfig(cfg, sources)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -59,7 +59,7 @@ func runSynthetic(t *testing.T, pat workload.Pattern, cores int, storeFrac float
 		wc.Seed = int64(i + 1)
 		sources = append(sources, workload.MustSynthetic(wc))
 	}
-	sys, err := New(cfg, sources)
+	sys, err := NewFromConfig(cfg, sources)
 	if err != nil {
 		t.Fatal(err)
 	}

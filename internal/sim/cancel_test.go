@@ -19,7 +19,7 @@ func TestRunContextCancel(t *testing.T) {
 	cfg.MaxMemCycles = 1 << 40 // would take hours; cancellation must cut it short
 	cfg.WarmupMemCycles = 5_000
 	cfg.SampleInterval = 10_000
-	sys, err := New(cfg, SyntheticSources(workload.Sequential, 1, 0))
+	sys, err := NewFromConfig(cfg, SyntheticSources(workload.Sequential, 1, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestRunContextCancel(t *testing.T) {
 func TestRunContextCompletesOnBudget(t *testing.T) {
 	cfg := Default(1)
 	cfg.MaxMemCycles = 20_000
-	sys, err := New(cfg, SyntheticSources(workload.Sequential, 1, 0))
+	sys, err := NewFromConfig(cfg, SyntheticSources(workload.Sequential, 1, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestOnSampleStreams(t *testing.T) {
 	cfg.SampleInterval = 10_000
 	var live []int64
 	cfg.OnSample = func(s stacks.Sample) { live = append(live, s.End) }
-	sys, err := New(cfg, SyntheticSources(workload.Sequential, 1, 0))
+	sys, err := NewFromConfig(cfg, SyntheticSources(workload.Sequential, 1, 0))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,7 +23,7 @@ func goldenCompare(t *testing.T, name string, cfg Config, mk func() []cpu.Source
 		if c.OnSample != nil {
 			c.OnSample = func(s stacks.Sample) { *sink = append(*sink, s) }
 		}
-		sys, err := New(c, mk())
+		sys, err := NewFromConfig(c, mk())
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

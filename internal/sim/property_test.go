@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dramstacks/internal/cpu"
+	"dramstacks/internal/dram/standard"
+	"dramstacks/internal/memctrl"
+	"dramstacks/internal/stacks"
+	"dramstacks/internal/workload"
+)
+
+// randSpec is one randomly drawn simulation configuration. Everything
+// is derived deterministically from the test's seeded generator, so a
+// failure reproduces by index.
+type randSpec struct {
+	name    string
+	cfg     Config
+	seed    int64 // per-spec workload seed
+	cores   int
+	pattern workload.Pattern
+	// per-core workload shape, drawn per spec
+	footprint int
+	workPerOp int
+	chains    int
+	branch    int
+	mispred   float64
+	ops       int64 // >0: finite workload, run to completion
+}
+
+// drawSpec samples one spec from the cross product the issue names —
+// standards × cores × page policy — plus the workload and observation
+// axes the golden tests cover by hand (patterns, footprints, branch
+// behavior, warmup, sampling, finite runs, channel counts).
+func drawSpec(rng *rand.Rand, i int) randSpec {
+	names := standard.Names()
+	stdName := names[rng.Intn(len(names))]
+	std := standard.MustLookup(stdName)
+
+	sp := randSpec{
+		seed:      rng.Int63n(1 << 30),
+		cores:     1 + rng.Intn(4),
+		pattern:   workload.Sequential,
+		footprint: 1 << 14, // cache resident
+		workPerOp: rng.Intn(61),
+	}
+	if rng.Intn(2) == 0 {
+		sp.pattern = workload.Random
+		sp.chains = 1 + rng.Intn(4)
+	}
+	switch rng.Intn(3) {
+	case 1:
+		sp.footprint = 1 << 20 // LLC-sized: boundary traffic
+	case 2:
+		sp.footprint = 1 << 26 // DRAM-sized: saturating traffic
+	}
+	if rng.Intn(2) == 0 {
+		sp.branch = 2 + rng.Intn(7)
+		sp.mispred = float64(rng.Intn(11)) / 20 // 0 .. 0.5
+	}
+
+	cfg := DefaultFor(std, sp.cores)
+	if rng.Intn(2) == 0 {
+		cfg.Ctrl.Policy = memctrl.ClosedPage
+	}
+	if std.SubChannels <= 1 && rng.Intn(3) == 0 {
+		cfg.Channels = 2
+	}
+	cfg.MaxMemCycles = 6_000 + rng.Int63n(10_000)
+	if rng.Intn(4) == 0 {
+		cfg.WarmupMemCycles = cfg.MaxMemCycles / int64(2+rng.Intn(3))
+	}
+	if rng.Intn(2) == 0 {
+		cfg.SampleInterval = cfg.MaxMemCycles / int64(3+rng.Intn(5))
+		if rng.Intn(2) == 0 {
+			cfg.OnSample = func(stacks.Sample) {} // replaced per run by goldenCompare
+		}
+	}
+	if rng.Intn(4) == 0 {
+		cfg.PrewarmOps = 1 << 12
+	}
+	// Occasionally run a finite workload to completion instead, covering
+	// the done() exit and the post-drain idle tail.
+	if sp.cores <= 2 && rng.Intn(5) == 0 {
+		sp.ops = 300 + rng.Int63n(1_200)
+		cfg.MaxMemCycles = 0
+	}
+	sp.cfg = cfg
+	sp.name = fmt.Sprintf("%03d-%s-%dc-%s-%s", i, stdName, sp.cores,
+		sp.pattern, cfg.Ctrl.Policy)
+	return sp
+}
+
+// sources builds a fresh, identical source set for the spec; every
+// call returns streams with the same seeds, as goldenCompare requires.
+func (sp randSpec) sources() []cpu.Source {
+	var out []cpu.Source
+	for c := 0; c < sp.cores; c++ {
+		out = append(out, workload.MustSynthetic(workload.SyntheticConfig{
+			Pattern:        sp.pattern,
+			WorkPerOp:      sp.workPerOp,
+			Chains:         sp.chains,
+			FootprintBytes: uint64(sp.footprint),
+			StrideBytes:    64,
+			BranchEvery:    sp.branch,
+			MispredictRate: sp.mispred,
+			Ops:            sp.ops,
+			BaseAddr:       uint64(c) * (256 << 20),
+			Seed:           sp.seed + int64(c),
+		}))
+	}
+	return out
+}
+
+// TestGoldenRandomizedSpecs upgrades the hand-picked golden-equivalence
+// cases into a generative oracle: ~50 seeded random specs across the
+// registry's standards, core counts and page policies must produce
+// field-identical Results (and sample streams) in the event-wheel loop
+// and the reference per-cycle loop. The generator is seeded, so every
+// run checks the same 50 specs and a failure names the one to replay.
+// The CI race job runs this under -race via the Golden pattern.
+func TestGoldenRandomizedSpecs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized golden specs skipped in -short")
+	}
+	rng := rand.New(rand.NewSource(0x5eed7))
+	for i := 0; i < 50; i++ {
+		sp := drawSpec(rng, i)
+		t.Run(sp.name, func(t *testing.T) {
+			goldenCompare(t, sp.name, sp.cfg, sp.sources)
+		})
+	}
+}

@@ -10,6 +10,8 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math"
+	"math/bits"
 
 	"dramstacks/internal/addrmap"
 	"dramstacks/internal/cache"
@@ -18,6 +20,7 @@ import (
 	"dramstacks/internal/dram"
 	"dramstacks/internal/dram/standard"
 	"dramstacks/internal/memctrl"
+	"dramstacks/internal/sched"
 	"dramstacks/internal/stacks"
 )
 
@@ -48,6 +51,12 @@ func (m Mapping) String() string {
 }
 
 // Config describes a full-system experiment.
+//
+// Constructing a Config by field literal is deprecated for callers
+// outside this package: assemble systems with New(standard, ...Option)
+// instead, which starts from DefaultFor and applies options. The struct
+// remains exported (and DefaultFor remains the base-configuration
+// helper) so existing spec-driven code keeps working via WithConfig.
 type Config struct {
 	Cores   int
 	CPUMult int // CPU cycles per memory cycle
@@ -95,6 +104,9 @@ type Config struct {
 	// over all channels) as soon as it is cut, so long-running consumers
 	// (e.g. the dramstacksd service) can stream progress while the
 	// simulation is still executing. Requires SampleInterval > 0.
+	//
+	// Deprecated: attach an Observer (WithObserver / WithSampleFunc)
+	// instead; OnSample remains as a shim for existing callers.
 	OnSample func(s stacks.Sample)
 }
 
@@ -197,6 +209,32 @@ type System struct {
 	ctrlNext   []int64
 	slow       bool
 
+	// Sprint scratch (see sprint): per-core next-event cycle and the
+	// first CPU cycle each core has not yet simulated or replayed.
+	coreNext []int64
+	coreFrom []int64
+
+	// wheel is the event scheduler of the fast loop: controller actors
+	// (IDs 0..channels-1) carry each controller's next real tick cycle
+	// (including its refresh deadline when idle), and one actor each for
+	// the budget, warmup and sampler boundaries. The main loop pops due
+	// controllers per cycle and jumps straight to wheel.Earliest() when
+	// every core and the cache hierarchy are provably inert.
+	wheel *sched.Wheel
+
+	// readDone is the single pre-bound read-completion callback shared
+	// by every memory request (the per-request waiter travels in
+	// Request.Meta), so enqueuing allocates no closures.
+	readDone func(*memctrl.Request, int64)
+
+	// memActive flags that a request reached a memory controller since
+	// it was last cleared; the sprint loop uses it to detect that the
+	// memory system woke up and per-cycle controller phases are needed
+	// again.
+	memActive bool
+
+	observers []Observer
+
 	cycleSamples []cyclestack.Stack
 	lastCycle    cyclestack.Stack
 	nextCut      int64
@@ -208,9 +246,19 @@ type System struct {
 	warmed  bool
 }
 
-// New assembles a system running the given per-core instruction sources
-// (len(sources) must equal cfg.Cores).
-func New(cfg Config, sources []cpu.Source) (*System, error) {
+// NewFromConfig assembles a system from a fully built Config running
+// the given per-core instruction sources (len(sources) must equal
+// cfg.Cores).
+//
+// Deprecated: use New(standard, WithSources(...), ...) — or, for
+// spec-driven callers that already hold a Config, New(standard,
+// WithConfig(cfg), WithSources(...)).
+func NewFromConfig(cfg Config, sources []cpu.Source) (*System, error) {
+	return newSystem(cfg, sources)
+}
+
+// newSystem assembles a system; New and NewFromConfig front it.
+func newSystem(cfg Config, sources []cpu.Source) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -251,6 +299,9 @@ func New(cfg Config, sources []cpu.Source) (*System, error) {
 		}
 		ctrlCfg := cfg.Ctrl
 		ctrlCfg.SampleInterval = cfg.SampleInterval
+		// The simulator never retains a *Request past its completion
+		// callback, so the controllers recycle request objects.
+		ctrlCfg.Recycle = true
 		ctrl, err := memctrl.New(dev, mapper, ctrlCfg)
 		if err != nil {
 			return nil, err
@@ -260,8 +311,24 @@ func New(cfg Config, sources []cpu.Source) (*System, error) {
 	s.slow = SlowTick
 	s.ctrlTicked = make([]int64, channels)
 	s.ctrlNext = make([]int64, channels)
+	s.coreNext = make([]int64, cfg.Cores)
+	s.coreFrom = make([]int64, cfg.Cores)
+	s.wheel = sched.New()
 	for ch := range s.ctrlTicked {
 		s.ctrlTicked[ch] = -1
+		s.wheel.Schedule(ch, 0)
+	}
+	if cfg.MaxMemCycles > 0 {
+		s.wheel.Schedule(s.budgetActor(), cfg.MaxMemCycles)
+	}
+	if cfg.WarmupMemCycles > 0 {
+		s.wheel.Schedule(s.warmupActor(), cfg.WarmupMemCycles)
+	}
+	if cfg.SampleInterval > 0 {
+		s.wheel.Schedule(s.samplerActor(), cfg.SampleInterval)
+	}
+	s.readDone = func(r *memctrl.Request, at int64) {
+		r.Meta.(cache.Waiter).MemDone(at*int64(s.cfg.CPUMult), r.QueueFraction())
 	}
 	s.hier, err = cache.NewHierarchy(cfg.Hier, (*memPort)(s))
 	if err != nil {
@@ -323,6 +390,11 @@ func (s *System) prewarm(sources []cpu.Source) {
 	}
 }
 
+// Boundary actor IDs in the event wheel (after the controller actors).
+func (s *System) budgetActor() int  { return s.channels }
+func (s *System) warmupActor() int  { return s.channels + 1 }
+func (s *System) samplerActor() int { return s.channels + 2 }
+
 // memPort adapts the memory controller to the cache hierarchy's CPU-cycle
 // view of time.
 type memPort System
@@ -346,23 +418,26 @@ func (s *System) enqueueTarget(addr uint64) *memctrl.Controller {
 		s.catchUpCtrl(ch, s.memCycle-1)
 		if s.ctrlNext[ch] > s.memCycle {
 			s.ctrlNext[ch] = s.memCycle
+			s.wheel.Schedule(ch, s.memCycle)
 		}
 	}
 	return s.ctrls[ch]
 }
 
-// Read implements cache.MemPort.
-func (p *memPort) Read(nowCPU int64, addr uint64, onDone func(int64, float64)) bool {
+// Read implements cache.MemPort. The waiter rides in Request.Meta and
+// the completion path goes through the system's single pre-bound
+// callback, so a read enqueues without allocating.
+func (p *memPort) Read(nowCPU int64, addr uint64, w cache.Waiter) bool {
 	s := (*System)(p)
-	_, ok := s.enqueueTarget(addr).EnqueueRead(s.memCycle, addr, func(r *memctrl.Request, at int64) {
-		onDone(at*int64(s.cfg.CPUMult), r.QueueFraction())
-	}, nil)
+	s.memActive = true
+	_, ok := s.enqueueTarget(addr).EnqueueRead(s.memCycle, addr, s.readDone, w)
 	return ok
 }
 
 // Write implements cache.MemPort.
 func (p *memPort) Write(nowCPU int64, addr uint64) bool {
 	s := (*System)(p)
+	s.memActive = true
 	_, ok := s.enqueueTarget(addr).EnqueueWrite(s.memCycle, addr, nil, nil)
 	return ok
 }
@@ -411,18 +486,44 @@ func (s *System) RunContext(ctx context.Context) *Result {
 	done := ctx.Done()
 simLoop:
 	for {
-		m := s.memCycle
-		for c := 0; c < s.cfg.CPUMult; c++ {
-			cpuNow := m*int64(s.cfg.CPUMult) + int64(c)
-			for _, core := range s.cores {
-				core.CPUCycle(cpuNow)
+		if s.sprintable() {
+			s.sprint()
+		} else {
+			m := s.memCycle
+			// Sleep is only reachable with a demand miss in flight, so
+			// TrySleep is skipped entirely on miss-free cycles.
+			canSleep := s.hier.OutstandingMisses() > 0
+			for c := 0; c < s.cfg.CPUMult; c++ {
+				cpuNow := m*int64(s.cfg.CPUMult) + int64(c)
+				for _, core := range s.cores {
+					// A core sleeping through a DRAM stall is not ticked;
+					// when a memory completion has arrived for it, the
+					// skipped stall cycles are replayed in closed form and
+					// it resumes here.
+					if core.Asleep() {
+						if !core.NeedsWake() {
+							continue
+						}
+						core.Resume(cpuNow)
+					}
+					core.CPUCycle(cpuNow)
+					if canSleep {
+						core.TrySleep(cpuNow)
+					}
+				}
+				s.hier.Tick(cpuNow)
 			}
-			s.hier.Tick(cpuNow)
 		}
-		for ch := range s.ctrls {
-			if s.ctrlNext[ch] <= m {
-				s.catchUpCtrl(ch, m)
+		m := s.memCycle
+		s.wheel.Advance(m)
+		for mask := s.wheel.PopDue(); mask != 0; {
+			a := bits.TrailingZeros64(mask)
+			mask &^= 1 << uint(a)
+			if a < s.channels {
+				s.catchUpCtrl(a, m)
 			}
+			// Boundary actors (budget/warmup/sampler) are pure jump
+			// clamps; the bookkeeping below observes their cycles.
 		}
 		s.memCycle++
 
@@ -437,11 +538,13 @@ simLoop:
 					s.warmLat = append(s.warmLat, ctrl.LatencyStack())
 				}
 				s.warmed = true
+				s.wheel.Cancel(s.warmupActor())
 			}
 			if s.cfg.SampleInterval > 0 && s.memCycle-s.nextCut >= s.cfg.SampleInterval {
 				s.catchUpAll(s.memCycle - 1)
 				s.cutCycleSample()
 				s.publishSamples()
+				s.wheel.Schedule(s.samplerActor(), s.nextCut+s.cfg.SampleInterval)
 			}
 			if s.cfg.MaxMemCycles > 0 && s.memCycle >= s.cfg.MaxMemCycles {
 				break simLoop
@@ -463,9 +566,10 @@ simLoop:
 			if skip <= s.memCycle {
 				break
 			}
-			n := skip - s.memCycle
+			from := s.memCycle * int64(s.cfg.CPUMult)
+			n := (skip - s.memCycle) * int64(s.cfg.CPUMult)
 			for _, core := range s.cores {
-				core.FastForward(n * int64(s.cfg.CPUMult))
+				core.FastForward(from, n)
 			}
 			s.memCycle = skip
 		}
@@ -476,17 +580,19 @@ simLoop:
 	}
 	s.finishCycleSample()
 	s.publishSamples()
+	s.notifyDone()
 	return s.result()
 }
 
 // catchUpCtrl brings controller ch up to date through memory cycle
-// target: idle gaps (cycles before the controller's next real event) are
-// replayed in closed form, everything else — at most the refresh cycles
-// of a long gap — is ticked normally. Replaying later is byte-identical
+// target: quiet gaps (cycles before the controller's next real event,
+// pure refresh waits followed by idle) are replayed in closed form,
+// everything else is ticked normally. Replaying later is byte-identical
 // to ticking inline because no requests arrived in between (enqueues
 // catch the controller up first), so the controller's evolution over the
 // gap is closed.
 func (s *System) catchUpCtrl(ch int, target int64) {
+	ticked := false
 	for s.ctrlTicked[ch] < target {
 		t := s.ctrlTicked[ch] + 1
 		if next := s.ctrlNext[ch]; t < next {
@@ -494,13 +600,17 @@ func (s *System) catchUpCtrl(ch int, target int64) {
 			if next-1 < end {
 				end = next - 1
 			}
-			s.ctrls[ch].FastForwardIdle(t, end)
+			s.ctrls[ch].FastForwardQuiet(t, end)
 			s.ctrlTicked[ch] = end
 		} else {
 			s.ctrls[ch].Tick(t)
 			s.ctrlTicked[ch] = t
 			s.ctrlNext[ch] = s.ctrls[ch].NextEventCycle(t)
+			ticked = true
 		}
+	}
+	if ticked {
+		s.wheel.Schedule(ch, s.ctrlNext[ch])
 	}
 }
 
@@ -509,6 +619,148 @@ func (s *System) catchUpCtrl(ch int, target int64) {
 func (s *System) catchUpAll(target int64) {
 	for ch := range s.ctrls {
 		s.catchUpCtrl(ch, target)
+	}
+}
+
+// sprintable reports whether the CPU side can run in the sprint loop:
+// every memory controller is provably idle until after the next memory
+// cycle (the wheel's earliest event — controller work, refresh deadline
+// or a warmup/sample/budget boundary — is at least two cycles out) and
+// no core is sleeping. Controllers with queued or in-flight requests
+// always have their next event at the very next cycle, so a far
+// earliest event implies an empty memory system, which in turn implies
+// no outstanding misses and no sleeping core to resume.
+func (s *System) sprintable() bool {
+	if s.wheel.Earliest() <= s.memCycle+1 {
+		return false
+	}
+	for _, core := range s.cores {
+		if core.Asleep() {
+			return false
+		}
+	}
+	return true
+}
+
+// sprint simulates CPU subcycles in a tight loop while the memory
+// system is empty: no controller phases, no sleep checks, no per-cycle
+// bookkeeping — just core cycles, cache ticks and closed-form
+// fast-forwarding at CPU-cycle granularity. It runs until the wheel's
+// next event is due, or until a core request reaches a controller
+// (memActive), and returns with s.memCycle at the last cycle whose
+// subcycles were simulated; the caller proceeds with that cycle's
+// controller phase and bookkeeping. Everything it does is byte-
+// identical to the per-cycle loop: skipped cycles satisfy the cores'
+// NextEventCycle contracts, and the memory cycles it covers have empty
+// controller phases by the wheel invariant.
+func (s *System) sprint() {
+	limit := s.wheel.Earliest() - 1 // cycles m..limit have empty ctrl phases
+	mult := int64(s.cfg.CPUMult)
+	cpu := s.memCycle * mult
+	end := (limit + 1) * mult // first CPU cycle past the sprintable range
+	// Stale activity from before this sprint is already handled:
+	// sprintable proved every controller idle. Only a wake-up during
+	// the sprint matters below.
+	s.memActive = false
+	nxt, from := s.coreNext, s.coreFrom
+	for i, core := range s.cores {
+		nxt[i] = core.NextEventCycle(cpu)
+		from[i] = cpu
+	}
+	for {
+		// Earliest cycle any core must simulate for real. Cores are
+		// independent between memory interactions, so each one is ticked
+		// only on its own event cycles; the provably repetitive stretch
+		// since from[i] is replayed in closed form right before, and a
+		// core with no due event just accrues owed cycles.
+		e := int64(math.MaxInt64)
+		for _, t := range nxt {
+			if t < e {
+				e = t
+			}
+		}
+		if e == math.MaxInt64 && !s.hier.Pending() {
+			// Every core has committed its stream (NextEventCycle is
+			// MaxInt64 only for a Done core) with nothing left in the
+			// memory system: the reference loop exits at the next
+			// memory-cycle boundary, not at the next wheel event, so
+			// finish this memory cycle and let the caller's done() check
+			// end the run on exactly the same cycle.
+			b := (cpu + mult - 1) / mult * mult
+			for i, core := range s.cores {
+				if d := b - from[i]; d > 0 {
+					core.FastForward(from[i], d)
+				}
+			}
+			s.memCycle = b/mult - 1
+			return
+		}
+		if e > cpu {
+			j := e
+			if j > end {
+				j = end
+			}
+			if s.hier.Pending() {
+				// A writeback backlog still needs its per-cycle retry;
+				// core cycles stay owed.
+				for cpu < j && !s.memActive {
+					s.memCycle = cpu / mult
+					s.hier.Tick(cpu)
+					cpu++
+				}
+			} else {
+				cpu = j
+			}
+		}
+		if !s.memActive {
+			if cpu >= end {
+				for i, core := range s.cores {
+					if d := end - from[i]; d > 0 {
+						core.FastForward(from[i], d)
+					}
+				}
+				s.memCycle = limit
+				return
+			}
+			if e <= cpu {
+				// Real cycle for the due cores: memPort timestamps
+				// enqueues with s.memCycle, so keep it current.
+				s.memCycle = cpu / mult
+				for i, core := range s.cores {
+					if nxt[i] > cpu {
+						continue
+					}
+					if d := cpu - from[i]; d > 0 {
+						core.FastForward(from[i], d)
+					}
+					core.CPUCycle(cpu)
+					from[i] = cpu + 1
+					nxt[i] = core.NextEventCycle(cpu + 1)
+				}
+				s.hier.Tick(cpu)
+				cpu++
+			}
+		}
+		if s.memActive {
+			// A request reached a controller: replay every core's owed
+			// cycles and finish this memory cycle's remaining subcycles,
+			// so the caller can run its controller phase exactly like
+			// the per-cycle loop.
+			for i, core := range s.cores {
+				if d := cpu - from[i]; d > 0 {
+					core.FastForward(from[i], d)
+				}
+			}
+			for cpu%mult != 0 {
+				for _, core := range s.cores {
+					core.CPUCycle(cpu)
+				}
+				s.hier.Tick(cpu)
+				cpu++
+			}
+			s.memActive = false
+			return
+		}
 	}
 }
 
@@ -620,14 +872,16 @@ func (s *System) runSlow(ctx context.Context) *Result {
 	}
 	s.finishCycleSample()
 	s.publishSamples()
+	s.notifyDone()
 	return s.result()
 }
 
 // publishSamples delivers any newly cut per-channel samples to the
-// OnSample hook, aggregated across channels (all channels sample on the
-// same cycle grid, so index i lines up).
+// observers (and the deprecated OnSample hook), aggregated across
+// channels (all channels sample on the same cycle grid, so index i
+// lines up), then reports progress to the observers.
 func (s *System) publishSamples() {
-	if s.cfg.OnSample == nil {
+	if s.cfg.OnSample == nil && len(s.observers) == 0 {
 		return
 	}
 	n := len(s.ctrls[0].Samples())
@@ -636,6 +890,7 @@ func (s *System) publishSamples() {
 			n = k
 		}
 	}
+	published := n > s.published
 	for i := s.published; i < n; i++ {
 		merged := s.ctrls[0].Samples()[i]
 		for _, ctrl := range s.ctrls[1:] {
@@ -643,9 +898,31 @@ func (s *System) publishSamples() {
 			merged.BW.Add(sc.BW)
 			merged.Lat.Add(sc.Lat)
 		}
-		s.cfg.OnSample(merged)
+		if s.cfg.OnSample != nil {
+			s.cfg.OnSample(merged)
+		}
+		for _, o := range s.observers {
+			o.Sample(merged)
+		}
 	}
 	s.published = n
+	if published {
+		for _, o := range s.observers {
+			o.Progress(s.memCycle, s.cfg.MaxMemCycles)
+		}
+	}
+}
+
+// notifyDone tells the observers the run ended: Cancelled first when the
+// context stopped it early, then a final Progress with the last
+// simulated memory cycle.
+func (s *System) notifyDone() {
+	for _, o := range s.observers {
+		if s.cancelled {
+			o.Cancelled(s.memCycle)
+		}
+		o.Progress(s.memCycle, s.cfg.MaxMemCycles)
+	}
 }
 
 func (s *System) done() bool {
@@ -670,7 +947,18 @@ func (s *System) aggregateCycleStack() cyclestack.Stack {
 	return agg
 }
 
+// syncSleepers replays sleeping cores' skipped stall cycles up to the
+// current simulation time, so cycle stacks can be read mid-sleep. A
+// no-op for awake cores.
+func (s *System) syncSleepers() {
+	upto := s.memCycle * int64(s.cfg.CPUMult)
+	for _, c := range s.cores {
+		c.SyncSleep(upto)
+	}
+}
+
 func (s *System) cutCycleSample() {
+	s.syncSleepers()
 	cur := s.aggregateCycleStack()
 	s.cycleSamples = append(s.cycleSamples, cur.Sub(s.lastCycle))
 	s.lastCycle = cur
@@ -729,6 +1017,7 @@ type Result struct {
 }
 
 func (s *System) result() *Result {
+	s.syncSleepers()
 	r := &Result{
 		Cfg:          s.cfg,
 		Channels:     s.channels,

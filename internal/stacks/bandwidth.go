@@ -162,6 +162,15 @@ func (a *BandwidthAccountant) AccountIdle(n int64) {
 	a.full[BWIdle] += n
 }
 
+// AccountRefreshing classifies n consecutive channel cycles as refresh
+// in closed form. It is exactly equivalent to n Account calls with a
+// CycleView carrying no data and Refreshing set — the basis of
+// refresh-wait fast-forwarding.
+func (a *BandwidthAccountant) AccountRefreshing(n int64) {
+	a.total += n
+	a.full[BWRefresh] += n
+}
+
 // Stack returns the accumulated bandwidth stack.
 func (a *BandwidthAccountant) Stack() BandwidthStack {
 	s := BandwidthStack{Banks: a.banks, TotalCycles: a.total}

@@ -211,6 +211,11 @@ func (c *Client) Job(ctx context.Context, id string) (service.StatusJSON, error)
 	return getJSON[service.StatusJSON](c, ctx, "/v1/jobs/"+url.PathEscape(id))
 }
 
+// Jobs lists every job the server knows, oldest first (GET /v1/jobs).
+func (c *Client) Jobs(ctx context.Context) ([]service.StatusJSON, error) {
+	return getJSON[[]service.StatusJSON](c, ctx, "/v1/jobs")
+}
+
 // WaitJob polls until the job reaches a terminal state.
 func (c *Client) WaitJob(ctx context.Context, id string) (service.StatusJSON, error) {
 	for {
@@ -249,6 +254,38 @@ func (c *Client) Standards(ctx context.Context) ([]standard.Info, error) {
 	return getJSON[[]standard.Info](c, ctx, "/v1/standards")
 }
 
+// Health probes the liveness endpoint (GET /healthz). It returns nil
+// when the service answers, so a deploy script or readiness gate can
+// reuse the client's backoff instead of hand-rolling a poll loop.
+func (c *Client) Health(ctx context.Context) error {
+	_, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	return err
+}
+
+// Samples streams a job's through-time samples as they are produced
+// (GET /v1/jobs/{id}/samples), calling fn once per sample in order,
+// and returns the number of samples delivered. The stream follows the
+// run live until the job reaches a terminal state. Like SweepResults,
+// a dropped connection — including a service restart — reconnects with
+// ?from=<samples delivered>, so fn never sees a sample twice and never
+// misses one. The job must have been submitted with "sample" > 0.
+func (c *Client) Samples(ctx context.Context, id string, fn func(exp.SampleJSON) error) (int, error) {
+	path := "/v1/jobs/" + url.PathEscape(id) + "/samples"
+	terminal := func() (bool, error) {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return false, err
+		}
+		return st.State.Terminal(), nil
+	}
+	return followStream(c, ctx, path, terminal, fn)
+}
+
+// Sweeps lists every sweep, oldest first (GET /v1/sweeps).
+func (c *Client) Sweeps(ctx context.Context) ([]service.SweepStatusJSON, error) {
+	return getJSON[[]service.SweepStatusJSON](c, ctx, "/v1/sweeps")
+}
+
 // SubmitSweep submits a raw sweep document (POST /v1/sweeps).
 func (c *Client) SubmitSweep(ctx context.Context, doc []byte) (service.SweepStatusJSON, error) {
 	return postJSON[service.SweepStatusJSON](c, ctx, "/v1/sweeps", doc)
@@ -273,21 +310,36 @@ func (c *Client) CancelSweep(ctx context.Context, id string) error {
 // reconnects with ?from=<lines delivered so far>, so fn never sees a
 // line twice and never misses one.
 func (c *Client) SweepResults(ctx context.Context, id string, fn func(service.SweepResultLine) error) (int, error) {
+	path := "/v1/sweeps/" + url.PathEscape(id) + "/results"
+	terminal := func() (bool, error) {
+		st, err := c.Sweep(ctx, id)
+		if err != nil {
+			return false, err
+		}
+		return st.State != "running", nil
+	}
+	return followStream(c, ctx, path, terminal, fn)
+}
+
+// followStream consumes the resumable NDJSON endpoint at path, calling
+// fn once per decoded line, until the watched entity is terminal. A
+// dropped connection reconnects with ?from=<lines delivered>. A clean
+// EOF is trusted only once terminal() confirms it: a restarting server
+// can end a chunked response cleanly.
+func followStream[T any](c *Client, ctx context.Context, path string, terminal func() (bool, error), fn func(T) error) (int, error) {
 	delivered := 0
 	for attempt := 1; ; {
-		n, err := c.streamResults(ctx, id, delivered, fn)
+		n, err := streamLines(c, ctx, path, delivered, fn)
 		delivered += n
 		if err == nil {
-			// Clean EOF. Trust it only once the sweep really is terminal:
-			// a restarting server can end a chunked response cleanly.
-			st, serr := c.Sweep(ctx, id)
-			if serr != nil {
-				return delivered, serr
+			done, terr := terminal()
+			if terr != nil {
+				return delivered, terr
 			}
-			if st.State != "running" {
+			if done {
 				return delivered, nil
 			}
-			err = errors.New("stream ended while sweep still running")
+			err = errors.New("stream ended while the run was still live")
 		}
 		if ctx.Err() != nil {
 			return delivered, ctx.Err()
@@ -312,11 +364,11 @@ func (c *Client) SweepResults(ctx context.Context, id string, fn func(service.Sw
 	}
 }
 
-// streamResults reads one connection's worth of result lines starting
-// at offset from, returning how many lines it delivered.
-func (c *Client) streamResults(ctx context.Context, id string, from int, fn func(service.SweepResultLine) error) (int, error) {
-	path := "/v1/sweeps/" + url.PathEscape(id) + "/results?from=" + strconv.Itoa(from)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+// streamLines reads one connection's worth of NDJSON lines starting at
+// offset from, returning how many lines it delivered.
+func streamLines[T any](c *Client, ctx context.Context, path string, from int, fn func(T) error) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+path+"?from="+strconv.Itoa(from), nil)
 	if err != nil {
 		return 0, err
 	}
@@ -337,9 +389,9 @@ func (c *Client) streamResults(ctx context.Context, id string, from int, fn func
 		if len(line) == 0 {
 			continue
 		}
-		var out service.SweepResultLine
+		var out T
 		if err := json.Unmarshal(line, &out); err != nil {
-			return n, fmt.Errorf("bad result line: %w", err)
+			return n, fmt.Errorf("bad stream line: %w", err)
 		}
 		if err := fn(out); err != nil {
 			return n, err

@@ -326,3 +326,104 @@ func TestClientRidesThroughRestart(t *testing.T) {
 		t.Fatalf("stacks changed across restart:\npre  %s\npost %s", want, got)
 	}
 }
+
+func TestJobsAndSweepsLists(t *testing.T) {
+	_, ts := startService(t, service.Config{Workers: 2})
+	c := New(ts.URL, Options{Retry: fastRetry()})
+	ctx := context.Background()
+
+	sub, err := c.SubmitJob(ctx, testSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitJob(ctx, sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := c.SubmitSweep(ctx, []byte(`{"base": {"workload": "seq", "cycles": 20000}, "axes": {"cores": [1, 2]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, j := range jobs {
+		if j.ID == sub.ID {
+			found = true
+			if j.State != service.StateDone {
+				t.Errorf("listed job %s state = %s, want done", j.ID, j.State)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("Jobs() = %d entries, none with id %s", len(jobs), sub.ID)
+	}
+
+	sweeps, err := c.Sweeps(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found = false
+	for _, s := range sweeps {
+		found = found || s.ID == sw.ID
+	}
+	if !found {
+		t.Fatalf("Sweeps() = %d entries, none with id %s", len(sweeps), sw.ID)
+	}
+}
+
+func TestHealth(t *testing.T) {
+	_, ts := startService(t, service.Config{Workers: 1})
+	c := New(ts.URL, Options{Retry: fastRetry()})
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health() = %v, want nil", err)
+	}
+
+	down := New("http://127.0.0.1:1", Options{Retry: RetryPolicy{
+		MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}})
+	if err := down.Health(context.Background()); err == nil {
+		t.Fatal("Health() against a closed port = nil, want error")
+	}
+}
+
+func TestSamplesStream(t *testing.T) {
+	_, ts := startService(t, service.Config{Workers: 2})
+	c := New(ts.URL, Options{Retry: fastRetry()})
+	ctx := context.Background()
+
+	spec, err := exp.DecodeSpec([]byte(`{"workload":"seq","cores":1,"cycles":20000,"sample":2000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.SubmitJob(ctx, spec.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []exp.SampleJSON
+	n, err := c.Samples(ctx, sub.ID, func(s exp.SampleJSON) error {
+		got = append(got, s)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || len(got) != n {
+		t.Fatalf("streamed %d samples (%d collected), want > 0", n, len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].EndCycle <= got[i-1].EndCycle {
+			t.Fatalf("samples out of order: end_cycle %d after %d", got[i].EndCycle, got[i-1].EndCycle)
+		}
+	}
+
+	// A job submitted without sampling reports conflict, not retry-loop.
+	plain, err := c.SubmitJob(ctx, testSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Samples(ctx, plain.ID, func(exp.SampleJSON) error { return nil }); err == nil {
+		t.Fatal("Samples() on a sampling-off job = nil, want error")
+	}
+}
