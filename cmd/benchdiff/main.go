@@ -7,14 +7,18 @@
 //
 //	benchdiff -threshold 0.10 -alloc-threshold 0.10 BENCH_7.json BENCH_PR.json
 //
-// Cases are matched by name and mode; cases present in only one file
-// are reported but do not affect either gate, and cases with a
-// non-finite ratio (a zero or NaN reading on either side) are skipped
-// with a warning rather than poisoning the geomean. The same rule
-// applies per-gate: a case with no allocation reading skips the
-// ratchet but still enters the throughput gate. If every common case
-// is skipped for a gate, the comparison errors out: a gate with no
-// sound input must not pass.
+// Cases are matched by name and mode. A baseline case missing from the
+// new run fails the comparison: a deleted or silently-not-running
+// benchmark would otherwise shrink the gate's coverage without anyone
+// noticing. Pass -allow-missing when the deletion is intentional (and
+// refresh the baseline in the same change). Cases only in the new run
+// are reported but do not affect either gate — they read as "needs a
+// baseline refresh" — and cases with a non-finite ratio (a zero or NaN
+// reading on either side) are skipped with a warning rather than
+// poisoning the geomean. The same rule applies per-gate: a case with no
+// allocation reading skips the ratchet but still enters the throughput
+// gate. If every common case is skipped for a gate, the comparison
+// errors out: a gate with no sound input must not pass.
 package main
 
 import (
@@ -35,11 +39,13 @@ func main() {
 		"maximum allowed geomean throughput regression (0.10 = 10%)")
 	allocThreshold := flag.Float64("alloc-threshold", 0.10,
 		"maximum allowed geomean allocs_per_op growth (0.10 = 10%)")
+	allowMissing := flag.Bool("allow-missing", false,
+		"tolerate baseline cases missing from the new run (intentional case removals)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		log.Fatal("usage: benchdiff [-threshold 0.10] [-alloc-threshold 0.10] OLD.json NEW.json")
+		log.Fatal("usage: benchdiff [-threshold 0.10] [-alloc-threshold 0.10] [-allow-missing] OLD.json NEW.json")
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *threshold, *allocThreshold, os.Stdout); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *threshold, *allocThreshold, *allowMissing, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -47,7 +53,7 @@ func main() {
 // run loads, compares and gates; every failure mode (unreadable file,
 // no common cases, all-skipped, regression past either threshold)
 // comes back as an error so main can exit non-zero.
-func run(oldPath, newPath string, threshold, allocThreshold float64, w io.Writer) error {
+func run(oldPath, newPath string, threshold, allocThreshold float64, allowMissing bool, w io.Writer) error {
 	oldF, err := benchfmt.Load(oldPath)
 	if err != nil {
 		return err
@@ -57,9 +63,13 @@ func run(oldPath, newPath string, threshold, allocThreshold float64, w io.Writer
 		return err
 	}
 	cmp, err := benchfmt.Compare(oldF, newF)
-	report(w, cmp)
+	oldOnly := report(w, cmp)
 	if err != nil {
 		return err
+	}
+	if len(oldOnly) > 0 && !allowMissing {
+		return fmt.Errorf("FAIL: %d baseline case(s) missing from the new run: %s (pass -allow-missing if the removal is intentional)",
+			len(oldOnly), strings.Join(oldOnly, ", "))
 	}
 
 	fmt.Fprintf(w, "\ngeomean throughput ratio over %d cases: %.3fx (gate: >= %.3fx)\n",
@@ -81,7 +91,9 @@ func run(oldPath, newPath string, threshold, allocThreshold float64, w io.Writer
 	return nil
 }
 
-func report(w io.Writer, cmp benchfmt.Comparison) {
+// report prints the per-case table and returns the baseline cases the
+// new run is missing, for the caller's missing-case gate.
+func report(w io.Writer, cmp benchfmt.Comparison) (oldOnly []string) {
 	fmt.Fprintf(w, "%-28s %14s %14s %8s %9s\n", "case", "old cyc/s", "new cyc/s", "ratio", "allocs")
 	var newOnly []string
 	for _, r := range cmp.Rows {
@@ -103,6 +115,7 @@ func report(w io.Writer, cmp benchfmt.Comparison) {
 				r.Key, r.Old, r.New)
 		case benchfmt.OldOnly:
 			fmt.Fprintf(w, "%-28s %14.4g %14s %8s %9s\n", r.Key, r.Old, "missing", "-", "-")
+			oldOnly = append(oldOnly, r.Key)
 		case benchfmt.NewOnly:
 			fmt.Fprintf(w, "%-28s %14s %14.4g %8s %9s\n", r.Key, "new case", r.New, "-", "-")
 			newOnly = append(newOnly, r.Key)
@@ -115,4 +128,5 @@ func report(w io.Writer, cmp benchfmt.Comparison) {
 		log.Printf("note: %d case(s) not in the baseline, excluded from the gate: %s",
 			len(newOnly), strings.Join(newOnly, ", "))
 	}
+	return oldOnly
 }

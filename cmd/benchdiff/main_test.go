@@ -50,7 +50,7 @@ func TestRunPassesWithinThreshold(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 100, "b": 100}))
 	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"a": 95, "b": 100}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, 0.10, &out); err != nil {
+	if err := run(oldP, newP, 0.10, 0.10, false, &out); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "PASS") {
@@ -63,7 +63,7 @@ func TestRunFailsOnRegression(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 100}))
 	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"a": 80}))
 	var out bytes.Buffer
-	err := run(oldP, newP, 0.10, 0.10, &out)
+	err := run(oldP, newP, 0.10, 0.10, false, &out)
 	if err == nil || !strings.Contains(err.Error(), "regressed") {
 		t.Fatalf("err = %v, want regression failure", err)
 	}
@@ -78,7 +78,7 @@ func TestRunSkipsZeroBaseline(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"poison": 0, "a": 100, "b": 100}))
 	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"poison": 100, "a": 100, "b": 100}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, 0.10, &out); err != nil {
+	if err := run(oldP, newP, 0.10, 0.10, false, &out); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	s := out.String()
@@ -99,7 +99,7 @@ func TestRunTreatsNewCasesAsNew(t *testing.T) {
 		"synth/seq-1c": 100, "synth/seq-8c": 100,
 		"std/ddr5-seq-4c": 50, "std/hbm2-seq-4c": 60}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, 0.10, &out); err != nil {
+	if err := run(oldP, newP, 0.10, 0.10, false, &out); err != nil {
 		t.Fatalf("run errored on baseline-absent cases: %v\n%s", err, out.String())
 	}
 	s := out.String()
@@ -118,7 +118,7 @@ func TestRunErrsWhenAllSkipped(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 0}))
 	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"a": 100}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, 0.10, &out); err == nil {
+	if err := run(oldP, newP, 0.10, 0.10, false, &out); err == nil {
 		t.Fatalf("run passed with nothing sound to gate on:\n%s", out.String())
 	}
 }
@@ -132,7 +132,7 @@ func TestRunFailsOnAllocRegression(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", allocFile(map[string]uint64{"a": 100, "b": 100}))
 	newP := writeBench(t, dir, "new.json", allocFile(map[string]uint64{"a": 130, "b": 100}))
 	var out bytes.Buffer
-	err := run(oldP, newP, 0.10, 0.10, &out)
+	err := run(oldP, newP, 0.10, 0.10, false, &out)
 	if err == nil || !strings.Contains(err.Error(), "allocs_per_op grew") {
 		t.Fatalf("err = %v, want allocation ratchet failure\n%s", err, out.String())
 	}
@@ -143,7 +143,7 @@ func TestRunPassesWithinAllocThreshold(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", allocFile(map[string]uint64{"a": 100, "b": 100}))
 	newP := writeBench(t, dir, "new.json", allocFile(map[string]uint64{"a": 105, "b": 100}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, 0.10, &out); err != nil {
+	if err := run(oldP, newP, 0.10, 0.10, false, &out); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "allocs_per_op ratio") {
@@ -159,7 +159,7 @@ func TestRunSkipsMissingAllocReading(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", allocFile(map[string]uint64{"noalloc": 0, "a": 100}))
 	newP := writeBench(t, dir, "new.json", allocFile(map[string]uint64{"noalloc": 500, "a": 100}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, 0.10, &out); err != nil {
+	if err := run(oldP, newP, 0.10, 0.10, false, &out); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	s := out.String()
@@ -173,7 +173,7 @@ func TestRunErrsWhenAllAllocsSkipped(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", allocFile(map[string]uint64{"a": 0, "b": 0}))
 	newP := writeBench(t, dir, "new.json", allocFile(map[string]uint64{"a": 10, "b": 10}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, 0.10, &out); err == nil {
+	if err := run(oldP, newP, 0.10, 0.10, false, &out); err == nil {
 		t.Fatalf("run passed with nothing sound to ratchet on:\n%s", out.String())
 	}
 }
@@ -183,8 +183,46 @@ func TestRunErrsOnDisjointFiles(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 100}))
 	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"b": 100}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, 0.10, &out); err == nil {
+	if err := run(oldP, newP, 0.10, 0.10, false, &out); err == nil {
 		t.Fatal("run passed with no common cases")
+	}
+}
+
+// TestRunFailsOnMissingBaselineCase covers the coverage ratchet: a
+// baseline case absent from the new run (a deleted or silently
+// not-running benchmark) fails the comparison even when every common
+// case is healthy, so the gate cannot shrink unnoticed.
+func TestRunFailsOnMissingBaselineCase(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 100, "gone": 100}))
+	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"a": 100}))
+	var out bytes.Buffer
+	err := run(oldP, newP, 0.10, 0.10, false, &out)
+	if err == nil || !strings.Contains(err.Error(), "gone/fast") {
+		t.Fatalf("err = %v, want missing-baseline-case failure naming gone/fast\n%s", err, out.String())
+	}
+	if !strings.Contains(err.Error(), "-allow-missing") {
+		t.Fatalf("err = %v, want the escape hatch named", err)
+	}
+}
+
+// TestRunAllowMissingEscape: -allow-missing waives the coverage ratchet
+// for intentional case removals; the remaining cases still gate.
+func TestRunAllowMissingEscape(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 100, "gone": 100}))
+	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"a": 100}))
+	var out bytes.Buffer
+	if err := run(oldP, newP, 0.10, 0.10, true, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("output lacks PASS:\n%s", out.String())
+	}
+	// The escape does not waive real regressions.
+	newP = writeBench(t, dir, "new2.json", benchFile(map[string]float64{"a": 50}))
+	if err := run(oldP, newP, 0.10, 0.10, true, &out); err == nil {
+		t.Fatal("-allow-missing waived a throughput regression")
 	}
 }
 
@@ -196,10 +234,10 @@ func TestRunErrsOnBadFile(t *testing.T) {
 	}
 	good := writeBench(t, dir, "good.json", benchFile(map[string]float64{"a": 1}))
 	var out bytes.Buffer
-	if err := run(bad, good, 0.10, 0.10, &out); err == nil {
+	if err := run(bad, good, 0.10, 0.10, false, &out); err == nil {
 		t.Fatal("run accepted an unsupported file version")
 	}
-	if err := run(good, filepath.Join(dir, "missing.json"), 0.10, 0.10, &out); err == nil {
+	if err := run(good, filepath.Join(dir, "missing.json"), 0.10, 0.10, false, &out); err == nil {
 		t.Fatal("run accepted a missing file")
 	}
 }

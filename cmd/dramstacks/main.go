@@ -42,6 +42,7 @@ import (
 	"dramstacks/internal/exp"
 	"dramstacks/internal/memctrl"
 	"dramstacks/internal/power"
+	"dramstacks/internal/qos"
 	"dramstacks/internal/sim"
 	"dramstacks/internal/stacks"
 	"dramstacks/internal/trace"
@@ -64,6 +65,7 @@ func main() {
 		sample    = flag.Int64("sample", 0, "through-time sample interval in memory cycles (0 = off)")
 		scale     = flag.Int("scale", 17, "Kronecker graph scale for GAP kernels")
 		wq        = flag.Int("wq", 0, "write queue capacity override (paper wq128 variant)")
+		qosSpec   = flag.String("qos", "", "multi-tenant QoS policy: comma-separated 'win=N' (regulation window, mem cycles), 'cap=SRC:N' (per-window column-command budget), 'rt=SRC' (real-time priority), 'aging=N' directives, e.g. 'win=2048,cap=1:16,rt=0'; splits the stacks per source")
 		csvOut    = flag.String("csv", "", "write through-time samples as CSV to this file (needs -sample)")
 		traceFile = flag.String("trace", "", "record the DRAM command trace to this file")
 		jsonOut   = flag.Bool("json", false, "print the result as JSON (the dramstacksd wire format) instead of charts")
@@ -88,7 +90,7 @@ func main() {
 	if *sweepFile != "" {
 		err = runSweep(*sweepFile, *workers, *keepGoing, *csvOut, *jsonOut)
 	} else {
-		err = run(*wl, *inFile, *cores, *channels, *stores, *policy, *mapping, *stdName, *cycles, *sample, *scale, *wq, *csvOut, *traceFile, *jsonOut)
+		err = run(*wl, *inFile, *cores, *channels, *stores, *policy, *mapping, *stdName, *cycles, *sample, *scale, *wq, *qosSpec, *csvOut, *traceFile, *jsonOut)
 	}
 	stopProfiles()
 	if err != nil {
@@ -192,7 +194,7 @@ func runSweep(sweepFile string, workers int, keepGoing bool, csvOut string, json
 }
 
 func run(wl, inFile string, cores, channels int, stores float64, policy, mapping, stdName string,
-	cycles, sample int64, scale, wq int, csvOut, traceFile string, jsonOut bool) error {
+	cycles, sample int64, scale, wq int, qosSpec, csvOut, traceFile string, jsonOut bool) error {
 	if csvOut != "" && sample <= 0 {
 		return fmt.Errorf("-csv needs -sample > 0: without sampling no through-time samples are recorded and the CSV would hold only a header")
 	}
@@ -208,7 +210,7 @@ func run(wl, inFile string, cores, channels int, stores float64, policy, mapping
 		if err != nil {
 			return err
 		}
-		res, err := runTrace(inFile, cores, channels, policy, mapping, std, cycles, sample, hook)
+		res, err := runTrace(inFile, cores, channels, policy, mapping, std, cycles, sample, qosSpec, hook)
 		if err != nil {
 			return err
 		}
@@ -219,7 +221,7 @@ func run(wl, inFile string, cores, channels int, stores float64, policy, mapping
 		Workload: wl, Cores: cores, Channels: channels, Stores: stores,
 		Policy: policy, Mapping: mapping, Standard: stdName,
 		Budget: cycles, Sample: sample,
-		Scale: scale, WriteQueue: wq,
+		Scale: scale, WriteQueue: wq, QoS: qosSpec,
 	}
 	if cycles == 0 {
 		spec.Budget = exp.BudgetUnlimited
@@ -239,7 +241,7 @@ func run(wl, inFile string, cores, channels int, stores float64, policy, mapping
 // workload kind that needs a local file and therefore stays outside the
 // shared spec layer).
 func runTrace(inFile string, cores, channels int, policy, mapping string, std standard.Standard,
-	cycles, sample int64, hook func(int64, dram.Command)) (*sim.Result, error) {
+	cycles, sample int64, qosSpec string, hook func(int64, dram.Command)) (*sim.Result, error) {
 	m := sim.MapDefault
 	switch mapping {
 	case "def":
@@ -252,6 +254,10 @@ func runTrace(inFile string, cores, channels int, policy, mapping string, std st
 	}
 	if inFile == "" {
 		return nil, fmt.Errorf("-workload trace needs -in <file>")
+	}
+	q, err := qos.Parse(qosSpec, cores)
+	if err != nil {
+		return nil, err
 	}
 	f, err := os.Open(inFile)
 	if err != nil {
@@ -280,6 +286,7 @@ func runTrace(inFile string, cores, channels int, policy, mapping string, std st
 		}),
 		sim.WithMaxMemCycles(cycles),
 		sim.WithSampleInterval(sample),
+		sim.WithQoS(q),
 		sim.WithTrace(hook))
 	if err != nil {
 		return nil, err

@@ -13,7 +13,7 @@ import (
 
 func TestRunSyntheticWorkloads(t *testing.T) {
 	for _, wl := range []string{"seq", "random", "strided", "triad"} {
-		if err := run(wl, "", 1, 1, 0, "", "def", "", 20_000, 0, 17, 0, "", "", false); err != nil {
+		if err := run(wl, "", 1, 1, 0, "", "def", "", 20_000, 0, 17, 0, "", "", "", false); err != nil {
 			t.Errorf("%s: %v", wl, err)
 		}
 	}
@@ -23,7 +23,7 @@ func TestRunGapWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("gap run skipped in -short")
 	}
-	if err := run("bfs", "", 2, 1, 0, "", "def", "", 30_000, 0, 12, 0, "", "", false); err != nil {
+	if err := run("bfs", "", 2, 1, 0, "", "def", "", 30_000, 0, 12, 0, "", "", "", false); err != nil {
 		t.Errorf("bfs: %v", err)
 	}
 }
@@ -35,19 +35,19 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		call func() error
 	}{
 		{"bad workload", "unknown workload", func() error {
-			return run("nope", "", 1, 1, 0, "", "def", "", 1000, 0, 17, 0, "", "", false)
+			return run("nope", "", 1, 1, 0, "", "def", "", 1000, 0, 17, 0, "", "", "", false)
 		}},
 		{"bad mapping", "unknown mapping", func() error {
-			return run("seq", "", 1, 1, 0, "", "zigzag", "", 1000, 0, 17, 0, "", "", false)
+			return run("seq", "", 1, 1, 0, "", "zigzag", "", 1000, 0, 17, 0, "", "", "", false)
 		}},
 		{"bad policy", "unknown policy", func() error {
-			return run("seq", "", 1, 1, 0, "lukewarm", "def", "", 1000, 0, 17, 0, "", "", false)
+			return run("seq", "", 1, 1, 0, "lukewarm", "def", "", 1000, 0, 17, 0, "", "", "", false)
 		}},
 		{"trace without file", "-in", func() error {
-			return run("trace", "", 1, 1, 0, "", "def", "", 1000, 0, 17, 0, "", "", false)
+			return run("trace", "", 1, 1, 0, "", "def", "", 1000, 0, 17, 0, "", "", "", false)
 		}},
 		{"csv without sample", "-csv needs -sample", func() error {
-			return run("seq", "", 1, 1, 0, "", "def", "", 1000, 0, 17, 0, "out.csv", "", false)
+			return run("seq", "", 1, 1, 0, "", "def", "", 1000, 0, 17, 0, "", "out.csv", "", false)
 		}},
 	}
 	for _, tc := range cases {
@@ -67,7 +67,7 @@ func TestRunJSONOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run("seq", "", 1, 1, 0, "", "def", "", 20_000, 0, 17, 0, "", "", true)
+	runErr := run("seq", "", 1, 1, 0, "", "def", "", 20_000, 0, 17, 0, "", "", "", true)
 	w.Close()
 	os.Stdout = old
 	out, err := io.ReadAll(r)
@@ -98,7 +98,7 @@ func TestRunWithTraceAndCSVOutputs(t *testing.T) {
 	dir := t.TempDir()
 	traceOut := filepath.Join(dir, "cmds.trace")
 	csvOut := filepath.Join(dir, "samples.csv")
-	if err := run("seq", "", 1, 1, 0, "", "def", "", 30_000, 10_000, 17, 0, csvOut, traceOut, false); err != nil {
+	if err := run("seq", "", 1, 1, 0, "", "def", "", 30_000, 10_000, 17, 0, "", csvOut, traceOut, false); err != nil {
 		t.Fatal(err)
 	}
 	tr, err := os.ReadFile(traceOut)
@@ -126,7 +126,7 @@ func TestRunTracePlayerWorkload(t *testing.T) {
 	if err := os.WriteFile(in, []byte(b.String()), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("trace", in, 1, 1, 0, "", "def", "", 20_000, 0, 17, 0, "", "", false); err != nil {
+	if err := run("trace", in, 1, 1, 0, "", "def", "", 20_000, 0, 17, 0, "", "", "", false); err != nil {
 		t.Errorf("trace workload: %v", err)
 	}
 }

@@ -1,0 +1,285 @@
+package main
+
+// Paper-calibration gate: regenerate the stack shapes behind paper
+// Figs. 4, 7 and 9 at a reduced (CI-sized) budget and assert each key
+// component share stays inside a tolerance band around the paper's
+// qualitative shape. The bands are wide enough to absorb the budget
+// reduction and scheduler-neutral refactors, and tight enough that a
+// mis-calibrated timing model, a broken page policy, or an accounting
+// leak moves a share outside them. CI runs these in the dedicated
+// calibration job (full, not -short); on failure the regenerated figure
+// data is uploaded as an artifact for side-by-side comparison —
+// set CALIB_ARTIFACT_DIR to collect it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dramstacks/internal/exp"
+	"dramstacks/internal/stacks"
+)
+
+// Calibration budgets: big enough for the shapes to settle, small
+// enough for a CI job. The synthetic figures settle fast; the GAP
+// figures need room for their phase behavior.
+const (
+	calibSynthBudget = 150_000
+	calibGapBudget   = 600_000
+)
+
+// band is an inclusive tolerance band on a component's share of its
+// stack (fractions of 1).
+type band struct{ lo, hi float64 }
+
+func (b band) contains(v float64) bool { return v >= b.lo && v <= b.hi }
+
+// bwShares reduces a bandwidth stack to per-component fractions of the
+// accounted channel cycles.
+func bwShares(s stacks.BandwidthStack) map[string]float64 {
+	out := make(map[string]float64, stacks.NumBWComponents)
+	for c := stacks.BWComponent(0); c < stacks.NumBWComponents; c++ {
+		out[c.String()] = s.Cycles[c] / float64(s.TotalCycles)
+	}
+	return out
+}
+
+// latShares reduces a latency stack to per-component fractions of the
+// average read latency.
+func latShares(s stacks.LatencyStack) map[string]float64 {
+	total := 0.0
+	for _, v := range s.SumCycles {
+		total += v
+	}
+	out := make(map[string]float64, stacks.NumLatComponents)
+	for c := stacks.LatComponent(0); c < stacks.NumLatComponents; c++ {
+		out[c.String()] = s.SumCycles[c] / total
+	}
+	return out
+}
+
+// checkShares returns one violation line per component whose share
+// falls outside its band. Components without a band are unconstrained.
+func checkShares(label string, shares map[string]float64, bounds map[string]band) []string {
+	var out []string
+	for comp, b := range bounds {
+		v, ok := shares[comp]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: component %q missing from the stack", label, comp))
+			continue
+		}
+		if !b.contains(v) {
+			out = append(out, fmt.Sprintf("%s: %s share %.4f outside calibration band [%.4f, %.4f]",
+				label, comp, v, b.lo, b.hi))
+		}
+	}
+	return out
+}
+
+// writeCalibArtifact drops regenerated figure data where the CI
+// calibration job picks it up on failure (CALIB_ARTIFACT_DIR; no-op
+// when unset, e.g. local runs).
+func writeCalibArtifact(t *testing.T, name string, v any) {
+	t.Helper()
+	dir := os.Getenv("CALIB_ARTIFACT_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("calibration artifact dir: %v", err)
+		return
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Logf("calibration artifact %s: %v", name, err)
+		return
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		t.Logf("calibration artifact %s: %v", name, err)
+	}
+}
+
+// fig4Bounds is the calibration envelope for the page-policy figure
+// (paper Fig. 4, two cores): sequential streams keep most channel
+// cycles in data transfer under open pages and pay a visible
+// activate/precharge overhead under closed pages; random traffic is
+// latency-bound, its banks idling between dependent misses with little
+// data transfer under either policy.
+var fig4Bounds = map[string]map[string]band{
+	"sequential open": {
+		"read":      {0.45, 0.85},
+		"precharge": {0, 0.02},
+		"activate":  {0, 0.02},
+		"refresh":   {0.02, 0.08},
+	},
+	"sequential closed": {
+		"read":      {0.20, 0.55},
+		"precharge": {0.01, 0.10},
+		"activate":  {0.01, 0.10},
+		"bank_idle": {0.25, 0.65},
+	},
+	"random open": {
+		"read":      {0.05, 0.35},
+		"bank_idle": {0.40, 0.85},
+	},
+	"random closed": {
+		"read":      {0.05, 0.35},
+		"bank_idle": {0.40, 0.85},
+	},
+}
+
+func TestCalibrationFig4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration skipped in -short")
+	}
+	rows, err := exp.Fig4(calibSynthBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := map[string]map[string]float64{}
+	var violations []string
+	for _, r := range rows {
+		shares := bwShares(r.Res.BW)
+		all[r.Label] = shares
+		t.Logf("%s: %v", r.Label, shares)
+		bounds, ok := fig4Bounds[r.Label]
+		if !ok {
+			t.Errorf("no calibration bounds for Fig. 4 row %q", r.Label)
+			continue
+		}
+		violations = append(violations, checkShares(r.Label, shares, bounds)...)
+	}
+	// The figure's headline contrast must also hold: closed pages cost
+	// the sequential stream data-transfer share.
+	if seqOpen, seqClosed := all["sequential open"], all["sequential closed"]; seqOpen != nil && seqClosed != nil {
+		if seqOpen["read"] <= seqClosed["read"] {
+			violations = append(violations, fmt.Sprintf(
+				"sequential read share open %.4f <= closed %.4f: page policy lost its effect",
+				seqOpen["read"], seqClosed["read"]))
+		}
+	}
+	if len(violations) > 0 {
+		writeCalibArtifact(t, "fig4_shares.json", all)
+		for _, v := range violations {
+			t.Error(v)
+		}
+	}
+}
+
+// fig7Bounds is the calibration envelope for the bfs through-time
+// figure (paper Fig. 7, 8 cores): bfs saturates the channel in its
+// frontier phases, so read transfer holds a substantial share and the
+// average read latency is dominated by queueing, not the DRAM core.
+var fig7Bounds = struct {
+	bw, lat map[string]band
+}{
+	bw: map[string]band{
+		"read": {0.25, 0.85},
+		"idle": {0, 0.50},
+	},
+	lat: map[string]band{
+		"queue": {0.35, 0.98},
+	},
+}
+
+func TestCalibrationFig7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration skipped in -short")
+	}
+	res, err := exp.Fig7(calibGapBudget, calibGapBudget/48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, lat := bwShares(res.BW), latShares(res.Lat)
+	t.Logf("bfs 8c bandwidth: %v", bw)
+	t.Logf("bfs 8c latency: %v", lat)
+	violations := append(
+		checkShares("bfs 8c bandwidth", bw, fig7Bounds.bw),
+		checkShares("bfs 8c latency", lat, fig7Bounds.lat)...)
+	if len(res.BWSamples) < 10 {
+		violations = append(violations, fmt.Sprintf(
+			"bfs 8c: only %d through-time samples, want >= 10", len(res.BWSamples)))
+	}
+	if len(violations) > 0 {
+		writeCalibArtifact(t, "fig7_shares.json", map[string]any{"bw": bw, "lat": lat})
+		for _, v := range violations {
+			t.Error(v)
+		}
+	}
+}
+
+func TestCalibrationFig9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration skipped in -short")
+	}
+	preds, err := exp.Fig9(calibGapBudget, calibGapBudget/64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var naive, stack float64
+	for _, p := range preds {
+		naive += p.NaiveErr()
+		stack += p.StackErr()
+	}
+	naive /= float64(len(preds))
+	stack /= float64(len(preds))
+	t.Logf("mean extrapolation error: naive %.1f%%, stack %.1f%%", 100*naive, 100*stack)
+	var violations []string
+	// The paper's headline (27% naive vs 8% stack-based at full budget):
+	// the stack-based extrapolation must at least halve the naive error,
+	// and hold an absolute bound fitted to this CI budget (measured
+	// ~0.22 against naive ~0.79; the full-budget figure reaches 0.15).
+	if stack >= naive*0.6 {
+		violations = append(violations, fmt.Sprintf(
+			"stack-based extrapolation error %.3f not clearly better than naive %.3f", stack, naive))
+	}
+	if stack > 0.30 {
+		violations = append(violations, fmt.Sprintf(
+			"stack-based extrapolation error %.3f above the 0.30 calibration bound", stack))
+	}
+	if len(violations) > 0 {
+		writeCalibArtifact(t, "fig9_predictions.json", preds)
+		for _, v := range violations {
+			t.Error(v)
+		}
+	}
+}
+
+// TestCalibrationGateTrips feeds the Fig. 4 checker a stack whose read
+// share is perturbed beyond tolerance and requires the gate to trip:
+// the calibration job demonstrably fails on a mis-calibrated shape, so
+// a quietly drifting simulator cannot pass it.
+func TestCalibrationGateTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration skipped in -short")
+	}
+	rows, err := exp.Fig4(calibSynthBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Label != "sequential open" {
+			continue
+		}
+		shares := bwShares(r.Res.BW)
+		if v := checkShares(r.Label, shares, fig4Bounds[r.Label]); len(v) > 0 {
+			t.Fatalf("calibrated shape already out of band: %v", v)
+		}
+		// Shift half the read share into idle — the kind of drift a
+		// broken scheduler or leaked accounting would produce.
+		perturbed := make(map[string]float64, len(shares))
+		for k, v := range shares {
+			perturbed[k] = v
+		}
+		perturbed["idle"] += perturbed["read"] / 2
+		perturbed["read"] /= 2
+		if v := checkShares(r.Label, perturbed, fig4Bounds[r.Label]); len(v) == 0 {
+			t.Errorf("gate did not trip on a perturbed read share (%.3f -> %.3f)",
+				shares["read"], perturbed["read"])
+		}
+		return
+	}
+	t.Fatal("Fig. 4 rows carry no 'sequential open' case")
+}

@@ -26,6 +26,7 @@ import (
 	"dramstacks/internal/dram/standard"
 	"dramstacks/internal/exp"
 	"dramstacks/internal/memctrl"
+	"dramstacks/internal/qos"
 	"dramstacks/internal/sim"
 	"dramstacks/internal/workload"
 )
@@ -137,6 +138,50 @@ func runMixed(cores int, budget int64) (int64, error) {
 	return res.MemCycles, nil
 }
 
+// runQoS times the multi-tenant QoS controller: core 0 runs the
+// latency-critical pointer chase with real-time priority, the rest run
+// bandwidth hogs — regulated (per-window budgets) or tracking-only —
+// exercising the budget bookkeeping, the held-read release path and the
+// priority ladder in the scheduler hot path, plus the per-source stack
+// accounting either way.
+func runQoS(cores int, regulated bool, budget int64) (int64, error) {
+	var sources []cpu.Source
+	for i := 0; i < cores; i++ {
+		cfg := workload.DefaultBWHog()
+		if i == 0 {
+			cfg = workload.DefaultLatCrit()
+		}
+		cfg.BaseAddr = uint64(i) * (256 << 20)
+		cfg.Seed = int64(i + 1)
+		sources = append(sources, workload.MustSynthetic(cfg))
+	}
+	q := qos.Config{
+		Sources: cores,
+		Budget:  make([]int, cores),
+		RT:      make([]bool, cores),
+	}
+	if regulated {
+		q.Window = 2048
+		q.RT[0] = true
+		for i := 1; i < cores; i++ {
+			q.Budget[i] = 16
+		}
+	}
+	sys, err := sim.New(standard.Default(),
+		sim.WithSources(sources...),
+		sim.WithQoS(q),
+		sim.WithMaxMemCycles(budget),
+		sim.WithPrewarmOps(1<<20))
+	if err != nil {
+		return 0, err
+	}
+	res := sys.Run()
+	if len(res.Violations) > 0 {
+		return 0, fmt.Errorf("timing violation: %v", res.Violations[0])
+	}
+	return res.MemCycles, nil
+}
+
 func cases() []benchCase {
 	return []benchCase{
 		// Low-utilisation single-core workloads: the fast-forward
@@ -176,6 +221,17 @@ func cases() []benchCase {
 		// per-core sprint scheduling.
 		{"mixed/compute-branch-4c", true, func() (int64, error) {
 			return runMixed(4, 100_000)
+		}},
+		// Multi-tenant QoS: the regulated case pays for budget metering,
+		// the held-read queue walk and the priority ladder; the
+		// tracking-only case isolates the per-source attribution cost.
+		// Both are measured in the reference loop too, so QoS overhead in
+		// either loop shows up in the gate.
+		{"qos/regulated-4c", true, func() (int64, error) {
+			return runQoS(4, true, 100_000)
+		}},
+		{"qos/track-4c", true, func() (int64, error) {
+			return runQoS(4, false, 100_000)
 		}},
 		// Non-default DRAM standards: one DRAM-bound scenario per
 		// registry preset beyond the DDR4-2400 baseline, so a timing

@@ -17,6 +17,7 @@ var List = []string{
 	"internal/dram/standard",
 	"internal/exp",
 	"internal/memctrl",
+	"internal/qos",
 	"internal/sched",
 	"internal/sim",
 	"internal/stacks",

@@ -7,27 +7,33 @@ import (
 )
 
 // Waiter receives the completion of an in-flight memory operation.
-// MemDone is invoked with the completion CPU cycle and the fraction of
-// the request's DRAM latency that was queueing-related (queue +
-// writeburst + refresh), used for the cycle stack's dram-queue split.
+// MemDone is invoked with the completion CPU cycle, the fraction of the
+// request's DRAM latency that was queueing-related (queue + writeburst
+// + refresh), used for the cycle stack's dram-queue split, and the
+// fraction spent held by QoS bandwidth regulation (dram-regulated;
+// exactly 0 without a QoS policy).
 //
 // Completions are delivered through this interface rather than a
 // callback closure so the hot path allocates nothing per access: a
 // pooled ticket or MSHR entry passed as a Waiter is a plain interface
 // conversion of an existing pointer.
 type Waiter interface {
-	MemDone(doneCPU int64, queueFrac float64)
+	MemDone(doneCPU int64, queueFrac, regFrac float64)
 }
 
 // MemPort is the hierarchy's view of the memory controller. Times are in
 // CPU cycles; the adapter owns the CPU-to-memory clock conversion.
+// src is the requesting core's index — the multi-tenant source identity
+// QoS budgets, priority tiers and per-source stacks key on. Writebacks
+// carry the core whose eviction produced them (an approximation of the
+// line's original writer that needs no per-line owner tracking).
 type MemPort interface {
 	// Read requests a line fill; w.MemDone fires when the data has
 	// returned. Read reports false when the controller cannot accept
 	// the request this cycle (back pressure: retry later).
-	Read(now int64, addr uint64, w Waiter) bool
+	Read(now int64, addr uint64, src int, w Waiter) bool
 	// Write hands a dirty line back to memory; false means retry later.
-	Write(now int64, addr uint64) bool
+	Write(now int64, addr uint64, src int) bool
 }
 
 // Status classifies the outcome of a hierarchy access.
@@ -112,8 +118,8 @@ type mshrEntry struct {
 }
 
 // MemDone implements Waiter: the fill for this entry's line completed.
-func (e *mshrEntry) MemDone(doneCPU int64, queueFrac float64) {
-	e.h.fill(doneCPU, e, queueFrac)
+func (e *mshrEntry) MemDone(doneCPU int64, queueFrac, regFrac float64) {
+	e.h.fill(doneCPU, e, queueFrac, regFrac)
 }
 
 // HierStats aggregates hierarchy-wide counters.
@@ -140,7 +146,7 @@ type Hierarchy struct {
 	mshrFree    []*mshrEntry // recycled entries; waiters capacity reused
 	perCoreUsed []int
 
-	pendingWB []uint64 // dirty lines waiting for controller queue space
+	pendingWB []pendingWB // dirty lines waiting for controller queue space
 
 	lineMask uint64
 	stats    HierStats
@@ -195,11 +201,18 @@ func (h *Hierarchy) OutstandingMisses() int { return len(h.mshr) }
 // Pending reports whether fills or writebacks are still in flight.
 func (h *Hierarchy) Pending() bool { return len(h.mshr) > 0 || len(h.pendingWB) > 0 }
 
+// pendingWB is one dirty line waiting for controller queue space, with
+// the core whose eviction produced it (the writeback's QoS source).
+type pendingWB struct {
+	addr uint64
+	src  int
+}
+
 // Tick retries writebacks that previously hit controller back pressure.
 // Call once per CPU cycle (cheap when the backlog is empty).
 func (h *Hierarchy) Tick(now int64) {
 	for len(h.pendingWB) > 0 {
-		if !h.mem.Write(now, h.pendingWB[0]) {
+		if !h.mem.Write(now, h.pendingWB[0].addr, h.pendingWB[0].src) {
 			return
 		}
 		h.stats.WritebacksToMem++
@@ -277,7 +290,7 @@ func (h *Hierarchy) Access(now int64, core int, addr uint64, write bool, w Waite
 	if w != nil {
 		e.waiters = append(e.waiters, w)
 	}
-	if !h.mem.Read(now, line, e) {
+	if !h.mem.Read(now, line, core, e) {
 		h.putEntry(e)
 		h.stats.Retries++
 		return Outcome{Status: Retry}
@@ -311,17 +324,17 @@ func (h *Hierarchy) putEntry(e *mshrEntry) {
 
 // fill completes an MSHR: install the line, cascade evictions, wake
 // waiters, recycle the entry.
-func (h *Hierarchy) fill(doneCPU int64, e *mshrEntry, queueFrac float64) {
+func (h *Hierarchy) fill(doneCPU int64, e *mshrEntry, queueFrac, regFrac float64) {
 	delete(h.mshr, e.addr)
 	h.perCoreUsed[e.core]--
 
-	h.insertLLC(doneCPU, e.addr, false, e.prefetch)
+	h.insertLLC(doneCPU, e.core, e.addr, false, e.prefetch)
 	h.fillL2(doneCPU, e.core, e.addr, e.prefetch)
 	if !e.prefetch {
 		h.fillL1(e.core, e.addr, e.dirty)
 	}
 	for _, w := range e.waiters {
-		w.MemDone(doneCPU, queueFrac)
+		w.MemDone(doneCPU, queueFrac, regFrac)
 	}
 	h.putEntry(e)
 }
@@ -342,7 +355,7 @@ func (h *Hierarchy) Prefetch(now int64, core int, addr uint64) {
 	}
 	e := h.newEntry(line, core)
 	e.prefetch = true
-	if !h.mem.Read(now, line, e) {
+	if !h.mem.Read(now, line, core, e) {
 		h.putEntry(e)
 		h.stats.PrefetchDropped++
 		return
@@ -383,18 +396,19 @@ func (h *Hierarchy) insertL2x(now int64, core int, line uint64, dirty, prefetche
 	if ev, ok := h.l2[core].Insert(line, dirty, prefetched); ok && ev.Dirty {
 		// L2 dirty eviction: write back into the LLC.
 		if !h.llc.Lookup(ev.Addr, false, true) {
-			h.insertLLC(now, ev.Addr, true, false)
+			h.insertLLC(now, core, ev.Addr, true, false)
 		}
 	}
 }
 
-func (h *Hierarchy) insertLLC(now int64, line uint64, dirty, prefetched bool) {
+func (h *Hierarchy) insertLLC(now int64, core int, line uint64, dirty, prefetched bool) {
 	if ev, ok := h.llc.Insert(line, dirty, prefetched); ok && ev.Dirty {
-		// LLC dirty eviction: becomes a DRAM write.
-		if len(h.pendingWB) == 0 && h.mem.Write(now, ev.Addr) {
+		// LLC dirty eviction: becomes a DRAM write attributed to the
+		// evicting core.
+		if len(h.pendingWB) == 0 && h.mem.Write(now, ev.Addr, core) {
 			h.stats.WritebacksToMem++
 			return
 		}
-		h.pendingWB = append(h.pendingWB, ev.Addr)
+		h.pendingWB = append(h.pendingWB, pendingWB{ev.Addr, core})
 	}
 }

@@ -14,33 +14,36 @@ type fakeMem struct {
 	rejectWr  bool
 	reads     []fakeRead
 	writes    []uint64
+	writeSrcs []int
 	delivered int
 }
 
 type fakeRead struct {
 	addr uint64
 	at   int64
+	src  int
 	done Waiter
 }
 
-func (m *fakeMem) Read(now int64, addr uint64, w Waiter) bool {
+func (m *fakeMem) Read(now int64, addr uint64, src int, w Waiter) bool {
 	if m.rejectRd {
 		return false
 	}
-	m.reads = append(m.reads, fakeRead{addr, now, w})
+	m.reads = append(m.reads, fakeRead{addr, now, src, w})
 	return true
 }
 
 // fnWaiter adapts a closure to the Waiter interface for tests.
 type fnWaiter func(int64, float64)
 
-func (f fnWaiter) MemDone(doneCPU int64, queueFrac float64) { f(doneCPU, queueFrac) }
+func (f fnWaiter) MemDone(doneCPU int64, queueFrac, _ float64) { f(doneCPU, queueFrac) }
 
-func (m *fakeMem) Write(now int64, addr uint64) bool {
+func (m *fakeMem) Write(now int64, addr uint64, src int) bool {
 	if m.rejectWr {
 		return false
 	}
 	m.writes = append(m.writes, addr)
+	m.writeSrcs = append(m.writeSrcs, src)
 	return true
 }
 
@@ -48,7 +51,7 @@ func (m *fakeMem) Write(now int64, addr uint64) bool {
 func (m *fakeMem) deliver(queueFrac float64) {
 	r := m.reads[m.delivered]
 	m.delivered++
-	r.done.MemDone(r.at+m.latency, queueFrac)
+	r.done.MemDone(r.at+m.latency, queueFrac, 0)
 }
 
 func testHier(t *testing.T, cores int, pf prefetch.Config) (*Hierarchy, *fakeMem) {

@@ -132,15 +132,17 @@ type ticket struct {
 	done      int64 // completion CPU cycle, -1 while unknown
 	level     int   // cache level of a hit; 0 = DRAM
 	queueFrac float64
-	stall     int64 // head-of-ROB stall cycles charged to this load
+	regFrac   float64 // share of DRAM latency spent QoS-regulated
+	stall     int64   // head-of-ROB stall cycles charged to this load
 }
 
 // MemDone implements cache.Waiter: the DRAM fill for this load is
 // complete. It also wakes the owning core if the core slept through the
 // stall (see TrySleep).
-func (tk *ticket) MemDone(doneCPU int64, queueFrac float64) {
+func (tk *ticket) MemDone(doneCPU int64, queueFrac, regFrac float64) {
 	tk.done = doneCPU
 	tk.queueFrac = queueFrac
+	tk.regFrac = regFrac
 	tk.c.wake(doneCPU)
 }
 
@@ -263,7 +265,7 @@ func (c *Core) newTicket() *ticket {
 		tk := c.tkFree[n-1]
 		c.tkFree = c.tkFree[:n-1]
 		tk.started, tk.retired = false, false
-		tk.done, tk.level, tk.queueFrac, tk.stall = -1, 0, 0, 0
+		tk.done, tk.level, tk.queueFrac, tk.regFrac, tk.stall = -1, 0, 0, 0, 0
 		return tk
 	}
 	return &ticket{c: c, done: -1}
@@ -584,8 +586,7 @@ func (c *Core) replayWindow(from, n int64) {
 		if tk.level == 0 && tk.stall > 0 {
 			// Split this load's head-of-ROB stall using its DRAM
 			// latency stack (see retire).
-			c.acct.Add(cyclestack.DramQueue, float64(tk.stall)*tk.queueFrac)
-			c.acct.Add(cyclestack.DramLatency, float64(tk.stall)*(1-tk.queueFrac))
+			c.addDramStall(tk)
 		}
 		it.tk = nil
 		tk.retired = true
@@ -730,9 +731,23 @@ func (c *Core) startAccesses(now int64) {
 
 // MemDone implements cache.Waiter for store read-for-ownerships: the
 // line arrived, the store's writeback obligation is met.
-func (c *Core) MemDone(doneCPU int64, queueFrac float64) {
+func (c *Core) MemDone(doneCPU int64, queueFrac, regFrac float64) {
 	c.outStores--
 	c.wake(doneCPU)
+}
+
+// addDramStall charges a DRAM load's head-of-ROB stall to the cycle
+// stack, split by the load's own DRAM latency stack: regulated cycles
+// to dram-regulated, queueing cycles to dram-queue, the rest to
+// dram-latency. regFrac is exactly 0 without a QoS policy, so the
+// legacy two-way split is unchanged byte for byte.
+func (c *Core) addDramStall(tk *ticket) {
+	stall := float64(tk.stall)
+	if tk.regFrac > 0 {
+		c.acct.Add(cyclestack.DramRegulated, stall*tk.regFrac)
+	}
+	c.acct.Add(cyclestack.DramQueue, stall*tk.queueFrac)
+	c.acct.Add(cyclestack.DramLatency, stall*(1-tk.queueFrac-tk.regFrac))
 }
 
 // retire commits up to Width ready uops from the ROB head and returns how
@@ -763,8 +778,7 @@ func (c *Core) retire(now int64) int {
 			if tk.level == 0 && tk.stall > 0 {
 				// Split this load's head-of-ROB stall using its DRAM
 				// latency stack.
-				c.acct.Add(cyclestack.DramQueue, float64(tk.stall)*tk.queueFrac)
-				c.acct.Add(cyclestack.DramLatency, float64(tk.stall)*(1-tk.queueFrac))
+				c.addDramStall(tk)
 			}
 			it.count = 0
 			c.occ--

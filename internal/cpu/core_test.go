@@ -28,7 +28,7 @@ func (m *scriptMem) Access(now int64, core int, addr uint64, write bool,
 	m.started = append(m.started, addr)
 	if m.outcome.Status == cache.Pending {
 		done := now + m.latency
-		m.pending = append(m.pending, func() { w.MemDone(done, m.qf) })
+		m.pending = append(m.pending, func() { w.MemDone(done, m.qf, 0) })
 		if len(m.pending) > m.maxInFly {
 			m.maxInFly = len(m.pending)
 		}

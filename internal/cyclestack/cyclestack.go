@@ -30,6 +30,10 @@ const (
 	DramQueue
 	// Idle is cycles with no work at all (thread finished or starved).
 	Idle
+	// DramRegulated is stall time on DRAM loads attributable to QoS
+	// bandwidth regulation (the request was held because its source was
+	// over budget). Always exactly zero without a QoS policy.
+	DramRegulated
 
 	// NumComponents is the number of cycle stack components.
 	NumComponents
@@ -50,6 +54,8 @@ func (c Component) String() string {
 		return "dram-queue"
 	case Idle:
 		return "idle"
+	case DramRegulated:
+		return "dram-regulated"
 	default:
 		return fmt.Sprintf("Component(%d)", uint8(c))
 	}

@@ -116,7 +116,7 @@ func TestSumPropertyUnderRandomSplits(t *testing.T) {
 }
 
 func TestComponentStrings(t *testing.T) {
-	want := []string{"base", "branch", "dcache", "dram-latency", "dram-queue", "idle"}
+	want := []string{"base", "branch", "dcache", "dram-latency", "dram-queue", "idle", "dram-regulated"}
 	for c := Component(0); c < NumComponents; c++ {
 		if got := c.String(); got != want[c] {
 			t.Errorf("component %d = %q, want %q", c, got, want[c])

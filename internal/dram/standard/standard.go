@@ -97,12 +97,12 @@ type Info struct {
 	BusBytes    int `json:"bus_bytes"`
 	SubChannels int `json:"sub_channels"`
 
-	Ranks     int `json:"ranks"`
-	Groups    int `json:"groups"`
-	Banks     int `json:"banks"`
-	Rows      int `json:"rows"`
-	Cols      int `json:"cols"`
-	PageBytes int `json:"page_bytes"`
+	Ranks           int `json:"ranks"`
+	Groups          int `json:"groups"`
+	Banks           int `json:"banks"`
+	Rows            int `json:"rows"`
+	Cols            int `json:"cols"`
+	PageBytes       int `json:"page_bytes"`
 	BanksPerChannel int `json:"banks_per_channel"`
 
 	PeakGBs float64 `json:"peak_gbps_per_channel"`
@@ -133,12 +133,12 @@ func (s Standard) Info() Info {
 		BusBytes:    s.Geometry.BusBytes,
 		SubChannels: s.SubChannels,
 
-		Ranks:     s.Geometry.Ranks,
-		Groups:    s.Geometry.Groups,
-		Banks:     s.Geometry.Banks,
-		Rows:      s.Geometry.Rows,
-		Cols:      s.Geometry.Cols,
-		PageBytes: s.Geometry.RowBytes(),
+		Ranks:           s.Geometry.Ranks,
+		Groups:          s.Geometry.Groups,
+		Banks:           s.Geometry.Banks,
+		Rows:            s.Geometry.Rows,
+		Cols:            s.Geometry.Cols,
+		PageBytes:       s.Geometry.RowBytes(),
 		BanksPerChannel: s.BanksPerChannel(),
 
 		PeakGBs: s.PeakBandwidthGBs(),

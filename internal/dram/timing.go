@@ -247,7 +247,7 @@ func LPDDR5_6400() (Geometry, Timing) {
 		WTRL: 18,
 		RTW:  27 + 8 + 2 - 14, // CL + BL/2 + 2 - CWL
 		RTRS: 4,
-		RFC:  448, // 280 ns all-bank refresh, 16 Gb die
+		RFC:  448,  // 280 ns all-bank refresh, 16 Gb die
 		REFI: 6250, // 3.9 µs
 	}
 	return g, t
@@ -289,7 +289,7 @@ func HBM2_2000() (Geometry, Timing) {
 		WTRL: 8,
 		RTW:  14 + 4 + 2 - 7, // CL + BL/2 + 2 - CWL
 		RTRS: 2,
-		RFC:  260, // 260 ns, 8 Gb channel
+		RFC:  260,  // 260 ns, 8 Gb channel
 		REFI: 3900, // 3.9 µs
 	}
 	return g, t

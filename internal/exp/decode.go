@@ -24,6 +24,7 @@ var specFields = map[string]bool{
 	"sample":   true,
 	"scale":    true,
 	"wq":       true,
+	"qos":      true,
 }
 
 // knownFieldList renders a sorted, comma-separated field list for error

@@ -39,6 +39,66 @@ type RowJSON struct {
 	DRAMReads   int64   `json:"dram_reads"`
 	DRAMWrites  int64   `json:"dram_writes"`
 	Refreshes   int64   `json:"refreshes"`
+
+	// PerSource splits the stacks by QoS source. Present only when the
+	// spec configured a QoS policy, so legacy documents are unchanged.
+	PerSource []SourceJSON `json:"per_source,omitempty"`
+}
+
+// SourceJSON is one tenant's slice of a row's stacks: its share of the
+// bandwidth stack (the rows sum to the aggregate) and the latency stack
+// of its own reads.
+type SourceJSON struct {
+	// Source is the QoS source index (core), or -1 for cycles and reads
+	// not attributable to a single source (refresh, constraints, idle,
+	// and requests enqueued without a source identity).
+	Source        int                `json:"source"`
+	BandwidthGBps map[string]float64 `json:"bandwidth_gbps"`
+	LatencyNS     map[string]float64 `json:"latency_ns"`
+	AvgLatencyNS  float64            `json:"avg_latency_ns"`
+	Reads         int64              `json:"reads"`
+}
+
+// sourceJSON renders the per-source split of a result (nil without QoS).
+func sourceJSON(res *sim.Result) []SourceJSON {
+	if res.PerSourceBW == nil {
+		return nil
+	}
+	geo := res.Cfg.Geom
+	peak := geo.PeakBandwidthGBs() * float64(res.Channels)
+	total := float64(res.BW.TotalCycles)
+	out := make([]SourceJSON, 0, len(res.PerSourceBW))
+	for i, row := range res.PerSourceBW {
+		bw := map[string]float64{}
+		cyc := row.Cycles(res.BW.Banks)
+		for c := stacks.BWComponent(0); c < stacks.NumBWComponents; c++ {
+			var v float64
+			if total > 0 {
+				v = cyc[c] / total * peak
+			}
+			if elideZeroComponent(c == stacks.BWRegulation, v) {
+				continue
+			}
+			bw[c.String()] = v
+		}
+		ls := res.PerSourceLat[i]
+		lat := map[string]float64{}
+		l := ls.AvgNS(geo)
+		for c := stacks.LatComponent(0); c < stacks.NumLatComponents; c++ {
+			if elideZeroComponent(c == stacks.LatRegulated, l[c]) {
+				continue
+			}
+			lat[c.String()] = l[c]
+		}
+		out = append(out, SourceJSON{
+			Source:        row.Source,
+			BandwidthGBps: bw,
+			LatencyNS:     lat,
+			AvgLatencyNS:  ls.AvgTotalNS(geo),
+			Reads:         ls.Reads,
+		})
+	}
+	return out
 }
 
 // ToJSON converts a result into its serializable form.
@@ -47,11 +107,17 @@ func ToJSON(label string, res *sim.Result) RowJSON {
 	bw := map[string]float64{}
 	g := res.BWGBps()
 	for c := stacks.BWComponent(0); c < stacks.NumBWComponents; c++ {
+		if elideZeroComponent(c == stacks.BWRegulation, g[c]) {
+			continue
+		}
 		bw[c.String()] = g[c]
 	}
 	lat := map[string]float64{}
 	l := res.LatNS()
 	for c := stacks.LatComponent(0); c < stacks.NumLatComponents; c++ {
+		if elideZeroComponent(c == stacks.LatRegulated, l[c]) {
+			continue
+		}
 		lat[c.String()] = l[c]
 	}
 	return RowJSON{
@@ -69,7 +135,17 @@ func ToJSON(label string, res *sim.Result) RowJSON {
 		DRAMReads:     res.CtrlStats.IssuedReads,
 		DRAMWrites:    res.CtrlStats.IssuedWrites,
 		Refreshes:     res.CtrlStats.Refreshes,
+		PerSource:     sourceJSON(res),
 	}
+}
+
+// elideZeroComponent reports whether a QoS-only stack component should
+// be dropped from a JSON document. Runs without a QoS policy have these
+// components at exactly 0.0 (never merely rounded to it), so eliding
+// the zero keeps every legacy document — and therefore every golden
+// oracle, cached result and downstream diff — byte-identical.
+func elideZeroComponent(isQoSComponent bool, v float64) bool {
+	return isQoSComponent && v == 0
 }
 
 // ResultJSON renders one spec-driven result as indented JSON with the
@@ -137,11 +213,17 @@ func SampleToJSON(s stacks.Sample, geo dram.Geometry) SampleJSON {
 	bw := map[string]float64{}
 	g := s.BW.GBps(geo)
 	for c := stacks.BWComponent(0); c < stacks.NumBWComponents; c++ {
+		if elideZeroComponent(c == stacks.BWRegulation, g[c]) {
+			continue
+		}
 		bw[c.String()] = g[c]
 	}
 	lat := map[string]float64{}
 	l := s.Lat.AvgNS(geo)
 	for c := stacks.LatComponent(0); c < stacks.NumLatComponents; c++ {
+		if elideZeroComponent(c == stacks.LatRegulated, l[c]) {
+			continue
+		}
 		lat[c.String()] = l[c]
 	}
 	return SampleJSON{

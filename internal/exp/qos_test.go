@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dramstacks/internal/stacks"
+)
+
+// TestSpecQoSHash checks that the qos field enters the spec hash only
+// when set: a spec without it keeps its pre-QoS content address, and
+// equivalent qos strings (directive order, whitespace) normalize to the
+// same hash.
+func TestSpecQoSHash(t *testing.T) {
+	base := mustHash(t, Spec{Workload: "seq", Cores: 2})
+	if h := mustHash(t, Spec{Workload: "seq", Cores: 2, QoS: "  "}); h != base {
+		t.Errorf("whitespace qos perturbed the hash: %s != %s", h, base)
+	}
+	qosHash := mustHash(t, Spec{Workload: "seq", Cores: 2, QoS: "win=1024,cap=1:16,rt=0"})
+	if qosHash == base {
+		t.Error("qos policy did not change the spec hash")
+	}
+	// Directive order is canonicalized by Normalized.
+	if h := mustHash(t, Spec{Workload: "seq", Cores: 2, QoS: "rt=0,cap=1:16,win=1024"}); h != qosHash {
+		t.Errorf("reordered qos directives hash differently: %s != %s", h, qosHash)
+	}
+}
+
+// TestSpecQoSCanonicalElision checks the canonical encoding carries no
+// "qos" key unless a policy is set, so every pre-QoS document and cached
+// result keeps its bytes.
+func TestSpecQoSCanonicalElision(t *testing.T) {
+	c, err := Spec{Workload: "seq", Cores: 2}.Normalized().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(c), "qos") {
+		t.Errorf("canonical encoding of a QoS-less spec mentions qos: %s", c)
+	}
+	c, err = Spec{Workload: "seq", Cores: 2, QoS: "rt=0"}.Normalized().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(c), `"qos":"rt=0"`) {
+		t.Errorf("canonical encoding lost the qos policy: %s", c)
+	}
+}
+
+// TestSpecQoSValidate checks malformed policies are named errors.
+func TestSpecQoSValidate(t *testing.T) {
+	bad := []Spec{
+		{Workload: "seq", Cores: 2, QoS: "cap=5:8"},  // source out of range
+		{Workload: "seq", Cores: 2, QoS: "frobnify"}, // unknown directive
+		{Workload: "seq", Cores: 2, QoS: "cap=0:-1"}, // negative budget
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%q) accepted a malformed policy", s.QoS)
+		}
+	}
+}
+
+// TestSweepQoSAxis sweeps the qos axis and checks the unregulated point
+// collapses to the legacy hash while the regulated one diverges.
+func TestSweepQoSAxis(t *testing.T) {
+	sw := Sweep{
+		Base: Spec{Workload: "latcrit,bwhog", Cores: 2, Budget: 50_000},
+		Axes: map[string][]any{"qos": {"", "win=2048,cap=1:16,rt=0"}},
+	}
+	points, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("expanded %d points, want 2", len(points))
+	}
+	legacy := mustHash(t, sw.Base)
+	if points[0].Spec.QoS != "" || points[0].Hash != legacy {
+		t.Errorf("unregulated point %+v does not match the legacy spec hash", points[0])
+	}
+	if points[1].Hash == legacy {
+		t.Error("regulated point collapsed onto the legacy hash")
+	}
+}
+
+// TestRunSpecQoS runs the latency-critical + bandwidth-hog tenant mix
+// regulated and unregulated through the shared spec layer, and checks the
+// regulated result carries conserved per-source stacks with a visible
+// regulation share, which survives into the JSON document.
+func TestRunSpecQoS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("QoS spec run skipped in -short")
+	}
+	base := Spec{Workload: "latcrit,bwhog", Cores: 2, Budget: 60_000}
+	free, err := RunSpec(context.Background(), base, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.PerSourceBW != nil {
+		t.Error("unregulated run grew per-source stacks")
+	}
+	if got := free.BW.Cycles[stacks.BWRegulation]; got != 0 {
+		t.Errorf("unregulated run spent %v cycles regulated", got)
+	}
+
+	reg := base
+	reg.QoS = "win=2048,cap=1:4,rt=0"
+	res, err := RunSpec(context.Background(), reg, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BW.Cycles[stacks.BWRegulation] == 0 {
+		t.Error("regulated run shows no regulation component")
+	}
+	if len(res.PerSourceBW) != 3 { // 2 tenants + shared
+		t.Fatalf("per-source rows = %d, want 3", len(res.PerSourceBW))
+	}
+	banks := float64(res.BW.Banks)
+	var sumFull, sumShared [stacks.NumBWComponents]int64
+	for _, row := range res.PerSourceBW {
+		for c := 0; c < int(stacks.NumBWComponents); c++ {
+			sumFull[c] += row.Full[c]
+			sumShared[c] += row.Shared[c]
+		}
+	}
+	for c := stacks.BWComponent(0); c < stacks.NumBWComponents; c++ {
+		got := float64(sumFull[c]) + float64(sumShared[c])/banks
+		if got != res.BW.Cycles[c] {
+			t.Errorf("component %s: per-source rows sum to %v, aggregate %v", c, got, res.BW.Cycles[c])
+		}
+	}
+	var latSum stacks.LatencyStack
+	for _, row := range res.PerSourceLat {
+		latSum.Add(row)
+	}
+	if latSum != res.Lat {
+		t.Errorf("per-source latency rows sum to %+v, aggregate %+v", latSum, res.Lat)
+	}
+
+	out, err := ResultJSON(reg, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row RowJSON
+	if err := json.Unmarshal(out, &row); err != nil {
+		t.Fatal(err)
+	}
+	if len(row.PerSource) != 3 {
+		t.Fatalf("JSON per_source rows = %d, want 3", len(row.PerSource))
+	}
+	if row.PerSource[2].Source != stacks.SourceShared {
+		t.Errorf("last JSON row source = %d, want %d", row.PerSource[2].Source, stacks.SourceShared)
+	}
+	if _, ok := row.BandwidthGBps[stacks.BWRegulation.String()]; !ok {
+		t.Error("regulated JSON document elided the regulation component")
+	}
+
+	// And the unregulated document stays in the legacy shape.
+	freeOut, err := ResultJSON(base, free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(freeOut), "per_source") ||
+		strings.Contains(string(freeOut), stacks.BWRegulation.String()) {
+		t.Errorf("unregulated document grew QoS keys:\n%s", freeOut)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"dramstacks/internal/dram/standard"
 	"dramstacks/internal/gap"
 	"dramstacks/internal/memctrl"
+	"dramstacks/internal/qos"
 	"dramstacks/internal/sim"
 	"dramstacks/internal/stacks"
 	"dramstacks/internal/workload"
@@ -70,11 +71,17 @@ type Spec struct {
 	// WriteQueue overrides the write-queue capacity for GAP kernels when
 	// positive (the paper's wq128 variant).
 	WriteQueue int `json:"wq"`
+	// QoS is the multi-tenant policy in the internal/qos grammar
+	// ("win=2048,cap=1:16,rt=0"): per-core bandwidth budgets over a
+	// regulation window and a real-time priority tier, with per-source
+	// stack attribution. Empty (the default) disables QoS and is elided
+	// from the canonical encoding, so pre-QoS specs keep their hashes.
+	QoS string `json:"qos,omitempty"`
 }
 
 func isSynthWorkload(w string) bool {
 	switch w {
-	case "seq", "random", "strided":
+	case "seq", "random", "strided", "latcrit", "bwhog":
 		return true
 	}
 	return false
@@ -122,6 +129,13 @@ func (s Spec) Normalized() Spec {
 	}
 	if n.Cores == 0 {
 		n.Cores = 1
+	}
+	// A parseable policy is rewritten in the grammar's canonical
+	// directive order so equivalent spellings hash identically; an
+	// unparseable one is left as-is for Validate to report.
+	n.QoS = strings.TrimSpace(n.QoS)
+	if q, err := qos.Parse(n.QoS, n.Cores); err == nil {
+		n.QoS = q.String()
 	}
 	if n.Channels == 0 {
 		n.Channels = 1
@@ -211,6 +225,9 @@ func (s Spec) Validate() error {
 	if isGapWorkload(s.Workload) && (s.Scale < 4 || s.Scale > 24) {
 		return fmt.Errorf("exp: GAP graph scale must be in 4..24, got %d", s.Scale)
 	}
+	if _, err := qos.Parse(s.QoS, s.Cores); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -244,6 +261,11 @@ func (s Spec) Canonical() ([]byte, error) {
 	if n.Standard != standard.DefaultName {
 		m["standard"] = n.Standard
 	}
+	// Likewise the empty (disabled) QoS policy, so pre-QoS specs keep
+	// their hashes too.
+	if n.QoS != "" {
+		m["qos"] = n.QoS
+	}
 	return json.Marshal(m)
 }
 
@@ -268,6 +290,8 @@ func (s Spec) Label() string {
 	switch {
 	case isMixWorkload(n.Workload):
 		lbl = fmt.Sprintf("mix(%s) %dc", n.Workload, n.Cores)
+	case n.Workload == "latcrit", n.Workload == "bwhog":
+		lbl = fmt.Sprintf("%s %dc", n.Workload, n.Cores)
 	case isSynthWorkload(n.Workload):
 		lbl = fmt.Sprintf("%s %dc", synthPattern(n.Workload), n.Cores)
 	case isStreamWorkload(n.Workload):
@@ -277,6 +301,9 @@ func (s Spec) Label() string {
 	}
 	if n.Standard != standard.DefaultName {
 		lbl += " " + n.Standard
+	}
+	if n.QoS != "" {
+		lbl += " qos(" + n.QoS + ")"
 	}
 	return lbl
 }
@@ -354,6 +381,13 @@ func RunSpec(ctx context.Context, spec Spec, opt RunOptions) (*sim.Result, error
 	if n.Policy == "closed" {
 		cfg.Ctrl.Policy = memctrl.ClosedPage
 	}
+	if n.QoS != "" {
+		q, err := qos.Parse(n.QoS, n.Cores)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Ctrl.QoS = q
+	}
 	cfg.MaxMemCycles = budget
 	cfg.SampleInterval = n.Sample
 	cfg.Trace = opt.Trace
@@ -365,6 +399,9 @@ func RunSpec(ctx context.Context, spec Spec, opt RunOptions) (*sim.Result, error
 		if sources, err = mixSources(n.Workload, n.Cores); err != nil {
 			return nil, err
 		}
+	case n.Workload == "latcrit" || n.Workload == "bwhog":
+		cfg.PrewarmOps = 1 << 20
+		sources = tenantSources(n.Workload, n.Cores, n.Stores)
 	case isSynthWorkload(n.Workload):
 		cfg.PrewarmOps = 1 << 20
 		sources = sim.SyntheticSources(synthPattern(n.Workload), n.Cores, n.Stores)
@@ -405,6 +442,23 @@ func RunSpec(ctx context.Context, spec Spec, opt RunOptions) (*sim.Result, error
 	return res, nil
 }
 
+// tenantSources builds the QoS tenant streams ("latcrit" / "bwhog") for
+// every core, each with a private region staggered by one DRAM page.
+func tenantSources(kind string, cores int, stores float64) []cpu.Source {
+	var sources []cpu.Source
+	for i := 0; i < cores; i++ {
+		wc := workload.DefaultLatCrit()
+		if kind == "bwhog" {
+			wc = workload.DefaultBWHog()
+		}
+		wc.StoreFrac = stores
+		wc.BaseAddr = uint64(i)*(256<<20) + uint64(i)*8192
+		wc.Seed = int64(i + 1)
+		sources = append(sources, workload.MustSynthetic(wc))
+	}
+	return sources
+}
+
 // mixSources assigns the comma-separated workload kinds to cores
 // round-robin, each with a private region staggered by one DRAM page.
 func mixSources(mix string, cores int) ([]cpu.Source, error) {
@@ -421,6 +475,10 @@ func mixSources(mix string, cores int) ([]cpu.Source, error) {
 				wc = workload.DefaultSequential()
 			case "random":
 				wc = workload.DefaultRandom()
+			case "latcrit":
+				wc = workload.DefaultLatCrit()
+			case "bwhog":
+				wc = workload.DefaultBWHog()
 			default:
 				wc = workload.DefaultStrided()
 			}

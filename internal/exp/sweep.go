@@ -228,7 +228,7 @@ func axisLabel(v any) string {
 // value, enforcing the field's type.
 func setSpecField(s *Spec, name string, v any) error {
 	switch name {
-	case "workload", "policy", "map", "standard":
+	case "workload", "policy", "map", "standard", "qos":
 		str, ok := v.(string)
 		if !ok {
 			return fmt.Errorf("exp: sweep axis %q wants string values, got %v", name, v)
@@ -242,6 +242,8 @@ func setSpecField(s *Spec, name string, v any) error {
 			s.Mapping = str
 		case "standard":
 			s.Standard = str
+		case "qos":
+			s.QoS = str
 		}
 		return nil
 	case "stores":

@@ -7,7 +7,11 @@
 // mechanism requires (paper §IV, §V).
 package memctrl
 
-import "fmt"
+import (
+	"fmt"
+
+	"dramstacks/internal/qos"
+)
 
 // PagePolicy selects when the controller closes DRAM pages.
 type PagePolicy uint8
@@ -35,8 +39,31 @@ type Scheduler uint8
 
 const (
 	// FRFCFS is first-ready, first-come-first-served (the paper's
-	// policy): ready column commands (row hits) are served before older
-	// requests that would need a precharge or activate.
+	// policy). The full tie-break order, audited for the QoS priority
+	// tier, is:
+	//
+	//  1. Priority tier (only with a QoS policy that has real-time
+	//     sources): requests from RT sources — plus any request older
+	//     than the aging bound, whatever its source — are scheduled
+	//     before every other request, running the complete
+	//     column/activate/precharge ladder below among themselves first.
+	//     The aging promotion is the starvation fix: without it a
+	//     low-priority ready row hit can be deferred indefinitely by an
+	//     unbroken stream of high-priority misses, because every RT
+	//     activate/precharge outranks the waiting column command. Once
+	//     the hit's age crosses qos.Config.AgingBound it joins the top
+	//     tier and wins by arrival order.
+	//  2. Ready column commands (row hits) before activates before
+	//     precharges — "first ready": a young row hit overtakes an older
+	//     request that still needs its page opened.
+	//  3. Oldest arrival within each class.
+	//
+	// Two standing exceptions: a precharge never closes a row that still
+	// has queued same-direction hits in its own tier or above (a held or
+	// lower-tier hit does not preserve a row against the priority tier),
+	// and requests held by QoS bandwidth regulation are invisible to the
+	// scheduler entirely — they take no part in any tie-break and cannot
+	// block a bank.
 	FRFCFS Scheduler = iota
 	// FCFS serves strictly in arrival order; the scheduler only works
 	// on the oldest request per bank. Exposed as a scheduling ablation
@@ -106,6 +133,16 @@ type Config struct {
 	// later request). The simulator's hot loop opts in; external users
 	// of the package API get stable requests by default.
 	Recycle bool
+
+	// QoS, when enabled, activates multi-tenant quality of service:
+	// per-source bandwidth budgets over a regulation window (reads from
+	// an over-budget source are held, not scheduled; column commands of
+	// both directions consume budget) and a real-time priority tier
+	// layered on FR-FCFS with an aging bound against starvation. The
+	// zero value leaves scheduling and accounting byte-identical to a
+	// controller without the feature. Budgets are enforced per channel:
+	// each controller meters its own window independently.
+	QoS qos.Config
 }
 
 // DefaultConfig returns the paper's controller configuration: FR-FCFS,
@@ -140,5 +177,5 @@ func (c Config) Validate() error {
 	case c.ClosedKeepOpen < 1:
 		return fmt.Errorf("memctrl: ClosedKeepOpen must be at least 1, got %d", c.ClosedKeepOpen)
 	}
-	return nil
+	return c.QoS.Validate()
 }

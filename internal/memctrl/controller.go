@@ -127,7 +127,38 @@ type Controller struct {
 	issuedCycle    int64 // cycle of the last issued command
 	lastIssuedBank int   // bank index of the last issued command, -1 if none
 
+	// QoS state (all zero/nil when cfg.QoS is disabled; the booleans
+	// gate every QoS code path so a policy-less controller runs the
+	// legacy logic byte-identically).
+	qosTrack bool  // per-source stack attribution enabled
+	qosReg   bool  // some source has a bandwidth budget
+	qosPrio  bool  // some source is in the real-time tier
+	qosAging int64 // effective starvation bound (priority tier)
+
+	qosWindow  int64   // current regulation window index (now / Window)
+	qosUsed    []int64 // column commands issued per source this window
+	qosHeld    []bool  // per-source held state, recomputed each tick
+	readsBySrc []int   // queued (unissued) reads per source
+	heldReads  int     // queued reads belonging to held sources
+	cumReg     []int64 // cumulative held cycles per source (latency attribution)
+
+	// busOwner tracks which source's data occupies the bus, for
+	// per-source read/write cycle attribution. Windows never overlap
+	// (the device serializes the data bus), so a FIFO suffices.
+	busOwner []busWindow
+
+	// latSrc holds per-source latency accountants (rows 0..Sources-1,
+	// row Sources = shared), nil unless per-source tracking is enabled.
+	latSrc []*stacks.LatencyAccountant
+
 	stats Stats
+}
+
+// busWindow is one claimed [start, end) data-bus interval and the source
+// whose request claimed it.
+type busWindow struct {
+	start, end int64
+	src        int
 }
 
 type pendingDone struct {
@@ -136,11 +167,18 @@ type pendingDone struct {
 }
 
 // bankCand is the per-bank candidate state built by the scheduling scan.
+// The prio slots are populated only under a QoS policy with a priority
+// tier; they hold the oldest priority-tier (real-time or aged) request
+// per class, which the tiered scheduler serves before any normal slot.
 type bankCand struct {
 	col          *Request // oldest request whose row is open (column command ready-ish)
 	act          *Request // oldest request needing an activate (bank precharged)
 	pre          *Request // oldest request needing a precharge (row conflict)
+	colPrio      *Request // oldest priority-tier row hit
+	actPrio      *Request // oldest priority-tier activate candidate
+	prePrio      *Request // oldest priority-tier precharge candidate
 	hasHitActive bool     // some active-direction request hits the open row
+	hasHitPrio   bool     // some priority-tier active-direction request hits the open row
 	hasHitOther  bool     // some other-direction request hits the open row
 	sameRowCount int      // queued requests (both queues) targeting the open row
 }
@@ -172,6 +210,22 @@ func New(dev *dram.Device, mapper addrmap.Mapper, cfg Config) (*Controller, erro
 		c.nextRefresh[r] = int64(c.tim.REFI) * int64(r+1) / int64(geo.Ranks)
 	}
 	c.sampler = stacks.NewSampler(cfg.SampleInterval, c.bw, c.lat)
+	if q := cfg.QoS; q.Enabled() {
+		n := q.Sources
+		c.qosTrack = true
+		c.qosReg = q.Regulates()
+		c.qosPrio = q.Prioritizes()
+		c.qosAging = q.AgingBound()
+		c.qosUsed = make([]int64, n)
+		c.qosHeld = make([]bool, n)
+		c.readsBySrc = make([]int, n)
+		c.cumReg = make([]int64, n)
+		c.bw.EnableSourceTracking(n)
+		c.latSrc = make([]*stacks.LatencyAccountant, n+1)
+		for i := range c.latSrc {
+			c.latSrc[i] = stacks.NewLatencyAccountant()
+		}
+	}
 	return c, nil
 }
 
@@ -196,6 +250,34 @@ func (c *Controller) LatencyStack() stacks.LatencyStack { return c.lat.Stack() }
 // LatencyHistogram returns the distribution of total read latencies.
 func (c *Controller) LatencyHistogram() stacks.LatencyHistogram { return c.hist }
 
+// SourceStacks returns the per-source bandwidth split (rows 0..n-1 for
+// the QoS sources, last row stacks.SourceShared), or nil when no QoS
+// policy is configured. The rows sum to BandwidthStack cycle-exactly.
+func (c *Controller) SourceStacks() []stacks.SourceStack { return c.bw.SourceStacks() }
+
+// SourceLatencyStacks returns per-source latency stacks (index
+// 0..n-1 for the QoS sources, index n for unattributed reads), or nil
+// when no QoS policy is configured. Summed, they equal LatencyStack.
+func (c *Controller) SourceLatencyStacks() []stacks.LatencyStack {
+	if c.latSrc == nil {
+		return nil
+	}
+	out := make([]stacks.LatencyStack, len(c.latSrc))
+	for i, a := range c.latSrc {
+		out[i] = a.Stack()
+	}
+	return out
+}
+
+// srcRow maps a request source to a latSrc row (out-of-range sources to
+// the shared row).
+func (c *Controller) srcRow(src int) int {
+	if src < 0 || src >= len(c.latSrc)-1 {
+		return len(c.latSrc) - 1
+	}
+	return src
+}
+
 // Samples returns the through-time samples cut so far (empty unless
 // Config.SampleInterval is positive).
 func (c *Controller) Samples() []stacks.Sample { return c.sampler.Samples() }
@@ -219,14 +301,14 @@ func (c *Controller) Pending() bool {
 
 // newRequest allocates a request, reusing a recycled one when the
 // freelist is enabled and non-empty.
-func (c *Controller) newRequest(addr uint64, write bool, onComplete func(*Request, int64), meta any, now int64) *Request {
+func (c *Controller) newRequest(addr uint64, write bool, src int, onComplete func(*Request, int64), meta any, now int64) *Request {
 	if n := len(c.reqFree); n > 0 {
 		req := c.reqFree[n-1]
 		c.reqFree = c.reqFree[:n-1]
-		*req = Request{Addr: addr, Write: write, OnComplete: onComplete, Meta: meta, arrive: now}
+		*req = Request{Addr: addr, Write: write, OnComplete: onComplete, Meta: meta, arrive: now, src: src}
 		return req
 	}
-	return &Request{Addr: addr, Write: write, OnComplete: onComplete, Meta: meta, arrive: now}
+	return &Request{Addr: addr, Write: write, OnComplete: onComplete, Meta: meta, arrive: now, src: src}
 }
 
 // recycle returns a completed request to the freelist when cfg.Recycle
@@ -250,9 +332,19 @@ func (c *Controller) recycle(req *Request) {
 //
 //dramvet:allow poolescape(caller may inspect the request until onComplete fires; recycle happens at completion)
 func (c *Controller) EnqueueRead(now int64, addr uint64, onComplete func(*Request, int64), meta any) (*Request, bool) {
+	return c.EnqueueReadFrom(now, addr, stacks.SourceShared, onComplete, meta)
+}
+
+// EnqueueReadFrom is EnqueueRead with an explicit source identity (the
+// requesting core's index, or stacks.SourceShared for unattributed
+// reads). Under a QoS policy the source selects the request's bandwidth
+// budget, priority tier and per-source stack row.
+//
+//dramvet:allow poolescape(caller may inspect the request until onComplete fires; recycle happens at completion)
+func (c *Controller) EnqueueReadFrom(now int64, addr uint64, src int, onComplete func(*Request, int64), meta any) (*Request, bool) {
 	addr &^= uint64(c.geo.LineBytes - 1)
 	if _, hit := c.wbuf[addr]; hit {
-		req := c.newRequest(addr, false, onComplete, meta, now)
+		req := c.newRequest(addr, false, src, onComplete, meta, now)
 		req.forwarded = true
 		c.stats.ForwardedReads++
 		c.stats.EnqueuedReads++
@@ -262,10 +354,16 @@ func (c *Controller) EnqueueRead(now int64, addr uint64, onComplete func(*Reques
 	if len(c.readQ) >= c.cfg.ReadQueueCap {
 		return nil, false
 	}
-	req := c.newRequest(addr, false, onComplete, meta, now)
+	req := c.newRequest(addr, false, src, onComplete, meta, now)
 	req.loc = c.mapper.Decode(addr)
 	req.refSnap = c.cumRefresh
 	req.drainSnap = c.cumDrainOnly
+	if c.qosReg {
+		if s := req.src; s >= 0 && s < len(c.readsBySrc) {
+			c.readsBySrc[s]++
+			req.regSnap = c.cumReg[s]
+		}
+	}
 	c.readQ = append(c.readQ, req)
 	c.stats.EnqueuedReads++
 	return req, true
@@ -280,11 +378,21 @@ func (c *Controller) EnqueueRead(now int64, addr uint64, onComplete func(*Reques
 //
 //dramvet:allow poolescape(caller may inspect the request until onComplete fires; recycle happens at completion)
 func (c *Controller) EnqueueWrite(now int64, addr uint64, onComplete func(*Request, int64), meta any) (*Request, bool) {
+	return c.EnqueueWriteFrom(now, addr, stacks.SourceShared, onComplete, meta)
+}
+
+// EnqueueWriteFrom is EnqueueWrite with an explicit source identity.
+// Writes are posted and never held by regulation, but their column
+// commands consume the source's budget and their data-bus cycles are
+// attributed to the source's stack row.
+//
+//dramvet:allow poolescape(caller may inspect the request until onComplete fires; recycle happens at completion)
+func (c *Controller) EnqueueWriteFrom(now int64, addr uint64, src int, onComplete func(*Request, int64), meta any) (*Request, bool) {
 	addr &^= uint64(c.geo.LineBytes - 1)
 	if _, dup := c.wbuf[addr]; dup {
 		c.stats.CoalescedWrites++
 		c.stats.EnqueuedWrites++
-		req := c.newRequest(addr, true, nil, meta, now)
+		req := c.newRequest(addr, true, src, nil, meta, now)
 		if onComplete != nil {
 			onComplete(req, now)
 		}
@@ -294,7 +402,7 @@ func (c *Controller) EnqueueWrite(now int64, addr uint64, onComplete func(*Reque
 	if len(c.writeQ) >= c.cfg.WriteQueueCap {
 		return nil, false
 	}
-	req := c.newRequest(addr, true, onComplete, meta, now)
+	req := c.newRequest(addr, true, src, onComplete, meta, now)
 	req.loc = c.mapper.Decode(addr)
 	c.writeQ = append(c.writeQ, req)
 	c.wbuf[addr] = req
@@ -309,10 +417,40 @@ func (c *Controller) Tick(now int64) {
 	c.dev.Sync(now)
 
 	c.completeFinished(now)
+	c.qosTick(now)
 	c.updateRefresh(now)
 	c.updateDrain()
 	c.schedule(now)
 	c.account(now)
+}
+
+// qosTick maintains the regulation window: budgets refill at absolute
+// window boundaries (cycle N*Window, independent of traffic history, so
+// fast-forwarded and per-cycle runs agree), and the per-source held
+// state is recomputed for this cycle. No-op without bandwidth budgets.
+func (c *Controller) qosTick(now int64) {
+	if !c.qosReg {
+		return
+	}
+	if w := now / c.cfg.QoS.Window; w != c.qosWindow {
+		c.qosWindow = w
+		for s := range c.qosUsed {
+			c.qosUsed[s] = 0
+		}
+	}
+	c.heldReads = 0
+	for s := range c.qosHeld {
+		b := c.cfg.QoS.SourceBudget(s)
+		c.qosHeld[s] = b > 0 && c.qosUsed[s] >= int64(b)
+		if c.qosHeld[s] {
+			c.heldReads += c.readsBySrc[s]
+		}
+	}
+}
+
+// heldReq reports whether req is currently held by regulation.
+func (c *Controller) heldReq(req *Request) bool {
+	return c.qosReg && req.src >= 0 && req.src < len(c.qosHeld) && c.qosHeld[req.src]
 }
 
 // NextEventCycle returns the next cycle at which Tick must run for real,
@@ -445,7 +583,9 @@ func (c *Controller) updateDrain() {
 	if c.drain && len(c.writeQ) <= c.cfg.WriteLo {
 		c.drain = false
 	}
-	c.writeMode = c.drain || (len(c.readQ) == 0 && len(c.writeQ) > 0)
+	// A read queue whose every entry is held by regulation is effectively
+	// empty: let buffered writes use the otherwise-forfeited cycles.
+	c.writeMode = c.drain || (len(c.readQ)-c.heldReads == 0 && len(c.writeQ) > 0)
 }
 
 // account feeds the bandwidth-stack accountant with this cycle's channel
@@ -454,6 +594,11 @@ func (c *Controller) account(now int64) {
 	view := stacks.CycleView{
 		Data:       c.dev.ConsumeBusKind(now),
 		Refreshing: c.dev.AnyRefreshing(now),
+		DataSource: stacks.SourceShared,
+		RegSource:  stacks.SourceShared,
+	}
+	if c.qosTrack && view.Data != dram.DataNone {
+		view.DataSource = c.busOwnerAt(now)
 	}
 	if view.Data == dram.DataNone && !view.Refreshing {
 		var preMask, actMask uint64
@@ -472,15 +617,35 @@ func (c *Controller) account(now int64) {
 		if c.writeMode {
 			view.Pending = len(c.writeQ) > 0
 		} else {
-			view.Pending = len(c.readQ) > 0
+			// Held reads are not pending: a cycle lost because every
+			// waiting read was over budget is regulation, not constraints.
+			view.Pending = len(c.readQ)-c.heldReads > 0
 		}
 		if preMask|actMask|c.blockedMask == 0 && view.Pending && c.issuedCycle != now {
 			// Nothing bank-attributable, yet a pending request did not
 			// progress: a channel-level condition is in the way.
 			view.ChannelBlocked = true
 		}
+		if preMask|actMask|c.blockedMask == 0 && !view.Pending &&
+			c.heldReads > 0 && c.issuedCycle != now {
+			// The channel sat unused only because every waiting read was
+			// held by its source's budget: a regulation cycle, charged to
+			// the oldest held read's source.
+			view.Regulated = true
+			view.RegSource = c.oldestHeldSource()
+		}
 	}
 	c.bw.Account(view)
+
+	if c.qosReg && c.heldReads > 0 {
+		// A held source with queued reads pays one regulation cycle: the
+		// basis of the latency stacks' "regulated" component.
+		for s := range c.qosHeld {
+			if c.qosHeld[s] && c.readsBySrc[s] > 0 {
+				c.cumReg[s]++
+			}
+		}
+	}
 
 	if view.Refreshing {
 		c.cumRefresh++
@@ -499,6 +664,29 @@ func (c *Controller) account(now int64) {
 	c.sampler.MaybeCut(now + 1)
 }
 
+// busOwnerAt returns the source whose data occupies the bus at cycle
+// now, dropping expired windows from the FIFO.
+func (c *Controller) busOwnerAt(now int64) int {
+	for len(c.busOwner) > 0 && c.busOwner[0].end <= now {
+		c.busOwner = c.busOwner[1:]
+	}
+	if len(c.busOwner) > 0 && c.busOwner[0].start <= now {
+		return c.busOwner[0].src
+	}
+	return stacks.SourceShared
+}
+
+// oldestHeldSource returns the source of the oldest held read (the
+// queue is in arrival order), or stacks.SourceShared if none is found.
+func (c *Controller) oldestHeldSource() int {
+	for _, req := range c.readQ {
+		if c.heldReq(req) {
+			return req.src
+		}
+	}
+	return stacks.SourceShared
+}
+
 // readDone computes a finished read's latency decomposition and records
 // it in the latency stack. Called at column-command issue, when the data
 // timing is fully determined.
@@ -514,11 +702,16 @@ func (c *Controller) readDone(req *Request, colAt int64) {
 	preact := float64(req.ownPre + req.ownAct)
 	refresh := float64(c.cumRefresh - req.refSnap)
 	burst := float64(c.cumDrainOnly - req.drainSnap)
-	queue := float64(colAt-req.arrive) - preact - refresh - burst
+	var regulated float64
+	if c.qosReg && req.src >= 0 && req.src < len(c.cumReg) {
+		regulated = float64(c.cumReg[req.src] - req.regSnap)
+	}
+	queue := float64(colAt-req.arrive) - preact - refresh - burst - regulated
 	// The wait components can overlap in corner cases (e.g. a drain
 	// begins while this request's activate is in flight); shave the
-	// overlap so the components still sum to the total.
-	for _, comp := range []*float64{&burst, &refresh, &preact} {
+	// overlap so the components still sum to the total. Regulated comes
+	// last: a cycle that was both held and waiting stays regulated.
+	for _, comp := range []*float64{&burst, &refresh, &preact, &regulated} {
 		if queue >= 0 {
 			break
 		}
@@ -536,8 +729,12 @@ func (c *Controller) readDone(req *Request, colAt int64) {
 	r.Components[stacks.LatRefresh] = refresh
 	r.Components[stacks.LatWriteBurst] = burst
 	r.Components[stacks.LatQueue] = queue
+	r.Components[stacks.LatRegulated] = regulated
 	req.lat = r
 	c.lat.AddRead(r)
+	if c.latSrc != nil {
+		c.latSrc[c.srcRow(req.src)].AddRead(r)
+	}
 	c.hist.Add(r.Total)
 }
 

@@ -22,12 +22,14 @@ type Request struct {
 
 	loc    dram.Loc
 	arrive int64
+	src    int // request source (core index), or stacks.SourceShared
 
 	// Latency bookkeeping (reads).
 	ownPre    int64 // precharge cycles this request itself incurred
 	ownAct    int64 // activate cycles this request itself incurred
 	refSnap   int64 // cumRefresh at arrival
 	drainSnap int64 // cumDrainOnly at arrival
+	regSnap   int64 // source's cumReg at arrival (QoS regulation)
 	forwarded bool
 	lat       stacks.ReadLatency
 }
@@ -48,6 +50,20 @@ func (r *Request) QueueFraction() float64 {
 		r.lat.Components[stacks.LatRefresh]
 	return q / float64(r.lat.Total)
 }
+
+// RegFraction returns the share of the read's latency spent held by QoS
+// bandwidth regulation: the part the cycle stacks report as
+// dram-regulated. Exactly 0 without a QoS policy.
+func (r *Request) RegFraction() float64 {
+	if r.lat.Total == 0 {
+		return 0
+	}
+	return r.lat.Components[stacks.LatRegulated] / float64(r.lat.Total)
+}
+
+// Source returns the request's source identity (core index), or
+// stacks.SourceShared for unattributed requests.
+func (r *Request) Source() int { return r.src }
 
 // Arrive returns the memory cycle the request entered the controller.
 func (r *Request) Arrive() int64 { return r.arrive }

@@ -62,6 +62,10 @@ func (c *Controller) scheduleRefresh(now int64) bool {
 
 // scan classifies the active-direction queue into per-bank candidates and
 // counts open-row hits from both queues (for page-policy decisions).
+// Requests held by QoS regulation are invisible: they become no
+// candidate, preserve no row, and mark no bank blocked. With a priority
+// tier, the per-bank prio slots additionally track the oldest
+// priority-tier request per class.
 func (c *Controller) scan(now int64) {
 	for i := range c.cand {
 		c.cand[i] = bankCand{}
@@ -71,21 +75,49 @@ func (c *Controller) scan(now int64) {
 		active, other = c.writeQ, c.readQ
 	}
 	for _, req := range active {
+		if c.qosReg && !req.Write && c.heldReq(req) {
+			continue
+		}
 		b := c.bankIndex(req.loc)
 		cd := &c.cand[b]
 		openRow := c.dev.OpenRow(req.loc, now)
+		hit := openRow == req.loc.Row
+		if c.qosPrio && c.reqPrio(req, now) {
+			if hit {
+				cd.hasHitPrio = true
+			}
+			// The FCFS oldest-only rule applies per tier: the first
+			// priority-tier request of a bank claims its prio slot.
+			if c.cfg.Sched != FCFS ||
+				(cd.colPrio == nil && cd.actPrio == nil && cd.prePrio == nil) {
+				switch {
+				case hit:
+					if cd.colPrio == nil {
+						cd.colPrio = req
+					}
+				case openRow < 0:
+					if cd.actPrio == nil {
+						cd.actPrio = req
+					}
+				default:
+					if cd.prePrio == nil {
+						cd.prePrio = req
+					}
+				}
+			}
+		}
 		if c.cfg.Sched == FCFS && (cd.col != nil || cd.act != nil || cd.pre != nil) {
 			// Strict order: only the oldest request per bank is a
 			// candidate; younger row hits may not overtake it. Same-row
 			// counting below still needs every request.
-			if openRow == req.loc.Row {
+			if hit {
 				cd.hasHitActive = true
 				cd.sameRowCount++
 			}
 			continue
 		}
 		switch {
-		case openRow == req.loc.Row:
+		case hit:
 			if cd.col == nil {
 				cd.col = req
 			}
@@ -102,6 +134,9 @@ func (c *Controller) scan(now int64) {
 		}
 	}
 	for _, req := range other {
+		if c.qosReg && !req.Write && c.heldReq(req) {
+			continue
+		}
 		b := c.bankIndex(req.loc)
 		if c.dev.OpenRow(req.loc, now) == req.loc.Row {
 			c.cand[b].hasHitOther = true
@@ -110,15 +145,37 @@ func (c *Controller) scan(now int64) {
 	}
 }
 
+// reqPrio reports whether req is in the priority tier: a real-time
+// source, or any request older than the aging bound (the starvation
+// backstop — see the FRFCFS tie-break documentation in config.go).
+func (c *Controller) reqPrio(req *Request, now int64) bool {
+	return c.cfg.QoS.SourceRT(req.src) || now-req.arrive >= c.qosAging
+}
+
 // issueNormal picks and issues at most one command from the scanned
-// candidates.
+// candidates. With a QoS priority tier, the whole FR-FCFS ladder runs
+// over the priority-tier candidates first; the normal slots only get
+// the cycle when no priority command could issue.
 func (c *Controller) issueNormal(now int64) {
+	if c.qosPrio && c.issuePasses(now, true) {
+		return
+	}
+	c.issuePasses(now, false)
+}
+
+// issuePasses runs the three FR-FCFS passes (ready columns, activates,
+// precharges; oldest first within each) over one candidate tier and
+// reports whether a command was issued.
+func (c *Controller) issuePasses(now int64, prio bool) bool {
 	// Pass 1: ready column commands, oldest first.
 	var best *Request
 	var bestKind dram.CommandKind
 	for b := range c.cand {
 		cd := &c.cand[b]
 		req := cd.col
+		if prio {
+			req = cd.colPrio
+		}
 		if req == nil || c.refPending[req.loc.Rank] {
 			continue
 		}
@@ -131,13 +188,16 @@ func (c *Controller) issueNormal(now int64) {
 	}
 	if best != nil {
 		c.issueColumn(now, best, bestKind)
-		return
+		return true
 	}
 
 	// Pass 2: activates, oldest first.
 	best = nil
 	for b := range c.cand {
 		req := c.cand[b].act
+		if prio {
+			req = c.cand[b].actPrio
+		}
 		if req == nil || c.refPending[req.loc.Rank] {
 			continue
 		}
@@ -152,20 +212,28 @@ func (c *Controller) issueNormal(now int64) {
 		best.ownAct += int64(c.tim.RCD)
 		c.issuedCycle = now
 		c.lastIssuedBank = c.bankIndex(best.loc)
-		return
+		return true
 	}
 
 	// Pass 3: precharges for row conflicts, oldest first — but never
-	// close a row that still has queued hits in the active direction
-	// (first-ready semantics; strict FCFS closes regardless). Hits
-	// waiting in the other direction do not preserve the row: a
-	// deferred write must not starve a read.
+	// close a row that still has queued hits in the same tier or above
+	// (first-ready semantics; strict FCFS closes regardless). A
+	// priority-tier precharge ignores normal-tier hits — preserving the
+	// row for them would invert the tiers — while a normal precharge
+	// respects hits from both tiers. Hits waiting in the other
+	// direction do not preserve the row: a deferred write must not
+	// starve a read.
 	best = nil
 	for b := range c.cand {
 		cd := &c.cand[b]
 		req := cd.pre
+		hitGuard := cd.hasHitActive
+		if prio {
+			req = cd.prePrio
+			hitGuard = cd.hasHitPrio
+		}
 		if req == nil || c.refPending[req.loc.Rank] ||
-			(cd.hasHitActive && c.cfg.Sched != FCFS) {
+			(hitGuard && c.cfg.Sched != FCFS) {
 			continue
 		}
 		loc := req.loc
@@ -186,7 +254,9 @@ func (c *Controller) issueNormal(now int64) {
 		best.ownPre += int64(c.tim.RP)
 		c.issuedCycle = now
 		c.lastIssuedBank = c.bankIndex(best.loc)
+		return true
 	}
+	return false
 }
 
 // columnKind selects the column command for req: with the closed-page
@@ -211,6 +281,14 @@ func (c *Controller) issueColumn(now int64, req *Request, kind dram.CommandKind)
 	c.lastIssuedBank = c.bankIndex(req.loc)
 	c.stats.BankAccesses[c.lastIssuedBank]++
 	c.classifyPage(req)
+	if c.qosReg && req.src >= 0 && req.src < len(c.qosUsed) {
+		// Column commands of both directions consume the source budget.
+		c.qosUsed[req.src]++
+	}
+	if c.qosTrack {
+		start, end := c.dev.DataWindow(kind, now)
+		c.busOwner = append(c.busOwner, busWindow{start, end, req.src})
+	}
 	if req.Write {
 		c.writeQ = removeReq(c.writeQ, req)
 		if c.wbuf[req.Addr] == req {
@@ -224,6 +302,9 @@ func (c *Controller) issueColumn(now int64, req *Request, kind dram.CommandKind)
 		return
 	}
 	c.readQ = removeReq(c.readQ, req)
+	if c.qosReg && req.src >= 0 && req.src < len(c.readsBySrc) {
+		c.readsBySrc[req.src]--
+	}
 	c.stats.IssuedReads++
 	c.readDone(req, now)
 }

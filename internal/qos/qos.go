@@ -1,0 +1,264 @@
+// Package qos defines the multi-tenant quality-of-service policy the
+// memory controller enforces: per-source bandwidth budgets over a
+// regulation window (requests from an over-budget source are held, not
+// scheduled — per-bank/per-source bandwidth regulation in the spirit of
+// Sullivan et al.), and a real-time priority tier layered on FR-FCFS
+// with an aging bound so low-priority requests cannot starve.
+//
+// A "source" is the tenant identity a request carries through the whole
+// stack — in the simulator it is the requesting core's index. The
+// package also owns the compact textual form of a policy (the `qos`
+// experiment-spec field, e.g. "win=2048,cap=1:16,rt=0"), so the CLI,
+// the sweep engine and the service all speak the same grammar.
+package qos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DefaultWindow is the regulation window, in memory cycles, used when a
+// policy sets budgets without naming a window. 2048 memory cycles is
+// ~1.7 µs at DDR4-2400: long enough to average over refresh and drain
+// bursts, short enough to bound a held request's extra latency.
+const DefaultWindow = 2048
+
+// DefaultAging is the starvation bound, in memory cycles, used when a
+// policy enables the priority tier without naming one: any request that
+// has waited this long is treated as top priority regardless of its
+// source, so a stream of real-time misses cannot defer a low-priority
+// request indefinitely.
+const DefaultAging = 8192
+
+// Config is a complete QoS policy for one memory channel. The zero
+// value disables QoS entirely: the controller's scheduling and
+// accounting are byte-identical to a build without the feature.
+type Config struct {
+	// Sources is the number of distinct request sources (cores).
+	// 0 disables QoS. Requests without a source identity (external
+	// callers, unattributed writebacks) are never regulated or
+	// prioritized and account to the shared bucket.
+	Sources int
+
+	// Window is the regulation window length in memory cycles. Budgets
+	// refill at every absolute window boundary (cycle N*Window), so the
+	// refill schedule is independent of traffic history.
+	Window int64
+
+	// Budget is the per-source budget of column commands (data bursts)
+	// per window, indexed by source; 0 or missing means unregulated.
+	// Once a source has issued its budget within the current window its
+	// remaining requests are held until the next boundary.
+	Budget []int
+
+	// RT marks real-time sources, indexed by source: their requests are
+	// scheduled in a priority tier above every non-RT request (FR-FCFS
+	// order within each tier).
+	RT []bool
+
+	// Aging is the starvation bound in memory cycles (DefaultAging when
+	// 0 and the priority tier is in use): a request older than this is
+	// promoted into the priority tier whatever its source.
+	Aging int64
+}
+
+// Enabled reports whether the policy does anything at all.
+func (c Config) Enabled() bool { return c.Sources > 0 }
+
+// Regulates reports whether any source has a bandwidth budget.
+func (c Config) Regulates() bool {
+	for _, b := range c.Budget {
+		if b > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Prioritizes reports whether any source is in the real-time tier.
+func (c Config) Prioritizes() bool {
+	for _, rt := range c.RT {
+		if rt {
+			return true
+		}
+	}
+	return false
+}
+
+// SourceBudget returns src's per-window budget (0 = unregulated).
+func (c Config) SourceBudget(src int) int {
+	if src < 0 || src >= len(c.Budget) {
+		return 0
+	}
+	return c.Budget[src]
+}
+
+// SourceRT reports whether src is in the real-time tier.
+func (c Config) SourceRT(src int) bool {
+	return src >= 0 && src < len(c.RT) && c.RT[src]
+}
+
+// AgingBound returns the effective starvation bound.
+func (c Config) AgingBound() int64 {
+	if c.Aging > 0 {
+		return c.Aging
+	}
+	return DefaultAging
+}
+
+// Validate reports a descriptive error for unusable policies.
+func (c Config) Validate() error {
+	if !c.Enabled() {
+		if c.Window != 0 || len(c.Budget) != 0 || len(c.RT) != 0 || c.Aging != 0 {
+			return fmt.Errorf("qos: policy with no sources must be entirely zero")
+		}
+		return nil
+	}
+	if c.Sources > 64 {
+		return fmt.Errorf("qos: at most 64 sources, got %d", c.Sources)
+	}
+	if len(c.Budget) > c.Sources {
+		return fmt.Errorf("qos: %d budgets for %d sources", len(c.Budget), c.Sources)
+	}
+	if len(c.RT) > c.Sources {
+		return fmt.Errorf("qos: %d RT flags for %d sources", len(c.RT), c.Sources)
+	}
+	for s, b := range c.Budget {
+		if b < 0 {
+			return fmt.Errorf("qos: negative budget %d for source %d", b, s)
+		}
+	}
+	if c.Regulates() && c.Window <= 0 {
+		return fmt.Errorf("qos: budgets need a positive regulation window, got %d", c.Window)
+	}
+	if c.Window < 0 || c.Aging < 0 {
+		return fmt.Errorf("qos: window and aging must be non-negative")
+	}
+	return nil
+}
+
+// Parse decodes the compact policy grammar into a Config for the given
+// number of sources. The grammar is a comma-separated directive list:
+//
+//	win=N      regulation window in memory cycles (DefaultWindow if
+//	           budgets are set without it)
+//	cap=S:N    budget of N column commands per window for source S
+//	           (repeatable, one source per directive)
+//	rt=S       real-time priority for source S (repeatable)
+//	aging=N    starvation bound in memory cycles (DefaultAging if the
+//	           priority tier is used without it)
+//
+// "win=2048,cap=1:16,rt=0" regulates source 1 to 16 bursts per 2048
+// cycles and serves source 0 in the priority tier. The empty string
+// parses to the zero (disabled) Config.
+func Parse(s string, sources int) (Config, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Config{}, nil
+	}
+	if sources <= 0 {
+		return Config{}, fmt.Errorf("qos: policy %q needs a positive source count, got %d", s, sources)
+	}
+	cfg := Config{Sources: sources}
+	for _, dir := range strings.Split(s, ",") {
+		dir = strings.TrimSpace(dir)
+		key, val, ok := strings.Cut(dir, "=")
+		if !ok || val == "" {
+			return Config{}, fmt.Errorf("qos: malformed directive %q (want key=value)", dir)
+		}
+		switch key {
+		case "win":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n <= 0 {
+				return Config{}, fmt.Errorf("qos: window %q must be a positive integer", val)
+			}
+			cfg.Window = n
+		case "aging":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n <= 0 {
+				return Config{}, fmt.Errorf("qos: aging %q must be a positive integer", val)
+			}
+			cfg.Aging = n
+		case "cap":
+			srcStr, capStr, ok := strings.Cut(val, ":")
+			if !ok {
+				return Config{}, fmt.Errorf("qos: cap %q wants source:budget", val)
+			}
+			src, err := parseSource(srcStr, sources)
+			if err != nil {
+				return Config{}, err
+			}
+			n, err := strconv.Atoi(capStr)
+			if err != nil || n <= 0 {
+				return Config{}, fmt.Errorf("qos: budget %q must be a positive integer", capStr)
+			}
+			if len(cfg.Budget) <= src {
+				cfg.Budget = append(cfg.Budget, make([]int, src+1-len(cfg.Budget))...)
+			}
+			if cfg.Budget[src] != 0 {
+				return Config{}, fmt.Errorf("qos: duplicate cap for source %d", src)
+			}
+			cfg.Budget[src] = n
+		case "rt":
+			src, err := parseSource(val, sources)
+			if err != nil {
+				return Config{}, err
+			}
+			if len(cfg.RT) <= src {
+				cfg.RT = append(cfg.RT, make([]bool, src+1-len(cfg.RT))...)
+			}
+			if cfg.RT[src] {
+				return Config{}, fmt.Errorf("qos: duplicate rt for source %d", src)
+			}
+			cfg.RT[src] = true
+		default:
+			return Config{}, fmt.Errorf("qos: unknown directive %q (want win, cap, rt or aging)", key)
+		}
+	}
+	if cfg.Regulates() && cfg.Window == 0 {
+		cfg.Window = DefaultWindow
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+func parseSource(s string, sources int) (int, error) {
+	src, err := strconv.Atoi(s)
+	if err != nil || src < 0 {
+		return 0, fmt.Errorf("qos: source %q must be a non-negative integer", s)
+	}
+	if src >= sources {
+		return 0, fmt.Errorf("qos: source %d out of range (have %d sources)", src, sources)
+	}
+	return src, nil
+}
+
+// String renders the policy in the canonical directive order (win,
+// caps by source, rts by source, aging — each only when set), so that
+// Parse(c.String(), c.Sources) round-trips. The zero Config renders "".
+func (c Config) String() string {
+	if !c.Enabled() {
+		return ""
+	}
+	var parts []string
+	if c.Window > 0 {
+		parts = append(parts, "win="+strconv.FormatInt(c.Window, 10))
+	}
+	for s, b := range c.Budget {
+		if b > 0 {
+			parts = append(parts, fmt.Sprintf("cap=%d:%d", s, b))
+		}
+	}
+	for s, rt := range c.RT {
+		if rt {
+			parts = append(parts, "rt="+strconv.Itoa(s))
+		}
+	}
+	if c.Aging > 0 {
+		parts = append(parts, "aging="+strconv.FormatInt(c.Aging, 10))
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,153 @@
+package qos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseEmpty(t *testing.T) {
+	cfg, err := Parse("", 4)
+	if err != nil {
+		t.Fatalf("Parse empty: %v", err)
+	}
+	if cfg.Enabled() {
+		t.Fatalf("empty policy must be disabled, got %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("zero config must validate: %v", err)
+	}
+	if got := cfg.String(); got != "" {
+		t.Fatalf("zero config String = %q, want empty", got)
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	cfg, err := Parse("win=1024,cap=1:16,cap=3:8,rt=0,aging=4096", 4)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !cfg.Enabled() || cfg.Sources != 4 {
+		t.Fatalf("Sources = %d, want 4", cfg.Sources)
+	}
+	if cfg.Window != 1024 {
+		t.Fatalf("Window = %d, want 1024", cfg.Window)
+	}
+	if cfg.SourceBudget(1) != 16 || cfg.SourceBudget(3) != 8 {
+		t.Fatalf("budgets = %v", cfg.Budget)
+	}
+	if cfg.SourceBudget(0) != 0 || cfg.SourceBudget(2) != 0 {
+		t.Fatalf("unset budgets must be 0, got %v", cfg.Budget)
+	}
+	if !cfg.SourceRT(0) || cfg.SourceRT(1) {
+		t.Fatalf("RT = %v", cfg.RT)
+	}
+	if cfg.Aging != 4096 || cfg.AgingBound() != 4096 {
+		t.Fatalf("Aging = %d", cfg.Aging)
+	}
+	if !cfg.Regulates() || !cfg.Prioritizes() {
+		t.Fatalf("Regulates/Prioritizes: %+v", cfg)
+	}
+}
+
+func TestParseDefaultWindow(t *testing.T) {
+	cfg, err := Parse("cap=0:32", 2)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if cfg.Window != DefaultWindow {
+		t.Fatalf("Window = %d, want DefaultWindow %d", cfg.Window, DefaultWindow)
+	}
+	if cfg.AgingBound() != DefaultAging {
+		t.Fatalf("AgingBound = %d, want DefaultAging %d", cfg.AgingBound(), DefaultAging)
+	}
+}
+
+func TestParseRTOnlyNoWindow(t *testing.T) {
+	cfg, err := Parse("rt=1", 2)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if cfg.Window != 0 {
+		t.Fatalf("rt-only policy must not force a window, got %d", cfg.Window)
+	}
+	if cfg.Regulates() {
+		t.Fatalf("rt-only policy must not regulate")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		sources int
+		wantSub string
+	}{
+		{"cap=0:8", 0, "source count"},
+		{"bogus=1", 4, "unknown directive"},
+		{"win", 4, "malformed"},
+		{"win=", 4, "malformed"},
+		{"win=-5", 4, "positive"},
+		{"win=0", 4, "positive"},
+		{"aging=0", 4, "positive"},
+		{"cap=8", 4, "source:budget"},
+		{"cap=4:8", 4, "out of range"},
+		{"cap=-1:8", 4, "non-negative"},
+		{"cap=0:0", 4, "positive"},
+		{"cap=0:x", 4, "positive"},
+		{"cap=0:8,cap=0:4", 4, "duplicate cap"},
+		{"rt=4", 4, "out of range"},
+		{"rt=0,rt=0", 4, "duplicate rt"},
+		{"rt=a", 4, "non-negative"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.in, tc.sources); err == nil {
+			t.Errorf("Parse(%q, %d): expected error", tc.in, tc.sources)
+		} else if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q, %d): error %q missing %q", tc.in, tc.sources, err, tc.wantSub)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"win=1024,cap=1:16,cap=3:8,rt=0,aging=4096",
+		"cap=0:32",
+		"rt=1",
+		"win=512,cap=0:4",
+		"rt=0,rt=2,aging=100",
+	} {
+		cfg, err := Parse(in, 4)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		s := cfg.String()
+		cfg2, err := Parse(s, 4)
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", s, err)
+		}
+		if cfg2.String() != s {
+			t.Errorf("String not a fixed point: %q -> %q -> %q", in, s, cfg2.String())
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Window: 5},                          // window without sources
+		{Sources: 65},                        // too many sources
+		{Sources: 2, Budget: []int{1, 1, 1}}, // more budgets than sources
+		{Sources: 2, RT: []bool{true, false, false}}, // more RT flags than sources
+		{Sources: 2, Budget: []int{-1}},              // negative budget
+		{Sources: 2, Budget: []int{4}},               // budget without window
+		{Sources: 2, Window: -1},                     // negative window
+		{Sources: 2, Aging: -1},                      // negative aging
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate(%+v) accepted a bad config", i, c)
+		}
+	}
+	good := Config{Sources: 2, Window: 100, Budget: []int{0, 8}, RT: []bool{true}, Aging: 50}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(%+v): %v", good, err)
+	}
+}

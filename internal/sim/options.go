@@ -8,6 +8,7 @@ import (
 	"dramstacks/internal/dram"
 	"dramstacks/internal/dram/standard"
 	"dramstacks/internal/memctrl"
+	"dramstacks/internal/qos"
 	"dramstacks/internal/stacks"
 )
 
@@ -161,6 +162,17 @@ func WithCore(cc cpu.Config) Option {
 func WithCtrl(f func(*memctrl.Config)) Option {
 	return func(b *builder) {
 		b.mutators = append(b.mutators, func(c *Config) { f(&c.Ctrl) })
+	}
+}
+
+// WithQoS installs a multi-tenant QoS policy on every memory
+// controller: per-source stack attribution, and optionally bandwidth
+// budgets and a real-time priority tier. Sources are core indices. The
+// zero Config leaves the controllers byte-identical to a run without
+// QoS.
+func WithQoS(q qos.Config) Option {
+	return func(b *builder) {
+		b.mutators = append(b.mutators, func(c *Config) { c.Ctrl.QoS = q })
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"dramstacks/internal/cpu"
 	"dramstacks/internal/dram/standard"
 	"dramstacks/internal/memctrl"
+	"dramstacks/internal/qos"
 	"dramstacks/internal/stacks"
 	"dramstacks/internal/workload"
 )
@@ -81,6 +82,31 @@ func drawSpec(rng *rand.Rand, i int) randSpec {
 	if rng.Intn(4) == 0 {
 		cfg.PrewarmOps = 1 << 12
 	}
+	// QoS policies join the randomized space: tracking-only, regulated,
+	// prioritized and combined configurations must keep the two loops
+	// field-identical, including the per-source stacks and the held-read
+	// release schedule at window boundaries.
+	if rng.Intn(3) == 0 {
+		q := qos.Config{
+			Sources: sp.cores,
+			Window:  512 + rng.Int63n(4096),
+			Budget:  make([]int, sp.cores),
+			RT:      make([]bool, sp.cores),
+		}
+		for c := 0; c < sp.cores; c++ {
+			if rng.Intn(2) == 0 {
+				q.Budget[c] = 1 + rng.Intn(64)
+			}
+			q.RT[c] = rng.Intn(4) == 0
+		}
+		if rng.Intn(4) == 0 {
+			q.Aging = 1_000 + rng.Int63n(8_000)
+		}
+		if err := q.Validate(); err != nil {
+			panic(err) // generator bug, not a simulator property
+		}
+		cfg.Ctrl.QoS = q
+	}
 	// Occasionally run a finite workload to completion instead, covering
 	// the done() exit and the post-drain idle tail.
 	if sp.cores <= 2 && rng.Intn(5) == 0 {
@@ -90,6 +116,9 @@ func drawSpec(rng *rand.Rand, i int) randSpec {
 	sp.cfg = cfg
 	sp.name = fmt.Sprintf("%03d-%s-%dc-%s-%s", i, stdName, sp.cores,
 		sp.pattern, cfg.Ctrl.Policy)
+	if cfg.Ctrl.QoS.Enabled() {
+		sp.name += "-qos"
+	}
 	return sp
 }
 

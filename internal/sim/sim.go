@@ -241,9 +241,11 @@ type System struct {
 	published    int // per-channel samples already delivered to OnSample
 	cancelled    bool
 
-	warmBW  []stacks.BandwidthStack
-	warmLat []stacks.LatencyStack
-	warmed  bool
+	warmBW     []stacks.BandwidthStack
+	warmLat    []stacks.LatencyStack
+	warmSrcBW  [][]stacks.SourceStack
+	warmSrcLat [][]stacks.LatencyStack
+	warmed     bool
 }
 
 // NewFromConfig assembles a system from a fully built Config running
@@ -328,7 +330,7 @@ func newSystem(cfg Config, sources []cpu.Source) (*System, error) {
 		s.wheel.Schedule(s.samplerActor(), cfg.SampleInterval)
 	}
 	s.readDone = func(r *memctrl.Request, at int64) {
-		r.Meta.(cache.Waiter).MemDone(at*int64(s.cfg.CPUMult), r.QueueFraction())
+		r.Meta.(cache.Waiter).MemDone(at*int64(s.cfg.CPUMult), r.QueueFraction(), r.RegFraction())
 	}
 	s.hier, err = cache.NewHierarchy(cfg.Hier, (*memPort)(s))
 	if err != nil {
@@ -427,18 +429,18 @@ func (s *System) enqueueTarget(addr uint64) *memctrl.Controller {
 // Read implements cache.MemPort. The waiter rides in Request.Meta and
 // the completion path goes through the system's single pre-bound
 // callback, so a read enqueues without allocating.
-func (p *memPort) Read(nowCPU int64, addr uint64, w cache.Waiter) bool {
+func (p *memPort) Read(nowCPU int64, addr uint64, src int, w cache.Waiter) bool {
 	s := (*System)(p)
 	s.memActive = true
-	_, ok := s.enqueueTarget(addr).EnqueueRead(s.memCycle, addr, s.readDone, w)
+	_, ok := s.enqueueTarget(addr).EnqueueReadFrom(s.memCycle, addr, src, s.readDone, w)
 	return ok
 }
 
 // Write implements cache.MemPort.
-func (p *memPort) Write(nowCPU int64, addr uint64) bool {
+func (p *memPort) Write(nowCPU int64, addr uint64, src int) bool {
 	s := (*System)(p)
 	s.memActive = true
-	_, ok := s.enqueueTarget(addr).EnqueueWrite(s.memCycle, addr, nil, nil)
+	_, ok := s.enqueueTarget(addr).EnqueueWriteFrom(s.memCycle, addr, src, nil, nil)
 	return ok
 }
 
@@ -533,11 +535,7 @@ simLoop:
 		for {
 			if s.cfg.WarmupMemCycles > 0 && !s.warmed && s.memCycle >= s.cfg.WarmupMemCycles {
 				s.catchUpAll(s.memCycle - 1)
-				for _, ctrl := range s.ctrls {
-					s.warmBW = append(s.warmBW, ctrl.BandwidthStack())
-					s.warmLat = append(s.warmLat, ctrl.LatencyStack())
-				}
-				s.warmed = true
+				s.snapWarm()
 				s.wheel.Cancel(s.warmupActor())
 			}
 			if s.cfg.SampleInterval > 0 && s.memCycle-s.nextCut >= s.cfg.SampleInterval {
@@ -840,11 +838,7 @@ func (s *System) runSlow(ctx context.Context) *Result {
 		s.memCycle++
 
 		if s.cfg.WarmupMemCycles > 0 && !s.warmed && s.memCycle >= s.cfg.WarmupMemCycles {
-			for _, ctrl := range s.ctrls {
-				s.warmBW = append(s.warmBW, ctrl.BandwidthStack())
-				s.warmLat = append(s.warmLat, ctrl.LatencyStack())
-			}
-			s.warmed = true
+			s.snapWarm()
 		}
 		if s.cfg.SampleInterval > 0 && s.memCycle-s.nextCut >= s.cfg.SampleInterval {
 			s.cutCycleSample()
@@ -972,6 +966,19 @@ func (s *System) finishCycleSample() {
 	s.cutCycleSample()
 }
 
+// snapWarm records every controller's stacks at the warmup boundary so
+// the reported stacks cover only the post-warmup interval. Per-source
+// splits are snapshotted alongside (nil entries without a QoS policy).
+func (s *System) snapWarm() {
+	for _, ctrl := range s.ctrls {
+		s.warmBW = append(s.warmBW, ctrl.BandwidthStack())
+		s.warmLat = append(s.warmLat, ctrl.LatencyStack())
+		s.warmSrcBW = append(s.warmSrcBW, ctrl.SourceStacks())
+		s.warmSrcLat = append(s.warmSrcLat, ctrl.SourceLatencyStacks())
+	}
+	s.warmed = true
+}
+
 // Result carries everything an experiment reports.
 type Result struct {
 	Cfg Config
@@ -996,6 +1003,14 @@ type Result struct {
 	// afterwards).
 	PerChannelBW    []stacks.BandwidthStack
 	PerChannelStats []memctrl.Stats
+
+	// PerSourceBW and PerSourceLat split the post-warmup stacks by QoS
+	// source (rows 0..n-1 for the sources, a final stacks.SourceShared
+	// row for unattributed cycles), aggregated over channels. Both are
+	// nil unless a QoS policy was configured; the rows sum to BW / Lat
+	// cycle-exactly.
+	PerSourceBW  []stacks.SourceStack
+	PerSourceLat []stacks.LatencyStack
 
 	// Through-time samples (whole run, including warmup), aggregated
 	// over channels.
@@ -1037,6 +1052,23 @@ func (s *System) result() *Result {
 		}
 		r.PerChannelBW = append(r.PerChannelBW, bw)
 		r.PerChannelStats = append(r.PerChannelStats, ctrl.Stats())
+		if srcBW := ctrl.SourceStacks(); srcBW != nil {
+			srcLat := ctrl.SourceLatencyStacks()
+			if s.warmed {
+				for i := range srcBW {
+					srcBW[i] = srcBW[i].Sub(s.warmSrcBW[ch][i])
+					srcLat[i] = srcLat[i].Sub(s.warmSrcLat[ch][i])
+				}
+			}
+			if r.PerSourceBW == nil {
+				r.PerSourceBW, r.PerSourceLat = srcBW, srcLat
+			} else {
+				for i := range srcBW {
+					r.PerSourceBW[i].Add(srcBW[i])
+					r.PerSourceLat[i].Add(srcLat[i])
+				}
+			}
+		}
 		r.BW.Add(bw)
 		r.Lat.Add(lat)
 		addCtrlStats(&r.CtrlStats, ctrl.Stats())

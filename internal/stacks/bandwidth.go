@@ -56,6 +56,11 @@ const (
 	// BWIdle is bandwidth lost because the whole chip had nothing to do:
 	// the cores did not supply enough requests.
 	BWIdle
+	// BWRegulation is bandwidth lost to QoS bandwidth regulation: requests
+	// were pending but every one of them was held by its source's budget,
+	// so the controller deliberately left the channel unused. Without a QoS
+	// policy this component is always exactly zero.
+	BWRegulation
 
 	// NumBWComponents is the number of bandwidth stack components.
 	NumBWComponents
@@ -80,6 +85,8 @@ func (c BWComponent) String() string {
 		return "bank_idle"
 	case BWIdle:
 		return "idle"
+	case BWRegulation:
+		return "regulation"
 	default:
 		return fmt.Sprintf("BWComponent(%d)", uint8(c))
 	}
@@ -101,11 +108,31 @@ type CycleView struct {
 	// from issuing its next command by a timing constraint.
 	BlockedMask uint64
 	// Pending reports whether any request is waiting for commands.
+	// Requests held by QoS regulation do not count as pending: a cycle
+	// where every waiting request is held is a regulation cycle, not a
+	// constraints cycle.
 	Pending bool
 	// ChannelBlocked reports that a pending request is blocked by a
 	// channel- or rank-level constraint while every bank is quiet.
 	ChannelBlocked bool
+	// Regulated reports that at least one request is waiting but every
+	// waiting request is held by QoS bandwidth regulation, with the banks
+	// and the bus otherwise quiet. Always false without a QoS policy.
+	Regulated bool
+	// DataSource is the source of the request whose data is on the bus
+	// this cycle (SourceShared if unattributed). Only consulted when
+	// per-source tracking is enabled.
+	DataSource int
+	// RegSource is the source of the oldest held request on a Regulated
+	// cycle (SourceShared if unattributed). Only consulted when
+	// per-source tracking is enabled.
+	RegSource int
 }
+
+// SourceShared identifies the per-source row that collects cycles not
+// attributable to any single source (refresh, bank-level activity,
+// constraints, idle, and data moved for unattributed requests).
+const SourceShared = -1
 
 // BandwidthAccountant accumulates a bandwidth stack cycle by cycle.
 // The zero value is invalid; use NewBandwidthAccountant.
@@ -115,6 +142,48 @@ type BandwidthAccountant struct {
 	full   [NumBWComponents]int64 // whole cycles
 	shared [NumBWComponents]int64 // 1/banks-cycle shares (paper footnote 1)
 	total  int64
+
+	// src, when non-nil, splits the stack per request source: rows
+	// 0..n-1 are sources, row n is the SourceShared bucket. Every
+	// increment to full/shared above lands in exactly one row, so the
+	// rows sum to the aggregate cycle-exactly (integer equality).
+	src []SourceStack
+}
+
+// EnableSourceTracking makes the accountant additionally attribute
+// cycles to n request sources (plus the SourceShared bucket). Data
+// cycles go to the request's source, regulation cycles to the held
+// request's source; every other component is structurally shared and
+// lands in the SourceShared row. Must be called before any accounting.
+func (a *BandwidthAccountant) EnableSourceTracking(n int) {
+	if n <= 0 {
+		panic("stacks: source tracking needs at least one source")
+	}
+	if a.total != 0 {
+		panic("stacks: EnableSourceTracking after accounting started")
+	}
+	a.src = make([]SourceStack, n+1)
+	for i := range a.src {
+		a.src[i].Source = i
+	}
+	a.src[n].Source = SourceShared
+}
+
+// srcFull credits one whole cycle of component c to source src's row
+// (the SourceShared row when src is out of range). No-op unless
+// per-source tracking is enabled.
+func (a *BandwidthAccountant) srcFull(src int, c BWComponent) {
+	if a.src == nil {
+		return
+	}
+	a.src[a.srcRow(src)].Full[c]++
+}
+
+func (a *BandwidthAccountant) srcRow(src int) int {
+	if src < 0 || src >= len(a.src)-1 {
+		return len(a.src) - 1
+	}
+	return src
 }
 
 // NewBandwidthAccountant returns an accountant for a channel with the
@@ -132,10 +201,13 @@ func (a *BandwidthAccountant) Account(v CycleView) {
 	switch {
 	case v.Data == dram.DataRead:
 		a.full[BWRead]++
+		a.srcFull(v.DataSource, BWRead)
 	case v.Data == dram.DataWrite:
 		a.full[BWWrite]++
+		a.srcFull(v.DataSource, BWWrite)
 	case v.Refreshing:
 		a.full[BWRefresh]++
+		a.srcFull(SourceShared, BWRefresh)
 	case v.PreMask|v.ActMask|v.BlockedMask != 0:
 		pre := bits.OnesCount64(v.PreMask)
 		// A bank both precharging and activating cannot happen; a bank
@@ -146,10 +218,22 @@ func (a *BandwidthAccountant) Account(v CycleView) {
 		a.shared[BWActivate] += int64(act)
 		a.shared[BWConstraints] += int64(blk)
 		a.shared[BWBankIdle] += int64(a.banks - pre - act - blk)
+		if a.src != nil {
+			row := &a.src[len(a.src)-1]
+			row.Shared[BWPrecharge] += int64(pre)
+			row.Shared[BWActivate] += int64(act)
+			row.Shared[BWConstraints] += int64(blk)
+			row.Shared[BWBankIdle] += int64(a.banks - pre - act - blk)
+		}
 	case v.Pending && v.ChannelBlocked:
 		a.full[BWConstraints]++
+		a.srcFull(SourceShared, BWConstraints)
+	case v.Regulated:
+		a.full[BWRegulation]++
+		a.srcFull(v.RegSource, BWRegulation)
 	default:
 		a.full[BWIdle]++
+		a.srcFull(SourceShared, BWIdle)
 	}
 }
 
@@ -160,6 +244,9 @@ func (a *BandwidthAccountant) Account(v CycleView) {
 func (a *BandwidthAccountant) AccountIdle(n int64) {
 	a.total += n
 	a.full[BWIdle] += n
+	if a.src != nil {
+		a.src[len(a.src)-1].Full[BWIdle] += n
+	}
 }
 
 // AccountRefreshing classifies n consecutive channel cycles as refresh
@@ -169,6 +256,9 @@ func (a *BandwidthAccountant) AccountIdle(n int64) {
 func (a *BandwidthAccountant) AccountRefreshing(n int64) {
 	a.total += n
 	a.full[BWRefresh] += n
+	if a.src != nil {
+		a.src[len(a.src)-1].Full[BWRefresh] += n
+	}
 }
 
 // Stack returns the accumulated bandwidth stack.
@@ -178,6 +268,66 @@ func (a *BandwidthAccountant) Stack() BandwidthStack {
 		s.Cycles[c] = float64(a.full[c]) + float64(a.shared[c])/float64(a.banks)
 	}
 	return s
+}
+
+// SourceStacks returns a copy of the per-source split (rows 0..n-1 for
+// the n sources, last row SourceShared), or nil when source tracking is
+// disabled. Summed element-wise over rows, Full and Shared equal the
+// aggregate accountant's accumulators exactly (integer identity — see
+// the conservation test).
+func (a *BandwidthAccountant) SourceStacks() []SourceStack {
+	if a.src == nil {
+		return nil
+	}
+	out := make([]SourceStack, len(a.src))
+	copy(out, a.src)
+	return out
+}
+
+// SourceStack is one row of a per-source bandwidth split: the whole
+// cycles and the 1/banks-cycle shares credited to one source (or to the
+// SourceShared bucket) over the accounted interval. It mirrors the
+// aggregate accountant's internal representation so conservation can be
+// checked in exact integer arithmetic.
+type SourceStack struct {
+	// Source is the source index, or SourceShared for the shared row.
+	Source int
+	// Full counts whole cycles per component (data and regulation cycles
+	// for source rows; refresh/constraints/idle for the shared row).
+	Full [NumBWComponents]int64
+	// Shared counts 1/banks-cycle shares per component (bank-level
+	// activity; only ever non-zero on the SourceShared row).
+	Shared [NumBWComponents]int64
+}
+
+// Cycles converts the row to per-component (possibly fractional)
+// channel cycles given the channel's bank count.
+func (s SourceStack) Cycles(banks int) [NumBWComponents]float64 {
+	var out [NumBWComponents]float64
+	for c := range s.Full {
+		out[c] = float64(s.Full[c]) + float64(s.Shared[c])/float64(banks)
+	}
+	return out
+}
+
+// Sub returns the row covering the interval between an earlier snapshot
+// old and s (warmup subtraction).
+func (s SourceStack) Sub(old SourceStack) SourceStack {
+	d := SourceStack{Source: s.Source}
+	for c := range s.Full {
+		d.Full[c] = s.Full[c] - old.Full[c]
+		d.Shared[c] = s.Shared[c] - old.Shared[c]
+	}
+	return d
+}
+
+// Add accumulates another row (e.g. the same source on another channel)
+// into s.
+func (s *SourceStack) Add(o SourceStack) {
+	for c := range s.Full {
+		s.Full[c] += o.Full[c]
+		s.Shared[c] += o.Shared[c]
+	}
 }
 
 // BandwidthStack is a completed bandwidth stack over some interval.

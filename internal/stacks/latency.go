@@ -28,6 +28,10 @@ const (
 	// LatQueue is the remaining waiting time: behind other reads, for
 	// timing constraints, for the data bus.
 	LatQueue
+	// LatRegulated is time the read spent held by QoS bandwidth
+	// regulation (its source over budget for the window). Always exactly
+	// zero without a QoS policy.
+	LatRegulated
 
 	// NumLatComponents is the number of latency stack components.
 	NumLatComponents
@@ -48,6 +52,8 @@ func (c LatComponent) String() string {
 		return "writeburst"
 	case LatQueue:
 		return "queue"
+	case LatRegulated:
+		return "regulated"
 	default:
 		return fmt.Sprintf("LatComponent(%d)", uint8(c))
 	}

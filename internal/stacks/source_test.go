@@ -1,0 +1,192 @@
+package stacks
+
+import (
+	"math/rand"
+	"testing"
+
+	"dramstacks/internal/dram"
+)
+
+// randomView draws a CycleView exercising every branch of Account,
+// including regulation cycles and per-source data attribution.
+func randomView(rng *rand.Rand, banks, sources int) CycleView {
+	var v CycleView
+	v.DataSource = SourceShared
+	v.RegSource = SourceShared
+	switch rng.Intn(6) {
+	case 0:
+		v.Data = dram.DataRead
+		v.DataSource = rng.Intn(sources+2) - 1 // SourceShared..sources (out of range allowed)
+	case 1:
+		v.Data = dram.DataWrite
+		v.DataSource = rng.Intn(sources+2) - 1
+	case 2:
+		v.Refreshing = true
+	case 3:
+		mask := func() uint64 { return rng.Uint64() & (1<<banks - 1) }
+		v.PreMask, v.ActMask, v.BlockedMask = mask(), mask(), mask()
+		if v.PreMask|v.ActMask|v.BlockedMask == 0 {
+			v.PreMask = 1
+		}
+		v.Pending = true
+	case 4:
+		v.Pending = true
+		v.ChannelBlocked = true
+	case 5:
+		v.Regulated = true
+		v.RegSource = rng.Intn(sources+2) - 1
+	}
+	return v
+}
+
+// TestSourceConservation is the per-source attribution conservation
+// invariant: summed over all rows (sources + shared), the per-source
+// Full and Shared accumulators equal the aggregate stack exactly —
+// integer equality, no tolerance — over randomized cycle streams.
+func TestSourceConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x50a7ce))
+	for trial := 0; trial < 50; trial++ {
+		banks := 1 + rng.Intn(32)
+		sources := 1 + rng.Intn(8)
+		agg := NewBandwidthAccountant(banks)
+		split := NewBandwidthAccountant(banks)
+		split.EnableSourceTracking(sources)
+
+		cycles := 500 + rng.Intn(2000)
+		for i := 0; i < cycles; i++ {
+			// Occasionally exercise the closed-form paths.
+			switch rng.Intn(20) {
+			case 0:
+				n := int64(1 + rng.Intn(100))
+				agg.AccountIdle(n)
+				split.AccountIdle(n)
+			case 1:
+				n := int64(1 + rng.Intn(100))
+				agg.AccountRefreshing(n)
+				split.AccountRefreshing(n)
+			default:
+				v := randomView(rng, banks, sources)
+				agg.Account(v)
+				split.Account(v)
+			}
+		}
+
+		rows := split.SourceStacks()
+		if len(rows) != sources+1 {
+			t.Fatalf("trial %d: %d rows, want %d", trial, len(rows), sources+1)
+		}
+		if rows[sources].Source != SourceShared {
+			t.Fatalf("trial %d: last row source = %d, want SourceShared", trial, rows[sources].Source)
+		}
+
+		// Per-source rows must sum exactly to the split accountant's own
+		// aggregate, which in turn must match the independent aggregate.
+		var sumFull, sumShared [NumBWComponents]int64
+		for _, row := range rows {
+			for c := range row.Full {
+				sumFull[c] += row.Full[c]
+				sumShared[c] += row.Shared[c]
+			}
+		}
+		if sumFull != agg.full {
+			t.Fatalf("trial %d: per-source Full sum %v != aggregate %v", trial, sumFull, agg.full)
+		}
+		if sumShared != agg.shared {
+			t.Fatalf("trial %d: per-source Shared sum %v != aggregate %v", trial, sumShared, agg.shared)
+		}
+		if split.full != agg.full || split.shared != agg.shared || split.total != agg.total {
+			t.Fatalf("trial %d: source tracking changed the aggregate accounting", trial)
+		}
+
+		// Fractional view: row cycles sum to the aggregate stack within
+		// float tolerance (the exact invariant is the integer one above).
+		stack := agg.Stack()
+		var rowSum [NumBWComponents]float64
+		for _, row := range rows {
+			cy := row.Cycles(banks)
+			for c := range cy {
+				rowSum[c] += cy[c]
+			}
+		}
+		for c := range rowSum {
+			if d := rowSum[c] - stack.Cycles[c]; d > 1e-6 || d < -1e-6 {
+				t.Fatalf("trial %d: component %v rows sum %.9f, aggregate %.9f",
+					trial, BWComponent(c), rowSum[c], stack.Cycles[c])
+			}
+		}
+		if err := stack.CheckSum(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestSourceTrackingAttribution pins the attribution rules: data cycles
+// to DataSource, regulation cycles to RegSource, everything else to the
+// shared row; out-of-range sources to the shared row.
+func TestSourceTrackingAttribution(t *testing.T) {
+	a := NewBandwidthAccountant(4)
+	a.EnableSourceTracking(2)
+	a.Account(CycleView{Data: dram.DataRead, DataSource: 0})
+	a.Account(CycleView{Data: dram.DataWrite, DataSource: 1})
+	a.Account(CycleView{Data: dram.DataRead, DataSource: SourceShared})
+	a.Account(CycleView{Data: dram.DataRead, DataSource: 7}) // out of range -> shared
+	a.Account(CycleView{Regulated: true, RegSource: 1})
+	a.Account(CycleView{Refreshing: true})
+	a.Account(CycleView{}) // idle
+
+	rows := a.SourceStacks()
+	if rows[0].Full[BWRead] != 1 || rows[0].Full[BWWrite] != 0 {
+		t.Errorf("source 0 row: %+v", rows[0])
+	}
+	if rows[1].Full[BWWrite] != 1 || rows[1].Full[BWRegulation] != 1 {
+		t.Errorf("source 1 row: %+v", rows[1])
+	}
+	sh := rows[2]
+	if sh.Full[BWRead] != 2 || sh.Full[BWRefresh] != 1 || sh.Full[BWIdle] != 1 {
+		t.Errorf("shared row: %+v", sh)
+	}
+	if a.Stack().Cycles[BWRegulation] != 1 {
+		t.Errorf("aggregate regulation = %v, want 1", a.Stack().Cycles[BWRegulation])
+	}
+}
+
+// TestSourceStackSubAdd checks the warmup-subtraction and cross-channel
+// aggregation helpers.
+func TestSourceStackSubAdd(t *testing.T) {
+	a := SourceStack{Source: 0}
+	a.Full[BWRead] = 10
+	a.Shared[BWBankIdle] = 8
+	b := SourceStack{Source: 0}
+	b.Full[BWRead] = 4
+	b.Shared[BWBankIdle] = 3
+	d := a.Sub(b)
+	if d.Full[BWRead] != 6 || d.Shared[BWBankIdle] != 5 || d.Source != 0 {
+		t.Errorf("Sub: %+v", d)
+	}
+	d.Add(b)
+	if d.Full[BWRead] != 10 || d.Shared[BWBankIdle] != 8 {
+		t.Errorf("Add: %+v", d)
+	}
+}
+
+// TestRegulatedCycleHierarchy checks that regulation ranks below bank
+// activity and channel constraints but above idle, per the accounting
+// hierarchy.
+func TestRegulatedCycleHierarchy(t *testing.T) {
+	a := NewBandwidthAccountant(4)
+	// Busy bank wins over Regulated.
+	a.Account(CycleView{PreMask: 1, Regulated: true})
+	if a.Stack().Cycles[BWRegulation] != 0 {
+		t.Error("bank activity must outrank regulation")
+	}
+	// Pending+ChannelBlocked wins over Regulated.
+	a.Account(CycleView{Pending: true, ChannelBlocked: true, Regulated: true})
+	if a.Stack().Cycles[BWRegulation] != 0 {
+		t.Error("channel constraints must outrank regulation")
+	}
+	// Regulated wins over idle.
+	a.Account(CycleView{Regulated: true})
+	if a.Stack().Cycles[BWRegulation] != 1 {
+		t.Error("regulated cycle not accounted")
+	}
+}

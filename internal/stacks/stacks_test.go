@@ -262,13 +262,13 @@ func TestSamplerDisabled(t *testing.T) {
 }
 
 func TestComponentStrings(t *testing.T) {
-	wantBW := []string{"read", "write", "refresh", "precharge", "activate", "constraints", "bank_idle", "idle"}
+	wantBW := []string{"read", "write", "refresh", "precharge", "activate", "constraints", "bank_idle", "idle", "regulation"}
 	for c := BWComponent(0); c < NumBWComponents; c++ {
 		if got := c.String(); got != wantBW[c] {
 			t.Errorf("BWComponent %d = %q, want %q", c, got, wantBW[c])
 		}
 	}
-	wantLat := []string{"base-cntlr", "base-dram", "act/pre", "refresh", "writeburst", "queue"}
+	wantLat := []string{"base-cntlr", "base-dram", "act/pre", "refresh", "writeburst", "queue", "regulated"}
 	for c := LatComponent(0); c < NumLatComponents; c++ {
 		if got := c.String(); got != wantLat[c] {
 			t.Errorf("LatComponent %d = %q, want %q", c, got, wantLat[c])

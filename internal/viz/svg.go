@@ -20,6 +20,7 @@ var bwColor = map[stacks.BWComponent]string{
 	stacks.BWBankIdle:    "#ff9896",
 	stacks.BWPrecharge:   "#2ca02c",
 	stacks.BWActivate:    "#98df8a",
+	stacks.BWRegulation:  "#ff7f0e",
 	stacks.BWIdle:        "#e7e7e7",
 }
 
@@ -30,15 +31,17 @@ var latColor = map[stacks.LatComponent]string{
 	stacks.LatRefresh:    "#7f7f7f",
 	stacks.LatWriteBurst: "#9467bd",
 	stacks.LatQueue:      "#d62728",
+	stacks.LatRegulated:  "#ff7f0e",
 }
 
 var cycleColor = map[cyclestack.Component]string{
-	cyclestack.Base:        "#2ca02c",
-	cyclestack.Branch:      "#9467bd",
-	cyclestack.Dcache:      "#ff7f0e",
-	cyclestack.DramLatency: "#1f77b4",
-	cyclestack.DramQueue:   "#d62728",
-	cyclestack.Idle:        "#e7e7e7",
+	cyclestack.Base:          "#2ca02c",
+	cyclestack.Branch:        "#9467bd",
+	cyclestack.Dcache:        "#ff7f0e",
+	cyclestack.DramLatency:   "#1f77b4",
+	cyclestack.DramQueue:     "#d62728",
+	cyclestack.DramRegulated: "#ffbb78",
+	cyclestack.Idle:          "#e7e7e7",
 }
 
 // svgCanvas accumulates SVG elements with a fixed chart layout.
@@ -145,21 +148,22 @@ func barLabel(c *svgCanvas, l chartLayout, i int, label string) {
 func BandwidthSVG(w io.Writer, labels []string, list []stacks.BandwidthStack, geo dram.Geometry) error {
 	l, width, height := layoutFor(len(list))
 	c := newCanvas(width, height)
+	order := bwOrderFor(list)
 	peak := geo.PeakBandwidthGBs()
 	yAxis(c, l, peak, "GB/s")
 	for i, s := range list {
 		g := s.GBps(geo)
 		y := l.top + l.plotH
-		for _, comp := range bwOrder {
+		for _, comp := range order {
 			h := g[comp] / peak * l.plotH
 			y -= h
 			c.rect(l.barX(i), y, l.barW, h, bwColor[comp])
 		}
 		barLabel(c, l, i, labels[i])
 	}
-	names := make([]string, len(bwOrder))
-	colors := make([]string, len(bwOrder))
-	for i, comp := range bwOrder {
+	names := make([]string, len(order))
+	colors := make([]string, len(order))
+	for i, comp := range order {
 		names[i] = comp.String()
 		colors[i] = bwColor[comp]
 	}
@@ -181,20 +185,21 @@ func LatencySVG(w io.Writer, labels []string, list []stacks.LatencyStack, geo dr
 	if max == 0 {
 		max = 1
 	}
+	order := latOrderFor(list)
 	yAxis(c, l, max, "ns")
 	for i, s := range list {
 		ns := s.AvgNS(geo)
 		y := l.top + l.plotH
-		for _, comp := range latOrder {
+		for _, comp := range order {
 			h := ns[comp] / max * l.plotH
 			y -= h
 			c.rect(l.barX(i), y, l.barW, h, latColor[comp])
 		}
 		barLabel(c, l, i, labels[i])
 	}
-	names := make([]string, len(latOrder))
-	colors := make([]string, len(latOrder))
-	for i, comp := range latOrder {
+	names := make([]string, len(order))
+	colors := make([]string, len(order))
+	for i, comp := range order {
 		names[i] = comp.String()
 		colors[i] = latColor[comp]
 	}
@@ -217,6 +222,7 @@ func ThroughTimeSVG(w io.Writer, samples []stacks.Sample, geo dram.Geometry) err
 	width := int(l.left + l.plotW + 160)
 	height := int(l.top + l.plotH + l.bottom)
 	c := newCanvas(width, height)
+	order, _ := sampleOrders(samples)
 	peak := geo.PeakBandwidthGBs()
 	yAxis(c, l, peak, "GB/s")
 	for i, s := range samples {
@@ -226,7 +232,7 @@ func ThroughTimeSVG(w io.Writer, samples []stacks.Sample, geo dram.Geometry) err
 		g := s.BW.GBps(geo)
 		x := l.left + float64(i)*l.barW
 		y := l.top + l.plotH
-		for _, comp := range bwOrder {
+		for _, comp := range order {
 			h := g[comp] / peak * l.plotH
 			y -= h
 			c.rect(x, y, l.barW+0.5, h, bwColor[comp])
@@ -237,9 +243,9 @@ func ThroughTimeSVG(w io.Writer, samples []stacks.Sample, geo dram.Geometry) err
 		end := geo.CyclesToNS(samples[len(samples)-1].End) / 1e6
 		c.text(l.left+l.plotW, l.top+l.plotH+16, "end", fmt.Sprintf("%.2f ms", end))
 	}
-	names := make([]string, len(bwOrder))
-	colors := make([]string, len(bwOrder))
-	for i, comp := range bwOrder {
+	names := make([]string, len(order))
+	colors := make([]string, len(order))
+	for i, comp := range order {
 		names[i] = comp.String()
 		colors[i] = bwColor[comp]
 	}
@@ -261,10 +267,7 @@ func CycleSamplesSVG(w io.Writer, samples []cyclestack.Stack, interval int64, ge
 	height := int(l.top + l.plotH + l.bottom)
 	c := newCanvas(width, height)
 	yAxis(c, l, 1, "fraction")
-	order := []cyclestack.Component{
-		cyclestack.Base, cyclestack.Branch, cyclestack.Dcache,
-		cyclestack.DramLatency, cyclestack.DramQueue, cyclestack.Idle,
-	}
+	order := cycleOrderFor(samples)
 	for i, s := range samples {
 		f := s.Fractions()
 		x := l.left + float64(i)*l.barW

@@ -21,6 +21,26 @@ var bwOrder = []stacks.BWComponent{
 	stacks.BWBankIdle, stacks.BWPrecharge, stacks.BWActivate, stacks.BWIdle,
 }
 
+// bwOrderQoS additionally plots the QoS regulation component, stacked
+// just below idle: bandwidth deliberately withheld, not lost to timing.
+var bwOrderQoS = []stacks.BWComponent{
+	stacks.BWRead, stacks.BWWrite, stacks.BWRefresh, stacks.BWConstraints,
+	stacks.BWBankIdle, stacks.BWPrecharge, stacks.BWActivate,
+	stacks.BWRegulation, stacks.BWIdle,
+}
+
+// bwOrderFor picks the plotting order: the regulation component joins
+// only when some stack carries it, so every chart, table and CSV of a
+// QoS-less run keeps its exact legacy shape.
+func bwOrderFor(list []stacks.BandwidthStack) []stacks.BWComponent {
+	for _, s := range list {
+		if s.Cycles[stacks.BWRegulation] != 0 {
+			return bwOrderQoS
+		}
+	}
+	return bwOrder
+}
+
 var bwGlyph = map[stacks.BWComponent]byte{
 	stacks.BWRead:        'R',
 	stacks.BWWrite:       'W',
@@ -29,12 +49,30 @@ var bwGlyph = map[stacks.BWComponent]byte{
 	stacks.BWBankIdle:    'b',
 	stacks.BWPrecharge:   'p',
 	stacks.BWActivate:    'a',
+	stacks.BWRegulation:  'g',
 	stacks.BWIdle:        '.',
 }
 
 var latOrder = []stacks.LatComponent{
 	stacks.LatBaseCtrl, stacks.LatBaseDRAM, stacks.LatPreAct,
 	stacks.LatRefresh, stacks.LatWriteBurst, stacks.LatQueue,
+}
+
+// latOrderQoS additionally plots time reads spent held by regulation,
+// next to (but distinct from) ordinary queueing.
+var latOrderQoS = []stacks.LatComponent{
+	stacks.LatBaseCtrl, stacks.LatBaseDRAM, stacks.LatPreAct,
+	stacks.LatRefresh, stacks.LatWriteBurst, stacks.LatQueue,
+	stacks.LatRegulated,
+}
+
+func latOrderFor(list []stacks.LatencyStack) []stacks.LatComponent {
+	for _, s := range list {
+		if s.SumCycles[stacks.LatRegulated] != 0 {
+			return latOrderQoS
+		}
+	}
+	return latOrder
 }
 
 var latGlyph = map[stacks.LatComponent]byte{
@@ -44,15 +82,42 @@ var latGlyph = map[stacks.LatComponent]byte{
 	stacks.LatRefresh:    'f',
 	stacks.LatWriteBurst: 'w',
 	stacks.LatQueue:      'q',
+	stacks.LatRegulated:  'g',
+}
+
+// cycleOrder plots the components with regulated stall time between the
+// other DRAM stalls and idle (the enum appends DramRegulated last to
+// keep legacy component indices stable).
+var cycleOrder = []cyclestack.Component{
+	cyclestack.Base, cyclestack.Branch, cyclestack.Dcache,
+	cyclestack.DramLatency, cyclestack.DramQueue,
+	cyclestack.DramRegulated, cyclestack.Idle,
+}
+
+// cycleOrderLegacy omits the regulated component; legends and SVG output
+// of QoS-less runs keep their exact legacy shape.
+var cycleOrderLegacy = []cyclestack.Component{
+	cyclestack.Base, cyclestack.Branch, cyclestack.Dcache,
+	cyclestack.DramLatency, cyclestack.DramQueue, cyclestack.Idle,
+}
+
+func cycleOrderFor(list []cyclestack.Stack) []cyclestack.Component {
+	for _, s := range list {
+		if s.Cycles[cyclestack.DramRegulated] != 0 {
+			return cycleOrder
+		}
+	}
+	return cycleOrderLegacy
 }
 
 var cycleGlyph = map[cyclestack.Component]byte{
-	cyclestack.Base:        'B',
-	cyclestack.Branch:      'j',
-	cyclestack.Dcache:      'd',
-	cyclestack.DramLatency: 'L',
-	cyclestack.DramQueue:   'Q',
-	cyclestack.Idle:        '.',
+	cyclestack.Base:          'B',
+	cyclestack.Branch:        'j',
+	cyclestack.Dcache:        'd',
+	cyclestack.DramLatency:   'L',
+	cyclestack.DramQueue:     'Q',
+	cyclestack.DramRegulated: 'g',
+	cyclestack.Idle:          '.',
 }
 
 // bar renders parts (which sum to total) as a width-character bar.
@@ -87,15 +152,20 @@ func bytesRepeat(c byte, n int) []byte {
 // BandwidthChart renders labeled bandwidth stacks as bars against the
 // peak bandwidth, plus a numeric table.
 func BandwidthChart(w io.Writer, labels []string, list []stacks.BandwidthStack, geo dram.Geometry) {
+	order := bwOrderFor(list)
 	peak := geo.PeakBandwidthGBs()
 	fmt.Fprintf(w, "bandwidth stacks (GB/s, peak %.1f)\n", peak)
-	fmt.Fprintf(w, "legend: R=read W=write f=refresh c=constraints b=bank_idle p=precharge a=activate .=idle\n")
+	legend := "legend: R=read W=write f=refresh c=constraints b=bank_idle p=precharge a=activate .=idle"
+	if len(order) > len(bwOrder) {
+		legend = "legend: R=read W=write f=refresh c=constraints b=bank_idle p=precharge a=activate g=regulation .=idle"
+	}
+	fmt.Fprintf(w, "%s\n", legend)
 	width := 64
 	for i, s := range list {
 		g := s.GBps(geo)
-		parts := make([]float64, len(bwOrder))
-		glyphs := make([]byte, len(bwOrder))
-		for j, c := range bwOrder {
+		parts := make([]float64, len(order))
+		glyphs := make([]byte, len(order))
+		for j, c := range order {
 			parts[j] = g[c]
 			glyphs[j] = bwGlyph[c]
 		}
@@ -104,14 +174,14 @@ func BandwidthChart(w io.Writer, labels []string, list []stacks.BandwidthStack, 
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "%-18s", "")
-	for _, c := range bwOrder {
+	for _, c := range order {
 		fmt.Fprintf(w, " %10s", c)
 	}
 	fmt.Fprintln(w)
 	for i, s := range list {
 		g := s.GBps(geo)
 		fmt.Fprintf(w, "%-18s", labels[i])
-		for _, c := range bwOrder {
+		for _, c := range order {
 			fmt.Fprintf(w, " %10.3f", g[c])
 		}
 		fmt.Fprintln(w)
@@ -127,14 +197,19 @@ func LatencyChart(w io.Writer, labels []string, list []stacks.LatencyStack, geo 
 			maxNS = v
 		}
 	}
+	order := latOrderFor(list)
 	fmt.Fprintf(w, "latency stacks (avg ns per read)\n")
-	fmt.Fprintf(w, "legend: B=base-cntlr D=base-dram a=act/pre f=refresh w=writeburst q=queue\n")
+	legend := "legend: B=base-cntlr D=base-dram a=act/pre f=refresh w=writeburst q=queue"
+	if len(order) > len(latOrder) {
+		legend = "legend: B=base-cntlr D=base-dram a=act/pre f=refresh w=writeburst q=queue g=regulated"
+	}
+	fmt.Fprintf(w, "%s\n", legend)
 	width := 64
 	for i, s := range list {
 		ns := s.AvgNS(geo)
-		parts := make([]float64, len(latOrder))
-		glyphs := make([]byte, len(latOrder))
-		for j, c := range latOrder {
+		parts := make([]float64, len(order))
+		glyphs := make([]byte, len(order))
+		for j, c := range order {
 			parts[j] = ns[c]
 			glyphs[j] = latGlyph[c]
 		}
@@ -143,14 +218,14 @@ func LatencyChart(w io.Writer, labels []string, list []stacks.LatencyStack, geo 
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "%-18s", "")
-	for _, c := range latOrder {
+	for _, c := range order {
 		fmt.Fprintf(w, " %10s", c)
 	}
 	fmt.Fprintln(w)
 	for i, s := range list {
 		ns := s.AvgNS(geo)
 		fmt.Fprintf(w, "%-18s", labels[i])
-		for _, c := range latOrder {
+		for _, c := range order {
 			fmt.Fprintf(w, " %10.2f", ns[c])
 		}
 		fmt.Fprintln(w)
@@ -159,16 +234,21 @@ func LatencyChart(w io.Writer, labels []string, list []stacks.LatencyStack, geo 
 
 // CycleChart renders cycle stacks as fraction-of-time bars.
 func CycleChart(w io.Writer, labels []string, list []cyclestack.Stack) {
+	order := cycleOrderFor(list)
 	fmt.Fprintf(w, "cycle stacks (fraction of core cycles)\n")
-	fmt.Fprintf(w, "legend: B=base j=branch d=dcache L=dram-latency Q=dram-queue .=idle\n")
+	legend := "legend: B=base j=branch d=dcache L=dram-latency Q=dram-queue .=idle"
+	if len(order) > len(cycleOrderLegacy) {
+		legend = "legend: B=base j=branch d=dcache L=dram-latency Q=dram-queue g=dram-regulated .=idle"
+	}
+	fmt.Fprintf(w, "%s\n", legend)
 	width := 64
 	for i, s := range list {
 		f := s.Fractions()
-		parts := make([]float64, cyclestack.NumComponents)
-		glyphs := make([]byte, cyclestack.NumComponents)
-		for c := cyclestack.Component(0); c < cyclestack.NumComponents; c++ {
-			parts[c] = f[c]
-			glyphs[c] = cycleGlyph[c]
+		parts := make([]float64, len(order))
+		glyphs := make([]byte, len(order))
+		for j, c := range order {
+			parts[j] = f[c]
+			glyphs[j] = cycleGlyph[c]
 		}
 		fmt.Fprintf(w, "%-18s |%s|\n", labels[i], bar(parts, glyphs, 1, width))
 	}
@@ -178,24 +258,25 @@ func CycleChart(w io.Writer, labels []string, list []cyclestack.Stack) {
 // per sample with the per-component GB/s and avg-ns values (the data
 // behind the paper's Fig. 7 middle and bottom plots).
 func SamplesCSV(w io.Writer, samples []stacks.Sample, geo dram.Geometry) error {
+	bwo, lato := sampleOrders(samples)
 	if _, err := fmt.Fprint(w, "start_cycle,end_cycle,time_ms"); err != nil {
 		return err
 	}
-	for _, c := range bwOrder {
+	for _, c := range bwo {
 		fmt.Fprintf(w, ",bw_%s", c)
 	}
-	for _, c := range latOrder {
+	for _, c := range lato {
 		fmt.Fprintf(w, ",lat_%s", strings.ReplaceAll(c.String(), "/", "_"))
 	}
 	fmt.Fprintln(w)
 	for _, s := range samples {
 		fmt.Fprintf(w, "%d,%d,%.4f", s.Start, s.End, geo.CyclesToNS(s.End)/1e6)
 		g := s.BW.GBps(geo)
-		for _, c := range bwOrder {
+		for _, c := range bwo {
 			fmt.Fprintf(w, ",%.4f", g[c])
 		}
 		ns := s.Lat.AvgNS(geo)
-		for _, c := range latOrder {
+		for _, c := range lato {
 			fmt.Fprintf(w, ",%.3f", ns[c])
 		}
 		if _, err := fmt.Fprintln(w); err != nil {
@@ -203,6 +284,22 @@ func SamplesCSV(w io.Writer, samples []stacks.Sample, geo dram.Geometry) error {
 		}
 	}
 	return nil
+}
+
+// sampleOrders picks the component orders for a through-time series:
+// regulation columns appear only when some sample carries them, keeping
+// legacy CSV headers and charts byte-identical.
+func sampleOrders(samples []stacks.Sample) ([]stacks.BWComponent, []stacks.LatComponent) {
+	bwo, lato := bwOrder, latOrder
+	for _, s := range samples {
+		if s.BW.Cycles[stacks.BWRegulation] != 0 {
+			bwo = bwOrderQoS
+		}
+		if s.Lat.SumCycles[stacks.LatRegulated] != 0 {
+			lato = latOrderQoS
+		}
+	}
+	return bwo, lato
 }
 
 // CycleSamplesCSV exports through-time cycle-stack samples as component
@@ -232,6 +329,7 @@ func CycleSamplesCSV(w io.Writer, samples []cyclestack.Stack, interval int64, ge
 // sample: achieved bandwidth bar plus the dominant loss component — a
 // terminal rendition of the paper's Fig. 7 middle plot.
 func ThroughTime(w io.Writer, samples []stacks.Sample, geo dram.Geometry) {
+	bwo, _ := sampleOrders(samples)
 	peak := geo.PeakBandwidthGBs()
 	fmt.Fprintf(w, "through-time bandwidth (GB/s of %.1f peak; # achieved, label = dominant loss)\n", peak)
 	width := 50
@@ -244,7 +342,7 @@ func ThroughTime(w io.Writer, samples []stacks.Sample, geo dram.Geometry) {
 		// Dominant non-achieved component.
 		var domC stacks.BWComponent
 		var domV float64
-		for _, c := range bwOrder[2:] { // skip read/write
+		for _, c := range bwo[2:] { // skip read/write
 			if g[c] > domV {
 				domV = g[c]
 				domC = c

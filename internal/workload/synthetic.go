@@ -115,6 +115,33 @@ func DefaultStrided() SyntheticConfig {
 	}
 }
 
+// DefaultLatCrit returns the latency-critical tenant of the QoS
+// experiments: a single dependent pointer-chase with compute between
+// loads, so it demands little bandwidth but every access sits on the
+// critical path — the tenant a real-time priority tier protects.
+func DefaultLatCrit() SyntheticConfig {
+	return SyntheticConfig{
+		Pattern:        Random,
+		WorkPerOp:      60,
+		FootprintBytes: 64 << 20,
+		StrideBytes:    64,
+		Chains:         1,
+		Seed:           1,
+	}
+}
+
+// DefaultBWHog returns the bandwidth-hog tenant of the QoS experiments:
+// back-to-back sequential streaming with no compute between accesses,
+// saturating the channel — the tenant a bandwidth budget reins in.
+func DefaultBWHog() SyntheticConfig {
+	return SyntheticConfig{
+		Pattern:        Sequential,
+		FootprintBytes: 64 << 20,
+		StrideBytes:    64,
+		Seed:           1,
+	}
+}
+
 // DefaultRandom returns the random pattern configuration.
 func DefaultRandom() SyntheticConfig {
 	return SyntheticConfig{
