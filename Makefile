@@ -41,17 +41,22 @@ bench-ablations:
 
 # Reproducible harness (cmd/simbench): regenerates the committed
 # baseline the CI perf gate compares against. See doc/PERF.md for the
-# update policy before committing a new BENCH_7.json. (BENCH_3.json is
-# kept as the historical pre-event-wheel baseline.)
+# update policy before committing a new BENCH_9.json. (BENCH_3.json and
+# BENCH_7.json are kept as historical baselines: pre-event-wheel and
+# pre-batching respectively.)
 bench:
-	$(GO) run ./cmd/simbench -count 3 -benchtime 1x -out BENCH_7.json
+	$(GO) run ./cmd/simbench -count 3 -benchtime 1x -out BENCH_9.json
 
 # Compare a fresh measurement against the committed baseline the way CI
-# does (exit 1 on a >10% geomean throughput regression or a >10%
-# geomean allocs_per_op regression).
+# does (exit 1 on a >10% geomean throughput regression, a >10% geomean
+# allocs_per_op regression, or a >10% per-case regression in any
+# saturated synth/* or qos/* scenario — the hot paths this repo
+# optimizes must not regress individually behind a green geomean).
 bench-check:
 	$(GO) run ./cmd/simbench -count 3 -benchtime 1x -out BENCH_PR.json
-	$(GO) run ./cmd/benchdiff -threshold 0.10 -alloc-threshold 0.10 BENCH_7.json BENCH_PR.json
+	$(GO) run ./cmd/benchdiff -threshold 0.10 -alloc-threshold 0.10 \
+		-case-threshold 'synth/*=0.10' -case-threshold 'qos/*=0.10' \
+		BENCH_9.json BENCH_PR.json
 
 # The original go-test benchmarks (one per paper figure/table).
 bench-go:

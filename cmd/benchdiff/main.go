@@ -5,7 +5,9 @@
 // more than the allocation threshold (the allocation ratchet). CI runs
 // it on every pull request:
 //
-//	benchdiff -threshold 0.10 -alloc-threshold 0.10 BENCH_7.json BENCH_PR.json
+//	benchdiff -threshold 0.10 -alloc-threshold 0.10 \
+//	    -case-threshold 'synth/*=0.10' -case-threshold 'qos/*=0.10' \
+//	    BENCH_9.json BENCH_PR.json
 //
 // Cases are matched by name and mode. A baseline case missing from the
 // new run fails the comparison: a deleted or silently-not-running
@@ -27,10 +29,48 @@ import (
 	"io"
 	"log"
 	"os"
+	"path"
+	"strconv"
 	"strings"
 
 	"dramstacks/internal/benchfmt"
 )
+
+// caseGate is one -case-threshold rule: cases whose key matches the
+// glob are gated individually, not just through the geomean. The
+// saturated scenarios get one so a targeted regression in the hot path
+// cannot hide behind improvements elsewhere in the suite.
+type caseGate struct {
+	Glob      string
+	Threshold float64
+}
+
+// caseGates collects repeated -case-threshold GLOB=FRAC flags.
+type caseGates []caseGate
+
+func (g *caseGates) String() string {
+	var parts []string
+	for _, c := range *g {
+		parts = append(parts, fmt.Sprintf("%s=%g", c.Glob, c.Threshold))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g *caseGates) Set(v string) error {
+	glob, frac, ok := strings.Cut(v, "=")
+	if !ok || glob == "" {
+		return fmt.Errorf("want GLOB=FRAC, got %q", v)
+	}
+	if _, err := path.Match(glob, "probe"); err != nil {
+		return fmt.Errorf("bad glob %q: %v", glob, err)
+	}
+	f, err := strconv.ParseFloat(frac, 64)
+	if err != nil || f < 0 || f >= 1 {
+		return fmt.Errorf("threshold in %q must be a fraction in [0,1)", v)
+	}
+	*g = append(*g, caseGate{Glob: glob, Threshold: f})
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -41,11 +81,14 @@ func main() {
 		"maximum allowed geomean allocs_per_op growth (0.10 = 10%)")
 	allowMissing := flag.Bool("allow-missing", false,
 		"tolerate baseline cases missing from the new run (intentional case removals)")
+	var gates caseGates
+	flag.Var(&gates, "case-threshold",
+		"per-case gate GLOB=FRAC (repeatable): every case matching GLOB must individually stay within FRAC on throughput and allocs_per_op")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		log.Fatal("usage: benchdiff [-threshold 0.10] [-alloc-threshold 0.10] [-allow-missing] OLD.json NEW.json")
+		log.Fatal("usage: benchdiff [-threshold 0.10] [-alloc-threshold 0.10] [-case-threshold GLOB=FRAC] [-allow-missing] OLD.json NEW.json")
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *threshold, *allocThreshold, *allowMissing, os.Stdout); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *threshold, *allocThreshold, gates, *allowMissing, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -53,7 +96,7 @@ func main() {
 // run loads, compares and gates; every failure mode (unreadable file,
 // no common cases, all-skipped, regression past either threshold)
 // comes back as an error so main can exit non-zero.
-func run(oldPath, newPath string, threshold, allocThreshold float64, allowMissing bool, w io.Writer) error {
+func run(oldPath, newPath string, threshold, allocThreshold float64, gates caseGates, allowMissing bool, w io.Writer) error {
 	oldF, err := benchfmt.Load(oldPath)
 	if err != nil {
 		return err
@@ -70,6 +113,9 @@ func run(oldPath, newPath string, threshold, allocThreshold float64, allowMissin
 	if len(oldOnly) > 0 && !allowMissing {
 		return fmt.Errorf("FAIL: %d baseline case(s) missing from the new run: %s (pass -allow-missing if the removal is intentional)",
 			len(oldOnly), strings.Join(oldOnly, ", "))
+	}
+	if bad := checkCaseGates(cmp, gates); len(bad) > 0 {
+		return fmt.Errorf("FAIL: per-case gate: %s", strings.Join(bad, "; "))
 	}
 
 	fmt.Fprintf(w, "\ngeomean throughput ratio over %d cases: %.3fx (gate: >= %.3fx)\n",
@@ -91,12 +137,59 @@ func run(oldPath, newPath string, threshold, allocThreshold float64, allowMissin
 	return nil
 }
 
+// checkCaseGates applies every -case-threshold rule to the matched
+// rows and returns one message per violation. Only cases with a sound
+// reading participate: a skipped throughput or allocation reading is
+// already warned about by the table, and the per-case gate should not
+// double-fail on it. A glob that matches no case is itself an error —
+// a renamed scenario would otherwise silently drop its gate.
+func checkCaseGates(cmp benchfmt.Comparison, gates caseGates) (bad []string) {
+	for _, g := range gates {
+		matched := false
+		for _, r := range cmp.Rows {
+			// Row keys are "name/mode" ("synth/seq-1c/fast"). The glob
+			// is matched against the name alone as well as the full key,
+			// so "synth/*" gates both modes of every synth scenario.
+			name := r.Key
+			if i := strings.LastIndexByte(name, '/'); i >= 0 {
+				name = name[:i]
+			}
+			okName, _ := path.Match(g.Glob, name)
+			okKey, _ := path.Match(g.Glob, r.Key)
+			if !okName && !okKey {
+				continue
+			}
+			if r.Status != benchfmt.Compared {
+				continue
+			}
+			matched = true
+			if r.Ratio < 1-g.Threshold {
+				bad = append(bad, fmt.Sprintf("%s throughput %.3fx below %.3fx", r.Key, r.Ratio, 1-g.Threshold))
+			}
+			if r.AllocStatus == benchfmt.Compared && r.AllocRatio > 1+g.Threshold {
+				bad = append(bad, fmt.Sprintf("%s allocs_per_op %.3fx above %.3fx", r.Key, r.AllocRatio, 1+g.Threshold))
+			}
+		}
+		if !matched {
+			bad = append(bad, fmt.Sprintf("-case-threshold %s=%g matched no compared case", g.Glob, g.Threshold))
+		}
+	}
+	return bad
+}
+
 // report prints the per-case table and returns the baseline cases the
 // new run is missing, for the caller's missing-case gate.
 func report(w io.Writer, cmp benchfmt.Comparison) (oldOnly []string) {
-	fmt.Fprintf(w, "%-28s %14s %14s %8s %9s\n", "case", "old cyc/s", "new cyc/s", "ratio", "allocs")
+	fmt.Fprintf(w, "%-28s %14s %14s %8s %9s %13s\n", "case", "old cyc/s", "new cyc/s", "ratio", "allocs", "wheel-speedup")
 	var newOnly []string
 	for _, r := range cmp.Rows {
+		// speedup_vs_slow is informational: it only prints when both
+		// sides measured a fast/slow pair, and it never gates (a
+		// slowtick build legitimately omits it).
+		speedup := "-"
+		if r.SpeedupComparable() {
+			speedup = fmt.Sprintf("%.2fx>%.2fx", r.OldSpeedup, r.NewSpeedup)
+		}
 		allocs := "-"
 		switch r.AllocStatus {
 		case benchfmt.Compared:
@@ -108,9 +201,9 @@ func report(w io.Writer, cmp benchfmt.Comparison) (oldOnly []string) {
 		}
 		switch r.Status {
 		case benchfmt.Compared:
-			fmt.Fprintf(w, "%-28s %14.4g %14.4g %7.3fx %9s\n", r.Key, r.Old, r.New, r.Ratio, allocs)
+			fmt.Fprintf(w, "%-28s %14.4g %14.4g %7.3fx %9s %13s\n", r.Key, r.Old, r.New, r.Ratio, allocs, speedup)
 		case benchfmt.Skipped:
-			fmt.Fprintf(w, "%-28s %14.4g %14.4g %8s %9s\n", r.Key, r.Old, r.New, "skipped", allocs)
+			fmt.Fprintf(w, "%-28s %14.4g %14.4g %8s %9s %13s\n", r.Key, r.Old, r.New, "skipped", allocs, speedup)
 			log.Printf("warning: %s has a non-finite throughput ratio (old %g, new %g); excluded from the geomean",
 				r.Key, r.Old, r.New)
 		case benchfmt.OldOnly:

@@ -50,7 +50,7 @@ func TestRunPassesWithinThreshold(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 100, "b": 100}))
 	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"a": 95, "b": 100}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, 0.10, false, &out); err != nil {
+	if err := run(oldP, newP, 0.10, 0.10, nil, false, &out); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "PASS") {
@@ -63,7 +63,7 @@ func TestRunFailsOnRegression(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 100}))
 	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"a": 80}))
 	var out bytes.Buffer
-	err := run(oldP, newP, 0.10, 0.10, false, &out)
+	err := run(oldP, newP, 0.10, 0.10, nil, false, &out)
 	if err == nil || !strings.Contains(err.Error(), "regressed") {
 		t.Fatalf("err = %v, want regression failure", err)
 	}
@@ -78,7 +78,7 @@ func TestRunSkipsZeroBaseline(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"poison": 0, "a": 100, "b": 100}))
 	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"poison": 100, "a": 100, "b": 100}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, 0.10, false, &out); err != nil {
+	if err := run(oldP, newP, 0.10, 0.10, nil, false, &out); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	s := out.String()
@@ -99,7 +99,7 @@ func TestRunTreatsNewCasesAsNew(t *testing.T) {
 		"synth/seq-1c": 100, "synth/seq-8c": 100,
 		"std/ddr5-seq-4c": 50, "std/hbm2-seq-4c": 60}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, 0.10, false, &out); err != nil {
+	if err := run(oldP, newP, 0.10, 0.10, nil, false, &out); err != nil {
 		t.Fatalf("run errored on baseline-absent cases: %v\n%s", err, out.String())
 	}
 	s := out.String()
@@ -118,7 +118,7 @@ func TestRunErrsWhenAllSkipped(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 0}))
 	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"a": 100}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, 0.10, false, &out); err == nil {
+	if err := run(oldP, newP, 0.10, 0.10, nil, false, &out); err == nil {
 		t.Fatalf("run passed with nothing sound to gate on:\n%s", out.String())
 	}
 }
@@ -132,7 +132,7 @@ func TestRunFailsOnAllocRegression(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", allocFile(map[string]uint64{"a": 100, "b": 100}))
 	newP := writeBench(t, dir, "new.json", allocFile(map[string]uint64{"a": 130, "b": 100}))
 	var out bytes.Buffer
-	err := run(oldP, newP, 0.10, 0.10, false, &out)
+	err := run(oldP, newP, 0.10, 0.10, nil, false, &out)
 	if err == nil || !strings.Contains(err.Error(), "allocs_per_op grew") {
 		t.Fatalf("err = %v, want allocation ratchet failure\n%s", err, out.String())
 	}
@@ -143,7 +143,7 @@ func TestRunPassesWithinAllocThreshold(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", allocFile(map[string]uint64{"a": 100, "b": 100}))
 	newP := writeBench(t, dir, "new.json", allocFile(map[string]uint64{"a": 105, "b": 100}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, 0.10, false, &out); err != nil {
+	if err := run(oldP, newP, 0.10, 0.10, nil, false, &out); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "allocs_per_op ratio") {
@@ -159,7 +159,7 @@ func TestRunSkipsMissingAllocReading(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", allocFile(map[string]uint64{"noalloc": 0, "a": 100}))
 	newP := writeBench(t, dir, "new.json", allocFile(map[string]uint64{"noalloc": 500, "a": 100}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, 0.10, false, &out); err != nil {
+	if err := run(oldP, newP, 0.10, 0.10, nil, false, &out); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	s := out.String()
@@ -173,7 +173,7 @@ func TestRunErrsWhenAllAllocsSkipped(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", allocFile(map[string]uint64{"a": 0, "b": 0}))
 	newP := writeBench(t, dir, "new.json", allocFile(map[string]uint64{"a": 10, "b": 10}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, 0.10, false, &out); err == nil {
+	if err := run(oldP, newP, 0.10, 0.10, nil, false, &out); err == nil {
 		t.Fatalf("run passed with nothing sound to ratchet on:\n%s", out.String())
 	}
 }
@@ -183,7 +183,7 @@ func TestRunErrsOnDisjointFiles(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 100}))
 	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"b": 100}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, 0.10, false, &out); err == nil {
+	if err := run(oldP, newP, 0.10, 0.10, nil, false, &out); err == nil {
 		t.Fatal("run passed with no common cases")
 	}
 }
@@ -197,7 +197,7 @@ func TestRunFailsOnMissingBaselineCase(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 100, "gone": 100}))
 	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"a": 100}))
 	var out bytes.Buffer
-	err := run(oldP, newP, 0.10, 0.10, false, &out)
+	err := run(oldP, newP, 0.10, 0.10, nil, false, &out)
 	if err == nil || !strings.Contains(err.Error(), "gone/fast") {
 		t.Fatalf("err = %v, want missing-baseline-case failure naming gone/fast\n%s", err, out.String())
 	}
@@ -213,7 +213,7 @@ func TestRunAllowMissingEscape(t *testing.T) {
 	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{"a": 100, "gone": 100}))
 	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{"a": 100}))
 	var out bytes.Buffer
-	if err := run(oldP, newP, 0.10, 0.10, true, &out); err != nil {
+	if err := run(oldP, newP, 0.10, 0.10, nil, true, &out); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "PASS") {
@@ -221,7 +221,7 @@ func TestRunAllowMissingEscape(t *testing.T) {
 	}
 	// The escape does not waive real regressions.
 	newP = writeBench(t, dir, "new2.json", benchFile(map[string]float64{"a": 50}))
-	if err := run(oldP, newP, 0.10, 0.10, true, &out); err == nil {
+	if err := run(oldP, newP, 0.10, 0.10, nil, true, &out); err == nil {
 		t.Fatal("-allow-missing waived a throughput regression")
 	}
 }
@@ -234,10 +234,143 @@ func TestRunErrsOnBadFile(t *testing.T) {
 	}
 	good := writeBench(t, dir, "good.json", benchFile(map[string]float64{"a": 1}))
 	var out bytes.Buffer
-	if err := run(bad, good, 0.10, 0.10, false, &out); err == nil {
+	if err := run(bad, good, 0.10, 0.10, nil, false, &out); err == nil {
 		t.Fatal("run accepted an unsupported file version")
 	}
-	if err := run(good, filepath.Join(dir, "missing.json"), 0.10, 0.10, false, &out); err == nil {
+	if err := run(good, filepath.Join(dir, "missing.json"), 0.10, 0.10, nil, false, &out); err == nil {
 		t.Fatal("run accepted a missing file")
+	}
+}
+
+// TestRunSkipsBadNewReadings is the symmetric half of the
+// zero-baseline fix: a case present in both runs whose *new*
+// measurement is zero or negative produces a 0/-Inf ratio that used to
+// poison the geomean just like a bad baseline did. (NaN/Inf readings
+// cannot appear in a file at all — encoding/json rejects them at write
+// time — so the sick values a file can actually carry are zero and
+// negative.) Each bad reading must be skipped with a warning while the
+// healthy cases gate normally.
+func TestRunSkipsBadNewReadings(t *testing.T) {
+	cases := []struct {
+		name string
+		new  float64
+	}{
+		{"zero-new", 0},
+		{"negative-new", -100},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{
+				tc.name: 100, "a": 100, "b": 100}))
+			newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{
+				tc.name: tc.new, "a": 100, "b": 100}))
+			var out bytes.Buffer
+			if err := run(oldP, newP, 0.10, 0.10, nil, false, &out); err != nil {
+				t.Fatalf("run: %v\n%s", err, out.String())
+			}
+			s := out.String()
+			if !strings.Contains(s, "skipped") || !strings.Contains(s, "over 2 cases") {
+				t.Fatalf("expected %s skipped and 2 gated cases:\n%s", tc.name, s)
+			}
+			if !strings.Contains(s, "PASS") {
+				t.Fatalf("healthy cases did not pass:\n%s", s)
+			}
+		})
+	}
+}
+
+// TestRunReportsSpeedupPairs: speedup_vs_slow prints only for rows
+// where both files carry it; a side that omitted the field (slow rows,
+// slowtick-built harness) reads "-" and never fails the gate.
+func TestRunReportsSpeedupPairs(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(speedups map[string]float64) benchfmt.File {
+		f := benchfmt.File{Version: benchfmt.Version}
+		for name, sp := range speedups {
+			f.Benchmarks = append(f.Benchmarks, benchfmt.Benchmark{
+				Name: name, Mode: "fast", CyclesPerSec: 100, AllocsPerOp: 10,
+				SpeedupVsSlow: sp,
+			})
+		}
+		return f
+	}
+	oldP := writeBench(t, dir, "old.json", mk(map[string]float64{"pair": 2, "lost": 2}))
+	newP := writeBench(t, dir, "new.json", mk(map[string]float64{"pair": 3, "lost": 0}))
+	var out bytes.Buffer
+	if err := run(oldP, newP, 0.10, 0.10, nil, false, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "2.00x>3.00x") {
+		t.Fatalf("comparable speedup pair not reported:\n%s", s)
+	}
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "lost/fast") && !strings.HasSuffix(strings.TrimRight(line, " "), "-") {
+			t.Fatalf("one-sided speedup not shown as not-comparable: %q", line)
+		}
+	}
+}
+
+// TestRunCaseThreshold exercises the per-case gate: a regression in a
+// gated case fails even when the suite geomean is comfortably green,
+// and a glob that matches nothing is itself a failure.
+func TestRunCaseThreshold(t *testing.T) {
+	dir := t.TempDir()
+	// synth/seq drops 20% but three other cases improve enough that
+	// the 10% geomean gate alone would pass.
+	oldP := writeBench(t, dir, "old.json", benchFile(map[string]float64{
+		"synth/seq": 100, "a": 100, "b": 100, "c": 100,
+	}))
+	newP := writeBench(t, dir, "new.json", benchFile(map[string]float64{
+		"synth/seq": 80, "a": 120, "b": 120, "c": 120,
+	}))
+	tests := []struct {
+		name    string
+		gates   caseGates
+		wantErr string
+	}{
+		{name: "no-gates-geomean-passes", gates: nil},
+		{name: "gated-case-regresses", gates: caseGates{{Glob: "synth/*", Threshold: 0.10}},
+			wantErr: "synth/seq/fast throughput"},
+		{name: "gated-case-within-threshold", gates: caseGates{{Glob: "synth/*", Threshold: 0.25}}},
+		{name: "glob-matches-nothing", gates: caseGates{{Glob: "qos/*", Threshold: 0.10}},
+			wantErr: "matched no compared case"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(oldP, newP, 0.10, 0.10, tc.gates, false, &out)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("run: %v\n%s", err, out.String())
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunCaseThresholdAllocRatchet checks the per-case allocation side:
+// an alloc growth in a gated case fails even though the geomean alloc
+// ratchet across all cases stays under its threshold.
+func TestRunCaseThresholdAllocRatchet(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", allocFile(map[string]uint64{
+		"synth/seq": 100, "a": 100, "b": 100, "c": 100,
+	}))
+	newP := writeBench(t, dir, "new.json", allocFile(map[string]uint64{
+		"synth/seq": 130, "a": 100, "b": 100, "c": 100,
+	}))
+	var out bytes.Buffer
+	if err := run(oldP, newP, 0.10, 0.10, nil, false, &out); err != nil {
+		t.Fatalf("geomean-only run should pass: %v\n%s", err, out.String())
+	}
+	err := run(oldP, newP, 0.10, 0.10, caseGates{{Glob: "synth/*", Threshold: 0.10}}, false, &out)
+	if err == nil || !strings.Contains(err.Error(), "allocs_per_op") {
+		t.Fatalf("err = %v, want per-case alloc failure", err)
 	}
 }

@@ -11,6 +11,7 @@ import "strings"
 
 // List is the deterministic core, as module-relative package paths.
 var List = []string{
+	"internal/cache",
 	"internal/cpu",
 	"internal/cyclestack",
 	"internal/dram",
@@ -21,6 +22,7 @@ var List = []string{
 	"internal/sched",
 	"internal/sim",
 	"internal/stacks",
+	"internal/workload",
 }
 
 // Deterministic reports whether a package path — as spelled by the vet

@@ -128,6 +128,19 @@ type Row struct {
 	OldAllocs, NewAllocs uint64
 	AllocRatio           float64 // NewAllocs/OldAllocs, NaN unless AllocStatus is Compared
 	AllocStatus          Status
+
+	// OldSpeedup/NewSpeedup carry speedup_vs_slow through for reporting.
+	// The field is informational and never gates; a zero value means the
+	// file omitted it (a slow-mode row, or a harness that could not
+	// measure a fast/slow pair — e.g. a -tags=slowtick build), and the
+	// pair is then simply not comparable.
+	OldSpeedup, NewSpeedup float64
+}
+
+// SpeedupComparable reports whether both sides of the row carry a
+// sound speedup_vs_slow reading.
+func (r Row) SpeedupComparable() bool {
+	return finitePositive(r.OldSpeedup) && finitePositive(r.NewSpeedup)
 }
 
 // Comparison is the outcome of Compare: rows in key order, matched
@@ -170,7 +183,8 @@ func Compare(oldF, newF File) (Comparison, error) {
 		}
 		common++
 		row := Row{Key: k, Old: o.CyclesPerSec, New: n.CyclesPerSec,
-			OldAllocs: o.AllocsPerOp, NewAllocs: n.AllocsPerOp}
+			OldAllocs: o.AllocsPerOp, NewAllocs: n.AllocsPerOp,
+			OldSpeedup: o.SpeedupVsSlow, NewSpeedup: n.SpeedupVsSlow}
 
 		ratio := n.CyclesPerSec / o.CyclesPerSec
 		if !finitePositive(o.CyclesPerSec) || !finitePositive(n.CyclesPerSec) || !finitePositive(ratio) {

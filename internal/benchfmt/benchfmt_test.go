@@ -218,3 +218,62 @@ func TestGeomean(t *testing.T) {
 		t.Errorf("Geomean([1,100]) = %v, want 10", g)
 	}
 }
+
+// TestEncodeOmitsAbsentSpeedup pins the on-disk shape of
+// speedup_vs_slow: a case without a fast/slow pair (a slow-mode row, or
+// a harness built with -tags=slowtick that cannot measure one) must not
+// serialize a misleading 0, and the absence must round-trip to the zero
+// value.
+func TestEncodeOmitsAbsentSpeedup(t *testing.T) {
+	f := file(
+		Benchmark{Name: "a", Mode: "fast", CyclesPerSec: 100, SpeedupVsSlow: 2.5},
+		Benchmark{Name: "a", Mode: "slow", CyclesPerSec: 40},
+	)
+	data, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "speedup_vs_slow"); n != 1 {
+		t.Fatalf("speedup_vs_slow appears %d times, want 1 (omitted when absent):\n%s", n, data)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmarks[0].SpeedupVsSlow != 2.5 || got.Benchmarks[1].SpeedupVsSlow != 0 {
+		t.Fatalf("round trip changed speedups: %+v", got.Benchmarks)
+	}
+}
+
+// TestCompareSpeedupNotComparable: the speedup figure is informational —
+// a row where either side omitted it is "not comparable", never a
+// regression, and it must not affect matching or the geomean.
+func TestCompareSpeedupNotComparable(t *testing.T) {
+	oldF := file(
+		Benchmark{Name: "pair", Mode: "fast", CyclesPerSec: 100, SpeedupVsSlow: 3},
+		Benchmark{Name: "lost", Mode: "fast", CyclesPerSec: 100, SpeedupVsSlow: 3},
+		Benchmark{Name: "never", Mode: "fast", CyclesPerSec: 100},
+	)
+	newF := file(
+		Benchmark{Name: "pair", Mode: "fast", CyclesPerSec: 100, SpeedupVsSlow: 4},
+		Benchmark{Name: "lost", Mode: "fast", CyclesPerSec: 100}, // e.g. slowtick build
+		Benchmark{Name: "never", Mode: "fast", CyclesPerSec: 100},
+	)
+	cmp, err := Compare(oldF, newF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Matched != 3 {
+		t.Fatalf("matched %d, want 3 (speedup must not affect the gate)", cmp.Matched)
+	}
+	comparable := map[string]bool{}
+	for _, r := range cmp.Rows {
+		comparable[r.Key] = r.SpeedupComparable()
+	}
+	want := map[string]bool{"pair/fast": true, "lost/fast": false, "never/fast": false}
+	for k, v := range want {
+		if comparable[k] != v {
+			t.Errorf("SpeedupComparable(%s) = %v, want %v", k, comparable[k], v)
+		}
+	}
+}

@@ -73,22 +73,41 @@ func (s LevelStats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Accesses)
 }
 
-type way struct {
-	tag        uint64
-	valid      bool
-	dirty      bool
-	prefetched bool
-	used       int64 // LRU clock
+// Way state is packed into two 64-bit words per way, kept adjacent in
+// one slot array: a whole set is a short contiguous run of memory (two
+// hardware cache lines for an 8-way set) instead of a spread of padded
+// structs. The layout matters most during functional warming of
+// DRAM-sized footprints, where every access lands in a random set and
+// the probe + LRU victim scan cost is pure memory traffic.
+const (
+	// slot.enc holds tag<<1 | tagValid; an invalid way is 0.
+	tagValid = 1
+	// slot.meta holds used<<metaUsedShift | flags. The LRU clock
+	// assigns each valid way a distinct used value, so packed metadata
+	// words of valid ways compare exactly like their used fields.
+	metaPrefetched = 1 << 0
+	metaDirty      = 1 << 1
+	metaUsedShift  = 2
+)
+
+type slot struct {
+	enc  uint64 // tag<<1 | tagValid
+	meta uint64 // used<<2 | dirty<<1 | prefetched
 }
 
 // Cache is one set-associative cache level.
 type Cache struct {
 	cfg      Config
-	ways     []way // sets × ways, flattened
+	slots    []slot // sets × ways, flattened
 	setShift uint
 	setMask  uint64
 	clock    int64
 	stats    LevelStats
+
+	// epoch counts content changes (Insert, Invalidate). A probe
+	// outcome memoized at epoch E is still valid while the epoch is E:
+	// presence can only change through those two entry points.
+	epoch int64
 }
 
 // New returns a cache level; it panics on invalid configuration
@@ -100,7 +119,7 @@ func New(cfg Config) *Cache {
 	sets := cfg.Sets()
 	return &Cache{
 		cfg:      cfg,
-		ways:     make([]way, sets*cfg.Ways),
+		slots:    make([]slot, sets*cfg.Ways),
 		setShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
 		setMask:  uint64(sets - 1),
 	}
@@ -112,9 +131,10 @@ func (c *Cache) Cfg() Config { return c.cfg }
 // Stats returns the level's counters.
 func (c *Cache) Stats() LevelStats { return c.stats }
 
-func (c *Cache) set(addr uint64) []way {
-	s := (addr >> c.setShift) & c.setMask
-	return c.ways[s*uint64(c.cfg.Ways) : (s+1)*uint64(c.cfg.Ways)]
+// set returns addr's set as a slice of the slot array.
+func (c *Cache) set(addr uint64) []slot {
+	b := ((addr >> c.setShift) & c.setMask) * uint64(c.cfg.Ways)
+	return c.slots[b : b+uint64(c.cfg.Ways)]
 }
 
 func (c *Cache) tag(addr uint64) uint64 { return addr >> c.setShift }
@@ -127,21 +147,22 @@ func (c *Cache) Lookup(addr uint64, demand, write bool) bool {
 		c.stats.Accesses++
 	}
 	set := c.set(addr)
-	tag := c.tag(addr)
+	enc := c.tag(addr)<<1 | tagValid
 	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == tag {
+		if set[i].enc == enc {
+			m := &set[i].meta
 			if demand {
 				c.clock++
-				w.used = c.clock
-				c.stats.Hits++
-				if w.prefetched {
+				nm := uint64(c.clock)<<metaUsedShift | *m&(metaDirty|metaPrefetched)
+				if nm&metaPrefetched != 0 {
 					c.stats.PrefetchHits++
-					w.prefetched = false
+					nm &^= metaPrefetched
 				}
+				c.stats.Hits++
+				*m = nm
 			}
 			if write {
-				w.dirty = true
+				*m |= metaDirty
 			}
 			return true
 		}
@@ -157,15 +178,15 @@ func (c *Cache) Lookup(addr uint64, demand, write bool) bool {
 // functional cache warming.
 func (c *Cache) Touch(addr uint64, write bool) bool {
 	set := c.set(addr)
-	tag := c.tag(addr)
+	enc := c.tag(addr)<<1 | tagValid
 	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == tag {
+		if set[i].enc == enc {
 			c.clock++
-			w.used = c.clock
+			nm := uint64(c.clock)<<metaUsedShift | set[i].meta&(metaDirty|metaPrefetched)
 			if write {
-				w.dirty = true
+				nm |= metaDirty
 			}
+			set[i].meta = nm
 			return true
 		}
 	}
@@ -175,9 +196,9 @@ func (c *Cache) Touch(addr uint64, write bool) bool {
 // Contains reports presence without disturbing statistics or recency.
 func (c *Cache) Contains(addr uint64) bool {
 	set := c.set(addr)
-	tag := c.tag(addr)
+	enc := c.tag(addr)<<1 | tagValid
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].enc == enc {
 			return true
 		}
 	}
@@ -195,51 +216,115 @@ type Eviction struct {
 // refreshed in place (dirty/prefetched flags are OR-ed/overwritten).
 func (c *Cache) Insert(addr uint64, dirty, prefetched bool) (Eviction, bool) {
 	set := c.set(addr)
-	tag := c.tag(addr)
+	enc := c.tag(addr)<<1 | tagValid
 	c.clock++
-	victim := 0
+	c.epoch++
 	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == tag {
-			w.dirty = w.dirty || dirty
-			w.prefetched = prefetched && w.prefetched
-			w.used = c.clock
+		if set[i].enc == enc {
+			m := set[i].meta
+			nm := uint64(c.clock) << metaUsedShift
+			if dirty || m&metaDirty != 0 {
+				nm |= metaDirty
+			}
+			if prefetched && m&metaPrefetched != 0 {
+				nm |= metaPrefetched
+			}
+			set[i].meta = nm
 			return Eviction{}, false
 		}
-		if !w.valid {
-			victim = i
-		} else if set[victim].valid && w.used < set[victim].used {
-			victim = i
+	}
+	// Same victim rule as warmAccess: see the invariant note there.
+	victim, min := 0, set[0].meta
+	for i := 1; i < len(set); i++ {
+		if m := set[i].meta; m < min {
+			victim, min = i, m
 		}
 	}
-	w := &set[victim]
 	var ev Eviction
 	had := false
-	if w.valid {
+	if v := set[victim]; v.enc&tagValid != 0 {
 		c.stats.Evictions++
 		had = true
-		ev = Eviction{Addr: w.tag << c.setShift, Dirty: w.dirty}
-		if w.dirty {
+		ev = Eviction{Addr: v.enc >> 1 << c.setShift, Dirty: v.meta&metaDirty != 0}
+		if v.meta&metaDirty != 0 {
 			c.stats.DirtyEvictions++
 		}
 	}
-	*w = way{tag: tag, valid: true, dirty: dirty, prefetched: prefetched, used: c.clock}
+	nm := uint64(c.clock) << metaUsedShift
+	if dirty {
+		nm |= metaDirty
+	}
 	if prefetched {
+		nm |= metaPrefetched
 		c.stats.PrefetchFills++
 	}
+	set[victim] = slot{enc: enc, meta: nm}
 	return ev, had
+}
+
+// warmAccess is the functional-warm fast path: one set scan that either
+// refreshes a present line (exactly Touch's hit effects) or installs it
+// (exactly Insert's miss effects, eviction statistics included, with
+// dirty=write and prefetched=false). It compresses warm's Touch-miss +
+// Insert pairs into a single pass; the only internal difference is one
+// clock increment where the pair made two, which preserves every
+// recency ordering the LRU victim search can observe.
+func (c *Cache) warmAccess(addr uint64, write bool) (ev Eviction, evicted, hit bool) {
+	set := c.set(addr)
+	enc := c.tag(addr)<<1 | tagValid
+	for i := range set {
+		if set[i].enc == enc {
+			c.clock++
+			nm := uint64(c.clock)<<metaUsedShift | set[i].meta&(metaDirty|metaPrefetched)
+			if write {
+				nm |= metaDirty
+			}
+			set[i].meta = nm
+			return Eviction{}, false, true
+		}
+	}
+	// Unconditional min-meta victim scan: an invalid slot's metadata is
+	// zero and a valid way's is at least 1<<metaUsedShift (the clock is
+	// pre-incremented before every install), so invalid ways sort first
+	// without a validity branch. Which of several invalid ways receives
+	// the line is unobservable — probes are position-independent and
+	// recency lives in the metadata, not the slot index.
+	victim, min := 0, set[0].meta
+	for i := 1; i < len(set); i++ {
+		if m := set[i].meta; m < min {
+			victim, min = i, m
+		}
+	}
+	c.clock++
+	c.epoch++
+	if v := set[victim]; v.enc&tagValid != 0 {
+		c.stats.Evictions++
+		evicted = true
+		ev = Eviction{Addr: v.enc >> 1 << c.setShift, Dirty: v.meta&metaDirty != 0}
+		if v.meta&metaDirty != 0 {
+			c.stats.DirtyEvictions++
+		}
+	}
+	nm := uint64(c.clock) << metaUsedShift
+	if write {
+		nm |= metaDirty
+	}
+	set[victim] = slot{enc: enc, meta: nm}
+	return ev, evicted, false
 }
 
 // Invalidate removes the line containing addr, reporting whether it was
 // present and dirty.
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	set := c.set(addr)
-	tag := c.tag(addr)
+	enc := c.tag(addr)<<1 | tagValid
+	c.epoch++
 	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == tag {
-			present, dirty = true, w.dirty
-			w.valid = false
+		if set[i].enc == enc {
+			present, dirty = true, set[i].meta&metaDirty != 0
+			// Clearing the metadata keeps the victim-scan invariant: an
+			// invalid slot is all zero, a valid way's metadata is >= 1<<2.
+			set[i] = slot{}
 			return
 		}
 	}

@@ -148,8 +148,33 @@ type Hierarchy struct {
 
 	pendingWB []pendingWB // dirty lines waiting for controller queue space
 
+	hints []lineHint // per-core last-line/way hint (see lineHint)
+
 	lineMask uint64
 	stats    HierStats
+}
+
+// lineHint memoizes the outcome of a core's most recent Access for the
+// line it touched. Two shapes matter on the hot path:
+//
+//   - way >= 0: the line hit L1 at that way. The next access to the
+//     same line probes it first and falls back to the full scan when
+//     the tag no longer matches, so the hint is purely advisory.
+//   - miss: the line missed all three levels. While no level's content
+//     has changed since (the epochs below match), the three probes
+//     would miss again, so a retried access advances the per-level
+//     statistics arithmetically without scanning a single tag way —
+//     byte-identical to re-probing. This is what makes the per-cycle
+//     retry pattern (a core re-issuing the same blocked access every
+//     cycle under MSHR or queue back pressure) cheap.
+//
+// The zero value is inert-but-safe: line 0 / way 0 is validated by the
+// tag check like any other hint, and miss is false.
+type lineHint struct {
+	line       uint64
+	way        int32
+	miss       bool
+	e1, e2, e3 int64 // l1[core], l2[core], llc epochs at miss time
 }
 
 // NewHierarchy builds the hierarchy over the given memory port.
@@ -163,6 +188,7 @@ func NewHierarchy(cfg HierConfig, mem MemPort) (*Hierarchy, error) {
 		mem:         mem,
 		mshr:        make(map[uint64]*mshrEntry),
 		perCoreUsed: make([]int, cfg.Cores),
+		hints:       make([]lineHint, cfg.Cores),
 		lineMask:    ^uint64(cfg.L1.LineBytes - 1),
 	}
 	for i := 0; i < cfg.Cores; i++ {
@@ -225,53 +251,206 @@ func (h *Hierarchy) Tick(now int64) {
 // installed and recency/dirtiness tracked, but no statistics are counted,
 // no prefetches are trained and dirty LLC evictions are dropped rather
 // than written to memory.
+//
+// Each level is driven through warmAccess, which fuses the older
+// Touch-miss + Insert pair into one set scan. The per-level operation
+// sequences are exactly the composed walk's — probe effects on a hit,
+// install effects on a miss, eviction cascade afterwards — only the
+// redundant second scan per level is gone; levels are independent
+// state, so running L1's install before L2's (rather than after, as
+// the pair-wise code did) reorders nothing observable. TestWarm-
+// MatchesReference pins the equivalence.
 func (h *Hierarchy) Warm(core int, addr uint64, write bool) {
 	line := addr & h.lineMask
-	if h.l1[core].Touch(line, write) {
+	l1, l2 := h.l1[core], h.l2[core]
+	ev1, hadEv1, hit := l1.warmAccess(line, write)
+	if hit {
 		return
 	}
-	if !h.l2[core].Touch(line, false) && !h.llc.Touch(line, false) {
-		h.llc.Insert(line, false, false) // eviction dropped: warmup
+	ev2, hadEv2, hit2 := l2.warmAccess(line, false)
+	if !hit2 {
+		h.llc.warmAccess(line, false) // LLC eviction dropped: warmup
 	}
-	if ev, ok := h.l2[core].Insert(line, false, false); ok && ev.Dirty {
-		if !h.llc.Touch(ev.Addr, true) {
-			h.llc.Insert(ev.Addr, true, false)
+	if hadEv2 && ev2.Dirty {
+		h.llc.warmAccess(ev2.Addr, true)
+	}
+	if hadEv1 && ev1.Dirty {
+		if evB, hadB, hitB := l2.warmAccess(ev1.Addr, true); !hitB && hadB && evB.Dirty {
+			h.llc.warmAccess(evB.Addr, true) // eviction dropped
 		}
 	}
-	if ev, ok := h.l1[core].Insert(line, write, false); ok && ev.Dirty {
-		if !h.l2[core].Touch(ev.Addr, true) {
-			if ev2, ok2 := h.l2[core].Insert(ev.Addr, true, false); ok2 && ev2.Dirty {
-				if !h.llc.Touch(ev2.Addr, true) {
-					h.llc.Insert(ev2.Addr, true, false) // eviction dropped
-				}
-			}
+}
+
+// LLCOp is one shared-LLC operation a Warm call performs: a
+// touch-or-install of Line, dirty for eviction writebacks. Recording
+// these lets the private-level part of warming run per core while the
+// shared level is replayed later in the original global order.
+type LLCOp struct {
+	Line  uint64
+	Dirty bool
+}
+
+// WarmPrivate performs exactly the private-level (L1/L2) part of
+// Warm(core, addr, write) and appends the LLC operations Warm would
+// have performed — in Warm's order — to ops, which it returns. The
+// private levels never observe the LLC, so for a fixed per-core access
+// stream the calls of different cores are independent: WarmPrivate for
+// every core followed by WarmLLC of the recorded operations in Warm's
+// global interleaving is state-identical to the same sequence of Warm
+// calls. Kept in lockstep with Warm above.
+func (h *Hierarchy) WarmPrivate(core int, addr uint64, write bool, ops []LLCOp) []LLCOp {
+	line := addr & h.lineMask
+	l1, l2 := h.l1[core], h.l2[core]
+	ev1, hadEv1, hit := l1.warmAccess(line, write)
+	if hit {
+		return ops
+	}
+	ev2, hadEv2, hit2 := l2.warmAccess(line, false)
+	if !hit2 {
+		ops = append(ops, LLCOp{Line: line})
+	}
+	if hadEv2 && ev2.Dirty {
+		ops = append(ops, LLCOp{Line: ev2.Addr, Dirty: true})
+	}
+	if hadEv1 && ev1.Dirty {
+		if evB, hadB, hitB := l2.warmAccess(ev1.Addr, true); !hitB && hadB && evB.Dirty {
+			ops = append(ops, LLCOp{Line: evB.Addr, Dirty: true})
 		}
 	}
+	return ops
+}
+
+// WarmLLC replays one recorded LLC operation.
+func (h *Hierarchy) WarmLLC(op LLCOp) {
+	h.llc.warmAccess(op.Line, op.Dirty)
 }
 
 // Access performs a demand load (write=false) or a store's
 // read-for-ownership (write=true) for core at CPU cycle now. For Pending
 // outcomes w.MemDone fires when the fill completes; w must be non-nil
 // for loads. Stores may pass nil.
+//
+// The L1→L2→LLC walk is flattened into this one frame: the probes are
+// hand-inlined copies of Cache.Lookup sharing a single tag computation
+// (legal because Validate requires one line size across levels), and a
+// per-core lineHint short-circuits the two hot shapes — a repeat L1 hit
+// and a retried full miss. Every statistic Lookup would have counted is
+// counted here, per attempt, in the same order; TestAccessMatchesReference
+// pins the equivalence against the composed per-level walk.
 func (h *Hierarchy) Access(now int64, core int, addr uint64, write bool, w Waiter) Outcome {
 	line := addr & h.lineMask
+	ht := &h.hints[core]
+	l1 := h.l1[core]
+	l2 := h.l2[core]
+	llc := h.llc
 
-	if h.l1[core].Lookup(line, true, write) {
+	if ht.miss && ht.line == line &&
+		ht.e1 == l1.epoch && ht.e2 == l2.epoch && ht.e3 == llc.epoch {
+		// The previous access to this line missed every level, and no
+		// level's content has changed since: all three probes would
+		// miss again. Advance their statistics without scanning.
+		l1.stats.Accesses++
+		l1.stats.Misses++
+		l2.stats.Accesses++
+		l2.stats.Misses++
+		h.train(now, core, line)
+		llc.stats.Accesses++
+		llc.stats.Misses++
+		return h.missToMem(now, core, line, write, w)
+	}
+
+	// L1 probe (mirrors Cache.Lookup(line, true, write) — keep in sync).
+	l1.stats.Accesses++
+	tag := line >> l1.setShift
+	enc := tag<<1 | tagValid
+	s1 := l1.slots[(tag&l1.setMask)*uint64(l1.cfg.Ways):][:l1.cfg.Ways]
+	hitWay := -1
+	if ht.line == line && ht.way >= 0 && int(ht.way) < len(s1) {
+		// A tag matches at most one way per set (Insert refreshes in
+		// place), so trusting the hinted way is exact, not heuristic.
+		if s1[ht.way].enc == enc {
+			hitWay = int(ht.way)
+		}
+	}
+	if hitWay < 0 {
+		for i := range s1 {
+			if s1[i].enc == enc {
+				hitWay = i
+				break
+			}
+		}
+	}
+	if hitWay >= 0 {
+		l1.clock++
+		nm := uint64(l1.clock)<<metaUsedShift | s1[hitWay].meta&(metaDirty|metaPrefetched)
+		l1.stats.Hits++
+		if nm&metaPrefetched != 0 {
+			l1.stats.PrefetchHits++
+			nm &^= metaPrefetched
+		}
+		if write {
+			nm |= metaDirty
+		}
+		s1[hitWay].meta = nm
+		*ht = lineHint{line: line, way: int32(hitWay)}
 		return Outcome{Status: Hit, Latency: h.cfg.L1.Latency, Level: 1}
 	}
-	if h.l2[core].Lookup(line, true, write) {
-		h.fillL1(core, line, write)
-		h.train(now, core, line)
-		return Outcome{Status: Hit, Latency: h.cfg.L2.Latency, Level: 2}
-	}
-	h.train(now, core, line)
-	if h.llc.Lookup(line, true, write) {
-		h.fillL2(now, core, line, false)
-		h.fillL1(core, line, write)
-		return Outcome{Status: Hit, Latency: h.cfg.LLC.Latency, Level: 3}
-	}
+	l1.stats.Misses++
 
-	// LLC miss: merge into or allocate an MSHR.
+	// L2 probe.
+	l2.stats.Accesses++
+	s2 := l2.slots[(tag&l2.setMask)*uint64(l2.cfg.Ways):][:l2.cfg.Ways]
+	for i := range s2 {
+		if s2[i].enc == enc {
+			l2.clock++
+			nm := uint64(l2.clock)<<metaUsedShift | s2[i].meta&(metaDirty|metaPrefetched)
+			l2.stats.Hits++
+			if nm&metaPrefetched != 0 {
+				l2.stats.PrefetchHits++
+				nm &^= metaPrefetched
+			}
+			if write {
+				nm |= metaDirty
+			}
+			s2[i].meta = nm
+			h.fillL1(core, line, write)
+			h.train(now, core, line)
+			return Outcome{Status: Hit, Latency: h.cfg.L2.Latency, Level: 2}
+		}
+	}
+	l2.stats.Misses++
+	h.train(now, core, line)
+
+	// LLC probe.
+	llc.stats.Accesses++
+	s3 := llc.slots[(tag&llc.setMask)*uint64(llc.cfg.Ways):][:llc.cfg.Ways]
+	for i := range s3 {
+		if s3[i].enc == enc {
+			llc.clock++
+			nm := uint64(llc.clock)<<metaUsedShift | s3[i].meta&(metaDirty|metaPrefetched)
+			llc.stats.Hits++
+			if nm&metaPrefetched != 0 {
+				llc.stats.PrefetchHits++
+				nm &^= metaPrefetched
+			}
+			if write {
+				nm |= metaDirty
+			}
+			s3[i].meta = nm
+			h.fillL2(now, core, line, false)
+			h.fillL1(core, line, write)
+			return Outcome{Status: Hit, Latency: h.cfg.LLC.Latency, Level: 3}
+		}
+	}
+	llc.stats.Misses++
+	*ht = lineHint{line: line, way: -1, miss: true,
+		e1: l1.epoch, e2: l2.epoch, e3: llc.epoch}
+	return h.missToMem(now, core, line, write, w)
+}
+
+// missToMem handles the LLC-miss tail of Access: merge into or allocate
+// an MSHR, or report structural back pressure.
+func (h *Hierarchy) missToMem(now int64, core int, line uint64, write bool, w Waiter) Outcome {
 	if e, ok := h.mshr[line]; ok {
 		h.stats.MSHRMerges++
 		e.dirty = e.dirty || write

@@ -82,6 +82,26 @@ type Source interface {
 	Next() (ins Instr, ok bool)
 }
 
+// BatchSource is an optional Source fast path: NextBatch fills buf with
+// the next instructions of the stream and returns how many it produced.
+// Zero means end of stream, and every later call must also return zero.
+//
+// The contract is strict so the core may pull ahead: across any mix of
+// Next and NextBatch calls, the k-th instruction handed out must be the
+// k-th of the stream. Only pure sources — whose items are a function of
+// consumption count alone — may implement BatchSource; a source whose
+// result depends on when it is polled (a KindStall barrier tied to
+// external simulation state, say) must stay a plain Source, and the
+// core then polls it one instruction at a time exactly as before.
+type BatchSource interface {
+	Source
+	NextBatch(buf []Instr) int
+}
+
+// batchLen is the core's pull-buffer size: big enough to amortize the
+// per-call generator overhead, small enough to stay cache resident.
+const batchLen = 64
+
 // Mem is the core's port into the cache hierarchy. Completions are
 // delivered through the cache.Waiter the core passes in (a pooled load
 // ticket, or the core itself for store read-for-ownerships).
@@ -187,6 +207,15 @@ type Core struct {
 
 	startQ []memOp
 
+	// Batched source pull: when src implements BatchSource, dispatch
+	// refills batch only when it runs dry, consuming one buffered
+	// instruction per poll — the source sees the same consumption
+	// sequence, batchLen at a time.
+	bsrc     BatchSource
+	batch    []Instr
+	batchPos int
+	batchN   int
+
 	pendingWork int
 	pendingOp   *Instr
 	pendingBuf  Instr
@@ -219,7 +248,7 @@ func New(id int, cfg Config, mem Mem, src Source) *Core {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Core{
+	c := &Core{
 		id:   id,
 		cfg:  cfg,
 		mem:  mem,
@@ -227,6 +256,11 @@ func New(id int, cfg Config, mem Mem, src Source) *Core {
 		acct: cyclestack.NewAccountant(),
 		rob:  make([]robItem, cfg.ROBSize+1),
 	}
+	if bs, ok := src.(BatchSource); ok {
+		c.bsrc = bs
+		c.batch = make([]Instr, batchLen)
+	}
+	return c
 }
 
 // Stats returns the core's counters.
@@ -811,7 +845,7 @@ func (c *Core) dispatch(now int64) {
 			if c.srcDone {
 				return
 			}
-			ins, ok := c.src.Next()
+			ins, ok := c.nextIns()
 			if !ok {
 				c.srcDone = true
 				return
@@ -879,6 +913,29 @@ func (c *Core) dispatch(now int64) {
 			}
 		}
 	}
+}
+
+// nextIns returns the next source instruction, pulling batchLen at a
+// time from BatchSource implementations. The buffer refills only when
+// it runs dry, so end-of-stream is discovered at exactly the poll index
+// the unbatched path would discover it, and a buffered KindStall is
+// consumed by the poll that returns it — identical to Source.Next for
+// any source honoring the BatchSource purity contract.
+func (c *Core) nextIns() (Instr, bool) {
+	if c.batchPos < c.batchN {
+		ins := c.batch[c.batchPos]
+		c.batchPos++
+		return ins, true
+	}
+	if c.bsrc == nil {
+		return c.src.Next()
+	}
+	c.batchN = c.bsrc.NextBatch(c.batch)
+	if c.batchN == 0 {
+		return Instr{}, false
+	}
+	c.batchPos = 1
+	return c.batch[0], true
 }
 
 // pushALU appends an ALU chunk, merging with the tail chunk when the

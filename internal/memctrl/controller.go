@@ -127,6 +127,17 @@ type Controller struct {
 	issuedCycle    int64 // cycle of the last issued command
 	lastIssuedBank int   // bank index of the last issued command, -1 if none
 
+	// Steady-state replay state (see schedule's doc comment). replayOK
+	// admits scan memoization at all (open-page policy only); candValid
+	// marks the cand array as reusable next cycle; candAge is the
+	// earliest future cycle at which aging promotes a scanned request
+	// into the priority tier; skipUntil is a proven lower bound on the
+	// next cycle any candidate could issue (0 = unknown).
+	replayOK  bool
+	candValid bool
+	candAge   int64
+	skipUntil int64
+
 	// QoS state (all zero/nil when cfg.QoS is disabled; the booleans
 	// gate every QoS code path so a policy-less controller runs the
 	// legacy logic byte-identically).
@@ -204,6 +215,7 @@ func New(dev *dram.Device, mapper addrmap.Mapper, cfg Config) (*Controller, erro
 		nextRefresh: make([]int64, geo.Ranks),
 		refPending:  make([]bool, geo.Ranks),
 		issuedCycle: -1,
+		replayOK:    cfg.Policy == OpenPage,
 	}
 	for r := range c.nextRefresh {
 		// Stagger rank refreshes across the interval.
@@ -366,6 +378,7 @@ func (c *Controller) EnqueueReadFrom(now int64, addr uint64, src int, onComplete
 	}
 	c.readQ = append(c.readQ, req)
 	c.stats.EnqueuedReads++
+	c.dirtyCand()
 	return req, true
 }
 
@@ -407,6 +420,7 @@ func (c *Controller) EnqueueWriteFrom(now int64, addr uint64, src int, onComplet
 	c.writeQ = append(c.writeQ, req)
 	c.wbuf[addr] = req
 	c.stats.EnqueuedWrites++
+	c.dirtyCand()
 	return req, true
 }
 
@@ -441,8 +455,14 @@ func (c *Controller) qosTick(now int64) {
 	c.heldReads = 0
 	for s := range c.qosHeld {
 		b := c.cfg.QoS.SourceBudget(s)
-		c.qosHeld[s] = b > 0 && c.qosUsed[s] >= int64(b)
-		if c.qosHeld[s] {
+		held := b > 0 && c.qosUsed[s] >= int64(b)
+		if held != c.qosHeld[s] {
+			// Held requests are invisible to the scheduling scan; a
+			// source (un)holding changes its inputs.
+			c.dirtyCand()
+		}
+		c.qosHeld[s] = held
+		if held {
 			c.heldReads += c.readsBySrc[s]
 		}
 	}
@@ -585,7 +605,12 @@ func (c *Controller) updateDrain() {
 	}
 	// A read queue whose every entry is held by regulation is effectively
 	// empty: let buffered writes use the otherwise-forfeited cycles.
-	c.writeMode = c.drain || (len(c.readQ)-c.heldReads == 0 && len(c.writeQ) > 0)
+	wm := c.drain || (len(c.readQ)-c.heldReads == 0 && len(c.writeQ) > 0)
+	if wm != c.writeMode {
+		c.writeMode = wm
+		// Direction flip: the scan's active queue changed.
+		c.dirtyCand()
+	}
 }
 
 // account feeds the bandwidth-stack accountant with this cycle's channel
@@ -601,6 +626,7 @@ func (c *Controller) account(now int64) {
 		view.DataSource = c.busOwnerAt(now)
 	}
 	if view.Data == dram.DataNone && !view.Refreshing {
+		c.markBlocked(now)
 		var preMask, actMask uint64
 		for b := 0; b < c.banks; b++ {
 			pre, act := c.dev.BankBusy(b, now)

@@ -1,24 +1,60 @@
 package memctrl
 
-import "dramstacks/internal/dram"
+import (
+	"math"
+
+	"dramstacks/internal/dram"
+)
 
 // schedule attempts to issue at most one DRAM command this cycle,
 // following FR-FCFS: ready column commands first (row hits), then
 // activates, then precharges, oldest request first within each class.
-// Refresh management preempts normal scheduling for its rank. The scan
-// also computes blockedMask: the banks whose oldest pending request could
-// not make progress this cycle, which the bandwidth-stack accountant
-// charges to the constraints component.
+// Refresh management preempts normal scheduling for its rank.
+//
+// The per-bank candidate scan is memoized across cycles (steady-state
+// replay): its inputs — queue contents and order, open-row state, the
+// write/read direction, per-source held state and priority-tier
+// membership — change only at identified points, each of which calls
+// dirtyCand. Between those points the previous scan's candidates are
+// replayed as-is, and issueNormal may additionally prove (via
+// dram.Device.EarliestIssue) that no candidate can legally issue before
+// a future cycle, skipping the issue passes entirely until then. Both
+// shortcuts bail out conservatively: any enqueue, any issued command,
+// a write-mode flip, a QoS window/held change, an aging-bound crossing
+// or a due refresh invalidates them, so the observable schedule is
+// byte-identical to rescanning every cycle. Under the closed-page
+// policy auto-precharges alter open-row state asynchronously (at Sync
+// time, with no dirtyCand hook), so memoization is disabled there and
+// the scan runs every cycle as before.
 func (c *Controller) schedule(now int64) {
-	c.blockedMask = 0
 	c.lastIssuedBank = -1
 
 	refIssued := c.scheduleRefresh(now)
-	c.scan(now)
+	if refIssued {
+		// A REF or refresh-preparing PRE changed device state under the
+		// memoized candidates.
+		c.dirtyCand()
+	}
+	if c.qosPrio && c.candValid && now >= c.candAge {
+		// A queued request crossed the aging bound: its tier changed.
+		c.dirtyCand()
+	}
+	if !c.candValid {
+		c.scan(now)
+		c.candValid = c.replayOK
+	}
 	if !refIssued {
 		c.issueNormal(now)
 	}
-	c.markBlocked(now)
+}
+
+// dirtyCand invalidates the memoized scheduling scan and the
+// no-issue-before bound. The cand array itself is left intact: the
+// lazy markBlocked call in account still reads this cycle's candidates
+// after an issue invalidates them for the next cycle.
+func (c *Controller) dirtyCand() {
+	c.candValid = false
+	c.skipUntil = 0
 }
 
 // scheduleRefresh progresses refresh for pending ranks: it issues the REF
@@ -70,6 +106,7 @@ func (c *Controller) scan(now int64) {
 	for i := range c.cand {
 		c.cand[i] = bankCand{}
 	}
+	c.candAge = math.MaxInt64
 	active, other := c.readQ, c.writeQ
 	if c.writeMode {
 		active, other = c.writeQ, c.readQ
@@ -82,26 +119,35 @@ func (c *Controller) scan(now int64) {
 		cd := &c.cand[b]
 		openRow := c.dev.OpenRow(req.loc, now)
 		hit := openRow == req.loc.Row
-		if c.qosPrio && c.reqPrio(req, now) {
-			if hit {
-				cd.hasHitPrio = true
-			}
-			// The FCFS oldest-only rule applies per tier: the first
-			// priority-tier request of a bank claims its prio slot.
-			if c.cfg.Sched != FCFS ||
-				(cd.colPrio == nil && cd.actPrio == nil && cd.prePrio == nil) {
-				switch {
-				case hit:
-					if cd.colPrio == nil {
-						cd.colPrio = req
-					}
-				case openRow < 0:
-					if cd.actPrio == nil {
-						cd.actPrio = req
-					}
-				default:
-					if cd.prePrio == nil {
-						cd.prePrio = req
+		if c.qosPrio {
+			if !c.reqPrio(req, now) {
+				// Not yet in the priority tier: record when aging will
+				// promote it, so the memoized scan is invalidated at
+				// exactly that cycle.
+				if cross := req.arrive + c.qosAging; cross < c.candAge {
+					c.candAge = cross
+				}
+			} else {
+				if hit {
+					cd.hasHitPrio = true
+				}
+				// The FCFS oldest-only rule applies per tier: the first
+				// priority-tier request of a bank claims its prio slot.
+				if c.cfg.Sched != FCFS ||
+					(cd.colPrio == nil && cd.actPrio == nil && cd.prePrio == nil) {
+					switch {
+					case hit:
+						if cd.colPrio == nil {
+							cd.colPrio = req
+						}
+					case openRow < 0:
+						if cd.actPrio == nil {
+							cd.actPrio = req
+						}
+					default:
+						if cd.prePrio == nil {
+							cd.prePrio = req
+						}
 					}
 				}
 			}
@@ -156,11 +202,71 @@ func (c *Controller) reqPrio(req *Request, now int64) bool {
 // candidates. With a QoS priority tier, the whole FR-FCFS ladder runs
 // over the priority-tier candidates first; the normal slots only get
 // the cycle when no priority command could issue.
+//
+// When the memoized candidates are valid and a previous cycle proved no
+// candidate can legally issue before skipUntil, the passes are skipped:
+// they would evaluate CanIssue to false for every candidate and issue
+// nothing, exactly as the skip does. The bound is recomputed whenever
+// the passes run and issue nothing, and reset by every dirtyCand.
 func (c *Controller) issueNormal(now int64) {
+	if c.candValid && c.skipUntil > now {
+		return
+	}
 	if c.qosPrio && c.issuePasses(now, true) {
 		return
 	}
-	c.issuePasses(now, false)
+	if c.issuePasses(now, false) {
+		return
+	}
+	if c.candValid {
+		c.skipUntil = c.nextIssueBound(now)
+	}
+}
+
+// nextIssueBound returns the earliest future cycle at which some
+// candidate could legally issue, assuming no state change in between
+// (any state change calls dirtyCand, which resets the bound). It
+// mirrors issuePasses' eligibility guards exactly; candidates whose
+// command needs a prior state change (EarliestIssue ok == false) are
+// excluded, since that state change dirties the memo anyway. With no
+// eligible candidate the bound is MaxInt64: nothing can issue until a
+// dirtying event. Only called under the open-page policy (replayOK),
+// where no auto-precharge can be pending, so EarliestIssue cannot
+// observe an unapplied precharge.
+func (c *Controller) nextIssueBound(now int64) int64 {
+	bound := int64(math.MaxInt64)
+	consider := func(cmd dram.Command) {
+		if at, ok := c.dev.EarliestIssue(cmd, now); ok && at < bound {
+			bound = at
+		}
+	}
+	for tier := 0; tier < 2; tier++ {
+		prio := tier == 0
+		if prio && !c.qosPrio {
+			continue
+		}
+		for b := range c.cand {
+			cd := &c.cand[b]
+			col, act, pre, hitGuard := cd.col, cd.act, cd.pre, cd.hasHitActive
+			if prio {
+				col, act, pre, hitGuard = cd.colPrio, cd.actPrio, cd.prePrio, cd.hasHitPrio
+			}
+			if col != nil && !c.refPending[col.loc.Rank] {
+				consider(dram.Command{Kind: c.columnKind(col, cd), Loc: col.loc})
+			}
+			if act != nil && !c.refPending[act.loc.Rank] {
+				consider(dram.Command{Kind: dram.CmdACT, Loc: act.loc})
+			}
+			if pre != nil && !c.refPending[pre.loc.Rank] &&
+				!(hitGuard && c.cfg.Sched != FCFS) {
+				loc := pre.loc
+				if loc.Row = c.dev.OpenRow(pre.loc, now); loc.Row >= 0 {
+					consider(dram.Command{Kind: dram.CmdPRE, Loc: loc})
+				}
+			}
+		}
+	}
+	return bound
 }
 
 // issuePasses runs the three FR-FCFS passes (ready columns, activates,
@@ -212,6 +318,7 @@ func (c *Controller) issuePasses(now int64, prio bool) bool {
 		best.ownAct += int64(c.tim.RCD)
 		c.issuedCycle = now
 		c.lastIssuedBank = c.bankIndex(best.loc)
+		c.dirtyCand()
 		return true
 	}
 
@@ -254,6 +361,7 @@ func (c *Controller) issuePasses(now int64, prio bool) bool {
 		best.ownPre += int64(c.tim.RP)
 		c.issuedCycle = now
 		c.lastIssuedBank = c.bankIndex(best.loc)
+		c.dirtyCand()
 		return true
 	}
 	return false
@@ -279,6 +387,7 @@ func (c *Controller) issueColumn(now int64, req *Request, kind dram.CommandKind)
 	c.dev.Issue(dram.Command{Kind: kind, Loc: req.loc}, now)
 	c.issuedCycle = now
 	c.lastIssuedBank = c.bankIndex(req.loc)
+	c.dirtyCand()
 	c.stats.BankAccesses[c.lastIssuedBank]++
 	c.classifyPage(req)
 	if c.qosReg && req.src >= 0 && req.src < len(c.qosUsed) {
@@ -318,7 +427,15 @@ func (c *Controller) issueColumn(now int64, req *Request, kind dram.CommandKind)
 // group, and a rank restriction (tFAW, bus turnaround, ...) marks the
 // whole rank — those constraints are what keeps the *other* banks of that
 // scope from transferring data, so the lost cycle belongs to them too.
+//
+// It is called lazily, from account, and only on cycles whose channel
+// state can actually consume the mask (bus idle, no refresh): on every
+// other cycle the mask is dead and computing it — including the
+// dev.Blocking scope queries — would be wasted work. Device state does
+// not change between schedule and account, so the lazy call sees
+// exactly what an eager one at the end of schedule would have seen.
 func (c *Controller) markBlocked(now int64) {
+	c.blockedMask = 0
 	for b := range c.cand {
 		cd := &c.cand[b]
 		var req *Request

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"dramstacks/internal/cpu"
+	"dramstacks/internal/dram/standard"
+	"dramstacks/internal/workload"
+)
+
+// plainSource hides the NextBatch fast path, forcing prewarm's serial
+// round-robin loop (and per-item Next draining) for the wrapped source.
+type plainSource struct{ src cpu.Source }
+
+func (p plainSource) Next() (cpu.Instr, bool) { return p.src.Next() }
+
+// prewarmSources is a store-heavy multi-core mix with DRAM-sized
+// footprints: every warm op runs the full install cascade and the dirty
+// evictions exercise the recorded-LLC writeback ordering.
+func prewarmSources(wrap bool) []cpu.Source {
+	var out []cpu.Source
+	for c := 0; c < 4; c++ {
+		cfg := workload.SyntheticConfig{
+			Pattern:        workload.Random,
+			StoreFrac:      0.3,
+			WorkPerOp:      5,
+			FootprintBytes: 1 << 22,
+			StrideBytes:    64,
+			Chains:         2,
+			BaseAddr:       uint64(c) * (256 << 20),
+			Seed:           int64(c + 7),
+		}
+		if c%2 == 1 {
+			cfg.Pattern = workload.Sequential
+			cfg.Chains = 0
+		}
+		var src cpu.Source = workload.MustSynthetic(cfg)
+		if wrap {
+			src = plainSource{src}
+		}
+		out = append(out, src)
+	}
+	return out
+}
+
+// TestPrewarmParallelMatchesSerial pins the concurrent warm path: the
+// per-core private warming plus ordered LLC replay must leave the
+// machine in exactly the state the serial round-robin loop produces, so
+// a full run from either warm start yields field-identical Results.
+// GOMAXPROCS is raised so the parallel path is taken even on a
+// single-processor host (where prewarm otherwise stays serial), and the
+// serial reference is forced by hiding the sources' batch interface.
+func TestPrewarmParallelMatchesSerial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	run := func(wrap bool) *Result {
+		cfg := Default(4)
+		cfg.MaxMemCycles = 20_000
+		cfg.SampleInterval = 3_000
+		cfg.PrewarmOps = 1 << 14
+		sys, err := NewFromConfig(cfg, prewarmSources(wrap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sys.Run()
+		res.Cfg.OnSample = nil
+		res.Cfg.Trace = nil
+		return res
+	}
+	parallel := run(false)
+	serial := run(true)
+	if !reflect.DeepEqual(parallel, serial) {
+		ft, pv, sv := reflect.TypeOf(*parallel), reflect.ValueOf(*parallel), reflect.ValueOf(*serial)
+		for i := 0; i < ft.NumField(); i++ {
+			if !reflect.DeepEqual(pv.Field(i).Interface(), sv.Field(i).Interface()) {
+				t.Errorf("Result.%s differs between parallel and serial prewarm", ft.Field(i).Name)
+			}
+		}
+	}
+}
+
+// TestPrewarmQuotaExactWithBatching: the buffered feed must warm exactly
+// PrewarmOps memory operations per core even when the quota is not a
+// multiple of the batch size — the refill guard falls back to per-item
+// draining near the quota so no generated item is ever dropped. The
+// emitted count is quota plus the core's first unwarmed instructions
+// only after the timed run consumes them, so it is checked before Run.
+func TestPrewarmQuotaExactWithBatching(t *testing.T) {
+	for _, quota := range []int64{1, 63, 64, 65, 129} {
+		srcs := []cpu.Source{workload.MustSynthetic(workload.SyntheticConfig{
+			Pattern:        workload.Sequential,
+			FootprintBytes: 1 << 20,
+			StrideBytes:    64,
+			Seed:           3,
+		})}
+		cfg := DefaultFor(standard.Default(), 1)
+		cfg.MaxMemCycles = 100
+		cfg.PrewarmOps = quota
+		sys, err := NewFromConfig(cfg, srcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		syn := srcs[0].(*workload.Synthetic)
+		if got := syn.Emitted(); got != quota {
+			t.Errorf("quota %d: %d ops emitted after prewarm", quota, got)
+		}
+		_ = sys
+	}
+}

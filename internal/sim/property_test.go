@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"dramstacks/internal/cpu"
@@ -160,5 +161,130 @@ func TestGoldenRandomizedSpecs(t *testing.T) {
 		t.Run(sp.name, func(t *testing.T) {
 			goldenCompare(t, sp.name, sp.cfg, sp.sources)
 		})
+	}
+}
+
+// drawHostileSpec samples configurations built to break the batching
+// fast paths at their seams: op budgets that end a stream mid-batch or
+// leave a 1-instruction tail, branch cadences coprime to the batch
+// size, prime sample intervals that land cuts inside fast-forward and
+// replay spans, and prewarm quotas that straddle a refill boundary.
+func drawHostileSpec(rng *rand.Rand, i int) randSpec {
+	// Around the 64-instruction batch: exact multiples, one-off
+	// stragglers, and streams shorter than a single batch.
+	hostileOps := []int64{1, 2, 63, 64, 65, 127, 128, 129, 191, 257, 321, 1025}
+	// Primes (and near-primes) well below MaxMemCycles: cuts land inside
+	// idle skips and controller replay spans rather than on their edges.
+	hostileIntervals := []int64{61, 127, 251, 509, 1021, 2039}
+
+	sp := randSpec{
+		seed:      rng.Int63n(1 << 30),
+		cores:     1 + rng.Intn(3),
+		pattern:   workload.Sequential,
+		footprint: 1 << 20,
+		workPerOp: rng.Intn(21),
+	}
+	if rng.Intn(2) == 0 {
+		sp.pattern = workload.Random
+		sp.chains = 1 + rng.Intn(3)
+	}
+	if rng.Intn(2) == 0 {
+		sp.footprint = 1 << 26 // DRAM-sized: saturating traffic
+	}
+	// Branch cadence coprime to the batch size, so KindBranch items
+	// drift across batch boundaries instead of repeating in phase.
+	if rng.Intn(2) == 0 {
+		sp.branch = []int{3, 5, 7, 9, 11, 13}[rng.Intn(6)]
+		sp.mispred = float64(1+rng.Intn(10)) / 20
+	}
+
+	cfg := DefaultFor(standard.Default(), sp.cores)
+	cfg.MaxMemCycles = 6_000 + rng.Int63n(6_000)
+	cfg.SampleInterval = hostileIntervals[rng.Intn(len(hostileIntervals))]
+	switch rng.Intn(3) {
+	case 0:
+		// Mid-batch Done: the finite stream ends inside a batch (or as a
+		// 1-instruction tail), and the run drains to completion.
+		sp.ops = hostileOps[rng.Intn(len(hostileOps))]
+		cfg.MaxMemCycles = 0
+	case 1:
+		// Prewarm quota straddling a refill: the feed must hand back
+		// exactly quota items even when that retires it mid-batch.
+		cfg.PrewarmOps = []int64{1, 63, 64, 65, 127, 129}[rng.Intn(6)]
+	}
+	if rng.Intn(4) == 0 {
+		cfg.WarmupMemCycles = cfg.MaxMemCycles / 3
+	}
+	sp.cfg = cfg
+	sp.name = fmt.Sprintf("hostile-%03d-%dc-%s-ops%d-si%d", i, sp.cores,
+		sp.pattern, sp.ops, cfg.SampleInterval)
+	return sp
+}
+
+// TestGoldenBatchHostileSpecs points the two-loop oracle at the batching
+// seams: every spec from drawHostileSpec must still produce
+// field-identical Results and sample streams in the event-wheel loop
+// and the reference per-cycle loop. The CI race job runs this under
+// -race via the Golden pattern.
+func TestGoldenBatchHostileSpecs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch-hostile golden specs skipped in -short")
+	}
+	rng := rand.New(rand.NewSource(0xba7c4))
+	for i := 0; i < 16; i++ {
+		sp := drawHostileSpec(rng, i)
+		t.Run(sp.name, func(t *testing.T) {
+			goldenCompare(t, sp.name, sp.cfg, sp.sources)
+		})
+	}
+}
+
+// TestSampleIntervalInvariance pins the sampler-cut behavior at
+// fast-forward boundaries: cutting through-time samples is observation,
+// so the simulated outcome — every Result field except the sample
+// streams themselves — must be bit-identical whatever SampleInterval
+// is, including intervals that land a cut exactly on the final cycle
+// of an idle skip or replay span. A drifting stack or statistic under a
+// changed interval would mean a span was split differently by the cut
+// (the off-by-one this test exists to catch).
+func TestSampleIntervalInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sample-interval invariance skipped in -short")
+	}
+	rng := rand.New(rand.NewSource(0x5a41e))
+	for i := 0; i < 10; i++ {
+		sp := drawSpec(rng, i)
+		sp.cfg.OnSample = nil
+		run := func(interval int64) *Result {
+			c := sp.cfg
+			c.SampleInterval = interval
+			sys, err := NewFromConfig(c, sp.sources())
+			if err != nil {
+				t.Fatalf("%s: %v", sp.name, err)
+			}
+			res := sys.Run()
+			// Strip everything observation-only before comparing.
+			res.Cfg = Config{}
+			res.BWSamples = nil
+			res.CycleSamples = nil
+			return res
+		}
+		base := run(0)
+		cycles := base.MemCycles
+		intervals := []int64{1 + rng.Int63n(97), 509}
+		if cycles > 1 {
+			// An interval dividing the run puts a cut on the very last
+			// cycle; an interval of cycles-1 puts one right before it.
+			intervals = append(intervals, cycles, cycles-1, cycles/2)
+		}
+		for _, iv := range intervals {
+			if iv <= 0 {
+				continue
+			}
+			got := run(iv)
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("%s: Result changed when sampling every %d cycles", sp.name, iv)
+			}
+		}
 	}
 }

@@ -345,53 +345,6 @@ func newSystem(cfg Config, sources []cpu.Source) (*System, error) {
 	return s, nil
 }
 
-// prewarm consumes the head of each stream functionally so the caches
-// start in steady state; the cores continue from where warming stopped.
-// Sources are drained round-robin so barrier-synchronized workloads
-// (package gap) make progress; stall items are skipped.
-func (s *System) prewarm(sources []cpu.Source) {
-	warmed := make([]int64, len(sources))
-	exhausted := make([]bool, len(sources))
-	active := len(sources)
-	for active > 0 {
-		progress := false
-		for i, src := range sources {
-			if exhausted[i] || warmed[i] >= s.cfg.PrewarmOps {
-				if !exhausted[i] {
-					exhausted[i] = true
-					active--
-				}
-				continue
-			}
-			ins, ok := src.Next()
-			if !ok {
-				exhausted[i] = true
-				active--
-				continue
-			}
-			switch ins.Kind {
-			case cpu.KindLoad:
-				s.hier.Warm(i, ins.Addr, false)
-				warmed[i]++
-				progress = true
-			case cpu.KindStore:
-				s.hier.Warm(i, ins.Addr, true)
-				warmed[i]++
-				progress = true
-			case cpu.KindStall:
-				// Barrier wait: progress only if someone else moves.
-			default:
-				progress = true // compute/branch item consumed
-			}
-		}
-		if !progress {
-			// Every remaining source is stalled at a barrier that a
-			// finished source will never release: stop warming here.
-			return
-		}
-	}
-}
-
 // Boundary actor IDs in the event wheel (after the controller actors).
 func (s *System) budgetActor() int  { return s.channels }
 func (s *System) warmupActor() int  { return s.channels + 1 }

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"dramstacks/internal/cpu"
+)
+
+// drainMixed consumes src through an adversarial mix of NextBatch sizes
+// and single Next calls, returning the full instruction sequence. The
+// mix exercises 1-instr buffers, coprime batch lengths and refills that
+// straddle branch interleaves and the Ops cliff.
+func drainMixed(t *testing.T, src cpu.BatchSource, rng *rand.Rand, max int) []cpu.Instr {
+	t.Helper()
+	var out []cpu.Instr
+	sizes := []int{1, 2, 3, 7, 63, 64, 65, 97}
+	zeroes := 0
+	for len(out) < max {
+		if rng.Intn(4) == 0 {
+			ins, ok := src.Next()
+			if !ok {
+				// End of stream: NextBatch must agree forever after.
+				if n := src.NextBatch(make([]cpu.Instr, 8)); n != 0 {
+					t.Fatalf("Next reported end but NextBatch returned %d", n)
+				}
+				return out
+			}
+			out = append(out, ins)
+			continue
+		}
+		buf := make([]cpu.Instr, sizes[rng.Intn(len(sizes))])
+		n := src.NextBatch(buf)
+		if n < 0 || n > len(buf) {
+			t.Fatalf("NextBatch returned %d for buffer of %d", n, len(buf))
+		}
+		if n == 0 {
+			zeroes++
+			if zeroes > 2 {
+				return out
+			}
+			continue
+		}
+		zeroes = 0
+		out = append(out, buf[:n]...)
+	}
+	return out
+}
+
+// drainNext consumes src one instruction at a time.
+func drainNext(src cpu.Source, max int) []cpu.Instr {
+	var out []cpu.Instr
+	for len(out) < max {
+		ins, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, ins)
+	}
+	return out
+}
+
+func compareSeqs(t *testing.T, got, want []cpu.Instr) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("sequence length: batched %d, plain %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("instr %d: batched %+v, plain %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSyntheticBatchMatchesNext drives two identically-seeded
+// generators, one through Next and one through a randomized mix of
+// NextBatch sizes, across randomized configurations. The sequences must
+// be identical draw for draw — the golden suite cannot catch a
+// divergence here because both simulation loops share the batched core.
+func TestSyntheticBatchMatchesNext(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xba7c4))
+	for trial := 0; trial < 60; trial++ {
+		cfg := SyntheticConfig{
+			Pattern:        Pattern(rng.Intn(3)),
+			StoreFrac:      float64(rng.Intn(6)) / 10,
+			WorkPerOp:      rng.Intn(20),
+			FootprintBytes: 64 * uint64(1+rng.Intn(300)),
+			BaseAddr:       uint64(rng.Intn(4)) << 28,
+			StrideBytes:    64 * uint64(1+rng.Intn(5)),
+			Chains:         1 + rng.Intn(4),
+			Seed:           rng.Int63n(1 << 20),
+		}
+		if rng.Intn(2) == 0 {
+			cfg.BranchEvery = 1 + rng.Intn(9)
+			cfg.MispredictRate = float64(rng.Intn(11)) / 10
+		}
+		// Bias toward Ops values hostile to a 64-instr buffer: tails of
+		// one instruction, exact multiples, off-by-one straddles.
+		switch rng.Intn(3) {
+		case 0:
+			cfg.Ops = [...]int64{1, 2, 63, 64, 65, 127, 128, 129, 191}[rng.Intn(9)]
+		case 1:
+			cfg.Ops = 1 + rng.Int63n(2000)
+		}
+		max := 2500
+		plain := drainNext(MustSynthetic(cfg), max)
+		batched := drainMixed(t, MustSynthetic(cfg), rng, max)
+		if len(batched) > max {
+			batched = batched[:max]
+		}
+		if len(plain) > len(batched) {
+			plain = plain[:len(batched)]
+		}
+		if cfg.Ops > 0 && int64(len(plain)) > cfg.Ops && len(plain) < max {
+			// Finite streams must have ended at the same point.
+			if len(plain) != len(batched) {
+				t.Fatalf("trial %d (%+v): plain ended at %d, batched at %d",
+					trial, cfg, len(plain), len(batched))
+			}
+		}
+		compareSeqs(t, batched, plain)
+		if t.Failed() {
+			t.Fatalf("trial %d config: %+v", trial, cfg)
+		}
+	}
+}
+
+// TestSliceBatch covers the bulk-copy fast path, including short tails
+// and post-end calls.
+func TestSliceBatch(t *testing.T) {
+	instrs := make([]cpu.Instr, 150)
+	for i := range instrs {
+		instrs[i] = cpu.Instr{Addr: uint64(i) * 64, Work: i % 7, Kind: cpu.KindLoad}
+	}
+	plain := drainNext(&Slice{Instrs: instrs}, 1000)
+	batched := drainMixed(t, &Slice{Instrs: instrs}, rand.New(rand.NewSource(3)), 1000)
+	compareSeqs(t, batched, plain)
+	s := &Slice{Instrs: instrs[:5]}
+	if n := s.NextBatch(make([]cpu.Instr, 64)); n != 5 {
+		t.Fatalf("short slice: got %d, want 5", n)
+	}
+	if n := s.NextBatch(make([]cpu.Instr, 64)); n != 0 {
+		t.Fatalf("exhausted slice: got %d, want 0", n)
+	}
+}
+
+// TestFillBatchAdapter covers the generic adapter through Player and
+// Stream, whose per-instruction state machines stay in Next.
+func TestFillBatchAdapter(t *testing.T) {
+	mkPlayer := func() cpu.BatchSource {
+		items := make([]cpu.Instr, 41)
+		for i := range items {
+			items[i] = cpu.Instr{Addr: uint64(i) * 64, Kind: cpu.KindLoad}
+		}
+		return &Player{items: items, Loop: true, MaxOps: 500}
+	}
+	mkStream := func() cpu.BatchSource {
+		return MustStream(StreamConfig{
+			Kind:        StreamTriad,
+			ArrayBytes:  1 << 16,
+			WorkPerElem: 3,
+			Ops:         450,
+		})
+	}
+	//dramvet:allow detrange(independent subtests; t.Run order is irrelevant)
+	for name, mk := range map[string]func() cpu.BatchSource{"player": mkPlayer, "stream": mkStream} {
+		t.Run(name, func(t *testing.T) {
+			plain := drainNext(mk(), 700)
+			batched := drainMixed(t, mk(), rand.New(rand.NewSource(11)), 700)
+			if len(batched) > len(plain) {
+				batched = batched[:len(plain)]
+			}
+			if len(plain) > len(batched) {
+				plain = plain[:len(batched)]
+			}
+			compareSeqs(t, batched, plain)
+		})
+	}
+}

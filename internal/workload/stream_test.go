@@ -54,6 +54,7 @@ func TestStreamKindsReadWriteCounts(t *testing.T) {
 		StreamAdd:   {2, 1},
 		StreamTriad: {2, 1},
 	}
+	//dramvet:allow detrange(each kind is checked independently; order cannot matter)
 	for kind, want := range counts {
 		cfg := DefaultStream(kind)
 		cfg.Ops = 10

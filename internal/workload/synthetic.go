@@ -157,7 +157,16 @@ func DefaultRandom() SyntheticConfig {
 // Synthetic generates the stream; it implements cpu.Source.
 type Synthetic struct {
 	cfg SyntheticConfig
+	//dramvet:allow nowallclock(seeded explicitly from SyntheticConfig.Seed; the stream is a pure function of the spec)
 	rng *rand.Rand
+
+	// drawStore records whether the per-op store draw must consume the
+	// RNG. With StoreFrac 0 the draw can only matter by advancing the
+	// stream for a later consumer, so it is kept whenever any other
+	// draw exists (random addresses, branch outcomes) and skipped only
+	// when the generator is otherwise fully deterministic — where the
+	// RNG state is unobservable and the emitted stream is identical.
+	drawStore bool
 
 	emitted    int64
 	seqOffset  uint64
@@ -178,6 +187,7 @@ func NewSynthetic(cfg SyntheticConfig) (*Synthetic, error) {
 		cfg.StrideBytes = 64
 	}
 	s := &Synthetic{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	s.drawStore = cfg.StoreFrac > 0 || cfg.Pattern == Random || cfg.BranchEvery > 0
 	if cfg.Pattern == Random {
 		s.loadsSince = make([]int64, cfg.Chains)
 		for i := range s.loadsSince {
@@ -213,7 +223,10 @@ func (s *Synthetic) Next() (cpu.Instr, bool) {
 	s.sinceBr++
 	s.emitted++
 
-	isStore := s.rng.Float64() < s.cfg.StoreFrac
+	var isStore bool
+	if s.drawStore {
+		isStore = s.rng.Float64() < s.cfg.StoreFrac
+	}
 	ins := cpu.Instr{Work: s.cfg.WorkPerOp, Kind: cpu.KindLoad}
 	if isStore {
 		ins.Kind = cpu.KindStore
