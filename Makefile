@@ -64,16 +64,23 @@ bench-go:
 
 # Build the repo's own analyzer suite (cmd/dramvet) and run it through
 # the standard vet driver, exactly like CI. See doc/LINTING.md.
+# DRAMVET_LOCKORDER_OUT makes the lockorder pass regenerate the
+# committed lock-order artifact while it vets internal/service. `go vet`
+# caches per-package results, but the cache only hits when neither the
+# tool nor the package changed — exactly the runs where the artifact
+# content could not have changed either.
 vet:
 	$(GO) build -o dramvet ./cmd/dramvet
-	$(GO) vet -vettool=$(CURDIR)/dramvet ./...
+	DRAMVET_LOCKORDER_OUT=$(CURDIR)/doc/LOCKORDER.md $(GO) vet -vettool=$(CURDIR)/dramvet ./...
 
-# Run both fuzz targets for FUZZTIME each: the strict spec decoder
-# (canonical-encoding fixed point, hash determinism) and journal
-# recovery (corruption is never fatal, torn tails are sealed).
+# Run the fuzz targets for FUZZTIME each: the strict spec decoder
+# (canonical-encoding fixed point, hash determinism), journal recovery
+# (corruption is never fatal, torn tails are sealed), and the dramvet
+# //dramvet:allow directive parser (no suppression is silently dropped).
 fuzz:
 	$(GO) test ./internal/exp/ -run FuzzDecodeSpec -fuzz FuzzDecodeSpec -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/service/ -run FuzzJournalReplay -fuzz FuzzJournalReplay -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/analysis/ -run FuzzAllowDirective -fuzz FuzzAllowDirective -fuzztime $(FUZZTIME)
 
 # Build and launch the simulation service (see doc/SERVICE.md).
 serve:

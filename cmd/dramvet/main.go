@@ -15,7 +15,9 @@ import (
 	"dramstacks/internal/analysis/passes/canonhash"
 	"dramstacks/internal/analysis/passes/detrange"
 	"dramstacks/internal/analysis/passes/errenvelope"
+	"dramstacks/internal/analysis/passes/goroleak"
 	"dramstacks/internal/analysis/passes/lockhold"
+	"dramstacks/internal/analysis/passes/lockorder"
 	"dramstacks/internal/analysis/passes/nowallclock"
 	"dramstacks/internal/analysis/passes/poolescape"
 	"dramstacks/internal/analysis/unit"
@@ -27,7 +29,9 @@ var Analyzers = []*analysis.Analyzer{
 	canonhash.Analyzer,
 	detrange.Analyzer,
 	errenvelope.Analyzer,
+	goroleak.Analyzer,
 	lockhold.Analyzer,
+	lockorder.Analyzer,
 	nowallclock.Analyzer,
 	poolescape.Analyzer,
 }

@@ -1,0 +1,173 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// check parses and type-checks src as a single-file package and builds
+// its call graph.
+func check(t *testing.T, src string) (*Graph, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Types: make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return Build([]*ast.File{f}, pkg, info), info
+}
+
+// node finds the graph node with the given rendered name.
+func node(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node %q; have %v", name, names(g.Nodes))
+	return nil
+}
+
+func names(nodes []*Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name()
+	}
+	return out
+}
+
+func TestDirectCall(t *testing.T) {
+	g, _ := check(t, `package p
+func a() { b() }
+func b() {}
+`)
+	a := node(t, g, "a")
+	if len(a.Calls) != 1 || len(a.Calls[0].Callees) != 1 || a.Calls[0].Callees[0].Name() != "b" {
+		t.Fatalf("a must call b: %+v", a.Calls)
+	}
+}
+
+func TestMethodCall(t *testing.T) {
+	g, _ := check(t, `package p
+type S struct{}
+func (s *S) m() { s.n() }
+func (s *S) n() {}
+`)
+	m := node(t, g, "(*S).m")
+	if len(m.Calls) != 1 || len(m.Calls[0].Callees) != 1 {
+		t.Fatalf("m must call n: %+v", m.Calls)
+	}
+	if m.Calls[0].Callees[0].Name() != "(*S).n" {
+		t.Fatalf("callee = %q", m.Calls[0].Callees[0].Name())
+	}
+}
+
+func TestExternalCallNoEdge(t *testing.T) {
+	g, _ := check(t, `package p
+import "strings"
+func a() { strings.TrimSpace("x") }
+`)
+	a := node(t, g, "a")
+	if len(a.Calls) != 1 {
+		t.Fatalf("call site must be recorded: %+v", a.Calls)
+	}
+	if len(a.Calls[0].Callees) != 0 {
+		t.Fatalf("external call must have no in-package callees: %+v", a.Calls[0].Callees)
+	}
+}
+
+func TestInterfaceDispatch(t *testing.T) {
+	g, _ := check(t, `package p
+type runner interface{ run() }
+type fast struct{}
+func (fast) run() {}
+type slow struct{}
+func (*slow) run() {}
+type other struct{}
+func (other) walk() {}
+func drive(r runner) { r.run() }
+`)
+	d := node(t, g, "drive")
+	if len(d.Calls) != 1 {
+		t.Fatalf("drive must have one call site: %+v", d.Calls)
+	}
+	got := names(d.Calls[0].Callees)
+	if len(got) != 2 {
+		t.Fatalf("interface call must resolve to both implementers, got %v", got)
+	}
+}
+
+func TestFuncLitOwnNode(t *testing.T) {
+	g, _ := check(t, `package p
+func a() {
+	go func() { b() }()
+}
+func b() {}
+`)
+	a := node(t, g, "a")
+	// a's only call site is the literal invocation; b() belongs to the
+	// literal node.
+	if len(a.Calls) != 1 {
+		t.Fatalf("a must own exactly the literal call: %+v", names(a.Calls[0].Callees))
+	}
+	if len(a.Calls[0].Callees) != 1 || a.Calls[0].Callees[0].Lit == nil {
+		t.Fatalf("literal call must resolve to the literal node")
+	}
+	lit := a.Calls[0].Callees[0]
+	if len(lit.Calls) != 1 || lit.Calls[0].Callees[0].Name() != "b" {
+		t.Fatalf("literal must own the b() call: %+v", lit.Calls)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g, _ := check(t, `package p
+func a() { b() }
+func b() { c() }
+func c() { a() }
+func d() {}
+`)
+	got := names(g.Reachable(node(t, g, "a")))
+	want := map[string]bool{"a": true, "b": true, "c": true}
+	if len(got) != 3 {
+		t.Fatalf("reachable from a = %v, want a,b,c", got)
+	}
+	for _, n := range got {
+		if !want[n] {
+			t.Fatalf("unexpected reachable node %q", n)
+		}
+	}
+}
+
+func TestDeferredLiteralReachable(t *testing.T) {
+	g, _ := check(t, `package p
+func a() {
+	defer func() { b() }()
+}
+func b() {}
+`)
+	got := names(g.Reachable(node(t, g, "a")))
+	found := false
+	for _, n := range got {
+		if n == "b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("b must be reachable through the deferred literal, got %v", got)
+	}
+}

@@ -1,0 +1,368 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as the body of func f and returns its block.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// reachable returns the block indices reachable from Entry.
+func reachable(g *Graph) map[int]bool {
+	seen := map[int]bool{g.Entry.Index: true}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestEmptyBody(t *testing.T) {
+	g := New(parseBody(t, ""))
+	if len(g.Blocks) != 2 {
+		t.Fatalf("want entry+exit, got %d blocks:\n%s", len(g.Blocks), g)
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("entry must fall through to exit:\n%s", g)
+	}
+}
+
+func TestIndexInvariant(t *testing.T) {
+	g := New(parseBody(t, `
+		if a {
+			for b {
+				switch c {
+				case 1:
+				default:
+				}
+			}
+		} else {
+			select {
+			case <-ch:
+			}
+		}
+		return
+	`))
+	for i, b := range g.Blocks {
+		if b.Index != i {
+			t.Fatalf("Blocks[%d].Index = %d:\n%s", i, b.Index, g)
+		}
+	}
+	if g.Blocks[len(g.Blocks)-1] != g.Exit {
+		t.Fatalf("Exit must be the last block:\n%s", g)
+	}
+}
+
+func TestIfBranches(t *testing.T) {
+	g := New(parseBody(t, `
+		x()
+		if cond {
+			y()
+		}
+		z()
+	`))
+	// entry(x, cond) -> then(y) and after(z); then -> after; after -> exit.
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("if head must have two successors:\n%s", g)
+	}
+	if !strings.Contains(g.String(), "if.then") || !strings.Contains(g.String(), "if.after") {
+		t.Fatalf("missing if blocks:\n%s", g)
+	}
+}
+
+func TestReturnEndsPath(t *testing.T) {
+	g := New(parseBody(t, `
+		if cond {
+			return
+		}
+		z()
+	`))
+	// The then block's only successor is Exit.
+	for _, b := range g.Blocks {
+		if b.kind == "if.then" {
+			if len(b.Succs) != 1 || b.Succs[0] != g.Exit {
+				t.Fatalf("return must edge to exit only:\n%s", g)
+			}
+		}
+	}
+}
+
+func TestPanicEndsPath(t *testing.T) {
+	g := New(parseBody(t, `
+		panic("boom")
+		dead()
+	`))
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("panic must edge to exit:\n%s", g)
+	}
+	// The dead() statement lands in an unreachable block.
+	r := reachable(g)
+	foundDead := false
+	for _, b := range g.Blocks {
+		if b.kind == "unreachable" {
+			foundDead = true
+			if r[b.Index] {
+				t.Fatalf("unreachable block is reachable:\n%s", g)
+			}
+			if len(b.Nodes) != 1 {
+				t.Fatalf("dead statement not captured:\n%s", g)
+			}
+		}
+	}
+	if !foundDead {
+		t.Fatalf("no unreachable block for dead code:\n%s", g)
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := New(parseBody(t, `
+		for i := 0; i < n; i++ {
+			body()
+		}
+		after()
+	`))
+	var head, body, post *Block
+	for _, b := range g.Blocks {
+		switch b.kind {
+		case "for.head":
+			head = b
+		case "for.body":
+			body = b
+		case "for.post":
+			post = b
+		}
+	}
+	if head == nil || body == nil || post == nil {
+		t.Fatalf("missing loop blocks:\n%s", g)
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("conditional head needs body+after successors:\n%s", g)
+	}
+	if len(body.Succs) != 1 || body.Succs[0] != post {
+		t.Fatalf("body must jump to post:\n%s", g)
+	}
+	if len(post.Succs) != 1 || post.Succs[0] != head {
+		t.Fatalf("post must close the back edge to head:\n%s", g)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	g := New(parseBody(t, `
+		for {
+			if a {
+				break
+			}
+			if b {
+				continue
+			}
+			c()
+		}
+		after()
+	`))
+	var head, after *Block
+	for _, b := range g.Blocks {
+		switch b.kind {
+		case "for.head":
+			head = b
+		case "for.after":
+			after = b
+		}
+	}
+	brk, cont := false, false
+	for _, b := range g.Blocks {
+		if b.kind != "if.then" {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == after {
+				brk = true
+			}
+			if s == head {
+				cont = true
+			}
+		}
+	}
+	if !brk || !cont {
+		t.Fatalf("break/continue edges missing (break=%v continue=%v):\n%s", brk, cont, g)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := New(parseBody(t, `
+	outer:
+		for {
+			for {
+				break outer
+			}
+		}
+		after()
+	`))
+	// The labeled break must reach the OUTER loop's after block, making
+	// after() reachable from entry.
+	r := reachable(g)
+	if !r[g.Exit.Index] {
+		t.Fatalf("labeled break must make exit reachable:\n%s", g)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := New(parseBody(t, `
+		switch x {
+		case 1:
+			a()
+			fallthrough
+		case 2:
+			b()
+		default:
+			c()
+		}
+	`))
+	var cases []*Block
+	for _, b := range g.Blocks {
+		if b.kind == "switch.case" {
+			cases = append(cases, b)
+		}
+	}
+	if len(cases) != 3 {
+		t.Fatalf("want 3 case blocks:\n%s", g)
+	}
+	if len(cases[0].Succs) != 1 || cases[0].Succs[0] != cases[1] {
+		t.Fatalf("fallthrough must edge case 1 -> case 2:\n%s", g)
+	}
+}
+
+func TestSwitchNoDefaultSkips(t *testing.T) {
+	g := New(parseBody(t, `
+		switch x {
+		case 1:
+			a()
+		}
+		after()
+	`))
+	// Without a default, the head must also edge straight to after.
+	var after *Block
+	for _, b := range g.Blocks {
+		if b.kind == "switch.after" {
+			after = b
+		}
+	}
+	found := false
+	for _, s := range g.Entry.Succs {
+		if s == after {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("defaultless switch must edge head -> after:\n%s", g)
+	}
+}
+
+func TestSelectClauses(t *testing.T) {
+	g := New(parseBody(t, `
+		select {
+		case <-a:
+			x()
+		case b <- 1:
+			y()
+		}
+	`))
+	// The SelectStmt node is recorded in the entry block; the comm
+	// statements are NOT re-added as nodes (blocking is attributed to the
+	// select itself).
+	foundSelect := false
+	for _, n := range g.Entry.Nodes {
+		if _, ok := n.(*ast.SelectStmt); ok {
+			foundSelect = true
+		}
+	}
+	if !foundSelect {
+		t.Fatalf("select node missing from its block:\n%s", g)
+	}
+	count := 0
+	for _, b := range g.Blocks {
+		if b.kind == "select.case" {
+			count++
+			for _, n := range b.Nodes {
+				switch n.(type) {
+				case *ast.SendStmt, *ast.UnaryExpr:
+					t.Fatalf("comm statement re-added as node:\n%s", g)
+				}
+			}
+		}
+	}
+	if count != 2 {
+		t.Fatalf("want 2 select.case blocks, got %d:\n%s", count, g)
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := New(parseBody(t, `
+		for _, v := range xs {
+			use(v)
+		}
+		after()
+	`))
+	var head, body *Block
+	for _, b := range g.Blocks {
+		switch b.kind {
+		case "range.head":
+			head = b
+		case "range.body":
+			body = b
+		}
+	}
+	if head == nil || body == nil {
+		t.Fatalf("missing range blocks:\n%s", g)
+	}
+	if len(body.Succs) != 1 || body.Succs[0] != head {
+		t.Fatalf("range body must loop back to head:\n%s", g)
+	}
+	// The ranged expression evaluates once, before the head.
+	if len(g.Entry.Nodes) != 1 {
+		t.Fatalf("range X must land in the predecessor block:\n%s", g)
+	}
+}
+
+func TestFuncLitNotDescended(t *testing.T) {
+	g := New(parseBody(t, `
+		h := func() {
+			if nested {
+				deep()
+			}
+		}
+		h()
+	`))
+	// The literal's if must not contribute blocks to the outer graph.
+	for _, b := range g.Blocks {
+		if b.kind == "if.then" {
+			t.Fatalf("descended into function literal:\n%s", g)
+		}
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	g := New(nil)
+	if len(g.Blocks) != 2 || len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("nil body must yield entry->exit:\n%s", g)
+	}
+}

@@ -11,6 +11,7 @@ import "strings"
 
 // List is the deterministic core, as module-relative package paths.
 var List = []string{
+	"internal/addrmap",
 	"internal/cache",
 	"internal/cpu",
 	"internal/cyclestack",
@@ -18,6 +19,7 @@ var List = []string{
 	"internal/dram/standard",
 	"internal/exp",
 	"internal/memctrl",
+	"internal/prefetch",
 	"internal/qos",
 	"internal/sched",
 	"internal/sim",

@@ -1,6 +1,10 @@
 package detpkg
 
-import "testing"
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
 
 func TestDeterministic(t *testing.T) {
 	cases := []struct {
@@ -23,6 +27,35 @@ func TestDeterministic(t *testing.T) {
 	for _, tc := range cases {
 		if got := Deterministic(tc.path); got != tc.want {
 			t.Errorf("Deterministic(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}
+
+// TestListCoversSimDeps keeps List in sync with reality: every internal
+// package the simulator core actually imports must be registered, or
+// the determinism analyzers silently stop looking at it. Walks the
+// import graph from internal/sim via the go tool, so adding a new
+// dependency to the simulator without registering it here fails CI.
+func TestListCoversSimDeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	out, err := exec.Command("go", "list", "-deps", "dramstacks/internal/sim").Output()
+	if err != nil {
+		t.Fatalf("go list -deps: %v", err)
+	}
+	registered := make(map[string]bool, len(List))
+	for _, p := range List {
+		registered[p] = true
+	}
+	for _, dep := range strings.Fields(string(out)) {
+		rel, ok := strings.CutPrefix(dep, "dramstacks/")
+		if !ok || !strings.HasPrefix(rel, "internal/") {
+			continue // stdlib, or a non-internal module package
+		}
+		if !registered[rel] {
+			t.Errorf("package %s is reachable from internal/sim but missing from detpkg.List; "+
+				"register it so the determinism analyzers cover it", rel)
 		}
 	}
 }

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"dramstacks/internal/analysis/analysistest"
+	"dramstacks/internal/analysis/passes/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), goroleak.Analyzer, "internal/service")
+}

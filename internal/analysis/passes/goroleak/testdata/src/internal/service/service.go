@@ -1,0 +1,105 @@
+// Package service is a goroleak fixture standing in for the real
+// internal/service: every goroutine needs a join or cancel path —
+// a context Done select, a WaitGroup, a channel close, or a range over
+// a channel — somewhere it can reach.
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+type Server struct {
+	ctx  context.Context
+	jobs chan string
+	wg   sync.WaitGroup
+}
+
+func poll() {}
+
+// Leak: the literal spins forever with no cancellation signal in reach.
+func (s *Server) badSpin() {
+	go func() { // want `goroutine func literal has no join or cancel path`
+		for {
+			poll()
+		}
+	}()
+}
+
+func (s *Server) pump() {
+	for {
+		poll()
+	}
+}
+
+// Leak: the named method never observes shutdown either.
+func (s *Server) badNamed() {
+	go s.pump() // want `goroutine \(\*Server\)\.pump has no join or cancel path`
+}
+
+// Clean: selects on the server context's Done channel.
+func (s *Server) goodCtx() {
+	go func() {
+		for {
+			select {
+			case <-s.ctx.Done():
+				return
+			case id := <-s.jobs:
+				_ = id
+			}
+		}
+	}()
+}
+
+// Clean: participates in a WaitGroup join (via a deferred literal —
+// reachable through the deferred call).
+func (s *Server) goodWait() {
+	s.wg.Add(1)
+	go func() {
+		defer func() { s.wg.Done() }()
+		poll()
+	}()
+}
+
+// Clean: signals completion by closing a channel.
+func (s *Server) goodClose() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		poll()
+	}()
+	return done
+}
+
+// Clean: a range over a channel terminates when the producer closes it.
+func (s *Server) goodRange() {
+	go func() {
+		for id := range s.jobs {
+			_ = id
+		}
+	}()
+}
+
+func (s *Server) drain() {
+	for range s.jobs {
+	}
+}
+
+// Clean: the signal lives in a callee, found through the call graph.
+func (s *Server) goodIndirect() {
+	go func() {
+		s.drain()
+	}()
+}
+
+// Acknowledged fire-and-forget: the directive on the containing
+// function's doc comment suppresses the finding.
+//
+//dramvet:allow goroleak(fixture: process-lifetime telemetry pump, dies with the process)
+func (s *Server) allowedForever() {
+	go func() {
+		for {
+			poll()
+		}
+	}()
+}

@@ -5,21 +5,35 @@
 // stall every request that touches the same lock — the exact contention
 // the durable store's in-memory mirror was built to avoid.
 //
-// Within each function, the analyzer tracks sync.Mutex/RWMutex
-// Lock/Unlock pairs (including `defer mu.Unlock()`, which holds to
-// function end) and flags, while any lock is held:
+// The analyzer is flow-sensitive: each function body is lowered to a
+// control-flow graph (internal/analysis/cfg) and a forward may-held
+// dataflow (internal/analysis/lockset) computes, per path, which
+// sync.Mutex/RWMutex locks may be held at every statement. Flagged
+// while any lock may be held:
 //
 //   - exp.RunSpec calls (a whole simulation under a lock);
 //   - (*os.File).Write / Sync (journal appends and fsyncs);
 //   - calls to *Store journal methods (append, AppendJob, AppendResult,
 //     AppendSweep, Checkpoint);
 //   - channel sends and receives, and select statements without a
-//     default clause.
+//     default clause;
+//   - a second Lock of a mutex that may already be held — the
+//     conditional double-Lock that self-deadlocks on the path where
+//     both acquisitions execute (RLock is only flagged over a held
+//     write lock).
 //
-// Methods named *Locked are exempt as callees (the convention marks
-// them as requiring the caller to hold the lock; their own bodies are
-// analyzed like any other function). The one deliberate exception — the
-// store serializing journal appends under its own mutex — is
+// Per-path tracking is what makes the pass precise: a lock released on
+// one branch stays charged on the branch that still holds it, a
+// deferred unlock holds to function end but not past an earlier return,
+// and an unlock inside a loop or switch arm propagates out — the shapes
+// the earlier statement-order walker over- or under-approximated.
+//
+// Goroutine bodies run without the caller's locks: a `go` statement's
+// function literal is analyzed as its own function with an empty held
+// set. Methods named *Locked are exempt as callees (the convention
+// marks them as requiring the caller to hold the lock; their own bodies
+// are analyzed like any other function). The one deliberate exception —
+// the store serializing journal appends under its own mutex — is
 // acknowledged with //dramvet:allow lockhold(...) at the definition.
 package lockhold
 
@@ -31,6 +45,8 @@ import (
 
 	"dramstacks/internal/analysis"
 	"dramstacks/internal/analysis/astutil"
+	"dramstacks/internal/analysis/cfg"
+	"dramstacks/internal/analysis/lockset"
 )
 
 // Analyzer is the lockhold pass.
@@ -38,7 +54,9 @@ var Analyzer = &analysis.Analyzer{
 	Name: "lockhold",
 	Doc: "forbid blocking work (fsync, journal appends, RunSpec, channel ops) under a service mutex\n\n" +
 		"internal/service locks guard in-memory state only; I/O and simulations must happen\n" +
-		"outside the critical section (the durable store's mirror exists for exactly this).",
+		"outside the critical section (the durable store's mirror exists for exactly this).\n" +
+		"Flow-sensitive: held-lock sets are tracked per control-flow path, including\n" +
+		"conditional unlocks, deferred unlocks, and double-Lock self-deadlocks.",
 	Run: run,
 }
 
@@ -56,10 +74,17 @@ func run(pass *analysis.Pass) (any, error) {
 		return nil, nil
 	}
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			fd, ok := n.(*ast.FuncDecl)
-			if ok && fd.Body != nil {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
 				checkFunc(pass, fd.Body)
+			}
+		}
+		// Function literals are their own functions: a goroutine or
+		// stored closure starts with no locks held, whatever its
+		// lexical context holds.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkFunc(pass, lit.Body)
 			}
 			return true
 		})
@@ -67,59 +92,53 @@ func run(pass *analysis.Pass) (any, error) {
 	return nil, nil
 }
 
-// checkFunc walks one function body in statement order, tracking which
-// mutexes are held.
+// checkFunc lowers one function body to a CFG, solves the may-held
+// dataflow, and flags blocking operations on nodes where a lock may be
+// held.
 func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
-	held := make(map[string]bool) // rendered lock expr → held
-	walkBlock(pass, body, held)
-}
+	g := cfg.New(body)
+	res := lockset.Analyze(g, pass.TypesInfo)
 
-func walkBlock(pass *analysis.Pass, block *ast.BlockStmt, held map[string]bool) {
-	// Locks taken inside this block are released when it ends (a
-	// conservative approximation: an early Unlock is honored, a Lock
-	// leaking out of a block is rare and would be flagged in callers).
-	local := make(map[string]bool, len(held))
-	for k, v := range held {
-		local[k] = v
+	// Double-Lock: an acquisition of a lock that may already be held on
+	// some path into it.
+	for _, acq := range res.Acquires {
+		prev, held := acq.Held[acq.Lock.ExprKey]
+		if !held {
+			continue
+		}
+		if acq.Mode == lockset.Read && prev.Mode&lockset.Write == 0 {
+			continue // RLock over RLock: shared, legal
+		}
+		verb := "Lock"
+		if acq.Mode == lockset.Read {
+			verb = "RLock"
+		}
+		pass.Reportf(acq.Pos,
+			"%s.%s while %s is already held: the path holding it deadlocks here "+
+				"(or annotate //dramvet:allow lockhold(reason))",
+			acq.Lock.ExprKey, verb, acq.Lock.ExprKey)
 	}
-	for _, stmt := range block.List {
-		walkStmt(pass, stmt, local)
-	}
-}
 
-func walkStmt(pass *analysis.Pass, stmt ast.Stmt, held map[string]bool) {
-	switch s := stmt.(type) {
-	case *ast.ExprStmt:
-		if key, op, ok := lockOp(pass, s.X); ok {
-			switch op {
-			case "Lock", "RLock":
-				held[key] = true
-			case "Unlock", "RUnlock":
-				delete(held, key)
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			held, reachable := res.Before[n]
+			if !reachable || held.Empty() {
+				continue
 			}
-			return
+			checkNode(pass, n, held)
 		}
-		checkExpr(pass, s.X, held)
-	case *ast.DeferStmt:
-		if _, op, ok := lockOp(pass, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
-			// Deferred unlock: the lock stays held for the rest of the walk.
-			return
-		}
-		checkExpr(pass, s.Call, held)
-	case *ast.AssignStmt:
-		for _, rhs := range s.Rhs {
-			checkExpr(pass, rhs, held)
-		}
-	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			checkExpr(pass, r, held)
-		}
+	}
+}
+
+// checkNode flags blocking operations in one CFG node executed while
+// locks are held.
+func checkNode(pass *analysis.Pass, n ast.Node, held lockset.Set) {
+	switch s := n.(type) {
 	case *ast.SendStmt:
-		if anyHeld(held) {
-			pass.Reportf(s.Pos(),
-				"channel send while %s is held: blocking operations must not run under a "+
-					"service mutex (or annotate //dramvet:allow lockhold(reason))", heldName(held))
-		}
+		pass.Reportf(s.Pos(),
+			"channel send while %s is held: blocking operations must not run under a "+
+				"service mutex (or annotate //dramvet:allow lockhold(reason))", heldName(held))
+		return
 	case *ast.SelectStmt:
 		hasDefault := false
 		for _, clause := range s.Body.List {
@@ -127,72 +146,45 @@ func walkStmt(pass *analysis.Pass, stmt ast.Stmt, held map[string]bool) {
 				hasDefault = true
 			}
 		}
-		if !hasDefault && anyHeld(held) {
+		if !hasDefault {
 			pass.Reportf(s.Pos(),
 				"blocking select while %s is held: blocking operations must not run under a "+
 					"service mutex (or annotate //dramvet:allow lockhold(reason))", heldName(held))
 		}
-		for _, clause := range s.Body.List {
-			if cc, ok := clause.(*ast.CommClause); ok {
-				for _, b := range cc.Body {
-					walkStmt(pass, b, held)
-				}
-			}
-		}
-	case *ast.IfStmt:
-		if s.Init != nil {
-			walkStmt(pass, s.Init, held)
-		}
-		checkExpr(pass, s.Cond, held)
-		walkBlock(pass, s.Body, held)
-		if s.Else != nil {
-			walkStmt(pass, s.Else, held)
-		}
-	case *ast.ForStmt:
-		walkBlock(pass, s.Body, held)
-	case *ast.RangeStmt:
-		walkBlock(pass, s.Body, held)
-	case *ast.BlockStmt:
-		walkBlock(pass, s, held)
-	case *ast.SwitchStmt:
-		for _, clause := range s.Body.List {
-			if cc, ok := clause.(*ast.CaseClause); ok {
-				for _, b := range cc.Body {
-					walkStmt(pass, b, held)
-				}
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, clause := range s.Body.List {
-			if cc, ok := clause.(*ast.CaseClause); ok {
-				for _, b := range cc.Body {
-					walkStmt(pass, b, held)
-				}
-			}
+		// Clause bodies are separate CFG blocks; nothing more here.
+		return
+	case *ast.ExprStmt:
+		if _, ok := lockset.AsLockOp(pass.TypesInfo, s.X); ok {
+			return // the lock op itself; double-Lock is reported above
 		}
 	case *ast.GoStmt:
-		// A goroutine body runs without the caller's locks.
-	}
-}
-
-// checkExpr flags blocking operations in an expression evaluated while
-// locks are held: receives, RunSpec, file writes/fsyncs, store appends.
-func checkExpr(pass *analysis.Pass, e ast.Expr, held map[string]bool) {
-	if e == nil || !anyHeld(held) {
+		// A goroutine body runs without the caller's locks, and its
+		// literal is analyzed separately. The call's argument
+		// expressions do evaluate here, though.
+		for _, arg := range s.Call.Args {
+			checkExpr(pass, arg, held)
+		}
 		return
 	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch x := n.(type) {
+	checkExpr(pass, n, held)
+}
+
+// checkExpr flags blocking operations syntactically inside n: receives,
+// RunSpec, file writes/fsyncs, store appends. Function literals are
+// skipped (their bodies run elsewhere and are analyzed separately).
+func checkExpr(pass *analysis.Pass, n ast.Node, held lockset.Set) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
 		case *ast.FuncLit:
-			return false // deferred/assigned closures run elsewhere
+			return false
 		case *ast.UnaryExpr:
-			if x.Op == token.ARROW {
-				pass.Reportf(x.Pos(),
+			if e.Op == token.ARROW {
+				pass.Reportf(e.Pos(),
 					"channel receive while %s is held: blocking operations must not run under "+
 						"a service mutex (or annotate //dramvet:allow lockhold(reason))", heldName(held))
 			}
 		case *ast.CallExpr:
-			checkCall(pass, x, held)
+			checkCall(pass, e, held)
 		}
 		return true
 	})
@@ -225,7 +217,7 @@ func isRunSpec(pass *analysis.Pass, call *ast.CallExpr) bool {
 	return p == "exp" || strings.HasSuffix(p, "/exp")
 }
 
-func checkCall(pass *analysis.Pass, call *ast.CallExpr, held map[string]bool) {
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, held lockset.Set) {
 	if isRunSpec(pass, call) {
 		pass.Reportf(call.Pos(),
 			"exp.RunSpec while %s is held: a simulation must never run under a service mutex "+
@@ -265,54 +257,12 @@ func isStore(t types.Type) bool {
 	return ok && named.Obj().Name() == "Store"
 }
 
-// lockOp recognizes expr as a mutex Lock/Unlock call and returns a
-// stable key for the lock expression.
-func lockOp(pass *analysis.Pass, e ast.Expr) (key, op string, ok bool) {
-	call, isCall := astutil.Unparen(e).(*ast.CallExpr)
-	if !isCall || len(call.Args) != 0 {
-		return "", "", false
-	}
-	sel, isSel := astutil.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !isSel {
-		return "", "", false
-	}
-	switch sel.Sel.Name {
-	case "Lock", "Unlock", "RLock", "RUnlock":
-	default:
-		return "", "", false
-	}
-	tv, found := pass.TypesInfo.Types[sel.X]
-	if !found || tv.Type == nil {
-		return "", "", false
-	}
-	if !astutil.IsNamed(tv.Type, "sync", "Mutex") && !astutil.IsNamed(tv.Type, "sync", "RWMutex") {
-		return "", "", false
-	}
-	return exprKey(sel.X), sel.Sel.Name, true
-}
-
-// exprKey renders a lock expression ("s.mu") as a comparison key.
-func exprKey(e ast.Expr) string {
-	switch x := astutil.Unparen(e).(type) {
-	case *ast.Ident:
-		return x.Name
-	case *ast.SelectorExpr:
-		return exprKey(x.X) + "." + x.Sel.Name
-	default:
-		return "lock"
-	}
-}
-
-func anyHeld(held map[string]bool) bool { return len(held) > 0 }
-
 // heldName names one held lock for the diagnostic (sorted for
 // determinism when several are held).
-func heldName(held map[string]bool) string {
-	best := ""
-	for k := range held {
-		if best == "" || k < best {
-			best = k
-		}
+func heldName(held lockset.Set) string {
+	names := held.Names()
+	if len(names) == 0 {
+		return "a lock"
 	}
-	return best
+	return names[0]
 }

@@ -112,3 +112,105 @@ func (s *Server) goodGoroutine(id string) {
 		s.jobs <- id
 	}()
 }
+
+// Flow-sensitive: the unlock happens on one branch only; the path that
+// skips it still holds the lock at the receive.
+func (s *Server) badBranchUnlock(fast bool) string {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+	}
+	return <-s.jobs // want `channel receive while s.mu is held`
+}
+
+// Flow-sensitive: a conditional second Lock self-deadlocks on the path
+// where both acquisitions execute.
+func (s *Server) badDoubleLock(again bool) {
+	s.mu.Lock()
+	if again {
+		s.mu.Lock() // want `s.mu.Lock while s.mu is already held`
+	}
+	s.mu.Unlock()
+}
+
+// Flow-sensitive: a Lock in a loop body with no release carries over
+// the back edge — the second iteration re-locks a held mutex.
+func (s *Server) badLoopLock(n int) {
+	for i := 0; i < n; i++ {
+		s.mu.Lock() // want `s.mu.Lock while s.mu is already held`
+	}
+}
+
+// Clean: each branch releases before the blocking work — a
+// statement-order walker would charge the send anyway.
+func (s *Server) goodBothBranches(fast bool, id string) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+	s.jobs <- id
+}
+
+// Clean: the early-return path never reaches the simulation, and the
+// fallthrough path unlocks first.
+func (s *Server) goodEarlyReturn(id string) error {
+	s.mu.Lock()
+	if id == "" {
+		s.mu.Unlock()
+		return nil
+	}
+	spec := s.specs[id]
+	s.mu.Unlock()
+	_, err := exp.RunSpec(spec)
+	return err
+}
+
+// Clean: lock and unlock balanced inside every loop iteration, so
+// nothing is held at the send after the loop.
+func (s *Server) goodLoopBalanced(ids []string) {
+	for _, id := range ids {
+		s.mu.Lock()
+		s.specs[id] = exp.Spec{}
+		s.mu.Unlock()
+	}
+	s.jobs <- "done"
+}
+
+// Clean: the panic path cannot fall through to the send.
+func (s *Server) goodPanicPath(ok bool, id string) {
+	s.mu.Lock()
+	if !ok {
+		s.mu.Unlock()
+		panic("bad id")
+	}
+	s.specs[id] = exp.Spec{}
+	s.mu.Unlock()
+	s.jobs <- id
+}
+
+// An RWMutex-guarded index for the read-to-write upgrade shape.
+type Index struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// Clean: shared read under RLock.
+func (ix *Index) goodSharedRead(k string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.m[k]
+}
+
+// Flow-sensitive: upgrading RLock to Lock in place self-deadlocks
+// (sync.RWMutex write-lock waits for all readers, including this one).
+func (ix *Index) badUpgrade(k string) {
+	ix.mu.RLock()
+	if _, ok := ix.m[k]; !ok {
+		ix.mu.Lock() // want `ix.mu.Lock while ix.mu is already held`
+		ix.m[k] = 0
+		ix.mu.Unlock()
+	}
+	ix.mu.RUnlock()
+}

@@ -1,0 +1,87 @@
+package lockorder
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"dramstacks/internal/analysis/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "internal/service")
+}
+
+func TestRenderDAG(t *testing.T) {
+	classes := []string{"Cache.mu", "Job.mu", "Server.mu"}
+	edges := []*edge{{
+		from: "Server.mu",
+		to:   "Job.mu",
+		pos:  token.Pos(1),
+		note: "Job.mu acquired in (*Server).status while Server.mu held",
+	}}
+	got := RenderDAG(classes, edges)
+	for _, want := range []string{
+		"Server.mu -> Job.mu",
+		"Server.mu < Job.mu",
+		"Never nested with another lock: Cache.mu",
+		"do not edit by hand",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("RenderDAG output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRenderDAGCycle(t *testing.T) {
+	edges := []*edge{
+		{from: "A.mu", to: "B.mu", pos: 1, note: "x"},
+		{from: "B.mu", to: "A.mu", pos: 2, note: "y"},
+	}
+	got := RenderDAG([]string{"A.mu", "B.mu"}, edges)
+	if !strings.Contains(got, "CYCLE") {
+		t.Errorf("cyclic DAG must render CYCLE marker:\n%s", got)
+	}
+}
+
+func TestRenderDAGEmpty(t *testing.T) {
+	got := RenderDAG([]string{"Store.mu"}, nil)
+	if !strings.Contains(got, "(none: no service mutex is ever acquired while another is held)") {
+		t.Errorf("empty edge set must say so:\n%s", got)
+	}
+	if !strings.Contains(got, "Store.mu") {
+		t.Errorf("lock classes must be listed even without edges:\n%s", got)
+	}
+}
+
+func TestDescribeCycle(t *testing.T) {
+	edges := []*edge{
+		{from: "A.mu", to: "B.mu"},
+		{from: "B.mu", to: "A.mu"},
+	}
+	got := describeCycle(edges, edges[0])
+	if got != "A.mu → B.mu → A.mu" {
+		t.Errorf("describeCycle = %q", got)
+	}
+	self := &edge{from: "J.mu", to: "J.mu"}
+	if got := describeCycle([]*edge{self}, self); got != "J.mu → J.mu" {
+		t.Errorf("self cycle = %q", got)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	edges := []*edge{
+		{from: "A.mu", to: "B.mu"},
+		{from: "B.mu", to: "C.mu"},
+	}
+	order, acyclic := topoOrder(edges)
+	if !acyclic {
+		t.Fatal("chain misdetected as cycle")
+	}
+	if strings.Join(order, "<") != "A.mu<B.mu<C.mu" {
+		t.Errorf("topo order = %v", order)
+	}
+	if _, acyclic := topoOrder([]*edge{{from: "A.mu", to: "A.mu"}}); acyclic {
+		t.Error("self edge must be cyclic")
+	}
+}

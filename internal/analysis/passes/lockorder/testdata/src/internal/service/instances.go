@@ -1,0 +1,11 @@
+package service
+
+// Two instances of the same lock class nested: without a documented
+// instance order, two goroutines nesting (a, b) and (b, a) deadlock —
+// a self-edge in the class graph, reported as a cycle.
+func transfer(a, b *Job) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock-order cycle`
+	b.mu.Unlock()
+}

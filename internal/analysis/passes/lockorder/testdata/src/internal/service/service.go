@@ -1,0 +1,87 @@
+// Package service is a lockorder fixture standing in for the real
+// internal/service: nesting service mutexes is allowed only in one
+// consistent direction, and the pass fails on any cycle.
+package service
+
+import "sync"
+
+type Server struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+}
+
+type Job struct {
+	mu    sync.Mutex
+	srv   *Server
+	state int
+}
+
+// Isolated lock: never nested with another, participates in no edge.
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func (c *Cache) Get(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[k]
+}
+
+// The established direction: Server.mu is held while Job.mu is
+// acquired, through a call. This edge is fine on its own — it is
+// flagged below only because badPromote closes the cycle.
+func (s *Server) status(id string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	return j.get() // want `lock-order cycle`
+}
+
+func (j *Job) get() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// The violation: acquiring Server.mu while holding Job.mu runs against
+// the direction status established, so two goroutines can deadlock.
+func (j *Job) badPromote() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.srv.mu.Lock() // want `lock-order cycle`
+	j.srv.mu.Unlock()
+}
+
+// Clean: the flow-sensitive dataflow sees the release, so snapshotting
+// under one lock and then taking the other adds no edge.
+func (j *Job) goodHandOff() int {
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	j.srv.mu.Lock()
+	defer j.srv.mu.Unlock()
+	return state + len(j.srv.jobs)
+}
+
+// Clean: a goroutine body starts with no locks held, whatever its
+// lexical context holds when it launches.
+func (j *Job) goodAsync() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	go func() {
+		j.srv.mu.Lock()
+		defer j.srv.mu.Unlock()
+	}()
+}
+
+// Acknowledged inverse nesting: the directive on the function doc
+// comment suppresses the interprocedural finding inside it.
+//
+//dramvet:allow lockorder(fixture: shutdown path, serialized by the run loop)
+func (j *Job) allowedInverse() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.srv.mu.Lock()
+	j.srv.mu.Unlock()
+}

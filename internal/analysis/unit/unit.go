@@ -102,6 +102,7 @@ func Main(analyzers ...*analysis.Analyzer) {
 	}
 	flags.Var(versionFlag{}, "V", "print version and exit")
 	printFlags := flags.Bool("flags", false, "print flags as JSON and exit (go vet protocol)")
+	listOnly := flags.Bool("list", false, "print the registered analyzers with their one-line docs and exit")
 	jsonOut := flags.Bool("json", false, "emit diagnostics as JSON instead of text")
 	enabled := make(map[string]*bool, len(analyzers))
 	for _, a := range analyzers {
@@ -119,7 +120,9 @@ func Main(analyzers ...*analysis.Analyzer) {
 		}
 		var out []jsonFlag
 		flags.VisitAll(func(f *flag.Flag) {
-			if f.Name == "flags" || f.Name == "V" {
+			// Meta flags are for humans (or the protocol itself), not for
+			// the go command to pass per unit.
+			if f.Name == "flags" || f.Name == "V" || f.Name == "list" {
 				return
 			}
 			b, ok := f.Value.(interface{ IsBoolFlag() bool })
@@ -130,6 +133,13 @@ func Main(analyzers ...*analysis.Analyzer) {
 			log.Fatal(err)
 		}
 		os.Stdout.Write(data)
+		os.Exit(0)
+	}
+
+	if *listOnly {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
 		os.Exit(0)
 	}
 
